@@ -1,0 +1,33 @@
+// Package baseline implements the comparator index trees the paper's
+// claims are measured against:
+//
+//   - SubtreeLatch: a B+-tree with Bayer–Schkolnick-style pessimistic
+//     descent — writers hold exclusive latches on the whole unsafe path,
+//     readers latch-couple in share mode [1, 18].
+//   - SerialSMO: a B-link tree whose structure modifications are SERIAL,
+//     in the spirit the paper attributes to ARIES/IM ("complete
+//     structural changes are serial", §1): a tree-wide SMO latch is held
+//     exclusively for the entire split-and-post sequence, and every
+//     operation runs under its share mode.
+//   - GlobalLock: a B+-tree under one reader-writer lock — the floor.
+//
+// The baselines are deliberately in-memory and unlogged, which biases
+// the comparison IN THEIR FAVOR: the Π-tree in internal/core pays for
+// write-ahead logging and lock management in the same benchmarks and
+// still has to win on concurrency for the paper's claims to reproduce.
+package baseline
+
+import "repro/internal/keys"
+
+// KV is the common surface the benchmark harness drives.
+type KV interface {
+	// Insert adds key=val; inserting an existing key overwrites (the
+	// benchmarks use unique keys, so the distinction never matters).
+	Insert(k keys.Key, v []byte)
+	// Search returns the value for k.
+	Search(k keys.Key) ([]byte, bool)
+	// Scan visits keys in [lo, hi) in order; nil hi means unbounded.
+	Scan(lo, hi keys.Key, fn func(k keys.Key, v []byte) bool)
+	// Label names the method in benchmark output.
+	Label() string
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func trees(capacity int) []KV {
+	return []KV{
+		NewSubtreeLatch(capacity),
+		NewSerialSMO(capacity),
+		NewGlobalLock(capacity),
+	}
+}
+
+func TestSequentialCorrectness(t *testing.T) {
+	for _, tree := range trees(8) {
+		t.Run(tree.Label(), func(t *testing.T) {
+			const n = 3000
+			rng := rand.New(rand.NewSource(1))
+			perm := rng.Perm(n)
+			for _, i := range perm {
+				tree.Insert(keys.Uint64(uint64(i)), []byte(fmt.Sprintf("v%d", i)))
+			}
+			for i := 0; i < n; i++ {
+				v, ok := tree.Search(keys.Uint64(uint64(i)))
+				if !ok || string(v) != fmt.Sprintf("v%d", i) {
+					t.Fatalf("key %d: %q %v", i, v, ok)
+				}
+			}
+			if _, ok := tree.Search(keys.Uint64(n + 5)); ok {
+				t.Fatal("phantom key")
+			}
+			// Ordered scan sees every key in [100, 200).
+			var got []uint64
+			tree.Scan(keys.Uint64(100), keys.Uint64(200), func(k keys.Key, v []byte) bool {
+				got = append(got, keys.ToUint64(k))
+				return true
+			})
+			if len(got) != 100 {
+				t.Fatalf("scan: %d keys", len(got))
+			}
+			for i, k := range got {
+				if k != uint64(100+i) {
+					t.Fatalf("scan[%d] = %d", i, k)
+				}
+			}
+		})
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	for _, tree := range trees(8) {
+		t.Run(tree.Label(), func(t *testing.T) {
+			k := keys.Uint64(42)
+			tree.Insert(k, []byte("a"))
+			tree.Insert(k, []byte("b"))
+			if v, ok := tree.Search(k); !ok || string(v) != "b" {
+				t.Fatalf("overwrite: %q %v", v, ok)
+			}
+		})
+	}
+}
+
+func TestConcurrentInsertSearch(t *testing.T) {
+	for _, capacity := range []int{8, 64} {
+		for _, tree := range trees(capacity) {
+			t.Run(fmt.Sprintf("%s/cap%d", tree.Label(), capacity), func(t *testing.T) {
+				const workers = 8
+				const perWorker = 500
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := 0; i < perWorker; i++ {
+							k := uint64(w*perWorker + i)
+							tree.Insert(keys.Uint64(k), []byte{byte(w)})
+							// Read back something already inserted.
+							if _, ok := tree.Search(keys.Uint64(k)); !ok {
+								t.Errorf("worker %d lost key %d", w, k)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				for i := 0; i < workers*perWorker; i++ {
+					if _, ok := tree.Search(keys.Uint64(uint64(i))); !ok {
+						t.Fatalf("key %d missing after concurrent load", i)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package baseline
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/keys"
+)
+
+// GlobalLock is a B+-tree protected by a single reader-writer lock: all
+// writers serialize, readers share. The floor every concurrency scheme
+// must clear.
+type GlobalLock struct {
+	capacity int
+	mu       sync.RWMutex
+	root     *glNode
+
+	exclusions  atomic.Int64
+	exclusiveNs atomic.Int64
+}
+
+// ExclusionStats reports tree-wide exclusive holds: every write.
+func (t *GlobalLock) ExclusionStats() (count int64, total time.Duration) {
+	return t.exclusions.Load(), time.Duration(t.exclusiveNs.Load())
+}
+
+type glNode struct {
+	leaf bool
+	keys []keys.Key
+	vals [][]byte
+	kids []*glNode
+}
+
+func (n *glNode) find(k keys.Key) (int, bool) {
+	i := sort.Search(len(n.keys), func(i int) bool {
+		return keys.Compare(n.keys[i], k) >= 0
+	})
+	if i < len(n.keys) && keys.Equal(n.keys[i], k) {
+		return i, true
+	}
+	return i, false
+}
+
+func (n *glNode) childIdx(k keys.Key) int {
+	i, exact := n.find(k)
+	if !exact {
+		if i == 0 {
+			return 0
+		}
+		i--
+	}
+	return i
+}
+
+// NewGlobalLock returns a tree whose nodes hold up to capacity entries.
+func NewGlobalLock(capacity int) *GlobalLock {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &GlobalLock{capacity: capacity, root: &glNode{leaf: true}}
+}
+
+// Label implements KV.
+func (t *GlobalLock) Label() string { return "global-lock" }
+
+// Search implements KV.
+func (t *GlobalLock) Search(k keys.Key) ([]byte, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cur := t.root
+	for !cur.leaf {
+		cur = cur.kids[cur.childIdx(k)]
+	}
+	if i, ok := cur.find(k); ok {
+		return cur.vals[i], true
+	}
+	return nil, false
+}
+
+// Scan implements KV.
+func (t *GlobalLock) Scan(lo, hi keys.Key, fn func(k keys.Key, v []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var walk func(n *glNode) bool
+	walk = func(n *glNode) bool {
+		if n.leaf {
+			for i, k := range n.keys {
+				if lo != nil && keys.Compare(k, lo) < 0 {
+					continue
+				}
+				if hi != nil && keys.Compare(k, hi) >= 0 {
+					return false
+				}
+				if !fn(k, n.vals[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		start := 0
+		if lo != nil {
+			start = n.childIdx(lo)
+		}
+		for i := start; i < len(n.kids); i++ {
+			if hi != nil && i < len(n.keys) && n.keys[i] != nil && keys.Compare(n.keys[i], hi) >= 0 {
+				return false
+			}
+			if !walk(n.kids[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// Insert implements KV.
+func (t *GlobalLock) Insert(k keys.Key, v []byte) {
+	t.mu.Lock()
+	start := time.Now()
+	defer func() {
+		t.exclusiveNs.Add(time.Since(start).Nanoseconds())
+		t.exclusions.Add(1)
+		t.mu.Unlock()
+	}()
+	sep, right := t.insert(t.root, k, v)
+	if right != nil {
+		left := &glNode{leaf: t.root.leaf, keys: t.root.keys, vals: t.root.vals, kids: t.root.kids}
+		t.root = &glNode{leaf: false, keys: []keys.Key{nil, sep}, kids: []*glNode{left, right}}
+	}
+}
+
+// insert recursively adds (k, v) under n and returns a promoted
+// separator and new right node if n split.
+func (t *GlobalLock) insert(n *glNode, k keys.Key, v []byte) (keys.Key, *glNode) {
+	if n.leaf {
+		i, exact := n.find(k)
+		if exact {
+			n.vals[i] = v
+			return nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = keys.Clone(k)
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = v
+	} else {
+		ci := n.childIdx(k)
+		sep, right := t.insert(n.kids[ci], k, v)
+		if right != nil {
+			j, _ := n.find(sep)
+			n.keys = append(n.keys, nil)
+			copy(n.keys[j+1:], n.keys[j:])
+			n.keys[j] = sep
+			n.kids = append(n.kids, nil)
+			copy(n.kids[j+1:], n.kids[j:])
+			n.kids[j] = right
+		}
+	}
+	if len(n.keys) <= t.capacity {
+		return nil, nil
+	}
+	mid := len(n.keys) / 2
+	sep := keys.Clone(n.keys[mid])
+	right := &glNode{leaf: n.leaf}
+	right.keys = append([]keys.Key(nil), n.keys[mid:]...)
+	n.keys = append([]keys.Key(nil), n.keys[:mid]...)
+	if n.leaf {
+		right.vals = append([][]byte(nil), n.vals[mid:]...)
+		n.vals = append([][]byte(nil), n.vals[:mid]...)
+	} else {
+		right.kids = append([]*glNode(nil), n.kids[mid:]...)
+		n.kids = append([]*glNode(nil), n.kids[:mid]...)
+	}
+	return sep, right
+}

@@ -1,0 +1,263 @@
+package baseline
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/latch"
+)
+
+// SerialSMO is a B-link tree whose structure modifications are serial:
+// one tree-wide SMO latch is held exclusively for the ENTIRE structure
+// change (leaf split plus every index-term posting, possibly up to a
+// root growth), while every ordinary operation holds it in share mode.
+// This is the contrast case for the paper's innovation 2: "By contrast,
+// in ARIES/IM complete structural changes are serial." Searches still
+// use side pointers, so the data organization matches internal/core; the
+// difference under measurement is purely the SMO discipline.
+type SerialSMO struct {
+	capacity int
+	smo      sync.RWMutex
+	root     *slNode // root grows in place and never moves
+
+	// Exclusion accounting: spans during which the tree-wide SMO latch
+	// was held exclusively, stalling every concurrent operation.
+	exclusions  atomic.Int64
+	exclusiveNs atomic.Int64
+}
+
+// ExclusionStats reports how often and for how long this tree held a
+// tree-wide exclusive resource (the serial-SMO latch).
+func (t *SerialSMO) ExclusionStats() (count int64, total time.Duration) {
+	return t.exclusions.Load(), time.Duration(t.exclusiveNs.Load())
+}
+
+type slNode struct {
+	latch latch.Latch
+	leaf  bool
+	keys  []keys.Key
+	vals  [][]byte
+	kids  []*slNode
+	right *slNode
+	high  keys.Bound
+}
+
+func (n *slNode) find(k keys.Key) (int, bool) {
+	i := sort.Search(len(n.keys), func(i int) bool {
+		return keys.Compare(n.keys[i], k) >= 0
+	})
+	if i < len(n.keys) && keys.Equal(n.keys[i], k) {
+		return i, true
+	}
+	return i, false
+}
+
+func (n *slNode) childFor(k keys.Key) *slNode {
+	i, exact := n.find(k)
+	if !exact {
+		if i == 0 {
+			return n.kids[0]
+		}
+		i--
+	}
+	return n.kids[i]
+}
+
+func (n *slNode) contains(k keys.Key) bool { return n.high.ContainsBelow(k) }
+
+// NewSerialSMO returns a tree whose nodes hold up to capacity entries.
+func NewSerialSMO(capacity int) *SerialSMO {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &SerialSMO{capacity: capacity, root: &slNode{leaf: true, high: keys.Inf}}
+}
+
+// Label implements KV.
+func (t *SerialSMO) Label() string { return "serial-smo" }
+
+// descend returns the latched leaf covering k. Caller holds t.smo.RLock.
+func (t *SerialSMO) descend(k keys.Key, exclusiveLeaf bool) *slNode {
+	cur := t.root
+	cur.latch.AcquireS()
+	for {
+		for !cur.contains(k) {
+			next := cur.right
+			next.latch.AcquireS()
+			cur.latch.ReleaseS()
+			cur = next
+		}
+		if cur.leaf {
+			if !exclusiveLeaf {
+				return cur
+			}
+			// Re-acquire exclusively; revalidate coverage after the gap.
+			cur.latch.ReleaseS()
+			cur.latch.AcquireX()
+			for !cur.contains(k) {
+				next := cur.right
+				next.latch.AcquireX()
+				cur.latch.ReleaseX()
+				cur = next
+			}
+			return cur
+		}
+		next := cur.childFor(k)
+		next.latch.AcquireS()
+		cur.latch.ReleaseS()
+		cur = next
+	}
+}
+
+// Search implements KV.
+func (t *SerialSMO) Search(k keys.Key) ([]byte, bool) {
+	t.smo.RLock()
+	defer t.smo.RUnlock()
+	leaf := t.descend(k, false)
+	i, ok := leaf.find(k)
+	var v []byte
+	if ok {
+		v = leaf.vals[i]
+	}
+	leaf.latch.ReleaseS()
+	return v, ok
+}
+
+// Scan implements KV via the leaf chain.
+func (t *SerialSMO) Scan(lo, hi keys.Key, fn func(k keys.Key, v []byte) bool) {
+	t.smo.RLock()
+	defer t.smo.RUnlock()
+	cur := t.descend(lo, false)
+	cursor := lo
+	for {
+		for i, k := range cur.keys {
+			if keys.Compare(k, cursor) < 0 {
+				continue
+			}
+			if hi != nil && keys.Compare(k, hi) >= 0 {
+				cur.latch.ReleaseS()
+				return
+			}
+			if !fn(k, cur.vals[i]) {
+				cur.latch.ReleaseS()
+				return
+			}
+		}
+		if cur.high.Unbounded || (hi != nil && keys.Compare(cur.high.Key, hi) >= 0) {
+			cur.latch.ReleaseS()
+			return
+		}
+		cursor = cur.high.Key
+		next := cur.right
+		next.latch.AcquireS()
+		cur.latch.ReleaseS()
+		cur = next
+	}
+}
+
+// Insert implements KV. A full leaf forces the SERIAL structure change:
+// release everything, take the SMO latch exclusively (draining all
+// concurrent operations), perform the complete multi-level change, then
+// retry.
+func (t *SerialSMO) Insert(k keys.Key, v []byte) {
+	for {
+		t.smo.RLock()
+		leaf := t.descend(k, true)
+		if len(leaf.keys) < t.capacity {
+			i, exact := leaf.find(k)
+			if exact {
+				leaf.vals[i] = v
+			} else {
+				leaf.keys = append(leaf.keys, nil)
+				copy(leaf.keys[i+1:], leaf.keys[i:])
+				leaf.keys[i] = keys.Clone(k)
+				leaf.vals = append(leaf.vals, nil)
+				copy(leaf.vals[i+1:], leaf.vals[i:])
+				leaf.vals[i] = v
+			}
+			leaf.latch.ReleaseX()
+			t.smo.RUnlock()
+			return
+		}
+		leaf.latch.ReleaseX()
+		t.smo.RUnlock()
+
+		// Serial SMO: the whole structure change under the exclusive
+		// tree latch, splits and postings to every level at once.
+		t.smo.Lock()
+		start := time.Now()
+		t.splitPathFor(k)
+		t.exclusiveNs.Add(time.Since(start).Nanoseconds())
+		t.exclusions.Add(1)
+		t.smo.Unlock()
+	}
+}
+
+// splitPathFor performs, under the exclusive SMO latch, every split
+// needed so the leaf covering k has room. No node latches are needed:
+// the SMO latch excludes all other operations.
+func (t *SerialSMO) splitPathFor(k keys.Key) {
+	// Find the path root->leaf (no sibling chasing needed: postings are
+	// always complete in this design).
+	var path []*slNode
+	cur := t.root
+	for {
+		for !cur.contains(k) {
+			cur = cur.right
+		}
+		path = append(path, cur)
+		if cur.leaf {
+			break
+		}
+		cur = cur.childFor(k)
+	}
+	leaf := path[len(path)-1]
+	if len(leaf.keys) < t.capacity {
+		return // someone else already split (we re-check after Lock)
+	}
+	// Split bottom-up; every index term posted immediately (the split
+	// and all postings are one serial unit).
+	for level := len(path) - 1; level >= 0; level-- {
+		n := path[level]
+		if len(n.keys) < t.capacity {
+			break
+		}
+		mid := len(n.keys) / 2
+		sep := keys.Clone(n.keys[mid])
+		right := &slNode{leaf: n.leaf, right: n.right, high: n.high}
+		right.keys = append([]keys.Key(nil), n.keys[mid:]...)
+		if n.leaf {
+			right.vals = append([][]byte(nil), n.vals[mid:]...)
+			n.vals = append([][]byte(nil), n.vals[:mid]...)
+		} else {
+			right.kids = append([]*slNode(nil), n.kids[mid:]...)
+			n.kids = append([]*slNode(nil), n.kids[:mid]...)
+		}
+		n.keys = append([]keys.Key(nil), n.keys[:mid]...)
+		n.right = right
+		n.high = keys.At(sep)
+
+		if level > 0 {
+			p := path[level-1]
+			j, _ := p.find(sep)
+			p.keys = append(p.keys, nil)
+			copy(p.keys[j+1:], p.keys[j:])
+			p.keys[j] = sep
+			p.kids = append(p.kids, nil)
+			copy(p.kids[j+1:], p.kids[j:])
+			p.kids[j] = right
+		} else {
+			// Root grows in place.
+			left := &slNode{leaf: n.leaf, keys: n.keys, vals: n.vals, kids: n.kids, right: right, high: keys.At(sep)}
+			n.leaf = false
+			n.keys = []keys.Key{nil, sep}
+			n.vals = nil
+			n.kids = []*slNode{left, right}
+			n.right = nil
+			n.high = keys.Inf
+		}
+	}
+}

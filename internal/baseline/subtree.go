@@ -1,0 +1,240 @@
+package baseline
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/latch"
+)
+
+// SubtreeLatch is the Bayer–Schkolnick pessimistic B+-tree: a writer
+// holds exclusive latches on every node of the path from the deepest
+// SAFE ancestor (one that cannot split) down to the leaf, so a split
+// never needs to re-acquire anything — at the price of excluding readers
+// from that whole subtree for the duration. Readers latch-couple with
+// share latches. This is the classic pre-B-link design that B-link-style
+// methods were shown to beat [18], which is what experiments T1–T3
+// reproduce.
+type SubtreeLatch struct {
+	capacity int
+	// anchor guards the root pointer and is ordered before every node;
+	// the root grows in place, so the anchor is only held exclusively
+	// while the root itself is unsafe.
+	anchor latch.Latch
+	root   *stNode
+
+	exclusions  atomic.Int64
+	exclusiveNs atomic.Int64
+}
+
+// ExclusionStats reports tree-wide exclusive holds: inserts that latched
+// the anchor exclusively because the root was unsafe. (Subtree-wide
+// exclusion below the root is additional and not counted here.)
+func (t *SubtreeLatch) ExclusionStats() (count int64, total time.Duration) {
+	return t.exclusions.Load(), time.Duration(t.exclusiveNs.Load())
+}
+
+type stNode struct {
+	latch   latch.Latch
+	leaf    bool
+	keys    []keys.Key
+	vals    [][]byte  // leaves
+	kids    []*stNode // internal; kids[i] covers [keys[i], keys[i+1])
+	highKey keys.Bound
+}
+
+func (n *stNode) find(k keys.Key) (int, bool) {
+	i := sort.Search(len(n.keys), func(i int) bool {
+		return keys.Compare(n.keys[i], k) >= 0
+	})
+	if i < len(n.keys) && keys.Equal(n.keys[i], k) {
+		return i, true
+	}
+	return i, false
+}
+
+func (n *stNode) childFor(k keys.Key) (*stNode, int) {
+	i, exact := n.find(k)
+	if !exact {
+		if i == 0 {
+			return n.kids[0], 0
+		}
+		i--
+	}
+	return n.kids[i], i
+}
+
+// NewSubtreeLatch returns a tree whose nodes hold up to capacity entries.
+func NewSubtreeLatch(capacity int) *SubtreeLatch {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &SubtreeLatch{capacity: capacity, root: &stNode{leaf: true, highKey: keys.Inf}}
+}
+
+// Label implements KV.
+func (t *SubtreeLatch) Label() string { return "subtree-latch" }
+
+// Search implements KV with share-mode latch coupling.
+func (t *SubtreeLatch) Search(k keys.Key) ([]byte, bool) {
+	t.anchor.AcquireS()
+	cur := t.root
+	cur.latch.AcquireS()
+	t.anchor.ReleaseS()
+	for !cur.leaf {
+		next, _ := cur.childFor(k)
+		next.latch.AcquireS()
+		cur.latch.ReleaseS()
+		cur = next
+	}
+	i, ok := cur.find(k)
+	var v []byte
+	if ok {
+		v = cur.vals[i]
+	}
+	cur.latch.ReleaseS()
+	return v, ok
+}
+
+// Scan implements KV by repeated descents (no leaf links in this design).
+func (t *SubtreeLatch) Scan(lo, hi keys.Key, fn func(k keys.Key, v []byte) bool) {
+	cursor := keys.Clone(lo)
+	for {
+		t.anchor.AcquireS()
+		cur := t.root
+		cur.latch.AcquireS()
+		t.anchor.ReleaseS()
+		for !cur.leaf {
+			next, _ := cur.childFor(cursor)
+			next.latch.AcquireS()
+			cur.latch.ReleaseS()
+			cur = next
+		}
+		for i, k := range cur.keys {
+			if keys.Compare(k, cursor) < 0 {
+				continue
+			}
+			if hi != nil && keys.Compare(k, hi) >= 0 {
+				cur.latch.ReleaseS()
+				return
+			}
+			if !fn(k, cur.vals[i]) {
+				cur.latch.ReleaseS()
+				return
+			}
+		}
+		if cur.highKey.Unbounded {
+			cur.latch.ReleaseS()
+			return
+		}
+		cursor = keys.Clone(cur.highKey.Key)
+		cur.latch.ReleaseS()
+		if hi != nil && keys.Compare(cursor, hi) >= 0 {
+			return
+		}
+	}
+}
+
+// Insert implements KV: exclusive latches on the whole unsafe path.
+func (t *SubtreeLatch) Insert(k keys.Key, v []byte) {
+	t.anchor.AcquireX()
+	anchorStart := time.Now()
+	cur := t.root
+	cur.latch.AcquireX()
+	held := []*stNode{cur}
+	anchorHeld := true
+	noteAnchor := func() {
+		t.exclusiveNs.Add(time.Since(anchorStart).Nanoseconds())
+		t.exclusions.Add(1)
+	}
+
+	safe := func(n *stNode) bool { return len(n.keys) < t.capacity-1 }
+	releaseAncestors := func() {
+		for _, h := range held[:len(held)-1] {
+			h.latch.ReleaseX()
+		}
+		held = held[len(held)-1:]
+		if anchorHeld {
+			noteAnchor()
+			t.anchor.ReleaseX()
+			anchorHeld = false
+		}
+	}
+	if safe(cur) {
+		noteAnchor()
+		t.anchor.ReleaseX()
+		anchorHeld = false
+	}
+	for !cur.leaf {
+		next, _ := cur.childFor(k)
+		next.latch.AcquireX()
+		held = append(held, next)
+		cur = next
+		if safe(cur) {
+			releaseAncestors()
+		}
+	}
+
+	i, exact := cur.find(k)
+	if exact {
+		cur.vals[i] = v
+	} else {
+		cur.keys = append(cur.keys, nil)
+		copy(cur.keys[i+1:], cur.keys[i:])
+		cur.keys[i] = keys.Clone(k)
+		cur.vals = append(cur.vals, nil)
+		copy(cur.vals[i+1:], cur.vals[i:])
+		cur.vals[i] = v
+	}
+
+	// Split bottom-up along the held (unsafe) path.
+	for level := len(held) - 1; level >= 0 && len(held[level].keys) > t.capacity; level-- {
+		n := held[level]
+		sep, right := t.split(n)
+		if level > 0 {
+			p := held[level-1]
+			j, _ := p.find(sep)
+			p.keys = append(p.keys, nil)
+			copy(p.keys[j+1:], p.keys[j:])
+			p.keys[j] = sep
+			p.kids = append(p.kids, nil)
+			copy(p.kids[j+1:], p.kids[j:])
+			p.kids[j] = right
+		} else {
+			// Root split: grow in place (the anchor is held exactly when
+			// the root was unsafe).
+			left := &stNode{leaf: n.leaf, keys: n.keys, vals: n.vals, kids: n.kids, highKey: keys.At(sep)}
+			n.leaf = false
+			n.keys = []keys.Key{nil, sep}
+			n.vals = nil
+			n.kids = []*stNode{left, right}
+			n.highKey = keys.Inf
+		}
+	}
+	for _, h := range held {
+		h.latch.ReleaseX()
+	}
+	if anchorHeld {
+		noteAnchor()
+		t.anchor.ReleaseX()
+	}
+}
+
+func (t *SubtreeLatch) split(n *stNode) (keys.Key, *stNode) {
+	mid := len(n.keys) / 2
+	sep := keys.Clone(n.keys[mid])
+	right := &stNode{leaf: n.leaf, highKey: n.highKey}
+	right.keys = append([]keys.Key(nil), n.keys[mid:]...)
+	if n.leaf {
+		right.vals = append([][]byte(nil), n.vals[mid:]...)
+		n.vals = append([][]byte(nil), n.vals[:mid]...)
+	} else {
+		right.kids = append([]*stNode(nil), n.kids[mid:]...)
+		n.kids = append([]*stNode(nil), n.kids[:mid]...)
+	}
+	n.keys = append([]keys.Key(nil), n.keys[:mid]...)
+	n.highKey = keys.At(sep)
+	return sep, right
+}

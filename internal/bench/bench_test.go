@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestRunSmoke drives the workload runner at tiny sizes over every
+// method, which keeps the harness itself exercised by `go test`.
+func TestRunSmoke(t *testing.T) {
+	for _, m := range AllMethods() {
+		t.Run(m.Name, func(t *testing.T) {
+			kv, closer := m.New(16)
+			defer closer()
+			Preload(kv, 500)
+			r := Run(kv, 2, 300, 500, Mix{SearchPct: 50, InsertPct: 40})
+			if r.Ops != 600 || r.OpsPerSec() <= 0 {
+				t.Fatalf("result: %+v", r)
+			}
+			// Preloaded keys must still be there.
+			if _, ok := kv.Search(keys.Uint64(0)); !ok {
+				t.Fatal("preloaded key lost")
+			}
+		})
+	}
+}
+
+// TestExperimentsSmoke runs the cheap experiment printers at reduced
+// sizes and sanity-checks their output.
+func TestExperimentsSmoke(t *testing.T) {
+	p := Params{Threads: []int{1, 2}, Preload: 2000, OpsPerThread: 500, Capacity: 16}
+	var buf bytes.Buffer
+	T4CrashMatrix(&buf, p)
+	T5LazyCompletion(&buf, p)
+	T9SavedPath(&buf, p)
+	out := buf.String()
+	for _, want := range []string{"T4:", "logical-undo/CP", "T5:", "residual side traversals", "T9:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPercentileDur pins the percentile helper.
+func TestPercentileDur(t *testing.T) {
+	if percentileDur(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}

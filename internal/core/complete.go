@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/keys"
+	"repro/internal/storage"
+)
+
+// postTask asks for the index term describing a split to be posted at
+// `level` (§5.3's LEVEL): sep is the new node's low key (the KEY searched
+// for), newPid its address, and path the remembered traversal (§5.2).
+type postTask struct {
+	level  int
+	sep    keys.Key
+	newPid storage.PageID
+	path   *Path
+}
+
+func (t postTask) key() string {
+	return fmt.Sprintf("p:%d:%x", t.level, []byte(t.sep))
+}
+
+// consolidateTask asks for an attempt to consolidate the under-utilized
+// node pid (whose responsible space starts at low) at `level`.
+type consolidateTask struct {
+	level int
+	low   keys.Key
+	pid   storage.PageID
+}
+
+func (t consolidateTask) key() string {
+	return fmt.Sprintf("c:%d:%d", t.level, t.pid)
+}
+
+// rootShrinkTask asks for a height-reduction attempt.
+type rootShrinkTask struct{}
+
+func (rootShrinkTask) key() string { return "shrink" }
+
+type completionTask interface{ key() string }
+
+// completer schedules and executes completing atomic actions: index-term
+// postings and node consolidations. Scheduling is non-blocking and safe
+// to call while holding latches; execution happens on worker goroutines
+// (or inside DrainCompletions when SyncCompletion is set). Duplicate
+// schedulings of the same pending task are folded together — additional
+// duplicates that slip through are harmless because every completing
+// action re-tests the tree state before changing anything (§5.1).
+type completer struct {
+	t       *Tree
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tasks   []completionTask
+	pending map[string]struct{}
+	active  int
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+func newCompleter(t *Tree) *completer {
+	c := &completer{
+		t:       t,
+		pending: make(map[string]struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if !t.opts.SyncCompletion {
+		for i := 0; i < t.opts.CompletionWorkers; i++ {
+			c.wg.Add(1)
+			go c.worker()
+		}
+	}
+	return c
+}
+
+func (c *completer) schedule(task completionTask) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	if _, dup := c.pending[task.key()]; dup {
+		c.mu.Unlock()
+		return
+	}
+	c.pending[task.key()] = struct{}{}
+	c.tasks = append(c.tasks, task)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *completer) schedulePost(task postTask) {
+	if task.path == nil {
+		task.path = newPath()
+	}
+	c.t.Stats.PostsScheduled.Add(1)
+	c.schedule(task)
+}
+
+func (c *completer) scheduleConsolidate(task consolidateTask) {
+	c.schedule(task)
+}
+
+func (c *completer) scheduleRootShrink() {
+	c.schedule(rootShrinkTask{})
+}
+
+// pop removes the next task, or returns nil if none (and, when block is
+// true, waits for one unless stopped).
+func (c *completer) pop(block bool) completionTask {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.tasks) == 0 {
+		if !block || c.stopped {
+			return nil
+		}
+		c.cond.Wait()
+	}
+	task := c.tasks[0]
+	c.tasks = c.tasks[1:]
+	delete(c.pending, task.key())
+	c.active++
+	return task
+}
+
+func (c *completer) done() {
+	c.mu.Lock()
+	c.active--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *completer) run(task completionTask) {
+	defer c.done()
+	switch task := task.(type) {
+	case postTask:
+		c.t.postIndexTerm(task)
+	case consolidateTask:
+		c.t.consolidate(task)
+	case rootShrinkTask:
+		c.t.shrinkRoot()
+	}
+}
+
+func (c *completer) worker() {
+	defer c.wg.Done()
+	for {
+		task := c.pop(true)
+		if task == nil {
+			return
+		}
+		c.run(task)
+	}
+}
+
+// drain processes or waits out every scheduled task. In SyncCompletion
+// mode the calling goroutine executes them; otherwise it waits for the
+// workers to go idle with an empty queue.
+func (c *completer) drain() {
+	if c.t.opts.SyncCompletion {
+		for {
+			task := c.pop(false)
+			if task == nil {
+				return
+			}
+			c.run(task)
+		}
+	}
+	c.mu.Lock()
+	for len(c.tasks) > 0 || c.active > 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+func (c *completer) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.tasks = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+}

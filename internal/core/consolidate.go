@@ -1,0 +1,294 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/keys"
+	"repro/internal/latch"
+	"repro/internal/lock"
+	"repro/internal/storage"
+)
+
+// consolidate attempts to absorb an under-utilized node into an adjacent
+// node at the same level (§3.3, §5): contents always move from the
+// contained node into its containing node, the contained node's index
+// term is deleted from their (single, shared) parent, and the contained
+// node is de-allocated — all in ONE atomic action spanning two levels.
+//
+// The preconditions of §3.3 are re-tested under latches before anything
+// changes: both nodes must be referenced by index terms in the same
+// parent node, and the contained node only by that parent (B-link nodes
+// never have multiple parents, so the second condition is structural
+// here; the multi-attribute tree in internal/spatial has to check its
+// multi-parent marks).
+func (t *Tree) consolidate(task consolidateTask) {
+	if !t.opts.Consolidation {
+		return
+	}
+	t.Stats.ConsolidateTries.Add(1)
+	_ = t.retryLoop(func() error {
+		o := t.newOp(nil)
+		defer o.tr.AssertNoneHeld()
+		parent, err := t.descendTo(o, task.low, task.level+1, latch.U, false, nil)
+		if err != nil {
+			if errors.Is(err, errLevelGone) {
+				return nil
+			}
+			return err
+		}
+
+		// Locate the pair of adjacent index terms to merge. Prefer using
+		// task.pid as the contained node (absorb it leftwards); fall back
+		// to treating it as the container (absorb its sibling).
+		i, exact := parent.n.search(task.low)
+		if !exact || parent.n.Entries[i].Child != task.pid {
+			o.release(&parent)
+			return nil // already consolidated or never posted: obsolete
+		}
+		// Promote the parent before latching any child (§4.1.1 promotion
+		// rule); both pairings below run under the same X hold.
+		o.promote(&parent)
+		if i > 0 {
+			done, err := t.tryMerge(o, &parent, i-1, i)
+			if done || err != nil {
+				return err
+			}
+		}
+		if parent.valid() {
+			i, exact = parent.n.search(task.low)
+			if exact && parent.n.Entries[i].Child == task.pid && i+1 < len(parent.n.Entries) {
+				_, err := t.tryMerge(o, &parent, i, i+1)
+				if err != nil {
+					return err
+				}
+			}
+		}
+		if parent.valid() {
+			o.release(&parent)
+		}
+		return nil
+	})
+}
+
+// tryMerge merges parent's children at term positions bIdx (container)
+// and cIdx (contained) if every §3.3 precondition still holds. It reports
+// whether a merge was committed. The parent reference is consumed (its
+// latch released) when true is returned or on error; on a false return it
+// is left latched for the caller to try another pairing.
+func (t *Tree) tryMerge(o *opCtx, parent *nref, bIdx, cIdx int) (bool, error) {
+	bEntry := parent.n.Entries[bIdx]
+	cEntry := parent.n.Entries[cIdx]
+	level := parent.n.Level - 1
+	capacity := t.opts.IndexCapacity
+	if level == 0 {
+		capacity = t.opts.LeafCapacity
+	}
+
+	// Latch-and-promote strictly TOP-DOWN, honoring the §4.1.1 promotion
+	// rule: each node is promoted to X while no higher-ordered latch is
+	// held, so the coupled readers the promotion waits out can always
+	// drain downward through latches we have not taken yet. (Promoting
+	// the parent while already holding a child's U latch deadlocks with a
+	// reader that holds parent-S and waits for that child — the exact
+	// cycle the rule exists to prevent.) The caller promoted the parent.
+	b, err := o.acquire(bEntry.Child, latch.U, level)
+	if err != nil {
+		o.release(parent)
+		return false, err
+	}
+	structOK := !b.n.Dead && b.n.Right == cEntry.Child &&
+		!b.n.High.Unbounded && keys.Equal(b.n.High.Key, cEntry.Key)
+	if !structOK {
+		o.release(&b)
+		return false, nil
+	}
+	o.promote(&b)
+	c, err := o.acquire(cEntry.Child, latch.U, level)
+	if err != nil {
+		o.release(&b)
+		o.release(parent)
+		return false, err
+	}
+	threshold := int(float64(capacity) * t.opts.MinUtilization)
+	ok := !c.n.Dead && keys.Equal(c.n.Low, cEntry.Key) &&
+		len(b.n.Entries)+len(c.n.Entries) <= capacity &&
+		(len(b.n.Entries) < threshold || len(c.n.Entries) < threshold)
+	if !ok {
+		o.release(&c)
+		o.release(&b)
+		return false, nil
+	}
+	o.promote(&c)
+
+	aa := t.tm.BeginAtomicAction()
+	if level == 0 && t.binding.PageOriented() {
+		// Records move between pages: the move lock must exclude every
+		// transaction with undoable updates on either page. TryLock only —
+		// holding three latches while waiting for locks would break the
+		// No-Wait rule; contention simply defers the consolidation.
+		if !aa.TryLock(t.pageLockName(b.pid()), lock.MV) ||
+			!aa.TryLock(t.pageLockName(c.pid()), lock.MV) {
+			_ = aa.Abort()
+			o.release(&c)
+			o.release(&b)
+			o.release(parent)
+			return true, nil
+		}
+	}
+
+	absorbed := c.n.clone()
+	preB := b.n.clone()
+	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(b.pid()), KindConsolidateMove, encConsolidateMove(absorbed, preB))
+	for _, e := range absorbed.Entries {
+		b.n.insertEntry(e)
+	}
+	b.n.High = absorbed.High
+	b.n.Right = absorbed.Right
+	b.f.MarkDirty(lsn)
+
+	lsn = aa.LogUpdate(t.store.Pool.StoreID, uint64(parent.pid()), KindRemoveIndexTerm, encTerm(cEntry.Key, cEntry.Child))
+	parent.n.deleteEntry(cEntry.Key)
+	parent.f.MarkDirty(lsn)
+
+	if t.opts.DeallocIsUpdate {
+		// Strategy (b): bump the victim's state identifier so saved-path
+		// verification can prove de-allocation happened (§5.2.2(b)).
+		lsn = aa.LogUpdate(t.store.Pool.StoreID, uint64(c.pid()), KindMarkDead, nil)
+		c.n.Dead = true
+		c.f.MarkDirty(lsn)
+	}
+	cPid := c.pid()
+	if err := t.store.Free(aa, &o.tr, cPid); err != nil {
+		// The free is the last change; abandoning the action rolls back
+		// the move and term removal too.
+		o.release(&c)
+		o.release(&b)
+		o.release(parent)
+		_ = aa.Abort()
+		return true, err
+	}
+
+	parentEntries := len(parent.n.Entries)
+	parentIsRoot := parent.pid() == t.root
+	parentPid := parent.pid()
+	parentLow := keys.Clone(parent.n.Low)
+	parentLevel := parent.n.Level
+
+	// Commit before unlatching: nothing may observe the consolidated
+	// state until the action's commit record is in the log.
+	cerr := aa.Commit()
+	o.release(&c)
+	o.release(&b)
+	o.release(parent)
+	if cerr != nil {
+		return true, cerr
+	}
+	t.Stats.Consolidations.Add(1)
+
+	// Escalate (§5: "Consolidation of index terms can lead to further
+	// node consolidation, escalating tree changes to the next level").
+	if parentIsRoot {
+		if parentEntries == 1 {
+			t.comp.scheduleRootShrink()
+		}
+	} else if parentEntries < int(float64(t.opts.IndexCapacity)*t.opts.MinUtilization) {
+		t.comp.scheduleConsolidate(consolidateTask{level: parentLevel, low: parentLow, pid: parentPid})
+	}
+	return true, nil
+}
+
+// shrinkRoot reduces tree height by absorbing the root's single remaining
+// child, when that child is the only node of its level. The root page
+// itself never moves and is never de-allocated (§5.2.2 depends on that),
+// so the absorption rewrites the root in place.
+func (t *Tree) shrinkRoot() {
+	if !t.opts.Consolidation {
+		return
+	}
+	_ = t.retryLoop(func() error {
+		o := t.newOp(nil)
+		defer o.tr.AssertNoneHeld()
+		root, err := o.acquire(t.root, latch.U, maxLevel)
+		if err != nil {
+			return err
+		}
+		if root.n.IsLeaf() || len(root.n.Entries) != 1 {
+			o.release(&root)
+			return nil
+		}
+		childPid := root.n.Entries[0].Child
+		child, err := o.acquire(childPid, latch.U, root.n.Level-1)
+		if err != nil {
+			o.release(&root)
+			return err
+		}
+		if child.n.Dead || child.n.Right != storage.NilPage || !child.n.High.Unbounded {
+			o.release(&child)
+			o.release(&root)
+			return nil
+		}
+		aa := t.tm.BeginAtomicAction()
+		if child.n.IsLeaf() && t.binding.PageOriented() {
+			if !aa.TryLock(t.pageLockName(childPid), lock.MV) {
+				_ = aa.Abort()
+				o.release(&child)
+				o.release(&root)
+				return nil
+			}
+		}
+		// Top-down promotion per §4.1.1: the child's U latch would block
+		// the root promotion's reader drain, so the root must be X before
+		// the child's promotion begins — but the root promotion must not
+		// happen while the child U latch is held either. Re-order: drop
+		// the child, promote the root, re-latch and re-verify the child.
+		o.release(&child)
+		o.promote(&root)
+		if len(root.n.Entries) != 1 || root.n.Entries[0].Child != childPid {
+			o.release(&root)
+			_ = aa.Abort()
+			return nil
+		}
+		child, err = o.acquire(childPid, latch.U, root.n.Level-1)
+		if err != nil {
+			o.release(&root)
+			_ = aa.Abort()
+			return err
+		}
+		if child.n.Dead || child.n.Right != storage.NilPage || !child.n.High.Unbounded {
+			o.release(&child)
+			o.release(&root)
+			_ = aa.Abort()
+			return nil
+		}
+		o.promote(&child)
+
+		absorbed := child.n.clone()
+		pre := root.n.clone()
+		lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(t.root), KindRootShrink, encConsolidateMove(absorbed, pre))
+		root.n.Level = absorbed.Level
+		root.n.Entries = absorbed.Entries
+		root.n.High = absorbed.High
+		root.n.Right = absorbed.Right
+		root.f.MarkDirty(lsn)
+
+		if t.opts.DeallocIsUpdate {
+			lsn = aa.LogUpdate(t.store.Pool.StoreID, uint64(childPid), KindMarkDead, nil)
+			child.n.Dead = true
+			child.f.MarkDirty(lsn)
+		}
+		if err := t.store.Free(aa, &o.tr, childPid); err != nil {
+			o.release(&child)
+			o.release(&root)
+			_ = aa.Abort()
+			return err
+		}
+		cerr := aa.Commit()
+		o.release(&child)
+		o.release(&root)
+		if cerr != nil {
+			return cerr
+		}
+		t.Stats.RootShrinks.Add(1)
+		return nil
+	})
+}

@@ -1,0 +1,522 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/enc"
+	"repro/internal/keys"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Log record kinds owned by the Π-tree (range 10..29). Every structural
+// operation is physiological: redo is a pure function of (page, payload),
+// and undo is expressed as a compensating operation on the same page
+// (page-oriented) or as a logical re-traversal (non-page-oriented record
+// undo, selected per engine).
+const (
+	// KindFormatNode installs a complete node image on a fresh page (the
+	// new sibling of a split, or the relocated root contents). Redo-only:
+	// aborting the allocator entry reclaims the page.
+	KindFormatNode wal.Kind = 10
+	// KindSplitTruncate removes the delegated upper part from a split
+	// node and installs its new sibling term.
+	KindSplitTruncate wal.Kind = 11
+	// KindRestoreImage replaces a node with a stored pre-image; it is the
+	// compensation for multi-entry structural updates.
+	KindRestoreImage wal.Kind = 12
+	// KindInsertRecord adds a data record to a leaf.
+	KindInsertRecord wal.Kind = 13
+	// KindDeleteRecord removes a data record from a leaf.
+	KindDeleteRecord wal.Kind = 14
+	// KindUpdateRecord changes a data record's value in place.
+	KindUpdateRecord wal.Kind = 15
+	// KindPostIndexTerm adds an index term to an index node (§5.3 step 4).
+	KindPostIndexTerm wal.Kind = 16
+	// KindRemoveIndexTerm deletes an index term (consolidation).
+	KindRemoveIndexTerm wal.Kind = 17
+	// KindRootGrow turns the root into an index node over two new
+	// children after a root split (§5.3 Space Test, root case).
+	KindRootGrow wal.Kind = 18
+	// KindConsolidateMove appends a contained node's entries to its
+	// container and takes over its sibling term (§3.3).
+	KindConsolidateMove wal.Kind = 19
+	// KindMarkDead flags a de-allocated node, bumping its state
+	// identifier — strategy (b) of §5.2.2.
+	KindMarkDead wal.Kind = 20
+	// KindMarkAlive clears the flag (compensation for KindMarkDead).
+	KindMarkAlive wal.Kind = 21
+	// KindRootShrink absorbs the root's single child, reducing tree
+	// height after consolidations.
+	KindRootShrink wal.Kind = 22
+)
+
+// --- payload codecs -----------------------------------------------------
+
+func encKV(key keys.Key, val []byte) []byte {
+	var w enc.Writer
+	w.Bytes32(key)
+	w.Bytes32(val)
+	return w.Bytes()
+}
+
+func decKV(b []byte) (keys.Key, []byte, error) {
+	r := enc.NewReader(b)
+	k := r.Bytes32()
+	v := r.Bytes32()
+	return k, v, r.Err()
+}
+
+func encKVV(key keys.Key, newVal, oldVal []byte) []byte {
+	var w enc.Writer
+	w.Bytes32(key)
+	w.Bytes32(newVal)
+	w.Bytes32(oldVal)
+	return w.Bytes()
+}
+
+func decKVV(b []byte) (keys.Key, []byte, []byte, error) {
+	r := enc.NewReader(b)
+	k := r.Bytes32()
+	nv := r.Bytes32()
+	ov := r.Bytes32()
+	return k, nv, ov, r.Err()
+}
+
+func encTerm(key keys.Key, child storage.PageID) []byte {
+	var w enc.Writer
+	w.Bytes32(key)
+	w.U64(uint64(child))
+	return w.Bytes()
+}
+
+func decTerm(b []byte) (keys.Key, storage.PageID, error) {
+	r := enc.NewReader(b)
+	k := r.Bytes32()
+	c := storage.PageID(r.U64())
+	return k, c, r.Err()
+}
+
+func encNodeImage(n *Node) []byte {
+	var w enc.Writer
+	encodeNode(&w, n)
+	return w.Bytes()
+}
+
+func decNodeImage(b []byte) (*Node, error) {
+	return decodeNode(enc.NewReader(b))
+}
+
+// splitTruncate payload: the separator, the new sibling, and the full
+// pre-image for compensation.
+func encSplitTruncate(sep keys.Key, right storage.PageID, pre *Node) []byte {
+	var w enc.Writer
+	w.Bytes32(sep)
+	w.U64(uint64(right))
+	encodeNode(&w, pre)
+	return w.Bytes()
+}
+
+func decSplitTruncate(b []byte) (sep keys.Key, right storage.PageID, pre *Node, err error) {
+	r := enc.NewReader(b)
+	sep = r.Bytes32()
+	right = storage.PageID(r.U64())
+	pre, err = decodeNode(r)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return sep, right, pre, r.Err()
+}
+
+// rootGrow payload: the two index terms of the grown root plus the full
+// pre-image for compensation.
+func encRootGrow(termA, termB Entry, pre *Node) []byte {
+	var w enc.Writer
+	encodeEntry(&w, termA)
+	encodeEntry(&w, termB)
+	encodeNode(&w, pre)
+	return w.Bytes()
+}
+
+func decRootGrow(b []byte) (termA, termB Entry, pre *Node, err error) {
+	r := enc.NewReader(b)
+	termA, err = decodeEntry(r)
+	if err != nil {
+		return
+	}
+	termB, err = decodeEntry(r)
+	if err != nil {
+		return
+	}
+	pre, err = decodeNode(r)
+	return
+}
+
+// consolidateMove payload: the absorbed node's image (entries plus the
+// sibling term the container takes over) and the container's pre-image.
+func encConsolidateMove(absorbed, pre *Node) []byte {
+	var w enc.Writer
+	encodeNode(&w, absorbed)
+	encodeNode(&w, pre)
+	return w.Bytes()
+}
+
+func decConsolidateMove(b []byte) (absorbed, pre *Node, err error) {
+	r := enc.NewReader(b)
+	absorbed, err = decodeNode(r)
+	if err != nil {
+		return
+	}
+	pre, err = decodeNode(r)
+	return
+}
+
+// --- handler registration ------------------------------------------------
+
+// Binding connects the registered record kinds to live Tree instances so
+// that logical (non-page-oriented) undo can re-traverse. One Binding
+// serves all Π-trees in an engine.
+type Binding struct {
+	mu           sync.RWMutex
+	trees        map[uint32]*Tree
+	pageOriented bool
+}
+
+// PageOriented reports whether record undo is page-oriented in this
+// engine.
+func (b *Binding) PageOriented() bool { return b.pageOriented }
+
+// Bind registers a tree for its store ID.
+func (b *Binding) Bind(t *Tree) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trees[t.store.Pool.StoreID] = t
+}
+
+func (b *Binding) tree(storeID uint32) (*Tree, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.trees[storeID]
+	if !ok {
+		return nil, fmt.Errorf("core: no tree bound for store %d", storeID)
+	}
+	return t, nil
+}
+
+func nodeOf(f *storage.Frame) (*Node, error) {
+	n, ok := f.Data.(*Node)
+	if !ok {
+		return nil, fmt.Errorf("core: page %d holds %T, not a node", f.ID, f.Data)
+	}
+	return n, nil
+}
+
+// Register installs the Π-tree record kinds into reg. pageOriented selects
+// the record-undo discipline for data records (§4.2): when true, undo is
+// on the same page and splits that move uncommitted updates must run
+// inside the updating transaction under a move lock; when false, record
+// undo re-traverses the tree, and all splits run as independent atomic
+// actions.
+func Register(reg *storage.Registry, pageOriented bool) *Binding {
+	b := &Binding{trees: make(map[uint32]*Tree), pageOriented: pageOriented}
+
+	reg.Register(KindFormatNode, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := decNodeImage(rec.Payload)
+			if err != nil {
+				return err
+			}
+			f.Data = n
+			return nil
+		},
+		// Redo-only: the page itself needs no compensation; undoing the
+		// allocation reclaims it.
+	})
+
+	reg.Register(KindRestoreImage, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := decNodeImage(rec.Payload)
+			if err != nil {
+				return err
+			}
+			f.Data = n
+			return nil
+		},
+		// Only ever appears as a CLR; never undone.
+	})
+
+	reg.Register(KindSplitTruncate, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			sep, right, _, err := decSplitTruncate(rec.Payload)
+			if err != nil {
+				return err
+			}
+			i, _ := n.search(sep)
+			n.Entries = n.Entries[:i]
+			n.High = keys.At(sep)
+			n.Right = right
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			_, _, pre, err := decSplitTruncate(rec.Payload)
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return storage.Compensation{Kind: KindRestoreImage, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: encNodeImage(pre)}, nil
+		},
+	})
+
+	insertHandler := storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			k, v, err := decKV(rec.Payload)
+			if err != nil {
+				return err
+			}
+			n.insertEntry(Entry{Key: k, Value: v})
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			k, v, err := decKV(rec.Payload)
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return storage.Compensation{Kind: KindDeleteRecord, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: encKV(k, v)}, nil
+		},
+	}
+	deleteHandler := storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			k, _, err := decKV(rec.Payload)
+			if err != nil {
+				return err
+			}
+			n.deleteEntry(k)
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			k, v, err := decKV(rec.Payload)
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return storage.Compensation{Kind: KindInsertRecord, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: encKV(k, v)}, nil
+		},
+	}
+	updateHandler := storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			k, nv, _, err := decKVV(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if i, ok := n.search(k); ok {
+				n.Entries[i].Value = nv
+			}
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			k, nv, ov, err := decKVV(rec.Payload)
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return storage.Compensation{Kind: KindUpdateRecord, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: encKVV(k, ov, nv)}, nil
+		},
+	}
+	if !pageOriented {
+		// Non-page-oriented record undo: compensate by re-traversing the
+		// tree to wherever the record lives now. Structure changes never
+		// need undoing against moved records, which is why this mode lets
+		// even data-node splits run outside the transaction (§6).
+		insertHandler.LogicalUndo = func(rec *wal.Record) error {
+			t, err := b.tree(rec.StoreID)
+			if err != nil {
+				return err
+			}
+			k, _, err := decKV(rec.Payload)
+			if err != nil {
+				return err
+			}
+			return t.logicalUndoDelete(rec, k)
+		}
+		deleteHandler.LogicalUndo = func(rec *wal.Record) error {
+			t, err := b.tree(rec.StoreID)
+			if err != nil {
+				return err
+			}
+			k, v, err := decKV(rec.Payload)
+			if err != nil {
+				return err
+			}
+			return t.logicalUndoInsert(rec, k, v)
+		}
+		updateHandler.LogicalUndo = func(rec *wal.Record) error {
+			t, err := b.tree(rec.StoreID)
+			if err != nil {
+				return err
+			}
+			k, _, ov, err := decKVV(rec.Payload)
+			if err != nil {
+				return err
+			}
+			return t.logicalUndoUpdate(rec, k, ov)
+		}
+	}
+	reg.Register(KindInsertRecord, insertHandler)
+	reg.Register(KindDeleteRecord, deleteHandler)
+	reg.Register(KindUpdateRecord, updateHandler)
+
+	reg.Register(KindPostIndexTerm, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			k, child, err := decTerm(rec.Payload)
+			if err != nil {
+				return err
+			}
+			n.insertEntry(Entry{Key: k, Child: child})
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			return storage.Compensation{Kind: KindRemoveIndexTerm, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: rec.Payload}, nil
+		},
+	})
+
+	reg.Register(KindRemoveIndexTerm, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			k, _, err := decTerm(rec.Payload)
+			if err != nil {
+				return err
+			}
+			n.deleteEntry(k)
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			return storage.Compensation{Kind: KindPostIndexTerm, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: rec.Payload}, nil
+		},
+	})
+
+	reg.Register(KindRootGrow, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			termA, termB, _, err := decRootGrow(rec.Payload)
+			if err != nil {
+				return err
+			}
+			n.Level++
+			n.Entries = []Entry{termA, termB}
+			n.High = keys.Inf
+			n.Right = storage.NilPage
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			_, _, pre, err := decRootGrow(rec.Payload)
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return storage.Compensation{Kind: KindRestoreImage, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: encNodeImage(pre)}, nil
+		},
+	})
+
+	reg.Register(KindConsolidateMove, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			absorbed, _, err := decConsolidateMove(rec.Payload)
+			if err != nil {
+				return err
+			}
+			for _, e := range absorbed.Entries {
+				n.insertEntry(e)
+			}
+			n.High = absorbed.High
+			n.Right = absorbed.Right
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			_, pre, err := decConsolidateMove(rec.Payload)
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return storage.Compensation{Kind: KindRestoreImage, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: encNodeImage(pre)}, nil
+		},
+	})
+
+	reg.Register(KindMarkDead, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			n.Dead = true
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			return storage.Compensation{Kind: KindMarkAlive, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID)}, nil
+		},
+	})
+	reg.Register(KindMarkAlive, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			n.Dead = false
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			return storage.Compensation{Kind: KindMarkDead, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID)}, nil
+		},
+	})
+
+	reg.Register(KindRootShrink, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			absorbed, _, err := decConsolidateMove(rec.Payload)
+			if err != nil {
+				return err
+			}
+			n.Level = absorbed.Level
+			n.Entries = absorbed.Entries
+			n.High = absorbed.High
+			n.Right = absorbed.Right
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			_, pre, err := decConsolidateMove(rec.Payload)
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return storage.Compensation{Kind: KindRestoreImage, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: encNodeImage(pre)}, nil
+		},
+	})
+
+	return b
+}

@@ -1,0 +1,592 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/keys"
+	"repro/internal/latch"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// lockDance acquires a database lock for tx under the No-Wait rule
+// (§4.1.2): if the lock is free it is taken without waiting; otherwise the
+// held data-node latch is released before blocking, and the operation is
+// restarted afterwards (the lock stays held, so the retry's TryLock
+// succeeds immediately). A nil error with restart=false means the lock is
+// held and the latch was kept.
+func (o *opCtx) lockDance(r *nref, name string, mode lock.Mode) (restart bool, err error) {
+	if o.txn == nil {
+		return false, nil
+	}
+	if o.txn.TryLock(name, mode) {
+		return false, nil
+	}
+	o.release(r)
+	if err := o.txn.Lock(name, mode); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Search looks up key and returns a copy of its value. With a non-nil
+// transaction the record is read under an S lock held to transaction end
+// (degree-3 reads); with nil it is a latched-only read.
+func (t *Tree) Search(tx *txn.Txn, key keys.Key) (val []byte, found bool, err error) {
+	t.Stats.Searches.Add(1)
+	err = t.retryLoop(func() error {
+		o := t.newOp(tx)
+		defer o.tr.AssertNoneHeld()
+		leaf, err := t.descendTo(o, key, 0, latch.S, true, nil)
+		if err != nil {
+			return err
+		}
+		if restart, err := o.lockDance(&leaf, t.recLockName(key), lock.S); err != nil {
+			return err
+		} else if restart {
+			return errRetry
+		}
+		if i, ok := leaf.n.search(key); ok {
+			val = append([]byte(nil), leaf.n.Entries[i].Value...)
+			found = true
+		} else {
+			val, found = nil, false
+		}
+		o.release(&leaf)
+		return nil
+	})
+	return val, found, err
+}
+
+// Insert adds key with value. It returns ErrKeyExists if the key is
+// already present. With a nil transaction the insert runs as its own
+// atomic action (non-transactional mode: no database locks, immediate
+// commit).
+func (t *Tree) Insert(tx *txn.Txn, key keys.Key, value []byte) error {
+	t.Stats.Inserts.Add(1)
+	return t.modify(tx, key, func(o *opCtx, leaf *nref, lg storage.UpdateLogger) error {
+		if _, exists := leaf.n.search(key); exists {
+			return ErrKeyExists
+		}
+		o.promote(leaf)
+		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindInsertRecord, encKV(key, value))
+		leaf.n.insertEntry(Entry{Key: keys.Clone(key), Value: append([]byte(nil), value...)})
+		leaf.f.MarkDirty(lsn)
+		return nil
+	})
+}
+
+// Update replaces the value of an existing key; ErrKeyNotFound otherwise.
+func (t *Tree) Update(tx *txn.Txn, key keys.Key, value []byte) error {
+	t.Stats.Updates.Add(1)
+	return t.modify(tx, key, func(o *opCtx, leaf *nref, lg storage.UpdateLogger) error {
+		i, exists := leaf.n.search(key)
+		if !exists {
+			return ErrKeyNotFound
+		}
+		o.promote(leaf)
+		old := leaf.n.Entries[i].Value
+		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindUpdateRecord, encKVV(key, value, old))
+		leaf.n.Entries[i].Value = append([]byte(nil), value...)
+		leaf.f.MarkDirty(lsn)
+		return nil
+	})
+}
+
+// Delete removes key; ErrKeyNotFound if absent. Under the CP invariant a
+// leaf left under-utilized schedules a consolidation attempt (§5.1).
+func (t *Tree) Delete(tx *txn.Txn, key keys.Key) error {
+	t.Stats.Deletes.Add(1)
+	return t.modify(tx, key, func(o *opCtx, leaf *nref, lg storage.UpdateLogger) error {
+		i, exists := leaf.n.search(key)
+		if !exists {
+			return ErrKeyNotFound
+		}
+		o.promote(leaf)
+		old := leaf.n.Entries[i].Value
+		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindDeleteRecord, encKV(key, old))
+		leaf.n.deleteEntry(key)
+		leaf.f.MarkDirty(lsn)
+		t.maybeScheduleConsolidation(leaf)
+		return nil
+	})
+}
+
+// modify is the shared write path: descend with a U latch on the target
+// leaf, take the record X lock and (page-oriented mode) the page IX lock
+// under the No-Wait rule, split if the leaf is full, and then run apply
+// under the X latch. With tx == nil the change is logged in a fresh
+// atomic action that commits immediately.
+func (t *Tree) modify(tx *txn.Txn, key keys.Key, apply func(o *opCtx, leaf *nref, lg storage.UpdateLogger) error) error {
+	return t.retryLoop(func() error {
+		o := t.newOp(tx)
+		defer o.tr.AssertNoneHeld()
+		path := newPath()
+		leaf, err := t.descendTo(o, key, 0, latch.U, true, path)
+		if err != nil {
+			return err
+		}
+		if restart, err := o.lockDance(&leaf, t.recLockName(key), lock.X); err != nil {
+			return err
+		} else if restart {
+			return errRetry
+		}
+
+		if len(leaf.n.Entries) >= t.opts.LeafCapacity {
+			// Full: split first, then retry the modification. The split
+			// runs either as an independent atomic action or inside tx
+			// (page-oriented mode when tx already updated this node).
+			if err := t.splitLeaf(o, &leaf, path); err != nil {
+				return err
+			}
+			return errRetry
+		}
+
+		// Page-granule IX lock marks us as an updater of this leaf, which
+		// is what a later move lock must wait for (§4.2.2). Taken only in
+		// page-oriented mode, and only now that we know we will modify
+		// this page.
+		if tx != nil && t.binding.PageOriented() {
+			if restart, err := o.lockDance(&leaf, t.pageLockName(leaf.pid()), lock.IX); err != nil {
+				return err
+			} else if restart {
+				return errRetry
+			}
+		}
+
+		var lg storage.UpdateLogger
+		var aa *txn.Txn
+		if tx != nil {
+			lg = tx
+		} else {
+			aa = t.tm.BeginAtomicAction()
+			lg = aa
+		}
+		err = apply(o, &leaf, lg)
+		// Commit before unlatching: no other action may observe this
+		// action's changes until its commit record is in the log, or a
+		// dependent commit could force the log without it and a crash
+		// would undo a change others built on.
+		if aa != nil {
+			if err != nil {
+				// Nothing was logged; an empty abort keeps the log tidy.
+				_ = aa.Abort()
+			} else if cerr := aa.Commit(); cerr != nil {
+				o.release(&leaf)
+				return cerr
+			}
+		}
+		o.release(&leaf)
+		return err
+	})
+}
+
+// splitLeaf splits the U-latched leaf. On return the latch is released
+// (whatever the outcome) and the caller retries its operation.
+//
+// Mode selection (§4.2.1): with non-page-oriented (logical) undo, every
+// split is an independent atomic action. With page-oriented undo the
+// split is independent only if the triggering transaction has not updated
+// anything on this leaf; otherwise the records to be moved include the
+// transaction's own uncommitted updates, the move could not be undone
+// independently, and the split must run inside the transaction, its move
+// lock held to end of transaction and its index-term posting deferred to
+// commit.
+func (t *Tree) splitLeaf(o *opCtx, leaf *nref, path *Path) error {
+	tx := o.txn
+	pageName := t.pageLockName(leaf.pid())
+
+	inTxn := false
+	if t.binding.PageOriented() && tx != nil {
+		if _, held := t.lm.HeldMode(tx.ID, pageName); held {
+			inTxn = true
+		}
+	}
+
+	if inTxn {
+		return t.splitLeafInTxn(o, leaf, path, pageName)
+	}
+
+	// Independent atomic action.
+	aa := t.tm.BeginAtomicAction()
+	if t.binding.PageOriented() {
+		if t.opts.RecordMoveLocks {
+			// Record-set realization (§4.2.2): MV-lock every record that
+			// the split will move. A conflict means some transaction has
+			// an undoable update on a to-be-moved record; the No-Wait
+			// rule forces the latch down before blocking, and the retry
+			// re-examines the (possibly changed) node.
+			mid := len(leaf.n.Entries) / 2
+			for _, e := range leaf.n.Entries[mid:] {
+				name := t.recLockName(e.Key)
+				if aa.TryLock(name, lock.MV) {
+					continue
+				}
+				o.release(leaf)
+				t.Stats.MoveLockWaits.Add(1)
+				err := aa.Lock(name, lock.MV)
+				_ = aa.Abort()
+				if err != nil {
+					return err
+				}
+				return errRetry
+			}
+		} else {
+			// Page-granule realization: one lock that waits for every
+			// transaction updating records on this page.
+			if !aa.TryLock(pageName, lock.MV) {
+				o.release(leaf)
+				t.Stats.MoveLockWaits.Add(1)
+				err := aa.Lock(pageName, lock.MV)
+				_ = aa.Abort()
+				if err != nil {
+					return err
+				}
+				return errRetry
+			}
+		}
+	}
+	o.promote(leaf)
+	sep, newPid, err := t.splitNode(o, leaf, aa)
+	if err != nil {
+		_ = aa.Abort()
+		return t.handleSplitError(o, leaf, err)
+	}
+	// Commit before unlatching (see modify): the new sibling becomes
+	// reachable only once the old node's latch drops, by which time the
+	// split's commit record precedes anything a dependent action can log.
+	if cerr := aa.Commit(); cerr != nil {
+		o.release(leaf)
+		return cerr
+	}
+	o.release(leaf)
+	if newPid != storage.NilPage {
+		t.schedulePostAfterSplit(path, sep, newPid)
+	}
+	return nil
+}
+
+// handleSplitError releases the latch and, for a new-page lock conflict
+// (a stale page-granule lock surviving from the page's previous
+// incarnation), waits the holder out before retrying.
+func (t *Tree) handleSplitError(o *opCtx, held *nref, err error) error {
+	o.release(held)
+	var pl *errPageLocked
+	if errors.As(err, &pl) {
+		t.Stats.MoveLockWaits.Add(1)
+		w := t.tm.BeginAtomicAction()
+		lerr := w.Lock(pl.name, lock.MV)
+		_ = w.Abort()
+		if lerr != nil {
+			return lerr
+		}
+		return errRetry
+	}
+	return err
+}
+
+// splitLeafInTxn performs the split inside the updating transaction.
+func (t *Tree) splitLeafInTxn(o *opCtx, leaf *nref, path *Path, pageName string) error {
+	tx := o.txn
+	// Upgrade our IX to the move lock; other updaters force the No-Wait
+	// dance.
+	if !tx.TryLock(pageName, lock.MV) {
+		o.release(leaf)
+		t.Stats.MoveLockWaits.Add(1)
+		if err := tx.Lock(pageName, lock.MV); err != nil {
+			return err
+		}
+		return errRetry
+	}
+	o.promote(leaf)
+
+	// Under the CNS invariant nodes are immortal: the new page must not
+	// be freed even if tx aborts, because a concurrent traversal may
+	// still hold its address with no latch coupling to protect it. The
+	// allocation is wrapped in a nested top-level action so an abort
+	// leaks the page instead of reclaiming it. Under CP, coupling makes
+	// reclamation safe and the allocation stays in tx's undo chain.
+	var nt txn.NestedToken
+	useNTA := !t.opts.Consolidation
+	if useNTA {
+		nt = tx.BeginNested()
+	}
+	sep, newPid, err := t.splitNode(o, leaf, tx)
+	if useNTA {
+		tx.CommitNested(nt)
+	}
+	if err != nil {
+		return t.handleSplitError(o, leaf, err)
+	}
+	o.release(leaf)
+	if newPid != storage.NilPage {
+		t.Stats.InTxnSplits.Add(1)
+		sepCopy := keys.Clone(sep)
+		p := path.clone()
+		// §4.2.2: "The posting of the index term for splits cannot occur
+		// until and unless T commits."
+		tx.OnCommit(func() { t.schedulePostAfterSplit(p, sepCopy, newPid) })
+	}
+	return nil
+}
+
+// errPageLocked reports that a freshly allocated page's lock name is
+// still held by a transaction that knew the page's previous incarnation;
+// the split must back off and wait it out.
+type errPageLocked struct {
+	name string
+}
+
+func (e *errPageLocked) Error() string {
+	return "core: new page's lock name still held: " + e.name
+}
+
+// lockNewDataPage takes the move lock on a just-allocated data page
+// before the page becomes reachable, so that no updater can slip a record
+// into it before the splitting action is committed (or, for an
+// in-transaction split, finished). On a stale-lock conflict the
+// allocation is compensated (freed) and errPageLocked returned.
+func (t *Tree) lockNewDataPage(o *opCtx, act *txn.Txn, level int, pid storage.PageID) error {
+	if level != 0 || !t.binding.PageOriented() {
+		return nil
+	}
+	name := t.pageLockName(pid)
+	if act.TryLock(name, lock.MV) {
+		return nil
+	}
+	if err := t.store.Free(act, &o.tr, pid); err != nil {
+		return err
+	}
+	return &errPageLocked{name: name}
+}
+
+// splitNode performs the mechanical split of the X-latched node r,
+// logging through the acting transaction (an independent atomic action,
+// or the updating transaction itself for in-transaction splits). For a
+// non-root node it creates a sibling and returns the separator and new
+// page ID for index-term posting. For the root it grows the tree in place
+// (§5.3: the root never moves) and returns NilPage — no posting is
+// needed, both terms were installed here.
+func (t *Tree) splitNode(o *opCtx, r *nref, act *txn.Txn) (keys.Key, storage.PageID, error) {
+	n := r.n
+	if len(n.Entries) < 2 {
+		return nil, storage.NilPage, fmt.Errorf("core: split of node %d with %d entries", r.pid(), len(n.Entries))
+	}
+	mid := len(n.Entries) / 2
+	sep := keys.Clone(n.Entries[mid].Key)
+	pre := n.clone()
+
+	if r.pid() == t.root {
+		return t.growRoot(o, r, act, pre, sep, mid)
+	}
+
+	newPid, err := t.store.Alloc(act, &o.tr)
+	if err != nil {
+		return nil, storage.NilPage, err
+	}
+	if err := t.lockNewDataPage(o, act, n.Level, newPid); err != nil {
+		return nil, storage.NilPage, err
+	}
+	sibling := &Node{
+		Level:   n.Level,
+		Low:     sep,
+		High:    pre.High,
+		Right:   pre.Right,
+		Entries: append([]Entry(nil), pre.Entries[mid:]...),
+	}
+	fnew := t.store.Pool.Create(newPid)
+	fnew.Latch.AcquireX()
+	o.tr.Acquired(&fnew.Latch, o.rank(n.Level), latch.X)
+	lsnF := act.LogUpdate(t.store.Pool.StoreID, uint64(newPid), KindFormatNode, encNodeImage(sibling))
+	fnew.Data = sibling
+	fnew.MarkDirty(lsnF)
+	o.tr.Released(&fnew.Latch)
+	fnew.Latch.ReleaseX()
+	t.store.Pool.Unpin(fnew)
+
+	lsnT := act.LogUpdate(t.store.Pool.StoreID, uint64(r.pid()), KindSplitTruncate, encSplitTruncate(sep, newPid, pre))
+	n.Entries = n.Entries[:mid]
+	n.High = keys.At(sep)
+	n.Right = newPid
+	r.f.MarkDirty(lsnT)
+
+	if n.Level == 0 {
+		t.Stats.LeafSplits.Add(1)
+	} else {
+		t.Stats.IndexSplits.Add(1)
+	}
+	return sep, newPid, nil
+}
+
+// growRoot splits the root in place: the lower half moves to a new node
+// A, the upper half to a new node B with A's side pointer referencing B,
+// and the root becomes an index node over both. Height increases by one;
+// the root page never moves and is never de-allocated (§5.2.2 relies on
+// this).
+func (t *Tree) growRoot(o *opCtx, r *nref, act *txn.Txn, pre *Node, sep keys.Key, mid int) (keys.Key, storage.PageID, error) {
+	n := r.n
+	pidB, err := t.store.Alloc(act, &o.tr)
+	if err != nil {
+		return nil, storage.NilPage, err
+	}
+	if err := t.lockNewDataPage(o, act, pre.Level, pidB); err != nil {
+		return nil, storage.NilPage, err
+	}
+	pidA, err := t.store.Alloc(act, &o.tr)
+	if err != nil {
+		return nil, storage.NilPage, err
+	}
+	if err := t.lockNewDataPage(o, act, pre.Level, pidA); err != nil {
+		return nil, storage.NilPage, err
+	}
+
+	// The halves must NOT share pre's backing array: an in-place append
+	// during a later insert into one node would overwrite the other's
+	// entries.
+	nodeB := &Node{
+		Level:   pre.Level,
+		Low:     sep,
+		High:    pre.High,
+		Right:   pre.Right,
+		Entries: append([]Entry(nil), pre.Entries[mid:]...),
+	}
+	nodeA := &Node{
+		Level:   pre.Level,
+		Low:     keys.Clone(pre.Low),
+		High:    keys.At(sep),
+		Right:   pidB,
+		Entries: append([]Entry(nil), pre.Entries[:mid]...),
+	}
+
+	for _, nn := range []struct {
+		pid  storage.PageID
+		node *Node
+	}{{pidB, nodeB}, {pidA, nodeA}} {
+		f := t.store.Pool.Create(nn.pid)
+		f.Latch.AcquireX()
+		o.tr.Acquired(&f.Latch, o.rank(pre.Level), latch.X)
+		lsn := act.LogUpdate(t.store.Pool.StoreID, uint64(nn.pid), KindFormatNode, encNodeImage(nn.node))
+		f.Data = nn.node
+		f.MarkDirty(lsn)
+		o.tr.Released(&f.Latch)
+		f.Latch.ReleaseX()
+		t.store.Pool.Unpin(f)
+	}
+
+	termA := Entry{Key: keys.Clone(pre.Low), Child: pidA}
+	termB := Entry{Key: keys.Clone(sep), Child: pidB}
+	lsn := act.LogUpdate(t.store.Pool.StoreID, uint64(r.pid()), KindRootGrow, encRootGrow(termA, termB, pre))
+	n.Level++
+	n.Entries = []Entry{termA, termB}
+	n.High = keys.Inf
+	n.Right = storage.NilPage
+	r.f.MarkDirty(lsn)
+
+	t.Stats.RootGrowths.Add(1)
+	return nil, storage.NilPage, nil
+}
+
+// schedulePostAfterSplit queues the index-term posting atomic action for
+// a committed split (§3.2.1 step 6: "Posting occurs in a separate atomic
+// action from the action that performs the split").
+func (t *Tree) schedulePostAfterSplit(path *Path, sep keys.Key, newPid storage.PageID) {
+	if t.opts.NoCompletion || t.comp == nil {
+		return
+	}
+	t.comp.schedulePost(postTask{
+		level:  1, // a leaf split posts one level up
+		sep:    sep,
+		newPid: newPid,
+		path:   path,
+	})
+}
+
+// maybeScheduleConsolidation queues a consolidation attempt for an
+// under-utilized non-root node (CP invariant only).
+func (t *Tree) maybeScheduleConsolidation(r *nref) {
+	if !t.opts.Consolidation || t.opts.NoCompletion || t.comp == nil {
+		return
+	}
+	if r.pid() == t.root {
+		return
+	}
+	if len(r.n.Entries) >= int(float64(t.opts.LeafCapacity)*t.opts.MinUtilization) {
+		return
+	}
+	t.comp.scheduleConsolidate(consolidateTask{
+		level: r.n.Level,
+		low:   keys.Clone(r.n.Low),
+		pid:   r.pid(),
+	})
+}
+
+// RangeScan calls fn for each key in [lo, hi) in order, stopping early if
+// fn returns false. hi may be nil for an unbounded scan. The scan is
+// latch-consistent per leaf; with a non-nil transaction each returned
+// record is S-locked first (held to transaction end). Keys and values
+// passed to fn are copies.
+func (t *Tree) RangeScan(tx *txn.Txn, lo, hi keys.Key, fn func(k keys.Key, v []byte) bool) error {
+	type rec struct {
+		k keys.Key
+		v []byte
+	}
+	cursor := keys.Clone(lo)
+	for {
+		var batch []rec
+		var nextCursor keys.Key
+		done := false
+		err := t.retryLoop(func() error {
+			batch = batch[:0]
+			o := t.newOp(tx)
+			defer o.tr.AssertNoneHeld()
+			leaf, err := t.descendTo(o, cursor, 0, latch.S, true, nil)
+			if err != nil {
+				return err
+			}
+			// Collect this leaf's qualifying records, then move on; locks
+			// (if any) are taken after release, one record at a time, per
+			// the No-Wait rule.
+			for _, e := range leaf.n.Entries {
+				if keys.Compare(e.Key, cursor) < 0 {
+					continue
+				}
+				if hi != nil && keys.Compare(e.Key, hi) >= 0 {
+					done = true
+					break
+				}
+				batch = append(batch, rec{k: keys.Clone(e.Key), v: append([]byte(nil), e.Value...)})
+			}
+			if !done {
+				if leaf.n.High.Unbounded {
+					done = true
+				} else {
+					nextCursor = keys.Clone(leaf.n.High.Key)
+					if hi != nil && keys.Compare(nextCursor, hi) >= 0 {
+						done = true
+					}
+				}
+			}
+			o.release(&leaf)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range batch {
+			if tx != nil {
+				if err := tx.Lock(t.recLockName(r.k), lock.S); err != nil {
+					return err
+				}
+			}
+			if !fn(r.k, r.v) {
+				return nil
+			}
+		}
+		if done {
+			return nil
+		}
+		cursor = nextCursor
+	}
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/latch"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Options configure one Π-tree.
+type Options struct {
+	// LeafCapacity and IndexCapacity are the maximum entry counts of data
+	// and index nodes; they stand in for page size. Defaults: 64, 64.
+	LeafCapacity  int
+	IndexCapacity int
+	// MinUtilization is the fraction of capacity below which a node is
+	// considered for consolidation (CP mode only). Default 0.25.
+	MinUtilization float64
+	// Consolidation selects the CP invariant (§5.2.2): nodes may be
+	// consolidated and de-allocated, so traversals latch-couple and
+	// postings verify. When false the CNS invariant (§5.2.1) holds: nodes
+	// are immortal, one latch at a time suffices, and saved state is
+	// trusted.
+	Consolidation bool
+	// DeallocIsUpdate selects strategy (b) of §5.2.2: de-allocation bumps
+	// the victim's state identifier, so re-traversals may start from the
+	// remembered parent. With strategy (a) re-traversals start at the
+	// root, which never moves and is never de-allocated.
+	DeallocIsUpdate bool
+	// SyncCompletion runs completing atomic actions inline, immediately
+	// after the operation that scheduled them, instead of on background
+	// workers. Deterministic tests use it.
+	SyncCompletion bool
+	// CompletionWorkers is the background completion pool size (ignored
+	// with SyncCompletion). Default 2.
+	CompletionWorkers int
+	// NoCompletion suppresses all scheduled completions; experiment T5
+	// uses it to hold the tree in intermediate states.
+	NoCompletion bool
+	// RecordMoveLocks selects the record-set realization of the move
+	// lock (§4.2.2) for INDEPENDENT data-node splits under page-oriented
+	// undo: the splitting action MV-locks each record to be moved rather
+	// than the whole page. Waiting for one of those locks releases the
+	// node latch, and the retried split re-examines the node — the
+	// paper's "no change, different locks required, or even that the
+	// move is no longer required" outcomes fall out of the retry.
+	// In-transaction splits and consolidations keep the page-granule
+	// lock ("once granted, no update activity can alter the locking
+	// required. This one lock is sufficient.").
+	RecordMoveLocks bool
+	// CheckLatchOrder enables per-operation latch order assertions.
+	CheckLatchOrder bool
+	// IndexHold, when set, records hold durations of U/X latches on index
+	// nodes (levels >= 1) for experiment T6.
+	IndexHold *latch.HoldTimer
+}
+
+func (o Options) normalized() Options {
+	if o.LeafCapacity <= 0 {
+		o.LeafCapacity = 64
+	}
+	if o.IndexCapacity <= 0 {
+		o.IndexCapacity = 64
+	}
+	if o.LeafCapacity < 4 {
+		o.LeafCapacity = 4
+	}
+	if o.IndexCapacity < 4 {
+		o.IndexCapacity = 4
+	}
+	if o.MinUtilization <= 0 {
+		o.MinUtilization = 0.25
+	}
+	if o.CompletionWorkers <= 0 {
+		o.CompletionWorkers = 2
+	}
+	return o
+}
+
+// Stats counts tree events; all fields are atomically updated and may be
+// read concurrently.
+type Stats struct {
+	Searches          atomic.Int64
+	Inserts           atomic.Int64
+	Deletes           atomic.Int64
+	Updates           atomic.Int64
+	LeafSplits        atomic.Int64
+	IndexSplits       atomic.Int64
+	RootGrowths       atomic.Int64
+	SideTraversals    atomic.Int64
+	PostsScheduled    atomic.Int64
+	PostAttempts      atomic.Int64
+	PostsPerformed    atomic.Int64
+	PostsAlreadyDone  atomic.Int64
+	PostsObsolete     atomic.Int64
+	PostsSuppressedMV atomic.Int64
+	Consolidations    atomic.Int64
+	ConsolidateTries  atomic.Int64
+	RootShrinks       atomic.Int64
+	PathVerifyHits    atomic.Int64
+	PathVerifyMisses  atomic.Int64
+	Restarts          atomic.Int64 // operation-level retries
+	InTxnSplits       atomic.Int64 // page-oriented splits inside the updating txn
+	MoveLockWaits     atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Searches, Inserts, Deletes, Updates                int64
+	LeafSplits, IndexSplits, RootGrowths               int64
+	SideTraversals                                     int64
+	PostsScheduled, PostAttempts, PostsPerformed       int64
+	PostsAlreadyDone, PostsObsolete, PostsSuppressedMV int64
+	Consolidations, ConsolidateTries, RootShrinks      int64
+	PathVerifyHits, PathVerifyMisses                   int64
+	Restarts, InTxnSplits, MoveLockWaits               int64
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Searches: s.Searches.Load(), Inserts: s.Inserts.Load(), Deletes: s.Deletes.Load(), Updates: s.Updates.Load(),
+		LeafSplits: s.LeafSplits.Load(), IndexSplits: s.IndexSplits.Load(), RootGrowths: s.RootGrowths.Load(),
+		SideTraversals: s.SideTraversals.Load(),
+		PostsScheduled: s.PostsScheduled.Load(), PostAttempts: s.PostAttempts.Load(), PostsPerformed: s.PostsPerformed.Load(),
+		PostsAlreadyDone: s.PostsAlreadyDone.Load(), PostsObsolete: s.PostsObsolete.Load(), PostsSuppressedMV: s.PostsSuppressedMV.Load(),
+		Consolidations: s.Consolidations.Load(), ConsolidateTries: s.ConsolidateTries.Load(), RootShrinks: s.RootShrinks.Load(),
+		PathVerifyHits: s.PathVerifyHits.Load(), PathVerifyMisses: s.PathVerifyMisses.Load(),
+		Restarts: s.Restarts.Load(), InTxnSplits: s.InTxnSplits.Load(), MoveLockWaits: s.MoveLockWaits.Load(),
+	}
+}
+
+// Tree is one Π-tree (B-link instance). All methods are safe for
+// concurrent use by multiple goroutines and transactions.
+type Tree struct {
+	// Name identifies the tree in its store's root directory and in lock
+	// names.
+	Name string
+
+	store   *storage.Store
+	tm      *txn.Manager
+	lm      *lock.Manager
+	binding *Binding
+	opts    Options
+	root    storage.PageID
+	comp    *completer
+
+	// Stats are the tree's event counters.
+	Stats Stats
+}
+
+// ErrKeyExists is returned by Insert for a duplicate key.
+var ErrKeyExists = errors.New("core: key already exists")
+
+// ErrKeyNotFound is returned by Update and Delete for a missing key.
+var ErrKeyNotFound = errors.New("core: key not found")
+
+// errRetry restarts an operation from the descent; it never escapes the
+// package.
+var errRetry = errors.New("core: internal retry")
+
+// Create builds a new, empty Π-tree named name in store (bootstrapping
+// the store's meta page if needed) and returns it ready for use. The
+// whole creation is one atomic action.
+func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
+	t := &Tree{
+		Name:    name,
+		store:   store,
+		tm:      tm,
+		lm:      lm,
+		binding: b,
+		opts:    opts.normalized(),
+	}
+	aa := tm.BeginAtomicAction()
+	o := t.newOp(aa)
+
+	if f, err := store.Pool.Fetch(storage.MetaPage); err == nil {
+		store.Pool.Unpin(f)
+	} else if errors.Is(err, storage.ErrPageNotFound) {
+		if err := store.Bootstrap(aa); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+
+	rootPid, err := store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nil, err
+	}
+	f := store.Pool.Create(rootPid)
+	f.Latch.AcquireX()
+	root := &Node{Level: 0, Low: nil, High: keys.Inf, Right: storage.NilPage}
+	f.Data = root
+	lsn := aa.LogUpdate(store.Pool.StoreID, uint64(rootPid), KindFormatNode, encNodeImage(root))
+	f.MarkDirty(lsn)
+	f.Latch.ReleaseX()
+	store.Pool.Unpin(f)
+
+	if err := store.SetRoot(aa, &o.tr, name, rootPid); err != nil {
+		return nil, err
+	}
+	if err := aa.Commit(); err != nil {
+		return nil, err
+	}
+	t.root = rootPid
+	t.comp = newCompleter(t)
+	b.Bind(t)
+	return t, nil
+}
+
+// Open attaches to an existing tree named name in store, e.g. after a
+// restart.
+func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
+	rootPid, err := store.Root(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		Name:    name,
+		store:   store,
+		tm:      tm,
+		lm:      lm,
+		binding: b,
+		opts:    opts.normalized(),
+		root:    rootPid,
+	}
+	t.comp = newCompleter(t)
+	b.Bind(t)
+	return t, nil
+}
+
+// Close stops the tree's background completion workers and waits for
+// in-flight completing actions to finish.
+func (t *Tree) Close() {
+	t.comp.stop()
+}
+
+// DrainCompletions blocks until every scheduled completing action has been
+// processed. Tests and experiments use it to reach a quiescent state.
+func (t *Tree) DrainCompletions() {
+	t.comp.drain()
+}
+
+// Options returns the tree's normalized options.
+func (t *Tree) Options() Options { return t.opts }
+
+// RootPID returns the root's page ID (fixed for the tree's lifetime).
+func (t *Tree) RootPID() storage.PageID { return t.root }
+
+// Store returns the underlying store (verifier and tests use it).
+func (t *Tree) Store() *storage.Store { return t.store }
+
+// --- lock names ----------------------------------------------------------
+
+func (t *Tree) recLockName(k keys.Key) string {
+	return "r:" + t.Name + ":" + string(k)
+}
+
+func (t *Tree) pageLockName(pid storage.PageID) string {
+	return fmt.Sprintf("p:%s:%d", t.Name, pid)
+}
+
+// --- operation context ----------------------------------------------------
+
+// opCtx carries per-operation latch-order state. Ranks are derived from
+// the tree level (parents before children) plus a per-operation sequence
+// number (containing nodes before contained nodes along a side chain).
+type opCtx struct {
+	t   *Tree
+	txn *txn.Txn // nil for plain reads outside any transaction
+	tr  latch.Tracker
+	seq uint64
+}
+
+func (t *Tree) newOp(tx *txn.Txn) *opCtx {
+	return &opCtx{t: t, txn: tx, tr: latch.Tracker{Enabled: t.opts.CheckLatchOrder}}
+}
+
+// maxLevel bounds the tree height for rank arithmetic.
+const maxLevel = 63
+
+func (o *opCtx) rank(level int) latch.Rank {
+	o.seq++
+	return latch.Rank(uint64(maxLevel-level)<<40 | (o.seq & (1<<40 - 1)))
+}
+
+func (o *opCtx) txnID() wal.TxnID {
+	if o.txn == nil {
+		return wal.NilTxn
+	}
+	return o.txn.ID
+}
+
+// nref is a pinned, latched node reference.
+type nref struct {
+	f     *storage.Frame
+	n     *Node
+	mode  latch.Mode
+	since time.Time // set for instrumented index-node holds
+	timed bool
+}
+
+func (r *nref) pid() storage.PageID { return r.f.ID }
+func (r *nref) valid() bool         { return r.f != nil }
+
+// acquire pins and latches pid in mode.
+func (o *opCtx) acquire(pid storage.PageID, mode latch.Mode, level int) (nref, error) {
+	f, err := o.t.store.Pool.Fetch(pid)
+	if err != nil {
+		return nref{}, err
+	}
+	f.Latch.Acquire(mode)
+	o.tr.Acquired(&f.Latch, o.rank(level), mode)
+	n, ok := f.Data.(*Node)
+	if !ok {
+		o.tr.Released(&f.Latch)
+		f.Latch.Release(mode)
+		o.t.store.Pool.Unpin(f)
+		return nref{}, fmt.Errorf("core: page %d holds %T, not a node", pid, f.Data)
+	}
+	r := nref{f: f, n: n, mode: mode}
+	if o.t.opts.IndexHold != nil && level >= 1 && mode != latch.S {
+		r.since = time.Now()
+		r.timed = true
+	}
+	return r, nil
+}
+
+// release unlatches and unpins r.
+func (o *opCtx) release(r *nref) {
+	if !r.valid() {
+		return
+	}
+	if r.timed {
+		o.t.opts.IndexHold.Observe(time.Since(r.since))
+	}
+	o.tr.Released(&r.f.Latch)
+	r.f.Latch.Release(r.mode)
+	o.t.store.Pool.Unpin(r.f)
+	r.f = nil
+	r.n = nil
+}
+
+// promote upgrades r from U to X, honoring the §4.1.1 promotion rule.
+func (o *opCtx) promote(r *nref) {
+	if r.mode != latch.U {
+		panic("core: promote of non-U reference")
+	}
+	r.f.Latch.Promote()
+	o.tr.Promoted(&r.f.Latch)
+	r.mode = latch.X
+}
+
+// --- saved paths -----------------------------------------------------------
+
+// pathEntry remembers a traversed node and its state identifier at visit
+// time (§5.2: search key, nodes on the path, and their state ids).
+type pathEntry struct {
+	pid storage.PageID
+	lsn wal.LSN
+}
+
+// Path is the remembered root-to-target path indexed by level.
+type Path struct {
+	byLevel map[int]pathEntry
+}
+
+func newPath() *Path { return &Path{byLevel: make(map[int]pathEntry)} }
+
+func (p *Path) set(level int, pid storage.PageID, lsn wal.LSN) {
+	p.byLevel[level] = pathEntry{pid: pid, lsn: lsn}
+}
+
+func (p *Path) get(level int) (pathEntry, bool) {
+	e, ok := p.byLevel[level]
+	return e, ok
+}
+
+func (p *Path) clone() *Path {
+	c := newPath()
+	for l, e := range p.byLevel {
+		c.byLevel[l] = e
+	}
+	return c
+}
+
+// --- descent ----------------------------------------------------------------
+
+// rootLevel reads the root's current level.
+func (t *Tree) rootLevel(o *opCtx) (int, error) {
+	r, err := o.acquire(t.root, latch.S, maxLevel)
+	if err != nil {
+		return 0, err
+	}
+	lvl := r.n.Level
+	o.release(&r)
+	return lvl, nil
+}
+
+// errLevelGone reports a descent target level above the current root.
+var errLevelGone = errors.New("core: target level no longer exists")
+
+// descendTo walks from the root to the node at stopLevel whose directly
+// contained space includes key, returning it latched in finalMode along
+// with the remembered path. Latch discipline follows the invariant in
+// force: CP couples (two latches held across each edge), CNS holds one
+// latch at a time. Side-pointer traversals below the root trigger lazy
+// completion scheduling when sched is true (§5.1).
+func (t *Tree) descendTo(o *opCtx, key keys.Key, stopLevel int, finalMode latch.Mode, sched bool, path *Path) (nref, error) {
+	// The root is acquired in finalMode directly when it is the target;
+	// its level is only known once latched, so retry on mismatch.
+	cur, err := o.acquire(t.root, latch.S, maxLevel)
+	if err != nil {
+		return nref{}, err
+	}
+	if cur.n.Level < stopLevel {
+		o.release(&cur)
+		return nref{}, errLevelGone
+	}
+	if cur.n.Level == stopLevel && finalMode != latch.S {
+		// Re-acquire in the requested mode. The root never moves, so
+		// dropping the S latch first is safe in both invariants.
+		lvl := cur.n.Level
+		o.release(&cur)
+		cur, err = o.acquire(t.root, finalMode, lvl)
+		if err != nil {
+			return nref{}, err
+		}
+		if cur.n.Level != stopLevel {
+			o.release(&cur)
+			return nref{}, errRetry
+		}
+	}
+
+	for {
+		// Side traversal: the key has been delegated to a sibling.
+		for !cur.n.DirectlyContains(key) {
+			if cur.n.Low != nil && keys.Compare(key, cur.n.Low) < 0 {
+				// Keys below Low cannot be reached by following right
+				// pointers; the structure changed under us.
+				o.release(&cur)
+				return nref{}, errRetry
+			}
+			sib := cur.n.Right
+			if sib == storage.NilPage {
+				o.release(&cur)
+				return nref{}, errRetry
+			}
+			t.Stats.SideTraversals.Add(1)
+			if sched {
+				t.noteIncomplete(o, cur.n, cur.pid(), path)
+			}
+			next, err := t.step(o, &cur, sib, cur.mode, cur.n.Level)
+			if err != nil {
+				return nref{}, err
+			}
+			cur = next
+		}
+
+		if cur.n.Level == stopLevel {
+			return cur, nil
+		}
+
+		e, ok := cur.n.childFor(key)
+		if !ok {
+			o.release(&cur)
+			return nref{}, errRetry
+		}
+		childLevel := cur.n.Level - 1
+		childMode := latch.S
+		if childLevel == stopLevel {
+			childMode = finalMode
+		}
+		if path != nil {
+			path.set(cur.n.Level, cur.pid(), cur.f.PageLSN())
+		}
+		next, err := t.step(o, &cur, e.Child, childMode, childLevel)
+		if err != nil {
+			return nref{}, err
+		}
+		cur = next
+	}
+}
+
+// step moves from *cur to pid, applying the coupling discipline: under CP
+// the new node is latched before cur is released; under CNS cur is
+// released first ("only one latch at a time", §5.2.1).
+func (t *Tree) step(o *opCtx, cur *nref, pid storage.PageID, mode latch.Mode, level int) (nref, error) {
+	if t.opts.Consolidation {
+		next, err := o.acquire(pid, mode, level)
+		o.release(cur)
+		if err != nil {
+			return nref{}, err
+		}
+		if next.n.Dead {
+			// Strategy (b) leaves de-allocated nodes marked; a pointer
+			// read before the consolidation committed can still land
+			// here. Retry from the root.
+			o.release(&next)
+			return nref{}, errRetry
+		}
+		return next, nil
+	}
+	o.release(cur)
+	return o.acquire(pid, mode, level)
+}
+
+// noteIncomplete schedules the completing atomic action for a detected
+// intermediate state: cur has a sibling not yet posted in the parent (or
+// the parent simply was not on our search path). Move-locked splits are
+// skipped: their posting must await the updating transaction's commit
+// (§4.2.2).
+func (t *Tree) noteIncomplete(o *opCtx, n *Node, pid storage.PageID, path *Path) {
+	if t.opts.NoCompletion || t.comp == nil {
+		return
+	}
+	if n.High.Unbounded || n.Right == storage.NilPage {
+		return
+	}
+	if t.binding.PageOriented() && t.lm.MoveLocked(t.pageLockName(pid)) {
+		t.Stats.PostsSuppressedMV.Add(1)
+		return
+	}
+	var p *Path
+	if path != nil {
+		p = path.clone()
+	} else {
+		p = newPath()
+	}
+	t.comp.schedulePost(postTask{
+		level:  n.Level + 1,
+		sep:    keys.Clone(n.High.Key),
+		newPid: n.Right,
+		path:   p,
+	})
+}
+
+// retryLoop runs fn until it succeeds or fails with a real error,
+// translating errRetry and errLevelGone into restarts.
+func (t *Tree) retryLoop(fn func() error) error {
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errRetry) {
+			t.Stats.Restarts.Add(1)
+			continue
+		}
+		return err
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/keys"
+	"repro/internal/wal"
+)
+
+// fixture bundles an engine with one Π-tree for tests.
+type fixture struct {
+	e    *engine.Engine
+	b    *Binding
+	tree *Tree
+}
+
+const testStoreID = 7
+
+func defaultTestOpts() Options {
+	return Options{
+		LeafCapacity:    8,
+		IndexCapacity:   8,
+		Consolidation:   true,
+		SyncCompletion:  true,
+		CheckLatchOrder: true,
+	}
+}
+
+func newFixture(t testing.TB, eopts engine.Options, topts Options) *fixture {
+	t.Helper()
+	e := engine.New(eopts)
+	b := Register(e.Reg, eopts.PageOriented)
+	st := e.AddStore(testStoreID, Codec{})
+	tree, err := Create(st, e.TM, e.Locks, b, "test", topts)
+	if err != nil {
+		t.Fatalf("create tree: %v", err)
+	}
+	t.Cleanup(tree.Close)
+	return &fixture{e: e, b: b, tree: tree}
+}
+
+// crashRestart simulates a crash (optionally truncating the log at lsn)
+// and performs the ordered restart: analysis+redo, re-open, undo.
+func (fx *fixture) crashRestart(t testing.TB, truncateAt *wal.LSN) *fixture {
+	t.Helper()
+	fx2, ok := fx.tryCrashRestart(t, truncateAt)
+	if !ok {
+		t.Fatalf("reopen tree failed after restart")
+	}
+	return fx2
+}
+
+// tryCrashRestart is crashRestart for crash points that may precede the
+// tree's creation becoming durable: it reports ok=false when the restarted
+// store has no tree (the only failure it tolerates).
+func (fx *fixture) tryCrashRestart(t testing.TB, truncateAt *wal.LSN) (*fixture, bool) {
+	t.Helper()
+	img := fx.e.Crash(truncateAt)
+	fx.tree.Close()
+	e2 := engine.Restarted(img, fx.e.Opts)
+	b2 := Register(e2.Reg, fx.e.Opts.PageOriented)
+	st2 := e2.AttachStore(testStoreID, Codec{}, img.Disks[testStoreID])
+	p, err := e2.AnalyzeAndRedo()
+	if err != nil {
+		t.Fatalf("analyze+redo: %v", err)
+	}
+	tree2, err := Open(st2, e2.TM, e2.Locks, b2, "test", fx.tree.opts)
+	if err != nil {
+		// Undo must still run so the incomplete creation is rolled back.
+		if uerr := e2.FinishRecovery(p); uerr != nil {
+			t.Fatalf("undo losers after failed open: %v", uerr)
+		}
+		return nil, false
+	}
+	if err := e2.FinishRecovery(p); err != nil {
+		t.Fatalf("undo losers: %v", err)
+	}
+	// Undo may have rolled back an uncommitted tree creation that the
+	// pre-undo Open transiently observed; re-check the catalog.
+	if _, err := st2.Root("test"); err != nil {
+		tree2.Close()
+		return nil, false
+	}
+	t.Cleanup(tree2.Close)
+	return &fixture{e: e2, b: b2, tree: tree2}, true
+}
+
+func (fx *fixture) mustVerify(t testing.TB) TreeShape {
+	t.Helper()
+	fx.tree.DrainCompletions()
+	shape, err := fx.tree.Verify()
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return shape
+}
+
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestInsertSearchSmall(t *testing.T) {
+	fx := newFixture(t, engine.Options{}, defaultTestOpts())
+	for i := 0; i < 100; i++ {
+		if err := fx.tree.Insert(nil, keys.Uint64(uint64(i)), val(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, ok, err := fx.tree.Search(nil, keys.Uint64(uint64(i)))
+		if err != nil || !ok {
+			t.Fatalf("search %d: ok=%v err=%v", i, ok, err)
+		}
+		if string(v) != string(val(i)) {
+			t.Fatalf("search %d: got %q", i, v)
+		}
+	}
+	if _, ok, _ := fx.tree.Search(nil, keys.Uint64(1000)); ok {
+		t.Fatal("found missing key")
+	}
+	shape := fx.mustVerify(t)
+	if shape.Records != 100 {
+		t.Fatalf("records = %d, want 100", shape.Records)
+	}
+	if shape.Height < 2 {
+		t.Fatalf("height = %d, want >= 2 (leaf capacity 8)", shape.Height)
+	}
+}
+
+func TestInsertRandomOrderAndDuplicates(t *testing.T) {
+	fx := newFixture(t, engine.Options{}, defaultTestOpts())
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(500)
+	for _, i := range perm {
+		if err := fx.tree.Insert(nil, keys.Uint64(uint64(i)), val(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := fx.tree.Insert(nil, keys.Uint64(7), val(7)); err != ErrKeyExists {
+		t.Fatalf("duplicate insert: err = %v, want ErrKeyExists", err)
+	}
+	shape := fx.mustVerify(t)
+	if shape.Records != 500 {
+		t.Fatalf("records = %d, want 500", shape.Records)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	fx := newFixture(t, engine.Options{}, defaultTestOpts())
+	for i := 0; i < 200; i++ {
+		if err := fx.tree.Insert(nil, keys.Uint64(uint64(i)), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i += 2 {
+		if err := fx.tree.Update(nil, keys.Uint64(uint64(i)), []byte("updated")); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	for i := 1; i < 200; i += 2 {
+		if err := fx.tree.Delete(nil, keys.Uint64(uint64(i))); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if err := fx.tree.Delete(nil, keys.Uint64(1)); err != ErrKeyNotFound {
+		t.Fatalf("double delete: err = %v, want ErrKeyNotFound", err)
+	}
+	if err := fx.tree.Update(nil, keys.Uint64(1), nil); err != ErrKeyNotFound {
+		t.Fatalf("update missing: err = %v, want ErrKeyNotFound", err)
+	}
+	for i := 0; i < 200; i++ {
+		v, ok, err := fx.tree.Search(nil, keys.Uint64(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if !ok || string(v) != "updated" {
+				t.Fatalf("key %d: ok=%v v=%q", i, ok, v)
+			}
+		} else if ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+	}
+	shape := fx.mustVerify(t)
+	if shape.Records != 100 {
+		t.Fatalf("records = %d, want 100", shape.Records)
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	fx := newFixture(t, engine.Options{}, defaultTestOpts())
+	for i := 0; i < 300; i++ {
+		if err := fx.tree.Insert(nil, keys.Uint64(uint64(i*2)), val(i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	err := fx.tree.RangeScan(nil, keys.Uint64(100), keys.Uint64(200), func(k keys.Key, v []byte) bool {
+		got = append(got, keys.ToUint64(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("scan returned %d keys, want 50", len(got))
+	}
+	for i, k := range got {
+		if k != uint64(100+2*i) {
+			t.Fatalf("scan[%d] = %d, want %d", i, k, 100+2*i)
+		}
+	}
+	// Early stop.
+	n := 0
+	err = fx.tree.RangeScan(nil, nil, nil, func(k keys.Key, v []byte) bool {
+		n++
+		return n < 10
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+func TestCrashRecoveryCommittedSurvive(t *testing.T) {
+	fx := newFixture(t, engine.Options{}, defaultTestOpts())
+	for i := 0; i < 150; i++ {
+		if err := fx.tree.Insert(nil, keys.Uint64(uint64(i)), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fx.tree.DrainCompletions()
+	// Make everything durable-eligible: force the log but flush nothing.
+	fx.e.Log.ForceAll()
+	fx2 := fx.crashRestart(t, nil)
+	shape := fx2.mustVerify(t)
+	if shape.Records != 150 {
+		t.Fatalf("after recovery: records = %d, want 150", shape.Records)
+	}
+	for i := 0; i < 150; i++ {
+		v, ok, err := fx2.tree.Search(nil, keys.Uint64(uint64(i)))
+		if err != nil || !ok || string(v) != string(val(i)) {
+			t.Fatalf("after recovery: key %d ok=%v v=%q err=%v", i, ok, v, err)
+		}
+	}
+}
+
+func TestTxnCommitAbort(t *testing.T) {
+	for _, pageOriented := range []bool{false, true} {
+		t.Run(fmt.Sprintf("pageOriented=%v", pageOriented), func(t *testing.T) {
+			fx := newFixture(t, engine.Options{PageOriented: pageOriented}, defaultTestOpts())
+			// Committed transaction.
+			tx := fx.e.TM.Begin()
+			for i := 0; i < 30; i++ {
+				if err := fx.tree.Insert(tx, keys.Uint64(uint64(i)), val(i)); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			// Aborted transaction: inserts + deletes + updates, all undone.
+			tx2 := fx.e.TM.Begin()
+			for i := 30; i < 60; i++ {
+				if err := fx.tree.Insert(tx2, keys.Uint64(uint64(i)), val(i)); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			if err := fx.tree.Delete(tx2, keys.Uint64(5)); err != nil {
+				t.Fatal(err)
+			}
+			if err := fx.tree.Update(tx2, keys.Uint64(6), []byte("doomed")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx2.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			fx.tree.DrainCompletions()
+			shape := fx.mustVerify(t)
+			if shape.Records != 30 {
+				t.Fatalf("records = %d, want 30", shape.Records)
+			}
+			for i := 0; i < 30; i++ {
+				v, ok, _ := fx.tree.Search(nil, keys.Uint64(uint64(i)))
+				if !ok || string(v) != string(val(i)) {
+					t.Fatalf("key %d: ok=%v v=%q", i, ok, v)
+				}
+			}
+		})
+	}
+}

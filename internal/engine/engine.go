@@ -1,0 +1,166 @@
+// Package engine wires the substrates — write-ahead log, lock manager,
+// buffer pools, transaction manager, restart recovery — into one database
+// environment, and simulates crashes: Crash snapshots the stable state
+// (disk images plus the forced log prefix), and Restarted rebuilds an
+// environment from such a snapshot exactly the way a real system comes
+// back up.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lock"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Options configure an engine.
+type Options struct {
+	// PageOriented selects page-oriented record UNDO (§4.2): undo happens
+	// on the page of the original update, so data-node splits that move
+	// uncommitted records must run inside the updating transaction under
+	// a move lock. When false, record undo is logical (re-traversal) and
+	// every split is an independent atomic action.
+	PageOriented bool
+	// ForceOnAACommit disables relative durability for atomic actions
+	// (ablation for experiment T12).
+	ForceOnAACommit bool
+	// PoolCapacity bounds each buffer pool in frames; 0 = unbounded.
+	PoolCapacity int
+}
+
+// Engine is one database environment.
+type Engine struct {
+	Opts  Options
+	Log   *wal.Log
+	Locks *lock.Manager
+	Reg   *storage.Registry
+	TM    *txn.Manager
+
+	mu     sync.Mutex
+	stores map[uint32]*storage.Store
+}
+
+func newEngine(opts Options, log *wal.Log) *Engine {
+	e := &Engine{
+		Opts:   opts,
+		Log:    log,
+		Locks:  lock.NewManager(),
+		Reg:    storage.NewRegistry(),
+		stores: make(map[uint32]*storage.Store),
+	}
+	e.TM = txn.NewManager(log, e.Locks, e.Reg, txn.Options{ForceOnAACommit: opts.ForceOnAACommit})
+	storage.RegisterMetaHandlers(e.Reg)
+	return e
+}
+
+// New creates a fresh environment with an empty log.
+func New(opts Options) *Engine {
+	return newEngine(opts, wal.New())
+}
+
+// AddStore creates a store over a fresh disk. Each access-method instance
+// gets its own store ID and codec.
+func (e *Engine) AddStore(storeID uint32, codec storage.Codec) *storage.Store {
+	return e.AttachStore(storeID, codec, storage.NewDisk())
+}
+
+// AttachStore creates a store over an existing disk image (restart path).
+func (e *Engine) AttachStore(storeID uint32, codec storage.Codec, disk *storage.Disk) *storage.Store {
+	pool := storage.NewPool(storeID, disk, e.Log, codec, e.Opts.PoolCapacity)
+	st := storage.NewStore(pool, e.Reg)
+	e.mu.Lock()
+	if _, dup := e.stores[storeID]; dup {
+		e.mu.Unlock()
+		panic(fmt.Sprintf("engine: duplicate store %d", storeID))
+	}
+	e.stores[storeID] = st
+	e.mu.Unlock()
+	return st
+}
+
+// Store returns a previously added store.
+func (e *Engine) Store(storeID uint32) *storage.Store {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stores[storeID]
+}
+
+// Pools returns every store's pool.
+func (e *Engine) Pools() []*storage.Pool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*storage.Pool, 0, len(e.stores))
+	for _, s := range e.stores {
+		out = append(out, s.Pool)
+	}
+	return out
+}
+
+// Checkpoint takes a fuzzy checkpoint over all stores.
+func (e *Engine) Checkpoint() (wal.LSN, error) {
+	return recovery.TakeCheckpoint(e.Log, e.TM, e.Pools()...)
+}
+
+// FlushAll flushes every pool (forcing the log first per page, WAL
+// protocol) and returns the number of pages written.
+func (e *Engine) FlushAll() int {
+	n := 0
+	for _, p := range e.Pools() {
+		n += p.FlushAll()
+	}
+	return n
+}
+
+// CrashImage is the stable state surviving a simulated crash.
+type CrashImage struct {
+	LogImage *wal.Reader
+	Disks    map[uint32]*storage.Disk
+}
+
+// Crash snapshots the stable state: disk images plus the forced log
+// prefix. If truncateAt is non-nil the log is cut there instead (it must
+// be a record boundary at or before the stable point); the crash matrix
+// uses this to test every prefix of a run. The engine itself is left
+// untouched — callers simply stop using it, as a crashed process would.
+func (e *Engine) Crash(truncateAt *wal.LSN) *CrashImage {
+	img := &CrashImage{
+		LogImage: e.Log.CrashImage(truncateAt),
+		Disks:    make(map[uint32]*storage.Disk),
+	}
+	e.mu.Lock()
+	for id, s := range e.stores {
+		img.Disks[id] = s.Pool.Disk().Snapshot()
+	}
+	e.mu.Unlock()
+	return img
+}
+
+// Restarted builds a post-crash environment over img's stable state. The
+// caller must then: register its access-method record kinds on Reg,
+// AttachStore each store with img.Disks[id], run AnalyzeAndRedo, re-open
+// its trees, and finally run the returned Pending's UndoLosers — the
+// two-phase split exists because logical record undo needs the trees
+// open, and opening a tree needs the redone meta pages. Recover bundles
+// the phases for callers without that ordering constraint.
+func Restarted(img *CrashImage, opts Options) *Engine {
+	return newEngine(opts, wal.NewFromImage(img.LogImage))
+}
+
+// AnalyzeAndRedo runs restart analysis and redo.
+func (e *Engine) AnalyzeAndRedo() (*recovery.Pending, error) {
+	return recovery.AnalyzeAndRedo(e.Log, e.Reg)
+}
+
+// FinishRecovery runs the undo pass.
+func (e *Engine) FinishRecovery(p *recovery.Pending) error {
+	return p.UndoLosers(e.TM)
+}
+
+// Recover runs the complete restart (analysis, redo, undo) in one call.
+func (e *Engine) Recover() (recovery.Stats, error) {
+	return recovery.Restart(e.Log, e.Reg, e.TM)
+}

@@ -1,0 +1,234 @@
+// Package keys provides order-preserving key encodings and bound arithmetic
+// shared by every access method in this repository.
+//
+// A Key is an opaque byte string compared lexicographically. The encodings
+// below are order-preserving: for two values a < b of the same type,
+// Compare(Encode(a), Encode(b)) < 0. Keys encoded from different helper
+// types should not be mixed within one index.
+package keys
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Key is an opaque, lexicographically ordered byte string.
+type Key []byte
+
+// Compare returns -1, 0, or +1 as a is less than, equal to, or greater
+// than b.
+func Compare(a, b Key) int { return bytes.Compare(a, b) }
+
+// Equal reports whether a and b are byte-wise identical.
+func Equal(a, b Key) bool { return bytes.Equal(a, b) }
+
+// Clone returns a copy of k that does not alias its storage. Cloning a nil
+// key returns nil.
+func Clone(k Key) Key {
+	if k == nil {
+		return nil
+	}
+	c := make(Key, len(k))
+	copy(c, k)
+	return c
+}
+
+// Uint64 encodes v as an 8-byte big-endian key, which preserves numeric
+// order under lexicographic comparison.
+func Uint64(v uint64) Key {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// ToUint64 decodes a key produced by Uint64. It panics if k is not exactly
+// 8 bytes, since that indicates keys of mixed encodings in one index.
+func ToUint64(k Key) uint64 {
+	if len(k) != 8 {
+		panic(fmt.Sprintf("keys: ToUint64 on %d-byte key", len(k)))
+	}
+	return binary.BigEndian.Uint64(k)
+}
+
+// Int64 encodes v order-preservingly by flipping the sign bit, so negative
+// values sort before positive ones.
+func Int64(v int64) Key {
+	return Uint64(uint64(v) ^ (1 << 63))
+}
+
+// ToInt64 decodes a key produced by Int64.
+func ToInt64(k Key) int64 {
+	return int64(ToUint64(k) ^ (1 << 63))
+}
+
+// Float64 encodes v order-preservingly (IEEE 754 total order for non-NaN
+// values): positive floats get the sign bit set, negative floats are
+// bit-complemented.
+func Float64(v float64) Key {
+	u := math.Float64bits(v)
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u |= 1 << 63
+	}
+	return Uint64(u)
+}
+
+// ToFloat64 decodes a key produced by Float64.
+func ToFloat64(k Key) float64 {
+	u := ToUint64(k)
+	if u&(1<<63) != 0 {
+		u &^= 1 << 63
+	} else {
+		u = ^u
+	}
+	return math.Float64frombits(u)
+}
+
+// String encodes s as a key. Plain byte strings already compare
+// lexicographically, so the encoding is the identity copy.
+func String(s string) Key { return Key(s) }
+
+// ToString decodes a key produced by String.
+func ToString(k Key) string { return string(k) }
+
+// Composite concatenates parts into one key using escaped 0x00 separators:
+// 0x00 bytes inside a part are encoded as 0x00 0xFF, and parts are joined
+// with 0x00 0x01. The encoding preserves order part-by-part and never lets
+// a longer first part sort between two keys that share a shorter first part.
+func Composite(parts ...Key) Key {
+	var out Key
+	for i, p := range parts {
+		if i > 0 {
+			out = append(out, 0x00, 0x01)
+		}
+		for _, b := range p {
+			if b == 0x00 {
+				out = append(out, 0x00, 0xFF)
+			} else {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// SplitComposite undoes Composite, returning the original parts.
+func SplitComposite(k Key) []Key {
+	var parts []Key
+	cur := Key{}
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0x00 && i+1 < len(k) {
+			switch k[i+1] {
+			case 0x01:
+				parts = append(parts, cur)
+				cur = Key{}
+				i++
+				continue
+			case 0xFF:
+				cur = append(cur, 0x00)
+				i++
+				continue
+			}
+		}
+		cur = append(cur, k[i])
+	}
+	parts = append(parts, cur)
+	return parts
+}
+
+// Bound is a one-sided boundary of a key interval. The zero Bound is the
+// interval's "unbounded" side: -infinity for a low bound, +infinity for a
+// high bound, depending on context.
+type Bound struct {
+	// Key is the boundary value; ignored when Unbounded is true.
+	Key Key
+	// Unbounded marks an infinite bound.
+	Unbounded bool
+}
+
+// Inf is the unbounded boundary.
+var Inf = Bound{Unbounded: true}
+
+// At returns a finite bound at k.
+func At(k Key) Bound { return Bound{Key: Clone(k)} }
+
+// LessHigh reports whether high bound a is strictly less than high bound b,
+// treating Unbounded as +infinity.
+func (a Bound) LessHigh(b Bound) bool {
+	switch {
+	case a.Unbounded:
+		return false
+	case b.Unbounded:
+		return true
+	default:
+		return Compare(a.Key, b.Key) < 0
+	}
+}
+
+// ContainsBelow reports whether key k lies strictly below this bound when
+// the bound is used as an exclusive upper limit (Unbounded means +infinity).
+func (a Bound) ContainsBelow(k Key) bool {
+	return a.Unbounded || Compare(k, a.Key) < 0
+}
+
+// EqualBound reports whether two bounds are identical.
+func (a Bound) EqualBound(b Bound) bool {
+	if a.Unbounded || b.Unbounded {
+		return a.Unbounded == b.Unbounded
+	}
+	return Equal(a.Key, b.Key)
+}
+
+// Interval is the half-open key interval [Low, High). A node's
+// responsibility and its directly-contained space are both Intervals.
+type Interval struct {
+	Low  Key   // inclusive; nil means -infinity
+	High Bound // exclusive; Unbounded means +infinity
+}
+
+// EntireSpace is the interval covering every key.
+var EntireSpace = Interval{Low: nil, High: Inf}
+
+// Contains reports whether k lies in the interval.
+func (iv Interval) Contains(k Key) bool {
+	if iv.Low != nil && Compare(k, iv.Low) < 0 {
+		return false
+	}
+	return iv.High.ContainsBelow(k)
+}
+
+// ContainsInterval reports whether other lies entirely within iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if iv.Low != nil && (other.Low == nil || Compare(other.Low, iv.Low) < 0) {
+		return false
+	}
+	if !iv.High.Unbounded && (other.High.Unbounded || Compare(other.High.Key, iv.High.Key) > 0) {
+		return false
+	}
+	return true
+}
+
+// Empty reports whether the interval contains no keys.
+func (iv Interval) Empty() bool {
+	if iv.High.Unbounded {
+		return false
+	}
+	// A nil Low is -infinity, equivalent to the minimum (empty) key.
+	return Compare(iv.Low, iv.High.Key) >= 0
+}
+
+// String renders the interval for diagnostics.
+func (iv Interval) String() string {
+	lo := "-inf"
+	if iv.Low != nil {
+		lo = fmt.Sprintf("%x", []byte(iv.Low))
+	}
+	hi := "+inf"
+	if !iv.High.Unbounded {
+		hi = fmt.Sprintf("%x", []byte(iv.High.Key))
+	}
+	return "[" + lo + ", " + hi + ")"
+}

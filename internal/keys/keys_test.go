@@ -1,0 +1,188 @@
+package keys
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64OrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		cmp := Compare(Uint64(a), Uint64(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return ToUint64(Uint64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64OrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		cmp := Compare(Int64(a), Int64(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{math.MinInt64, -1, 0, 1, math.MaxInt64} {
+		if ToInt64(Int64(v)) != v {
+			t.Fatalf("round trip %d", v)
+		}
+	}
+}
+
+func TestFloat64OrderPreserving(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		cmp := Compare(Float64(a), Float64(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{math.Inf(-1), -1.5, -0.0, 0.0, 2.25, math.Inf(1)} {
+		if got := ToFloat64(Float64(v)); got != v && !(v == 0 && got == 0) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestCompositeRoundTrip(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		parts := SplitComposite(Composite(Key(a), Key(b), Key(c)))
+		if len(parts) != 3 {
+			return false
+		}
+		eq := func(x []byte, y Key) bool {
+			return bytes.Equal(x, y) || (len(x) == 0 && len(y) == 0)
+		}
+		return eq(a, parts[0]) && eq(b, parts[1]) && eq(c, parts[2])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompositeOrdering(t *testing.T) {
+	// Part-wise order must be preserved: a shorter first part never sorts
+	// between two keys sharing a longer first part.
+	k1 := Composite(String("ab"), String("z"))
+	k2 := Composite(String("abc"), String("a"))
+	k3 := Composite(String("abd"), String("a"))
+	if !(Compare(k1, k2) < 0 && Compare(k2, k3) < 0) {
+		t.Fatalf("composite ordering broken: %x %x %x", k1, k2, k3)
+	}
+	// Embedded zero bytes must not confuse part boundaries.
+	a := Composite(Key{0x00}, Key{0x01})
+	b := Composite(Key{0x00, 0x00}, Key{})
+	pa := SplitComposite(a)
+	pb := SplitComposite(b)
+	if len(pa) != 2 || len(pb) != 2 || !Equal(pa[0], Key{0x00}) || !Equal(pb[0], Key{0x00, 0x00}) {
+		t.Fatalf("zero-byte parts mangled: %v %v", pa, pb)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Low: Uint64(10), High: At(Uint64(20))}
+	for _, tc := range []struct {
+		k    uint64
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {19, true}, {20, false}, {25, false}} {
+		if got := iv.Contains(Uint64(tc.k)); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+	if !EntireSpace.Contains(Uint64(0)) || !EntireSpace.Contains(Uint64(math.MaxUint64)) {
+		t.Fatal("EntireSpace must contain everything")
+	}
+}
+
+func TestIntervalContainsInterval(t *testing.T) {
+	outer := Interval{Low: Uint64(10), High: At(Uint64(50))}
+	inner := Interval{Low: Uint64(20), High: At(Uint64(30))}
+	if !outer.ContainsInterval(inner) {
+		t.Fatal("outer should contain inner")
+	}
+	if inner.ContainsInterval(outer) {
+		t.Fatal("inner should not contain outer")
+	}
+	if !EntireSpace.ContainsInterval(outer) {
+		t.Fatal("entire space contains all")
+	}
+	if outer.ContainsInterval(EntireSpace) {
+		t.Fatal("bounded interval cannot contain the entire space")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if !At(Uint64(5)).LessHigh(Inf) {
+		t.Fatal("finite < +inf")
+	}
+	if Inf.LessHigh(At(Uint64(5))) {
+		t.Fatal("+inf not < finite")
+	}
+	if Inf.LessHigh(Inf) {
+		t.Fatal("+inf not < +inf")
+	}
+	if !Inf.ContainsBelow(Uint64(math.MaxUint64)) {
+		t.Fatal("+inf bound contains all")
+	}
+	if !At(Uint64(5)).EqualBound(At(Uint64(5))) || At(Uint64(5)).EqualBound(Inf) {
+		t.Fatal("EqualBound broken")
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	if (Interval{Low: Uint64(5), High: At(Uint64(5))}).Empty() != true {
+		t.Fatal("[5,5) is empty")
+	}
+	if (Interval{Low: Uint64(5), High: At(Uint64(6))}).Empty() {
+		t.Fatal("[5,6) is not empty")
+	}
+	if EntireSpace.Empty() {
+		t.Fatal("entire space not empty")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	k := Uint64(42)
+	c := Clone(k)
+	c[0] = 0xFF
+	if Equal(k, c) {
+		t.Fatal("clone aliases original")
+	}
+	if Clone(nil) != nil {
+		t.Fatal("clone of nil must be nil")
+	}
+}

@@ -1,0 +1,262 @@
+// Package latch implements the short-term node latches of Lomet &
+// Salzberg §4.1: share (S), update (U) and exclusive (X) modes, with
+// U-to-X promotion and deadlock avoidance by resource ordering.
+//
+// Latches are semaphores whose usage pattern guarantees freedom from
+// deadlock; they never involve the database lock manager (package lock)
+// and never conflict with database locks. Deadlock freedom comes from two
+// holder-side rules the paper states:
+//
+//  1. Resources are latched in a fixed order: parents before children,
+//     containing nodes before the contained nodes their side pointers
+//     reference, and space-management information last.
+//  2. S latches are never promoted. U latches may be promoted to X, but
+//     only while the holder holds no latch on a higher-ordered resource.
+//
+// The package enforces rule 2 mechanically (promotion is only available
+// through the U handle) and offers an optional per-goroutine order checker
+// (see Tracker) that test builds use to assert rule 1.
+package latch
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mode is a latch mode.
+type Mode int
+
+const (
+	// S is share mode: compatible with S and U.
+	S Mode = iota
+	// U is update mode: compatible with S, incompatible with U and X.
+	// Only a U holder may promote to X.
+	U
+	// X is exclusive mode: incompatible with everything.
+	X
+)
+
+// String renders the mode for diagnostics.
+func (m Mode) String() string {
+	switch m {
+	case S:
+		return "S"
+	case U:
+		return "U"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Latch is an S/U/X latch. The zero value is an unheld latch.
+//
+// Fairness: a pending X (or promoting U) blocks new S acquisitions, so
+// writers cannot starve. A pending U does not block readers, matching the
+// "U allows sharing by readers" semantics of Gray et al. cited in §4.1.1.
+type Latch struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	readers int  // granted S holders
+	uHeld   bool // granted U holder exists
+	xHeld   bool // granted X holder exists
+	// xWait counts goroutines waiting for X or promoting U->X; while
+	// non-zero, new S requests queue behind them.
+	xWait int
+}
+
+func (l *Latch) init() {
+	if l.cond == nil {
+		l.cond = sync.NewCond(&l.mu)
+	}
+}
+
+// AcquireS takes the latch in share mode.
+func (l *Latch) AcquireS() {
+	l.mu.Lock()
+	l.init()
+	for l.xHeld || l.xWait > 0 {
+		l.cond.Wait()
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
+// TryAcquireS takes the latch in share mode if that is possible without
+// waiting, and reports whether it did.
+func (l *Latch) TryAcquireS() bool {
+	l.mu.Lock()
+	l.init()
+	ok := !l.xHeld && l.xWait == 0
+	if ok {
+		l.readers++
+	}
+	l.mu.Unlock()
+	return ok
+}
+
+// ReleaseS releases a share-mode hold.
+func (l *Latch) ReleaseS() {
+	l.mu.Lock()
+	l.init()
+	if l.readers <= 0 {
+		l.mu.Unlock()
+		panic("latch: ReleaseS with no S holders")
+	}
+	l.readers--
+	if l.readers == 0 {
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// AcquireU takes the latch in update mode. At most one goroutine holds U;
+// concurrent S holders are permitted.
+func (l *Latch) AcquireU() {
+	l.mu.Lock()
+	l.init()
+	for l.xHeld || l.uHeld || l.xWait > 0 {
+		l.cond.Wait()
+	}
+	l.uHeld = true
+	l.mu.Unlock()
+}
+
+// TryAcquireU takes the latch in update mode without waiting, and reports
+// whether it did.
+func (l *Latch) TryAcquireU() bool {
+	l.mu.Lock()
+	l.init()
+	ok := !l.xHeld && !l.uHeld && l.xWait == 0
+	if ok {
+		l.uHeld = true
+	}
+	l.mu.Unlock()
+	return ok
+}
+
+// ReleaseU releases an update-mode hold.
+func (l *Latch) ReleaseU() {
+	l.mu.Lock()
+	l.init()
+	if !l.uHeld {
+		l.mu.Unlock()
+		panic("latch: ReleaseU with no U holder")
+	}
+	l.uHeld = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Promote converts the caller's U hold into an X hold, waiting for current
+// readers to drain. Per §4.1.1 the caller must hold no latch on any
+// higher-ordered resource when promoting; Tracker-enabled builds assert
+// this. Promotion cannot deadlock against another promoter because only
+// one U holder exists at a time.
+func (l *Latch) Promote() {
+	l.mu.Lock()
+	l.init()
+	if !l.uHeld {
+		l.mu.Unlock()
+		panic("latch: Promote without U hold")
+	}
+	l.xWait++
+	for l.readers > 0 {
+		l.cond.Wait()
+	}
+	l.xWait--
+	l.uHeld = false
+	l.xHeld = true
+	l.mu.Unlock()
+}
+
+// Demote converts the caller's X hold back into a U hold, readmitting
+// readers without releasing the latch entirely.
+func (l *Latch) Demote() {
+	l.mu.Lock()
+	l.init()
+	if !l.xHeld {
+		l.mu.Unlock()
+		panic("latch: Demote without X hold")
+	}
+	l.xHeld = false
+	l.uHeld = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// AcquireX takes the latch in exclusive mode.
+func (l *Latch) AcquireX() {
+	l.mu.Lock()
+	l.init()
+	l.xWait++
+	for l.xHeld || l.uHeld || l.readers > 0 {
+		l.cond.Wait()
+	}
+	l.xWait--
+	l.xHeld = true
+	l.mu.Unlock()
+}
+
+// TryAcquireX takes the latch in exclusive mode without waiting, and
+// reports whether it did.
+func (l *Latch) TryAcquireX() bool {
+	l.mu.Lock()
+	l.init()
+	ok := !l.xHeld && !l.uHeld && l.readers == 0
+	if ok {
+		l.xHeld = true
+	}
+	l.mu.Unlock()
+	return ok
+}
+
+// ReleaseX releases an exclusive-mode hold.
+func (l *Latch) ReleaseX() {
+	l.mu.Lock()
+	l.init()
+	if !l.xHeld {
+		l.mu.Unlock()
+		panic("latch: ReleaseX with no X holder")
+	}
+	l.xHeld = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Acquire takes the latch in the given mode.
+func (l *Latch) Acquire(m Mode) {
+	switch m {
+	case S:
+		l.AcquireS()
+	case U:
+		l.AcquireU()
+	case X:
+		l.AcquireX()
+	default:
+		panic("latch: unknown mode")
+	}
+}
+
+// Release releases a hold of the given mode.
+func (l *Latch) Release(m Mode) {
+	switch m {
+	case S:
+		l.ReleaseS()
+	case U:
+		l.ReleaseU()
+	case X:
+		l.ReleaseX()
+	default:
+		panic("latch: unknown mode")
+	}
+}
+
+// Held reports a snapshot of whether any holder exists, for diagnostics
+// and well-formedness checks only; the answer may be stale immediately.
+func (l *Latch) Held() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.xHeld || l.uHeld || l.readers > 0
+}

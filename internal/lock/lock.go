@@ -1,0 +1,409 @@
+// Package lock is the database lock manager of §4.1.2 and §4.2.2. Unlike
+// latches (package latch), locks are held to transaction end (two-phase),
+// are known to a deadlock detector, and include the paper's move lock:
+//
+//	"For page-oriented undo, a move lock is required that conflicts with
+//	 non-commutative updates. ... Since reads do not require undo,
+//	 concurrent reads can be tolerated. Hence, move locks are compatible
+//	 with share mode locks. ... a move lock must be distinguished from a
+//	 share lock. A transaction encountering a move lock on a sibling
+//	 traversal does not schedule an index posting."
+//
+// Deadlocks among lock holders are detected with a waits-for graph and
+// resolved by aborting the requester (ErrDeadlock). Latch-lock deadlocks
+// are prevented by the No-Wait rule, which callers implement by releasing
+// conflicting latches before calling Lock.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// Mode is a database lock mode.
+type Mode int
+
+const (
+	// S is share mode.
+	S Mode = iota
+	// IX is intention-exclusive at page granularity: an updating
+	// transaction holds IX on the leaf it changed (plus X on the record),
+	// which is what a page-granule move lock must wait for. IX holders
+	// tolerate each other and readers.
+	IX
+	// MV is the move lock: compatible with S (reads need no undo),
+	// incompatible with IX (updaters), X and other MV.
+	MV
+	// X is exclusive mode.
+	X
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case S:
+		return "S"
+	case IX:
+		return "IX"
+	case MV:
+		return "MV"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Compatible reports whether a holder in mode a permits a holder in mode b.
+func Compatible(a, b Mode) bool {
+	switch {
+	case a == S && b != X, b == S && a != X:
+		return true
+	case a == IX && b == IX:
+		return true
+	default:
+		return false
+	}
+}
+
+// stronger reports whether a subsumes b for upgrade purposes
+// (S < IX < MV < X; upgrades only ever move up this chain).
+func stronger(a, b Mode) bool { return a > b }
+
+// ErrDeadlock reports that granting the request would complete a cycle in
+// the waits-for graph; the requester should abort.
+var ErrDeadlock = errors.New("lock: deadlock detected")
+
+type holder struct {
+	txn  wal.TxnID
+	mode Mode
+}
+
+type waiter struct {
+	txn     wal.TxnID
+	mode    Mode
+	upgrade bool
+	ready   chan error // closed-with-value when granted or aborted
+}
+
+type lockState struct {
+	holders []holder
+	queue   []*waiter
+}
+
+// Manager is the lock manager. It is safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+	// byTxn tracks every name a transaction holds, for ReleaseAll.
+	byTxn map[wal.TxnID]map[string]struct{}
+	// waitingOn maps a blocked transaction to the transactions it waits
+	// for, for cycle detection.
+	waitingOn map[wal.TxnID]map[wal.TxnID]struct{}
+
+	waits     int64
+	deadlocks int64
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks:     make(map[string]*lockState),
+		byTxn:     make(map[wal.TxnID]map[string]struct{}),
+		waitingOn: make(map[wal.TxnID]map[wal.TxnID]struct{}),
+	}
+}
+
+// Lock acquires name in mode for txn, blocking until granted. Re-requests
+// are upgrades: the transaction ends up holding the stronger of its
+// current and requested modes. Lock returns ErrDeadlock if waiting would
+// close a waits-for cycle; the transaction must then abort.
+func (m *Manager) Lock(txn wal.TxnID, name string, mode Mode) error {
+	m.mu.Lock()
+	ls := m.locks[name]
+	if ls == nil {
+		ls = &lockState{}
+		m.locks[name] = ls
+	}
+
+	cur, held := ls.holderMode(txn)
+	if held && !stronger(mode, cur) {
+		m.mu.Unlock()
+		return nil // already held at sufficient strength
+	}
+
+	w := &waiter{txn: txn, mode: mode, upgrade: held, ready: make(chan error, 1)}
+	if held {
+		// Upgrades go to the head of the queue: the holder already
+		// excludes conflicting newcomers, and queue-jumping bounds the
+		// promotion wait.
+		ls.queue = append([]*waiter{w}, ls.queue...)
+	} else {
+		ls.queue = append(ls.queue, w)
+	}
+	m.grantLocked(name, ls)
+
+	select {
+	case err := <-w.ready:
+		m.mu.Unlock()
+		return err
+	default:
+	}
+
+	// We must wait. Record waits-for edges and check for a cycle.
+	blockers := ls.blockersOf(w)
+	if m.wouldDeadlock(txn, blockers) {
+		ls.removeWaiter(w)
+		m.deadlocks++
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	m.waitingOn[txn] = blockers
+	m.waits++
+	m.mu.Unlock()
+
+	err := <-w.ready
+
+	m.mu.Lock()
+	delete(m.waitingOn, txn)
+	m.mu.Unlock()
+	return err
+}
+
+// holderMode returns txn's current mode on the lock.
+func (ls *lockState) holderMode(txn wal.TxnID) (Mode, bool) {
+	for _, h := range ls.holders {
+		if h.txn == txn {
+			return h.mode, true
+		}
+	}
+	return 0, false
+}
+
+// blockersOf returns the set of transactions preventing w from being
+// granted right now: incompatible holders plus earlier queued waiters.
+func (ls *lockState) blockersOf(w *waiter) map[wal.TxnID]struct{} {
+	out := make(map[wal.TxnID]struct{})
+	for _, h := range ls.holders {
+		if h.txn != w.txn && !Compatible(h.mode, w.mode) {
+			out[h.txn] = struct{}{}
+		}
+	}
+	for _, q := range ls.queue {
+		if q == w {
+			break
+		}
+		if q.txn != w.txn {
+			out[q.txn] = struct{}{}
+		}
+	}
+	return out
+}
+
+func (ls *lockState) removeWaiter(w *waiter) {
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// wouldDeadlock reports whether txn transitively waits for itself given
+// the new blocker set. Caller holds m.mu.
+func (m *Manager) wouldDeadlock(txn wal.TxnID, blockers map[wal.TxnID]struct{}) bool {
+	seen := make(map[wal.TxnID]struct{})
+	var visit func(t wal.TxnID) bool
+	visit = func(t wal.TxnID) bool {
+		if t == txn {
+			return true
+		}
+		if _, ok := seen[t]; ok {
+			return false
+		}
+		seen[t] = struct{}{}
+		for next := range m.waitingOn[t] {
+			if visit(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for b := range blockers {
+		if visit(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// grantLocked grants queued waiters in FIFO order while they remain
+// compatible with the holders, stopping at the first that is not (no
+// overtaking, so writers are not starved). Caller holds m.mu.
+func (m *Manager) grantLocked(name string, ls *lockState) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		compatible := true
+		for _, h := range ls.holders {
+			if h.txn == w.txn {
+				continue
+			}
+			if !Compatible(h.mode, w.mode) {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			return
+		}
+		ls.queue = ls.queue[1:]
+		if w.upgrade {
+			for i := range ls.holders {
+				if ls.holders[i].txn == w.txn {
+					ls.holders[i].mode = w.mode
+					break
+				}
+			}
+		} else {
+			ls.holders = append(ls.holders, holder{txn: w.txn, mode: w.mode})
+			if m.byTxn[w.txn] == nil {
+				m.byTxn[w.txn] = make(map[string]struct{})
+			}
+			m.byTxn[w.txn][name] = struct{}{}
+		}
+		w.ready <- nil
+	}
+}
+
+// TryLock acquires name in mode for txn only if that needs no waiting, and
+// reports whether it did (or already held it strongly enough).
+func (m *Manager) TryLock(txn wal.TxnID, name string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[name]
+	if ls == nil {
+		ls = &lockState{}
+		m.locks[name] = ls
+	}
+	cur, held := ls.holderMode(txn)
+	if held && !stronger(mode, cur) {
+		return true
+	}
+	if len(ls.queue) > 0 {
+		return false
+	}
+	for _, h := range ls.holders {
+		if h.txn != txn && !Compatible(h.mode, mode) {
+			return false
+		}
+	}
+	if held {
+		for i := range ls.holders {
+			if ls.holders[i].txn == txn {
+				ls.holders[i].mode = mode
+			}
+		}
+		return true
+	}
+	ls.holders = append(ls.holders, holder{txn: txn, mode: mode})
+	if m.byTxn[txn] == nil {
+		m.byTxn[txn] = make(map[string]struct{})
+	}
+	m.byTxn[txn][name] = struct{}{}
+	return true
+}
+
+// Unlock releases txn's hold on name before transaction end. Only safe
+// for locks that are not needed for two-phase correctness (e.g. test
+// scaffolding); transactions normally use ReleaseAll at commit or abort.
+func (m *Manager) Unlock(txn wal.TxnID, name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.unlockLocked(txn, name)
+}
+
+func (m *Manager) unlockLocked(txn wal.TxnID, name string) {
+	ls := m.locks[name]
+	if ls == nil {
+		return
+	}
+	for i, h := range ls.holders {
+		if h.txn == txn {
+			ls.holders = append(ls.holders[:i], ls.holders[i+1:]...)
+			break
+		}
+	}
+	if set := m.byTxn[txn]; set != nil {
+		delete(set, name)
+		if len(set) == 0 {
+			delete(m.byTxn, txn)
+		}
+	}
+	m.grantLocked(name, ls)
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, name)
+	}
+}
+
+// ReleaseAll releases every lock txn holds, at commit or abort.
+func (m *Manager) ReleaseAll(txn wal.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.byTxn[txn]
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	for _, name := range names {
+		m.unlockLocked(txn, name)
+	}
+}
+
+// HeldMode returns the mode txn holds on name, if any.
+func (m *Manager) HeldMode(txn wal.TxnID, name string) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[name]
+	if ls == nil {
+		return 0, false
+	}
+	return ls.holderMode(txn)
+}
+
+// MoveLocked reports whether ANY transaction holds a move lock on name. A
+// traversal that crosses a sibling pointer calls this to honor "a
+// transaction encountering a move lock ... does not schedule an index
+// posting" (§4.2.2). The rule applies even to the moving transaction's
+// own traversals: the posting must wait for its commit regardless of who
+// notices the unposted sibling.
+func (m *Manager) MoveLocked(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[name]
+	if ls == nil {
+		return false
+	}
+	for _, h := range ls.holders {
+		if h.mode == MV {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the number of blocking waits and detected deadlocks.
+func (m *Manager) Stats() (waits, deadlocks int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waits, m.deadlocks
+}
+
+// HeldCount returns how many locks txn currently holds.
+func (m *Manager) HeldCount(txn wal.TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byTxn[txn])
+}

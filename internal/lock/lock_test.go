@@ -1,0 +1,264 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	want := map[[2]Mode]bool{
+		{S, S}: true, {S, IX}: true, {S, MV}: true, {S, X}: false,
+		{IX, S}: true, {IX, IX}: true, {IX, MV}: false, {IX, X}: false,
+		{MV, S}: true, {MV, IX}: false, {MV, MV}: false, {MV, X}: false,
+		{X, S}: false, {X, IX}: false, {X, MV}: false, {X, X}: false,
+	}
+	for pair, w := range want {
+		if got := Compatible(pair[0], pair[1]); got != w {
+			t.Errorf("Compatible(%v, %v) = %v, want %v", pair[0], pair[1], got, w)
+		}
+	}
+}
+
+func TestSharedGrants(t *testing.T) {
+	m := NewManager()
+	for i := wal.TxnID(1); i <= 5; i++ {
+		if err := m.Lock(i, "a", S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A move lock is compatible with the readers.
+	if err := m.Lock(6, "a", MV); err != nil {
+		t.Fatal(err)
+	}
+	// An updater is not.
+	if m.TryLock(7, "a", IX) {
+		t.Fatal("IX granted alongside MV")
+	}
+	for i := wal.TxnID(1); i <= 6; i++ {
+		m.ReleaseAll(i)
+	}
+	if !m.TryLock(7, "a", IX) {
+		t.Fatal("IX not granted after releases")
+	}
+}
+
+func TestBlockingAndFIFO(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "k", X); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 2; i <= 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := m.Lock(wal.TxnID(i), "k", X); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			m.ReleaseAll(wal.TxnID(i))
+		}(i)
+		time.Sleep(10 * time.Millisecond) // establish queue order
+	}
+	m.ReleaseAll(1)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 4 {
+		t.Fatalf("grant order = %v, want FIFO [2 3 4]", order)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "k", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "k", S); err != nil {
+		t.Fatal(err)
+	}
+	// 1 upgrades to X: must wait for 2.
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(1, "k", X) }()
+	select {
+	case <-done:
+		t.Fatal("upgrade granted while another S holder exists")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if mode, ok := m.HeldMode(1, "k"); !ok || mode != X {
+		t.Fatalf("mode = %v ok=%v, want X", mode, ok)
+	}
+	// Downgrade requests are no-ops.
+	if err := m.Lock(1, "k", S); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := m.HeldMode(1, "k"); mode != X {
+		t.Fatal("downgrade changed the held mode")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "b", X); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// txn 1 waits for b (held by 2).
+		if err := m.Lock(1, "b", X); err != nil {
+			t.Errorf("txn 1: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// txn 2 requests a (held by 1): cycle, must be refused.
+	err := m.Lock(2, "a", X)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	// Victim aborts, releasing b; txn 1 proceeds.
+	m.ReleaseAll(2)
+	wg.Wait()
+	m.ReleaseAll(1)
+	if w, d := m.Stats(); d != 1 || w == 0 {
+		t.Fatalf("stats waits=%d deadlocks=%d", w, d)
+	}
+}
+
+func TestSelfUpgradeDeadlock(t *testing.T) {
+	// Two IX holders both upgrading to MV on the same name is the
+	// canonical move-lock deadlock; the second requester must be refused.
+	m := NewManager()
+	if err := m.Lock(1, "p", IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "p", IX); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(1, "p", MV) }()
+	time.Sleep(20 * time.Millisecond)
+	err := m.Lock(2, "p", MV)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("second upgrader: err = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-got; err != nil {
+		t.Fatalf("first upgrader: %v", err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestMoveLocked(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "p", MV); err != nil {
+		t.Fatal(err)
+	}
+	if !m.MoveLocked("p") {
+		t.Fatal("MoveLocked must see the holder")
+	}
+	if m.MoveLocked("q") {
+		t.Fatal("MoveLocked on unlocked name")
+	}
+	m.ReleaseAll(1)
+	if m.MoveLocked("p") {
+		t.Fatal("MoveLocked after release")
+	}
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, "b", X); err != nil {
+		t.Fatal(err)
+	}
+	var granted atomic.Int32
+	var wg sync.WaitGroup
+	for _, name := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if err := m.Lock(2, name, S); err == nil {
+				granted.Add(1)
+			}
+		}(name)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(1)
+	wg.Wait()
+	if granted.Load() != 2 {
+		t.Fatalf("granted = %d, want 2", granted.Load())
+	}
+	if m.HeldCount(1) != 0 || m.HeldCount(2) != 2 {
+		t.Fatalf("held counts: %d %d", m.HeldCount(1), m.HeldCount(2))
+	}
+}
+
+func TestTryLockQueueRespect(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "k", S); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_ = m.Lock(2, "k", X) // parks in queue
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// A TryLock S would be compatible with the holder but must not jump
+	// the queued X waiter.
+	if m.TryLock(3, "k", S) {
+		t.Fatal("TryLock overtook a queued writer")
+	}
+	m.ReleaseAll(1)
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(2)
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := NewManager()
+	const workers = 8
+	var wg sync.WaitGroup
+	names := []string{"a", "b", "c", "d"}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := wal.TxnID(w + 1)
+			for i := 0; i < 200; i++ {
+				name := names[(w+i)%len(names)]
+				err := m.Lock(id, name, S)
+				if err != nil {
+					t.Errorf("lock: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					// occasional exclusive; deadlock possible by design —
+					// victims release and move on.
+					if err := m.Lock(id, name, X); err != nil && !errors.Is(err, ErrDeadlock) {
+						t.Errorf("upgrade: %v", err)
+						return
+					}
+				}
+				m.ReleaseAll(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

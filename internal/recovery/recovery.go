@@ -1,0 +1,304 @@
+// Package recovery implements restart after a crash: the classic
+// analysis / redo / undo passes (repeating history, then rolling back
+// losers with CLRs), which is one of the recovery methods the paper's
+// atomic actions are designed to compose with (§4.3).
+//
+// The decisive property for the Π-tree is what restart does NOT do: it
+// takes no special measures for interrupted structure changes (innovation
+// 4). A crash between the node-split atomic action and the index-posting
+// atomic action simply leaves the committed split in place — a well-formed
+// intermediate state — and rolls back only actions that had not committed.
+// The tree completes the change lazily during normal processing.
+package recovery
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// AttEntry is one transaction-table row in a checkpoint.
+type AttEntry struct {
+	ID        wal.TxnID
+	LastLSN   wal.LSN
+	System    bool
+	Committed bool
+}
+
+// Checkpoint is the fuzzy-checkpoint payload: the live transaction table
+// and, per store, the dirty page table (page -> recLSN).
+type Checkpoint struct {
+	ATT []AttEntry
+	DPT map[uint32]map[uint64]wal.LSN
+}
+
+func encodeCheckpoint(c *Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCheckpoint(b []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// TakeCheckpoint writes a fuzzy checkpoint covering the given pools and
+// the transaction manager's live table, forces it, and records it as the
+// log's checkpoint anchor. It returns the checkpoint's LSN.
+func TakeCheckpoint(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.LSN, error) {
+	c := Checkpoint{DPT: make(map[uint32]map[uint64]wal.LSN)}
+	for _, e := range tm.SnapshotATT() {
+		c.ATT = append(c.ATT, AttEntry{ID: e.ID, LastLSN: e.LastLSN, System: e.System})
+	}
+	for _, p := range pools {
+		dpt := make(map[uint64]wal.LSN)
+		for pid, rec := range p.DirtyPages() {
+			dpt[uint64(pid)] = rec
+		}
+		c.DPT[p.StoreID] = dpt
+	}
+	payload, err := encodeCheckpoint(&c)
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	lsn := log.Append(&wal.Record{Type: wal.RecCheckpoint, Payload: payload})
+	log.Force(lsn)
+	log.NoteCheckpoint(lsn)
+	return lsn, nil
+}
+
+// Stats summarizes one restart.
+type Stats struct {
+	// AnalyzedRecords is the number of records scanned in analysis.
+	AnalyzedRecords int
+	// RedoneRecords is the number of update/CLR records whose effects
+	// were (conditionally) reapplied.
+	RedoneRecords int
+	// RedoSkipped counts records filtered out by the dirty page table.
+	RedoSkipped int
+	// LoserTxns / LoserActions are rolled-back user transactions and
+	// atomic actions.
+	LoserTxns    int
+	LoserActions int
+	// WinnerTxns is the number of committed-but-unended transactions that
+	// only needed their end records.
+	WinnerTxns int
+	// RedoStartLSN is where the redo scan began.
+	RedoStartLSN wal.LSN
+}
+
+type attState struct {
+	lastLSN   wal.LSN
+	system    bool
+	committed bool
+}
+
+// Pending is the state between the redo and undo passes of a restart.
+// Splitting the passes lets access methods re-open their trees (which
+// needs the redone meta pages) before undo runs (which needs the trees
+// bound when record undo is logical).
+type Pending struct {
+	// Stats accumulates across both phases.
+	Stats  Stats
+	losers []pendingTxn
+}
+
+type pendingTxn struct {
+	id        wal.TxnID
+	lastLSN   wal.LSN
+	system    bool
+	committed bool
+}
+
+// Restart performs full crash recovery: analysis, redo, undo. log must
+// have been created with wal.NewFromImage over the crash image, so that
+// the undo pass can read pre-crash records and append CLRs with
+// continuous LSNs. reg must have all pools and handlers registered
+// (exactly as during normal operation), and tm must be a fresh
+// transaction manager over log, reg, and a fresh lock manager.
+func Restart(log *wal.Log, reg *storage.Registry, tm *txn.Manager) (Stats, error) {
+	p, err := AnalyzeAndRedo(log, reg)
+	if err != nil {
+		return p.Stats, err
+	}
+	if err := p.UndoLosers(tm); err != nil {
+		return p.Stats, err
+	}
+	return p.Stats, nil
+}
+
+// AnalyzeAndRedo runs the analysis and redo passes: it rebuilds the
+// transaction and dirty page tables from the last stable checkpoint and
+// repeats history so every page reflects exactly the stable log. The
+// returned Pending carries the losers for UndoLosers.
+func AnalyzeAndRedo(log *wal.Log, reg *storage.Registry) (*Pending, error) {
+	p := &Pending{}
+	st := &p.Stats
+	img := log.FullImage()
+
+	// --- Analysis ---------------------------------------------------
+	att := make(map[wal.TxnID]*attState)
+	dpt := make(map[uint32]map[uint64]wal.LSN) // store -> page -> recLSN
+	scanFrom := wal.NilLSN
+
+	if ckpt := img.CheckpointLSN(); ckpt != wal.NilLSN {
+		rec, err := img.Read(ckpt)
+		if err != nil || rec.Type != wal.RecCheckpoint {
+			return p, fmt.Errorf("recovery: bad checkpoint anchor at %d: %v", ckpt, err)
+		}
+		c, err := decodeCheckpoint(rec.Payload)
+		if err != nil {
+			return p, fmt.Errorf("recovery: decode checkpoint: %w", err)
+		}
+		for _, e := range c.ATT {
+			att[e.ID] = &attState{lastLSN: e.LastLSN, system: e.System, committed: e.Committed}
+		}
+		for store, pages := range c.DPT {
+			dpt[store] = make(map[uint64]wal.LSN, len(pages))
+			for pid, rec := range pages {
+				dpt[store][pid] = rec
+			}
+		}
+		scanFrom = ckpt
+	}
+
+	noteDirty := func(store uint32, page uint64, lsn wal.LSN) {
+		if page == uint64(storage.NilPage) {
+			return
+		}
+		m := dpt[store]
+		if m == nil {
+			m = make(map[uint64]wal.LSN)
+			dpt[store] = m
+		}
+		if _, ok := m[page]; !ok {
+			m[page] = lsn
+		}
+	}
+
+	img.Scan(scanFrom, func(rec wal.Record) bool {
+		st.AnalyzedRecords++
+		switch rec.Type {
+		case wal.RecBegin:
+			att[rec.TxnID] = &attState{lastLSN: rec.LSN, system: rec.IsSystem()}
+		case wal.RecUpdate, wal.RecCLR:
+			e := att[rec.TxnID]
+			if e == nil {
+				e = &attState{system: rec.IsSystem()}
+				att[rec.TxnID] = e
+			}
+			e.lastLSN = rec.LSN
+			noteDirty(rec.StoreID, rec.PageID, rec.LSN)
+		case wal.RecDummyCLR, wal.RecAbort:
+			e := att[rec.TxnID]
+			if e == nil {
+				e = &attState{system: rec.IsSystem()}
+				att[rec.TxnID] = e
+			}
+			e.lastLSN = rec.LSN
+		case wal.RecCommit:
+			if e := att[rec.TxnID]; e != nil {
+				e.committed = true
+				e.lastLSN = rec.LSN
+			} else {
+				att[rec.TxnID] = &attState{lastLSN: rec.LSN, system: rec.IsSystem(), committed: true}
+			}
+		case wal.RecEnd:
+			delete(att, rec.TxnID)
+		case wal.RecCheckpoint:
+			// Snapshot already loaded if this was the anchor; a non-anchor
+			// checkpoint record adds nothing.
+		}
+		return true
+	})
+
+	// --- Redo: repeat history from the earliest recLSN ----------------
+	redoStart := img.EndLSN()
+	for _, pages := range dpt {
+		for _, rec := range pages {
+			if rec < redoStart {
+				redoStart = rec
+			}
+		}
+	}
+	if len(dpt) == 0 {
+		redoStart = img.EndLSN() // nothing dirty: no redo needed
+	}
+	st.RedoStartLSN = redoStart
+
+	var redoErr error
+	img.Scan(redoStart, func(rec wal.Record) bool {
+		if rec.Type != wal.RecUpdate && rec.Type != wal.RecCLR {
+			return true
+		}
+		if rec.PageID == uint64(storage.NilPage) {
+			return true
+		}
+		pages := dpt[rec.StoreID]
+		recLSN, dirty := pages[rec.PageID]
+		if !dirty || rec.LSN < recLSN {
+			st.RedoSkipped++
+			return true
+		}
+		if err := reg.ApplyRedo(&rec); err != nil {
+			redoErr = err
+			return false
+		}
+		st.RedoneRecords++
+		return true
+	})
+	if redoErr != nil {
+		return p, fmt.Errorf("recovery redo: %w", redoErr)
+	}
+
+	// Collect losers sorted by descending last LSN, matching the single
+	// backward scan of ARIES (our per-page compensations commute, but the
+	// order keeps the log tidy and the behaviour canonical).
+	ids := make([]wal.TxnID, 0, len(att))
+	for id := range att {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return att[ids[i]].lastLSN > att[ids[j]].lastLSN })
+	for _, id := range ids {
+		e := att[id]
+		p.losers = append(p.losers, pendingTxn{id: id, lastLSN: e.lastLSN, system: e.system, committed: e.committed})
+	}
+	return p, nil
+}
+
+// UndoLosers is the undo pass: committed-but-unended transactions get
+// their end records; every other surviving transaction — user or atomic
+// action — is rolled back with CLRs, which is exactly the all-or-nothing
+// guarantee the paper's atomic actions rely on (§4.3).
+func (p *Pending) UndoLosers(tm *txn.Manager) error {
+	st := &p.Stats
+	for _, e := range p.losers {
+		t := tm.Adopt(e.id, e.system, e.lastLSN)
+		if e.committed {
+			t.FinishRecovered()
+			st.WinnerTxns++
+			continue
+		}
+		if err := t.RollbackLoser(); err != nil {
+			return fmt.Errorf("recovery undo of txn %d: %w", e.id, err)
+		}
+		if e.system {
+			st.LoserActions++
+		} else {
+			st.LoserTxns++
+		}
+	}
+	p.losers = nil
+	return nil
+}

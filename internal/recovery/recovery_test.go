@@ -1,0 +1,336 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// The counter fixture mirrors the one in package txn: pages hold a single
+// int64 and records carry deltas, so recovered states are easy to assert.
+const counterKind wal.Kind = 200
+
+type counter struct{ v int64 }
+
+type counterCodec struct{}
+
+func (counterCodec) EncodePage(v any) ([]byte, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v.(*counter).v))
+	return b[:], nil
+}
+
+func (counterCodec) DecodePage(b []byte) (any, error) {
+	return &counter{v: int64(binary.LittleEndian.Uint64(b))}, nil
+}
+
+func delta(d int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(d))
+	return b[:]
+}
+
+func registerCounter(reg *storage.Registry) {
+	reg.Register(counterKind, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			if f.Data == nil {
+				f.Data = &counter{}
+			}
+			f.Data.(*counter).v += int64(binary.LittleEndian.Uint64(rec.Payload))
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			d := int64(binary.LittleEndian.Uint64(rec.Payload))
+			return storage.Compensation{Kind: counterKind, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: delta(-d)}, nil
+		},
+	})
+}
+
+type env struct {
+	log  *wal.Log
+	reg  *storage.Registry
+	tm   *txn.Manager
+	pool *storage.Pool
+}
+
+func newEnv(disk *storage.Disk, log *wal.Log) *env {
+	reg := storage.NewRegistry()
+	registerCounter(reg)
+	tm := txn.NewManager(log, lock.NewManager(), reg, txn.Options{})
+	pool := storage.NewPool(1, disk, log, counterCodec{}, 0)
+	reg.AddPool(pool)
+	return &env{log: log, reg: reg, tm: tm, pool: pool}
+}
+
+func (e *env) add(t *txn.Txn, pid storage.PageID, d int64) {
+	f, err := e.pool.FetchOrCreate(pid)
+	if err != nil {
+		panic(err)
+	}
+	f.Latch.AcquireX()
+	if f.Data == nil {
+		f.Data = &counter{}
+	}
+	lsn := t.LogUpdate(1, uint64(pid), counterKind, delta(d))
+	f.Data.(*counter).v += d
+	f.MarkDirty(lsn)
+	f.Latch.ReleaseX()
+	e.pool.Unpin(f)
+}
+
+func (e *env) value(t testing.TB, pid storage.PageID) int64 {
+	f, err := e.pool.FetchOrCreate(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.pool.Unpin(f)
+	if f.Data == nil {
+		return 0
+	}
+	return f.Data.(*counter).v
+}
+
+// crash builds a restarted environment from e's stable state.
+func (e *env) crash(truncateAt *wal.LSN) *env {
+	img := e.log.CrashImage(truncateAt)
+	return newEnv(e.pool.Disk().Snapshot(), wal.NewFromImage(img))
+}
+
+func TestRedoRebuildsFromEmptyDisk(t *testing.T) {
+	e := newEnv(storage.NewDisk(), wal.New())
+	tx := e.tm.Begin()
+	e.add(tx, 5, 10)
+	e.add(tx, 6, 20)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing flushed: disk is empty; redo must recreate both pages.
+	e2 := e.crash(nil)
+	st, err := Restart(e2.log, e2.reg, e2.tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The end record may trail the commit's force and be lost, in which
+	// case restart re-ends the winner; either way nothing is undone.
+	if st.RedoneRecords == 0 || st.LoserTxns != 0 || st.WinnerTxns > 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if e2.value(t, 5) != 10 || e2.value(t, 6) != 20 {
+		t.Fatalf("recovered values: %d %d", e2.value(t, 5), e2.value(t, 6))
+	}
+}
+
+func TestLoserRolledBack(t *testing.T) {
+	e := newEnv(storage.NewDisk(), wal.New())
+	tc := e.tm.Begin()
+	e.add(tc, 5, 10)
+	if err := tc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tl := e.tm.Begin()
+	e.add(tl, 5, 100)
+	e.add(tl, 6, 100)
+	e.log.ForceAll() // loser's updates reach the stable log, then crash
+
+	e2 := e.crash(nil)
+	st, err := Restart(e2.log, e2.reg, e2.tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoserTxns != 1 {
+		t.Fatalf("losers = %d", st.LoserTxns)
+	}
+	if e2.value(t, 5) != 10 || e2.value(t, 6) != 0 {
+		t.Fatalf("values after undo: %d %d", e2.value(t, 5), e2.value(t, 6))
+	}
+}
+
+func TestLoserAtomicActionRolledBack(t *testing.T) {
+	e := newEnv(storage.NewDisk(), wal.New())
+	aa := e.tm.BeginAtomicAction()
+	e.add(aa, 5, 7)
+	e.log.ForceAll() // crash before the AA commits
+
+	e2 := e.crash(nil)
+	st, err := Restart(e2.log, e2.reg, e2.tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoserActions != 1 {
+		t.Fatalf("loser actions = %d", st.LoserActions)
+	}
+	if e2.value(t, 5) != 0 {
+		t.Fatal("atomic action not all-or-nothing")
+	}
+}
+
+func TestUnforcedAACommitLostEntirely(t *testing.T) {
+	// Relative durability: an unforced AA commit may be lost wholesale,
+	// which is fine because nothing durable can depend on it.
+	e := newEnv(storage.NewDisk(), wal.New())
+	aa := e.tm.BeginAtomicAction()
+	e.add(aa, 5, 7)
+	if err := aa.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// No force at all: stable log is empty.
+	e2 := e.crash(nil)
+	st, err := Restart(e2.log, e2.reg, e2.tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.value(t, 5) != 0 {
+		t.Fatal("unstable AA effects resurrected")
+	}
+	if st.AnalyzedRecords != 0 {
+		t.Fatalf("analyzed %d records of an empty stable log", st.AnalyzedRecords)
+	}
+}
+
+func TestCommittedButUnendedGetsEnd(t *testing.T) {
+	e := newEnv(storage.NewDisk(), wal.New())
+	tx := e.tm.Begin()
+	e.add(tx, 5, 3)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate right after the commit record: drop the end record.
+	img := e.log.FullImage()
+	var commitLSN wal.LSN
+	var afterCommit wal.LSN
+	img.Scan(wal.NilLSN, func(r wal.Record) bool {
+		if r.Type == wal.RecCommit {
+			commitLSN = r.LSN
+		} else if commitLSN != wal.NilLSN && afterCommit == wal.NilLSN {
+			afterCommit = r.LSN
+		}
+		return true
+	})
+	if afterCommit == wal.NilLSN {
+		t.Fatal("no record after commit")
+	}
+	e2 := e.crash(&afterCommit)
+	st, err := Restart(e2.log, e2.reg, e2.tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WinnerTxns != 1 {
+		t.Fatalf("winners = %d", st.WinnerTxns)
+	}
+	if e2.value(t, 5) != 3 {
+		t.Fatal("committed effect lost")
+	}
+}
+
+func TestIdempotentRestart(t *testing.T) {
+	e := newEnv(storage.NewDisk(), wal.New())
+	tx := e.tm.Begin()
+	e.add(tx, 5, 10)
+	_ = tx.Commit()
+	tl := e.tm.Begin()
+	e.add(tl, 5, 99)
+	e.log.ForceAll()
+
+	// First restart.
+	e2 := e.crash(nil)
+	if _, err := Restart(e2.log, e2.reg, e2.tm); err != nil {
+		t.Fatal(err)
+	}
+	if e2.value(t, 5) != 10 {
+		t.Fatal("first restart wrong")
+	}
+	// Crash again immediately (including the restart's own CLRs) and
+	// restart a second time: same result.
+	e2.log.ForceAll()
+	e3 := e2.crash(nil)
+	if _, err := Restart(e3.log, e3.reg, e3.tm); err != nil {
+		t.Fatal(err)
+	}
+	if e3.value(t, 5) != 10 {
+		t.Fatal("second restart diverged")
+	}
+}
+
+func TestCheckpointBoundsRedo(t *testing.T) {
+	e := newEnv(storage.NewDisk(), wal.New())
+	for i := 0; i < 20; i++ {
+		tx := e.tm.Begin()
+		e.add(tx, storage.PageID(10+i%3), 1)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush everything, then checkpoint: the DPT is empty, so restart
+	// should redo (almost) nothing.
+	e.pool.FlushAll()
+	if _, err := TakeCheckpoint(e.log, e.tm, e.pool); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tx := e.tm.Begin()
+		e.add(tx, 10, 1)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e2 := e.crash(nil)
+	st, err := Restart(e2.log, e2.reg, e2.tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RedoneRecords > 6 {
+		t.Fatalf("redo did %d records; checkpoint should have bounded it", st.RedoneRecords)
+	}
+	if e2.value(t, 10) != 7+5 {
+		t.Fatalf("page 10 = %d", e2.value(t, 10))
+	}
+}
+
+func TestAnalysisSeesThroughCheckpoint(t *testing.T) {
+	// A transaction active across a checkpoint must still be undone if
+	// it never commits.
+	e := newEnv(storage.NewDisk(), wal.New())
+	tl := e.tm.Begin()
+	e.add(tl, 5, 50)
+	if _, err := TakeCheckpoint(e.log, e.tm, e.pool); err != nil {
+		t.Fatal(err)
+	}
+	e.add(tl, 6, 60)
+	e.log.ForceAll()
+
+	e2 := e.crash(nil)
+	st, err := Restart(e2.log, e2.reg, e2.tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoserTxns != 1 {
+		t.Fatalf("losers = %d", st.LoserTxns)
+	}
+	if e2.value(t, 5) != 0 || e2.value(t, 6) != 0 {
+		t.Fatalf("values: %d %d", e2.value(t, 5), e2.value(t, 6))
+	}
+}
+
+func TestFlushedLoserPagesUndone(t *testing.T) {
+	// The hard ARIES case: a loser's dirty page reaches disk (steal),
+	// so undo must compensate on the stable image.
+	e := newEnv(storage.NewDisk(), wal.New())
+	tl := e.tm.Begin()
+	e.add(tl, 5, 42)
+	e.pool.FlushAll() // steal: forces log, writes page
+	e2 := e.crash(nil)
+	st, err := Restart(e2.log, e2.reg, e2.tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoserTxns != 1 {
+		t.Fatalf("losers = %d", st.LoserTxns)
+	}
+	if e2.value(t, 5) != 0 {
+		t.Fatalf("page 5 = %d after undo of flushed loser", e2.value(t, 5))
+	}
+}

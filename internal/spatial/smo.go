@@ -1,0 +1,403 @@
+package spatial
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/latch"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// postTask asks for the index term describing child (responsible for
+// rect) to be posted at parentLevel, in the parent on the search path of
+// rect's low corner. Other parents of a clipped child are updated when
+// their own search paths traverse the sibling pointer (§3.2.2).
+type postTask struct {
+	parentLevel int
+	child       storage.PageID
+	rect        Rect
+}
+
+func (t postTask) key() string { return fmt.Sprintf("%d:%d", t.parentLevel, t.child) }
+
+type completer struct {
+	t       *Tree
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tasks   []postTask
+	pending map[string]struct{}
+	active  int
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+func newCompleter(t *Tree) *completer {
+	c := &completer{t: t, pending: make(map[string]struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	if !t.opts.SyncCompletion {
+		for i := 0; i < t.opts.CompletionWorkers; i++ {
+			c.wg.Add(1)
+			go c.worker()
+		}
+	}
+	return c
+}
+
+func (c *completer) schedule(task postTask) {
+	if c.t.opts.NoCompletion {
+		return
+	}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	if _, dup := c.pending[task.key()]; dup {
+		c.mu.Unlock()
+		return
+	}
+	c.pending[task.key()] = struct{}{}
+	c.tasks = append(c.tasks, task)
+	c.t.Stats.PostsScheduled.Add(1)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *completer) pop(block bool) (postTask, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.tasks) == 0 {
+		if !block || c.stopped {
+			return postTask{}, false
+		}
+		c.cond.Wait()
+	}
+	task := c.tasks[0]
+	c.tasks = c.tasks[1:]
+	delete(c.pending, task.key())
+	c.active++
+	return task, true
+}
+
+func (c *completer) done() {
+	c.mu.Lock()
+	c.active--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *completer) worker() {
+	defer c.wg.Done()
+	for {
+		task, ok := c.pop(true)
+		if !ok {
+			return
+		}
+		c.t.postTerm(task)
+		c.done()
+	}
+}
+
+func (c *completer) drain() {
+	if c.t.opts.SyncCompletion {
+		for {
+			task, ok := c.pop(false)
+			if !ok {
+				return
+			}
+			c.t.postTerm(task)
+			c.done()
+		}
+	}
+	c.mu.Lock()
+	for len(c.tasks) > 0 || c.active > 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+func (c *completer) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.tasks = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// notePendingSib schedules the posting for a sibling term crossed during
+// a traversal (lazy completion). The delegated rectangle IS the sibling's
+// responsibility.
+func (t *Tree) notePendingSib(n *Node, sib SibTerm) {
+	t.comp.schedule(postTask{parentLevel: n.Level + 1, child: sib.Pid, rect: sib.Rect})
+}
+
+// choosePlane picks a split hyperplane for the X-latched node: the wider
+// axis first, at the median boundary coordinate of the node's contents,
+// falling back to the other axis and then the geometric midpoint. ok is
+// false only when the direct region cannot be cut (unit-width on both
+// axes).
+func choosePlane(n *Node) (alongX bool, coord uint64, ok bool) {
+	d := n.Direct
+	tryAxis := func(alongX bool) (uint64, bool) {
+		lo, hi := d.Y0, d.Y1
+		if alongX {
+			lo, hi = d.X0, d.X1
+		}
+		if hi-lo < 2 {
+			return 0, false
+		}
+		var cands []uint64
+		seen := map[uint64]bool{}
+		add := func(c uint64) {
+			if c > lo && c < hi && !seen[c] {
+				seen[c] = true
+				cands = append(cands, c)
+			}
+		}
+		for _, e := range n.Entries {
+			if n.IsData() {
+				if alongX {
+					add(e.P.X)
+				} else {
+					add(e.P.Y)
+				}
+			} else {
+				if alongX {
+					add(e.Rect.X0)
+					add(e.Rect.X1)
+				} else {
+					add(e.Rect.Y0)
+					add(e.Rect.Y1)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return lo + (hi-lo)/2, true // geometric midpoint
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		return cands[len(cands)/2], true
+	}
+	wideX := d.X1-d.X0 >= d.Y1-d.Y0
+	if c, ok := tryAxis(wideX); ok {
+		return wideX, c, true
+	}
+	if c, ok := tryAxis(!wideX); ok {
+		return !wideX, c, true
+	}
+	return false, 0, false
+}
+
+// splitNodeAction splits the U-latched data node as an independent
+// atomic action: half of its direct region is delegated to a fresh
+// sibling via a sibling term (§3.2.1), and the posting of the sibling's
+// index term is scheduled as a separate action (step 6).
+func (t *Tree) splitNodeAction(o *opCtx, leaf *nref) error {
+	aa := t.tm.BeginAtomicAction()
+	o.promote(leaf)
+	n := leaf.n
+	alongX, coord, ok := choosePlane(n)
+	if !ok {
+		o.release(leaf)
+		_ = aa.Abort()
+		t.Stats.SoftOverflows.Add(1)
+		return nil
+	}
+	pre := n.clone()
+	sibPid, err := t.store.Alloc(aa, &o.tr)
+	if err != nil {
+		o.release(leaf)
+		_ = aa.Abort()
+		return err
+	}
+	entries, off, clipped := splitOffContents(pre, alongX, coord)
+	sib := &Node{Level: n.Level, Direct: off, Entries: entries}
+	t.logFormat(o, aa, sibPid, sib)
+	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindSplitOff, encSplitOff(alongX, coord, sibPid, pre))
+	applySplitOff(n, alongX, coord, sibPid)
+	leaf.f.MarkDirty(lsn)
+	t.Stats.DataSplits.Add(1)
+	t.Stats.ClippedTerms.Add(int64(clipped))
+
+	cerr := aa.Commit()
+	o.release(leaf)
+	if cerr != nil {
+		return cerr
+	}
+	t.comp.schedule(postTask{parentLevel: 1, child: sibPid, rect: off})
+	return nil
+}
+
+// postTerm is the completing atomic action: post the child's index term
+// in the parent on the search path of the child's low corner, splitting
+// the parent (with clipping) or growing the root as needed. Latches are
+// retained until the action commits.
+func (t *Tree) postTerm(task postTask) {
+	_ = t.retryLoop(func() error {
+		o := t.newOp(nil)
+		defer o.tr.AssertNoneHeld()
+		corner := Point{X: task.rect.X0, Y: task.rect.Y0}
+		node, err := t.descend(o, corner, task.parentLevel, latch.U, false)
+		if err != nil {
+			if err == errLevelGone {
+				t.Stats.PostsNoop.Add(1)
+				return nil
+			}
+			return err
+		}
+		if _, posted := node.n.termFor(task.child); posted {
+			t.Stats.PostsNoop.Add(1)
+			o.release(&node)
+			return nil
+		}
+
+		aa := t.tm.BeginAtomicAction()
+		var held []nref
+		releaseAll := func() {
+			o.release(&node)
+			for i := len(held) - 1; i >= 0; i-- {
+				o.release(&held[i])
+			}
+			held = nil
+		}
+		o.promote(&node)
+
+		for len(node.n.Entries) >= t.opts.IndexCapacity {
+			alongX, coord, ok := choosePlane(node.n)
+			if !ok || (node.pid() != t.root && !splitHelps(node.n, alongX, coord)) {
+				// No cut reduces this node (heavy clipping keeps spanning
+				// terms in both halves): grow past nominal capacity
+				// rather than split unproductively.
+				t.Stats.SoftOverflows.Add(1)
+				break
+			}
+			if node.pid() == t.root {
+				next, err := t.growRootAction(o, aa, &node, alongX, coord, corner)
+				if err != nil {
+					releaseAll()
+					_ = aa.Abort()
+					return err
+				}
+				held = append(held, node)
+				node = next
+				continue
+			}
+			pre := node.n.clone()
+			sibPid, err := t.store.Alloc(aa, &o.tr)
+			if err != nil {
+				releaseAll()
+				_ = aa.Abort()
+				return err
+			}
+			entries, off, clipped := splitOffContents(pre, alongX, coord)
+			sib := &Node{Level: node.n.Level, Direct: off, Entries: entries}
+			t.logFormat(o, aa, sibPid, sib)
+			lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(node.pid()), KindSplitOff, encSplitOff(alongX, coord, sibPid, pre))
+			applySplitOff(node.n, alongX, coord, sibPid)
+			node.f.MarkDirty(lsn)
+			t.Stats.IndexSplits.Add(1)
+			t.Stats.ClippedTerms.Add(int64(clipped))
+			t.comp.schedule(postTask{parentLevel: node.n.Level + 1, child: sibPid, rect: off})
+			if off.Contains(corner) {
+				next, err := o.acquire(sibPid, latch.X, node.n.Level)
+				if err != nil {
+					releaseAll()
+					_ = aa.Abort()
+					return err
+				}
+				held = append(held, node)
+				node = next
+			}
+		}
+
+		term := Entry{Rect: task.rect, Child: task.child}
+		lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(node.pid()), KindPostTerm, encTerm(term))
+		node.n.Entries = append(node.n.Entries, term)
+		node.f.MarkDirty(lsn)
+		err = aa.Commit()
+		releaseAll()
+		if err != nil {
+			return err
+		}
+		t.Stats.PostsPerformed.Add(1)
+		return nil
+	})
+}
+
+// logFormat creates and logs a fresh node image under the action.
+func (t *Tree) logFormat(o *opCtx, aa logUpdater, pid storage.PageID, n *Node) {
+	f := t.store.Pool.Create(pid)
+	f.Latch.AcquireX()
+	o.tr.Acquired(&f.Latch, o.rank(n.Level), latch.X)
+	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(pid), KindFormat, encNodeImage(n))
+	f.Data = n
+	f.MarkDirty(lsn)
+	o.tr.Released(&f.Latch)
+	f.Latch.ReleaseX()
+	t.store.Pool.Unpin(f)
+}
+
+type logUpdater interface {
+	LogUpdate(storeID uint32, pageID uint64, kind wal.Kind, payload []byte) wal.LSN
+}
+
+// growRootAction raises the tree height: the root's contents move to two
+// new nodes split by the hyperplane, the lower node carrying a sibling
+// term for the upper, and the root becomes an index node one level up
+// with a term for each half. Returns the half containing corner,
+// X-latched.
+func (t *Tree) growRootAction(o *opCtx, aa logUpdater, root *nref, alongX bool, coord uint64, corner Point) (nref, error) {
+	n := root.n
+	pre := n.clone()
+	pidB, err := t.store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nref{}, err
+	}
+	pidA, err := t.store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nref{}, err
+	}
+	entriesB, off, clippedB := splitOffContents(pre, alongX, coord)
+	nodeB := &Node{Level: pre.Level, Direct: off, Entries: entriesB}
+
+	var kept Rect
+	if alongX {
+		kept, _ = pre.Direct.SplitX(coord)
+	} else {
+		kept, _ = pre.Direct.SplitY(coord)
+	}
+	nodeA := &Node{Level: pre.Level, Direct: kept, Sibs: append([]SibTerm(nil), pre.Sibs...)}
+	nodeA.Sibs = append(nodeA.Sibs, SibTerm{Rect: off, Pid: pidB})
+	for _, e := range pre.Entries {
+		switch {
+		case !e.Rect.Intersects(off):
+			nodeA.Entries = append(nodeA.Entries, e)
+		case !e.Rect.Intersects(kept):
+		default:
+			c := e
+			c.Clipped = true
+			nodeA.Entries = append(nodeA.Entries, c)
+		}
+	}
+	t.logFormat(o, aa, pidB, nodeB)
+	t.logFormat(o, aa, pidA, nodeA)
+
+	termA := Entry{Rect: kept, Child: pidA}
+	termB := Entry{Rect: off, Child: pidB}
+	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(root.pid()), KindRootGrow, encRootGrow(termA, termB, pre))
+	n.Level++
+	n.Entries = []Entry{termA, termB}
+	n.Direct = FullSpace()
+	n.Sibs = nil
+	root.f.MarkDirty(lsn)
+	t.Stats.RootGrowths.Add(1)
+	t.Stats.ClippedTerms.Add(int64(clippedB))
+
+	pid := pidA
+	if off.Contains(corner) {
+		pid = pidB
+	}
+	return o.acquire(pid, latch.X, pre.Level)
+}

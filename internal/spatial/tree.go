@@ -1,0 +1,631 @@
+package spatial
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/latch"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Options configure one spatial tree.
+type Options struct {
+	// DataCapacity and IndexCapacity are maximum entry counts. Defaults
+	// 64, 64; minimum 4.
+	DataCapacity  int
+	IndexCapacity int
+	// SyncCompletion, CompletionWorkers and NoCompletion mirror the
+	// other trees' lazy-completion controls.
+	SyncCompletion    bool
+	CompletionWorkers int
+	NoCompletion      bool
+	// CheckLatchOrder enables per-operation latch order assertions.
+	CheckLatchOrder bool
+}
+
+func (o Options) normalized() Options {
+	if o.DataCapacity <= 0 {
+		o.DataCapacity = 64
+	}
+	if o.DataCapacity < 4 {
+		o.DataCapacity = 4
+	}
+	if o.IndexCapacity <= 0 {
+		o.IndexCapacity = 64
+	}
+	if o.IndexCapacity < 4 {
+		o.IndexCapacity = 4
+	}
+	if o.CompletionWorkers <= 0 {
+		o.CompletionWorkers = 2
+	}
+	return o
+}
+
+// Stats counts spatial tree events.
+type Stats struct {
+	Inserts        atomic.Int64
+	Deletes        atomic.Int64
+	Searches       atomic.Int64
+	RegionQueries  atomic.Int64
+	DataSplits     atomic.Int64
+	IndexSplits    atomic.Int64
+	RootGrowths    atomic.Int64
+	SideTraversals atomic.Int64
+	PostsScheduled atomic.Int64
+	PostsPerformed atomic.Int64
+	PostsNoop      atomic.Int64
+	ClippedTerms   atomic.Int64
+	SoftOverflows  atomic.Int64
+	Restarts       atomic.Int64
+}
+
+// Tree is one multi-attribute Π-tree. Nodes are immortal (no
+// consolidation is performed), so the CNS invariant governs traversals.
+type Tree struct {
+	Name string
+
+	store   *storage.Store
+	tm      *txn.Manager
+	lm      *lock.Manager
+	binding *Binding
+	opts    Options
+	root    storage.PageID
+	comp    *completer
+
+	Stats Stats
+}
+
+// ErrPointExists reports a duplicate insert.
+var ErrPointExists = errors.New("spatial: point already exists")
+
+// ErrPointNotFound reports a missing point.
+var ErrPointNotFound = errors.New("spatial: point not found")
+
+var errRetry = errors.New("spatial: internal retry")
+
+// Create builds a new spatial tree: a level-1 root over one data node
+// covering the full space.
+func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
+	t := &Tree{Name: name, store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized()}
+	aa := tm.BeginAtomicAction()
+	o := t.newOp(nil)
+
+	if f, err := store.Pool.Fetch(storage.MetaPage); err == nil {
+		store.Pool.Unpin(f)
+	} else if errors.Is(err, storage.ErrPageNotFound) {
+		if err := store.Bootstrap(aa); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+
+	rootPid, err := store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nil, err
+	}
+	dataPid, err := store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nil, err
+	}
+	data := &Node{Level: 0, Direct: FullSpace()}
+	root := &Node{Level: 1, Direct: FullSpace(), Entries: []Entry{{Rect: FullSpace(), Child: dataPid}}}
+	for _, nn := range []struct {
+		pid  storage.PageID
+		node *Node
+	}{{dataPid, data}, {rootPid, root}} {
+		f := store.Pool.Create(nn.pid)
+		f.Latch.AcquireX()
+		lsn := aa.LogUpdate(store.Pool.StoreID, uint64(nn.pid), KindFormat, encNodeImage(nn.node))
+		f.Data = nn.node
+		f.MarkDirty(lsn)
+		f.Latch.ReleaseX()
+		store.Pool.Unpin(f)
+	}
+	if err := store.SetRoot(aa, &o.tr, name, rootPid); err != nil {
+		return nil, err
+	}
+	if err := aa.Commit(); err != nil {
+		return nil, err
+	}
+	t.root = rootPid
+	t.comp = newCompleter(t)
+	b.Bind(t)
+	return t, nil
+}
+
+// Open attaches to an existing spatial tree after restart.
+func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
+	rootPid, err := store.Root(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Name: name, store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized(), root: rootPid}
+	t.comp = newCompleter(t)
+	b.Bind(t)
+	return t, nil
+}
+
+// Close stops completion workers.
+func (t *Tree) Close() { t.comp.stop() }
+
+// DrainCompletions blocks until scheduled completing actions ran.
+func (t *Tree) DrainCompletions() { t.comp.drain() }
+
+// Options returns the normalized options.
+func (t *Tree) Options() Options { return t.opts }
+
+func (t *Tree) recLockName(p Point) string {
+	return fmt.Sprintf("spr:%s:%d,%d", t.Name, p.X, p.Y)
+}
+
+// --- operation context -------------------------------------------------------
+
+type opCtx struct {
+	t   *Tree
+	txn *txn.Txn
+	tr  latch.Tracker
+	seq uint64
+}
+
+func (t *Tree) newOp(tx *txn.Txn) *opCtx {
+	return &opCtx{t: t, txn: tx, tr: latch.Tracker{Enabled: t.opts.CheckLatchOrder}}
+}
+
+const maxLevel = 63
+
+func (o *opCtx) rank(level int) latch.Rank {
+	o.seq++
+	return latch.Rank(uint64(maxLevel-level)<<40 | (o.seq & (1<<40 - 1)))
+}
+
+type nref struct {
+	f    *storage.Frame
+	n    *Node
+	mode latch.Mode
+}
+
+func (r *nref) pid() storage.PageID { return r.f.ID }
+
+func (o *opCtx) acquire(pid storage.PageID, mode latch.Mode, level int) (nref, error) {
+	f, err := o.t.store.Pool.Fetch(pid)
+	if err != nil {
+		return nref{}, err
+	}
+	f.Latch.Acquire(mode)
+	o.tr.Acquired(&f.Latch, o.rank(level), mode)
+	n, ok := f.Data.(*Node)
+	if !ok {
+		o.tr.Released(&f.Latch)
+		f.Latch.Release(mode)
+		o.t.store.Pool.Unpin(f)
+		return nref{}, fmt.Errorf("spatial: page %d holds %T", pid, f.Data)
+	}
+	return nref{f: f, n: n, mode: mode}, nil
+}
+
+func (o *opCtx) release(r *nref) {
+	if r.f == nil {
+		return
+	}
+	o.tr.Released(&r.f.Latch)
+	r.f.Latch.Release(r.mode)
+	o.t.store.Pool.Unpin(r.f)
+	r.f = nil
+	r.n = nil
+}
+
+func (o *opCtx) promote(r *nref) {
+	r.f.Latch.Promote()
+	o.tr.Promoted(&r.f.Latch)
+	r.mode = latch.X
+}
+
+func (t *Tree) step(o *opCtx, cur *nref, pid storage.PageID, mode latch.Mode, level int) (nref, error) {
+	o.release(cur)
+	return o.acquire(pid, mode, level)
+}
+
+var errLevelGone = errors.New("spatial: target level does not exist yet")
+
+// descend walks to the node at stopLevel whose directly contained region
+// includes p, latched in finalMode. Side traversals through sibling
+// terms schedule completing postings when sched is true.
+func (t *Tree) descend(o *opCtx, p Point, stopLevel int, finalMode latch.Mode, sched bool) (nref, error) {
+	cur, err := o.acquire(t.root, latch.S, maxLevel)
+	if err != nil {
+		return nref{}, err
+	}
+	if cur.n.Level < stopLevel {
+		o.release(&cur)
+		return nref{}, errLevelGone
+	}
+	if cur.n.Level == stopLevel && finalMode != latch.S {
+		lvl := cur.n.Level
+		o.release(&cur)
+		cur, err = o.acquire(t.root, finalMode, lvl)
+		if err != nil {
+			return nref{}, err
+		}
+		if cur.n.Level != stopLevel {
+			o.release(&cur)
+			return nref{}, errRetry
+		}
+	}
+	for {
+		for !cur.n.Direct.Contains(p) {
+			sib, ok := cur.n.routeSib(p)
+			if !ok {
+				o.release(&cur)
+				return nref{}, errRetry
+			}
+			t.Stats.SideTraversals.Add(1)
+			if sched {
+				t.notePendingSib(cur.n, sib)
+			}
+			next, err := t.step(o, &cur, sib.Pid, cur.mode, cur.n.Level)
+			if err != nil {
+				return nref{}, err
+			}
+			cur = next
+		}
+		if cur.n.Level == stopLevel {
+			return cur, nil
+		}
+		e, ok := cur.n.chooseChild(p)
+		if !ok {
+			o.release(&cur)
+			return nref{}, errRetry
+		}
+		childLevel := cur.n.Level - 1
+		childMode := latch.S
+		if childLevel == stopLevel {
+			childMode = finalMode
+		}
+		next, err := t.step(o, &cur, e.Child, childMode, childLevel)
+		if err != nil {
+			return nref{}, err
+		}
+		cur = next
+	}
+}
+
+func (t *Tree) retryLoop(fn func() error) error {
+	for {
+		err := fn()
+		if errors.Is(err, errRetry) {
+			t.Stats.Restarts.Add(1)
+			continue
+		}
+		return err
+	}
+}
+
+// --- public operations ---------------------------------------------------------
+
+// Insert adds a point with its value; ErrPointExists on duplicates. With
+// a nil transaction the insert runs as its own atomic action.
+func (t *Tree) Insert(tx *txn.Txn, p Point, value []byte) error {
+	t.Stats.Inserts.Add(1)
+	return t.retryLoop(func() error {
+		o := t.newOp(tx)
+		defer o.tr.AssertNoneHeld()
+		leaf, err := t.descend(o, p, 0, latch.U, true)
+		if err != nil {
+			return err
+		}
+		if tx != nil && !tx.TryLock(t.recLockName(p), lock.X) {
+			o.release(&leaf)
+			if err := tx.Lock(t.recLockName(p), lock.X); err != nil {
+				return err
+			}
+			return errRetry
+		}
+		if _, dup := leaf.n.findPoint(p); dup {
+			o.release(&leaf)
+			return ErrPointExists
+		}
+		if len(leaf.n.Entries) >= t.opts.DataCapacity {
+			if err := t.splitNodeAction(o, &leaf); err != nil {
+				return err
+			}
+			return errRetry
+		}
+		var lg *txn.Txn
+		if tx != nil {
+			lg = tx
+		} else {
+			lg = t.tm.BeginAtomicAction()
+		}
+		o.promote(&leaf)
+		e := Entry{P: p, Value: append([]byte(nil), value...)}
+		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindInsertPoint, encPoint(e))
+		leaf.n.insertPoint(e)
+		leaf.f.MarkDirty(lsn)
+		if tx == nil {
+			if cerr := lg.Commit(); cerr != nil {
+				o.release(&leaf)
+				return cerr
+			}
+		}
+		o.release(&leaf)
+		return nil
+	})
+}
+
+// Delete removes a point; ErrPointNotFound if absent.
+func (t *Tree) Delete(tx *txn.Txn, p Point) error {
+	t.Stats.Deletes.Add(1)
+	return t.retryLoop(func() error {
+		o := t.newOp(tx)
+		defer o.tr.AssertNoneHeld()
+		leaf, err := t.descend(o, p, 0, latch.U, true)
+		if err != nil {
+			return err
+		}
+		if tx != nil && !tx.TryLock(t.recLockName(p), lock.X) {
+			o.release(&leaf)
+			if err := tx.Lock(t.recLockName(p), lock.X); err != nil {
+				return err
+			}
+			return errRetry
+		}
+		i, ok := leaf.n.findPoint(p)
+		if !ok {
+			o.release(&leaf)
+			return ErrPointNotFound
+		}
+		old := leaf.n.Entries[i]
+		o.promote(&leaf)
+		var lg *txn.Txn
+		if tx != nil {
+			lg = tx
+		} else {
+			lg = t.tm.BeginAtomicAction()
+		}
+		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindRemovePoint, encPoint(old))
+		leaf.n.removePoint(p)
+		leaf.f.MarkDirty(lsn)
+		if tx == nil {
+			if cerr := lg.Commit(); cerr != nil {
+				o.release(&leaf)
+				return cerr
+			}
+		}
+		o.release(&leaf)
+		return nil
+	})
+}
+
+// Search returns the value stored at p.
+func (t *Tree) Search(tx *txn.Txn, p Point) ([]byte, bool, error) {
+	t.Stats.Searches.Add(1)
+	var val []byte
+	var found bool
+	err := t.retryLoop(func() error {
+		o := t.newOp(tx)
+		defer o.tr.AssertNoneHeld()
+		leaf, err := t.descend(o, p, 0, latch.S, true)
+		if err != nil {
+			return err
+		}
+		if tx != nil && !tx.TryLock(t.recLockName(p), lock.S) {
+			o.release(&leaf)
+			if err := tx.Lock(t.recLockName(p), lock.S); err != nil {
+				return err
+			}
+			return errRetry
+		}
+		if i, ok := leaf.n.findPoint(p); ok {
+			val = append([]byte(nil), leaf.n.Entries[i].Value...)
+			found = true
+		} else {
+			val, found = nil, false
+		}
+		o.release(&leaf)
+		return nil
+	})
+	return val, found, err
+}
+
+// RegionQuery calls fn for every point in q. Visits are latch-consistent
+// per node; nodes reachable through multiple (clipped) parents are
+// visited once.
+func (t *Tree) RegionQuery(q Rect, fn func(p Point, v []byte) bool) error {
+	t.Stats.RegionQueries.Add(1)
+	o := t.newOp(nil)
+	defer o.tr.AssertNoneHeld()
+	seen := make(map[storage.PageID]bool)
+	var visit func(pid storage.PageID, level int) (bool, error)
+	visit = func(pid storage.PageID, level int) (bool, error) {
+		if seen[pid] {
+			return true, nil
+		}
+		seen[pid] = true
+		r, err := o.acquire(pid, latch.S, level)
+		if err != nil {
+			return false, err
+		}
+		// Collect what to do before releasing the latch (CNS: children
+		// are immortal, so the collected pids stay valid).
+		type kid struct {
+			pid   storage.PageID
+			level int
+		}
+		var kids []kid
+		type hit struct {
+			p Point
+			v []byte
+		}
+		var hits []hit
+		for _, s := range r.n.Sibs {
+			if s.Rect.Intersects(q) {
+				kids = append(kids, kid{s.Pid, r.n.Level})
+			}
+		}
+		if r.n.IsData() {
+			for _, e := range r.n.Entries {
+				if q.Contains(e.P) {
+					hits = append(hits, hit{e.P, append([]byte(nil), e.Value...)})
+				}
+			}
+		} else {
+			for _, e := range r.n.Entries {
+				if e.Rect.Intersects(q) {
+					kids = append(kids, kid{e.Child, r.n.Level - 1})
+				}
+			}
+		}
+		o.release(&r)
+		for _, h := range hits {
+			if !fn(h.p, h.v) {
+				return false, nil
+			}
+		}
+		for _, k := range kids {
+			cont, err := visit(k.pid, k.level)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := visit(t.root, maxLevel)
+	return err
+}
+
+// CanConsolidate reports whether the child could legally be consolidated
+// under §3.3: it must be referenced by index terms in a single parent.
+// Clipped terms mark multi-parent children, which must not be
+// consolidated until a single parent remains. (This tree performs no
+// consolidation; the predicate exposes the paper's constraint for tests
+// and experiments.)
+func (t *Tree) CanConsolidate(child storage.PageID) (bool, error) {
+	parents := 0
+	err := t.walkIndex(func(n *Node) bool {
+		for _, e := range n.Entries {
+			if e.Child == child {
+				parents++
+				if e.Clipped {
+					// Marked multi-parent: assume more parents exist.
+					parents++
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return parents == 1, nil
+}
+
+// walkIndex visits every index node once (quiescent helper).
+func (t *Tree) walkIndex(fn func(n *Node) bool) error {
+	pool := t.store.Pool
+	seen := make(map[storage.PageID]bool)
+	var visit func(pid storage.PageID) (bool, error)
+	visit = func(pid storage.PageID) (bool, error) {
+		if seen[pid] {
+			return true, nil
+		}
+		seen[pid] = true
+		f, err := pool.Fetch(pid)
+		if err != nil {
+			return false, err
+		}
+		n, ok := f.Data.(*Node)
+		if !ok {
+			pool.Unpin(f)
+			return false, fmt.Errorf("spatial: page %d holds %T", pid, f.Data)
+		}
+		if n.IsData() {
+			pool.Unpin(f)
+			return true, nil
+		}
+		cp := n.clone()
+		pool.Unpin(f)
+		if !fn(cp) {
+			return false, nil
+		}
+		for _, s := range cp.Sibs {
+			if cont, err := visit(s.Pid); err != nil || !cont {
+				return cont, err
+			}
+		}
+		for _, e := range cp.Entries {
+			if cont, err := visit(e.Child); err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := visit(t.root)
+	return err
+}
+
+// logicalUndoInsert compensates an insert by removing the point from
+// wherever it now lives.
+func (t *Tree) logicalUndoInsert(rec *wal.Record, e Entry) error {
+	tx, ok := t.tm.Lookup(rec.TxnID)
+	if !ok {
+		return fmt.Errorf("spatial: logical undo for unknown txn %d", rec.TxnID)
+	}
+	return t.retryLoop(func() error {
+		o := t.newOp(nil)
+		defer o.tr.AssertNoneHeld()
+		leaf, err := t.descend(o, e.P, 0, latch.U, false)
+		if err != nil {
+			return err
+		}
+		if i, ok := leaf.n.findPoint(e.P); ok {
+			old := leaf.n.Entries[i]
+			o.promote(&leaf)
+			lsn := tx.LogCLR(t.store.Pool.StoreID, uint64(leaf.pid()), KindRemovePoint, encPoint(old), rec.PrevLSN)
+			leaf.n.removePoint(e.P)
+			leaf.f.MarkDirty(lsn)
+		} else {
+			tx.LogCLR(0, 0, 0, nil, rec.PrevLSN)
+		}
+		o.release(&leaf)
+		return nil
+	})
+}
+
+// logicalUndoRemove compensates a delete by re-inserting the point.
+func (t *Tree) logicalUndoRemove(rec *wal.Record, e Entry) error {
+	tx, ok := t.tm.Lookup(rec.TxnID)
+	if !ok {
+		return fmt.Errorf("spatial: logical undo for unknown txn %d", rec.TxnID)
+	}
+	return t.retryLoop(func() error {
+		o := t.newOp(nil)
+		defer o.tr.AssertNoneHeld()
+		leaf, err := t.descend(o, e.P, 0, latch.U, false)
+		if err != nil {
+			return err
+		}
+		if len(leaf.n.Entries) >= t.opts.DataCapacity {
+			if err := t.splitNodeAction(o, &leaf); err != nil {
+				return err
+			}
+			return errRetry
+		}
+		if _, dup := leaf.n.findPoint(e.P); dup {
+			o.release(&leaf)
+			tx.LogCLR(0, 0, 0, nil, rec.PrevLSN)
+			return nil
+		}
+		o.promote(&leaf)
+		lsn := tx.LogCLR(t.store.Pool.StoreID, uint64(leaf.pid()), KindInsertPoint, encPoint(e), rec.PrevLSN)
+		leaf.n.insertPoint(Entry{P: e.P, Value: append([]byte(nil), e.Value...)})
+		leaf.f.MarkDirty(lsn)
+		o.release(&leaf)
+		return nil
+	})
+}

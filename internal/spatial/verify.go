@@ -1,0 +1,203 @@
+package spatial
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Shape summarizes a verified spatial tree.
+type Shape struct {
+	Height     int
+	IndexNodes int
+	DataNodes  int
+	Points     int
+	Clipped    int // clipped (multi-parent) index terms observed
+}
+
+// Verify checks well-formedness at a quiescent point:
+//
+//   - the direct regions of all reachable data nodes PARTITION the full
+//     space: pairwise disjoint, total area exactly MaxCoord^2;
+//   - every point lies in its node's direct region;
+//   - every index term and sibling term references an allocated page;
+//     index terms reference nodes one level down whose responsibility
+//     (direct region plus delegations) contains the term's rectangle.
+func (t *Tree) Verify() (Shape, error) {
+	var shape Shape
+	pool := t.store.Pool
+
+	getNode := func(pid storage.PageID) (*Node, error) {
+		f, err := pool.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		defer pool.Unpin(f)
+		n, ok := f.Data.(*Node)
+		if !ok {
+			return nil, fmt.Errorf("page %d holds %T", pid, f.Data)
+		}
+		return n.clone(), nil
+	}
+
+	root, err := getNode(t.root)
+	if err != nil {
+		return shape, fmt.Errorf("spatial verify: root: %w", err)
+	}
+	shape.Height = root.Level + 1
+
+	// BFS over every reachable node, deduplicating (clipping and sibling
+	// terms make the graph a DAG).
+	type item struct {
+		pid   storage.PageID
+		level int
+	}
+	seen := map[storage.PageID]bool{t.root: true}
+	queue := []item{{t.root, root.Level}}
+	var dataRects []Rect
+	var dataPids []storage.PageID
+
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		n, err := getNode(it.pid)
+		if err != nil {
+			return shape, fmt.Errorf("spatial verify: page %d: %w", it.pid, err)
+		}
+		if n.Level != it.level {
+			return shape, fmt.Errorf("spatial verify: page %d level %d, expected %d", it.pid, n.Level, it.level)
+		}
+		if alloc, err := t.store.IsAllocated(it.pid); err != nil || !alloc {
+			return shape, fmt.Errorf("spatial verify: reachable page %d not allocated", it.pid)
+		}
+		for _, s := range n.Sibs {
+			if s.Rect.Empty() {
+				return shape, fmt.Errorf("spatial verify: page %d has empty sibling rect", it.pid)
+			}
+			if s.Rect.Intersects(n.Direct) {
+				return shape, fmt.Errorf("spatial verify: page %d sibling rect %v overlaps direct %v", it.pid, s.Rect, n.Direct)
+			}
+			if !seen[s.Pid] {
+				seen[s.Pid] = true
+				queue = append(queue, item{s.Pid, n.Level})
+			}
+		}
+		if n.IsData() {
+			shape.DataNodes++
+			shape.Points += len(n.Entries)
+			for _, e := range n.Entries {
+				if !n.Direct.Contains(e.P) {
+					return shape, fmt.Errorf("spatial verify: point (%d,%d) outside direct %v of page %d", e.P.X, e.P.Y, n.Direct, it.pid)
+				}
+			}
+			dataRects = append(dataRects, n.Direct)
+			dataPids = append(dataPids, it.pid)
+			continue
+		}
+		shape.IndexNodes++
+		for _, e := range n.Entries {
+			if e.Clipped {
+				shape.Clipped++
+			}
+			child, err := getNode(e.Child)
+			if err != nil {
+				return shape, fmt.Errorf("spatial verify: term child %d: %w", e.Child, err)
+			}
+			if child.Level != n.Level-1 {
+				return shape, fmt.Errorf("spatial verify: term child %d level %d, want %d", e.Child, child.Level, n.Level-1)
+			}
+			// The child must be responsible for the term's rectangle:
+			// its direct region plus delegated regions must cover it.
+			if !coveredBy(e.Rect, child) {
+				return shape, fmt.Errorf("spatial verify: child %d not responsible for term rect %v (direct %v, %d sibs)", e.Child, e.Rect, child.Direct, len(child.Sibs))
+			}
+			if !seen[e.Child] {
+				seen[e.Child] = true
+				queue = append(queue, item{e.Child, n.Level - 1})
+			}
+		}
+	}
+
+	// Partition check: pairwise disjoint and exact total area.
+	for i := range dataRects {
+		for j := i + 1; j < len(dataRects); j++ {
+			if dataRects[i].Intersects(dataRects[j]) {
+				return shape, fmt.Errorf("spatial verify: data regions overlap: page %d %v vs page %d %v",
+					dataPids[i], dataRects[i], dataPids[j], dataRects[j])
+			}
+		}
+	}
+	var sumHi, sumLo uint64
+	for _, r := range dataRects {
+		hi, lo := r.Area()
+		sumLo += lo
+		if sumLo < lo {
+			sumHi++
+		}
+		sumHi += hi
+	}
+	// Full space area = 2^64 exactly: hi=1, lo=0.
+	if sumHi != 1 || sumLo != 0 {
+		return shape, fmt.Errorf("spatial verify: data regions cover area (%d,%d), want the full space", sumHi, sumLo)
+	}
+	return shape, nil
+}
+
+// coveredBy reports whether rect is covered by the node's responsibility:
+// its direct region plus its delegated sibling rects, recursively not
+// needed — delegation rects are responsibility by definition (§2.1.1).
+func coveredBy(rect Rect, n *Node) bool {
+	// Fast path: direct containment.
+	if n.Direct.ContainsRect(rect) {
+		return true
+	}
+	// General: every corner-region of rect must fall in direct or a sib.
+	// Because all regions arise from recursive halving of rect itself,
+	// checking that rect minus (direct + sibs) is empty via area
+	// accounting is exact.
+	regions := append([]Rect{n.Direct}, nil...)
+	for _, s := range n.Sibs {
+		regions = append(regions, s.Rect)
+	}
+	var wantHi, wantLo uint64 = rect.Area()
+	var sumHi, sumLo uint64
+	for _, r := range regions {
+		inter := intersect(rect, r)
+		if inter.Empty() {
+			continue
+		}
+		hi, lo := inter.Area()
+		sumLo += lo
+		if sumLo < lo {
+			sumHi++
+		}
+		sumHi += hi
+	}
+	// Regions are pairwise disjoint, so equality means exact cover.
+	return sumHi == wantHi && sumLo == wantLo
+}
+
+func intersect(a, b Rect) Rect {
+	r := Rect{
+		X0: maxU(a.X0, b.X0), Y0: maxU(a.Y0, b.Y0),
+		X1: minU(a.X1, b.X1), Y1: minU(a.Y1, b.Y1),
+	}
+	if r.X0 >= r.X1 || r.Y0 >= r.Y1 {
+		return Rect{}
+	}
+	return r
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

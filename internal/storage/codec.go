@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec translates a store's decoded page contents to and from bytes. Each
+// access method supplies one Codec for all of its node types; the pool
+// handles the meta page itself.
+type Codec interface {
+	// EncodePage serializes v. It must not retain v.
+	EncodePage(v any) ([]byte, error)
+	// DecodePage parses bytes produced by EncodePage.
+	DecodePage(b []byte) (any, error)
+}
+
+// Page images on disk are framed as:
+//
+//	[0:8]  pageLSN (little endian)
+//	[8]    type tag: tagMeta for the meta page, tagUser for codec pages
+//	[9:]   content
+const (
+	tagMeta byte = 0
+	tagUser byte = 1
+)
+
+var errShortImage = errors.New("storage: page image too short")
+
+func frameImage(pageLSN uint64, tag byte, content []byte) []byte {
+	img := make([]byte, 9+len(content))
+	binary.LittleEndian.PutUint64(img[0:8], pageLSN)
+	img[8] = tag
+	copy(img[9:], content)
+	return img
+}
+
+func unframeImage(img []byte) (pageLSN uint64, tag byte, content []byte, err error) {
+	if len(img) < 9 {
+		return 0, 0, nil, errShortImage
+	}
+	return binary.LittleEndian.Uint64(img[0:8]), img[8], img[9:], nil
+}
+
+// encodeFrameData serializes a frame's decoded contents using the store
+// codec or the built-in meta codec.
+func (p *Pool) encodeFrameData(data any) (tag byte, content []byte, err error) {
+	if m, ok := data.(*Meta); ok {
+		return tagMeta, m.encode(), nil
+	}
+	content, err = p.codec.EncodePage(data)
+	return tagUser, content, err
+}
+
+// decodeFrameData parses a stable image's content portion.
+func (p *Pool) decodeFrameData(tag byte, content []byte) (any, error) {
+	switch tag {
+	case tagMeta:
+		return decodeMeta(content)
+	case tagUser:
+		return p.codec.DecodePage(content)
+	default:
+		return nil, fmt.Errorf("storage: unknown page tag %d", tag)
+	}
+}

@@ -1,0 +1,401 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/latch"
+	"repro/internal/wal"
+)
+
+// ErrPageNotFound reports a Fetch of a page that is neither buffered nor
+// stable.
+var ErrPageNotFound = errors.New("storage: page not found")
+
+// Frame is a buffered page. The decoded contents (Data) are protected by
+// the frame's Latch: mutate only under X, read under S or U. Bookkeeping
+// (pageLSN, dirty, recLSN) has its own tiny mutex so fuzzy checkpoints can
+// snapshot it without latching the page.
+//
+// Protocol: pin (via Fetch/Create) before latching; unlatch before
+// unpinning. A pinned frame is never evicted.
+type Frame struct {
+	ID    PageID
+	Latch latch.Latch
+	// Data is the decoded page content; nil for a created-but-unformatted
+	// page (only recovery and fresh allocations see that state).
+	Data any
+
+	meta    sync.Mutex
+	pageLSN wal.LSN
+	dirty   bool
+	recLSN  wal.LSN // LSN that first dirtied the page since it was last clean
+
+	pins atomic.Int64
+	elem *list.Element // bounded pools only
+}
+
+// PageLSN returns the frame's current page LSN (its state identifier,
+// §5.2: "log sequence numbers are used for state identifiers in many
+// commercial systems").
+func (f *Frame) PageLSN() wal.LSN {
+	f.meta.Lock()
+	defer f.meta.Unlock()
+	return f.pageLSN
+}
+
+// MarkDirty records that the update logged at lsn changed this page. Call
+// under the frame's X latch, after appending the log record.
+func (f *Frame) MarkDirty(lsn wal.LSN) {
+	f.meta.Lock()
+	if !f.dirty {
+		f.dirty = true
+		f.recLSN = lsn
+	}
+	f.pageLSN = lsn
+	f.meta.Unlock()
+}
+
+// SetPageLSN overwrites the page LSN; recovery uses it when installing
+// redo results.
+func (f *Frame) SetPageLSN(lsn wal.LSN) {
+	f.meta.Lock()
+	if !f.dirty {
+		f.dirty = true
+		f.recLSN = lsn
+	}
+	f.pageLSN = lsn
+	f.meta.Unlock()
+}
+
+// Dirty reports whether the frame has unflushed changes.
+func (f *Frame) Dirty() bool {
+	f.meta.Lock()
+	defer f.meta.Unlock()
+	return f.dirty
+}
+
+// Pool is the buffer pool for one store. It enforces the WAL protocol: a
+// dirty page is flushed only after the log is forced through its pageLSN.
+//
+// Two regimes:
+//   - unbounded (capacity 0): frames live in a lock-free map and are
+//     never evicted — node visits take no pool-wide lock, which is what
+//     lets the concurrency experiments scale;
+//   - bounded: a mutex-guarded map with LRU eviction of unpinned,
+//     unlatched frames.
+type Pool struct {
+	StoreID uint32
+	disk    *Disk
+	log     *wal.Log
+	codec   Codec
+	cap     int // 0 = unbounded
+
+	// Unbounded regime.
+	fmap sync.Map // PageID -> *Frame
+
+	// Bounded regime.
+	mu     sync.Mutex
+	frames map[PageID]*Frame
+	lru    *list.List // least-recently fetched at front
+
+	flushCount atomic.Int64
+	missCount  atomic.Int64
+}
+
+// NewPool returns a pool over disk logging to log. capacity is the maximum
+// number of buffered frames (0 for unbounded). codec handles all non-meta
+// pages of the store.
+func NewPool(storeID uint32, disk *Disk, log *wal.Log, codec Codec, capacity int) *Pool {
+	p := &Pool{
+		StoreID: storeID,
+		disk:    disk,
+		log:     log,
+		codec:   codec,
+		cap:     capacity,
+	}
+	if capacity > 0 {
+		p.frames = make(map[PageID]*Frame)
+		p.lru = list.New()
+	}
+	return p
+}
+
+// Disk returns the pool's stable layer.
+func (p *Pool) Disk() *Disk { return p.disk }
+
+// Log returns the pool's write-ahead log.
+func (p *Pool) Log() *wal.Log { return p.log }
+
+// Fetch returns the frame for pid, pinned. The caller must Unpin it.
+func (p *Pool) Fetch(pid PageID) (*Frame, error) {
+	if p.cap == 0 {
+		if v, ok := p.fmap.Load(pid); ok {
+			f := v.(*Frame)
+			f.pins.Add(1)
+			return f, nil
+		}
+		f, err := p.loadFromDisk(pid)
+		if err != nil {
+			return nil, err
+		}
+		actual, loaded := p.fmap.LoadOrStore(pid, f)
+		af := actual.(*Frame)
+		if loaded {
+			// Another goroutine installed it first; both read the same
+			// stable image, so dropping ours is safe.
+			af.pins.Add(1)
+			return af, nil
+		}
+		af.pins.Add(1)
+		return af, nil
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[pid]; ok {
+		f.pins.Add(1)
+		p.lru.MoveToBack(f.elem)
+		return f, nil
+	}
+	f, err := p.loadFromDisk(pid)
+	if err != nil {
+		return nil, err
+	}
+	f.pins.Add(1)
+	p.installLocked(f)
+	return f, nil
+}
+
+// loadFromDisk reads and decodes the stable image of pid.
+func (p *Pool) loadFromDisk(pid PageID) (*Frame, error) {
+	img, ok := p.disk.Read(pid)
+	if !ok {
+		return nil, fmt.Errorf("%w: page %d", ErrPageNotFound, pid)
+	}
+	p.missCount.Add(1)
+	lsn, tag, content, err := unframeImage(img)
+	if err != nil {
+		return nil, err
+	}
+	data, err := p.decodeFrameData(tag, content)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{ID: pid, Data: data, pageLSN: wal.LSN(lsn)}, nil
+}
+
+// Create returns a pinned frame for a page that does not yet have valid
+// contents: a freshly allocated page, or a page recovery is about to
+// re-format. Data is nil and pageLSN zero unless a stale buffered frame
+// for pid already exists, in which case that frame is reused.
+func (p *Pool) Create(pid PageID) *Frame {
+	if p.cap == 0 {
+		f := &Frame{ID: pid}
+		actual, _ := p.fmap.LoadOrStore(pid, f)
+		af := actual.(*Frame)
+		af.pins.Add(1)
+		return af
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[pid]; ok {
+		f.pins.Add(1)
+		p.lru.MoveToBack(f.elem)
+		return f
+	}
+	f := &Frame{ID: pid}
+	f.pins.Add(1)
+	p.installLocked(f)
+	return f
+}
+
+// FetchOrCreate fetches pid if buffered or stable, and otherwise creates
+// an empty frame for it; recovery uses it while replaying formats of
+// pages that never reached the disk.
+func (p *Pool) FetchOrCreate(pid PageID) (*Frame, error) {
+	f, err := p.Fetch(pid)
+	if err == nil {
+		return f, nil
+	}
+	if errors.Is(err, ErrPageNotFound) {
+		return p.Create(pid), nil
+	}
+	return nil, err
+}
+
+// installLocked adds f to the bounded pool, evicting if over capacity.
+// Caller holds p.mu.
+func (p *Pool) installLocked(f *Frame) {
+	f.elem = p.lru.PushBack(f)
+	p.frames[f.ID] = f
+	p.evictLocked(len(p.frames) - p.cap)
+}
+
+// evictLocked tries to evict up to n frames. Caller holds p.mu.
+func (p *Pool) evictLocked(n int) {
+	e := p.lru.Front()
+	for n > 0 && e != nil {
+		next := e.Next()
+		f := e.Value.(*Frame)
+		if f.pins.Load() == 0 && f.Latch.TryAcquireX() {
+			if f.pins.Load() == 0 {
+				p.flush(f)
+				delete(p.frames, f.ID)
+				p.lru.Remove(e)
+				n--
+			}
+			f.Latch.ReleaseX()
+		}
+		e = next
+	}
+}
+
+// flush writes f to disk if dirty, forcing the log first (WAL protocol).
+// The caller must hold the frame's latch or have otherwise excluded
+// mutators.
+func (p *Pool) flush(f *Frame) {
+	f.meta.Lock()
+	dirty := f.dirty
+	lsn := f.pageLSN
+	f.meta.Unlock()
+	if !dirty || f.Data == nil {
+		return
+	}
+	tag, content, err := p.encodeFrameData(f.Data)
+	if err != nil {
+		// Encoding a buffered page can only fail on a programming error;
+		// surface it loudly rather than silently losing the page.
+		panic(fmt.Sprintf("storage: encode page %d: %v", f.ID, err))
+	}
+	p.log.Force(lsn)
+	p.disk.Write(f.ID, frameImage(uint64(lsn), tag, content))
+	f.meta.Lock()
+	f.dirty = false
+	f.recLSN = wal.NilLSN
+	f.meta.Unlock()
+	p.flushCount.Add(1)
+}
+
+// Unpin releases one pin on f.
+func (p *Pool) Unpin(f *Frame) {
+	if f.pins.Add(-1) < 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", f.ID))
+	}
+}
+
+// Drop removes pid from the pool without flushing, discarding buffered
+// changes; used when a page is de-allocated. The stable image, if any,
+// remains (recovery replays history over it).
+func (p *Pool) Drop(pid PageID) {
+	if p.cap == 0 {
+		if v, ok := p.fmap.Load(pid); ok {
+			if v.(*Frame).pins.Load() > 0 {
+				panic(fmt.Sprintf("storage: drop of pinned page %d", pid))
+			}
+			p.fmap.Delete(pid)
+		}
+		return
+	}
+	p.mu.Lock()
+	if f, ok := p.frames[pid]; ok {
+		if f.pins.Load() > 0 {
+			p.mu.Unlock()
+			panic(fmt.Sprintf("storage: drop of pinned page %d", pid))
+		}
+		p.lru.Remove(f.elem)
+		delete(p.frames, pid)
+	}
+	p.mu.Unlock()
+}
+
+// FlushPage flushes pid if it is buffered and dirty. The caller must not
+// hold the frame's latch; FlushPage takes an S latch to exclude mutators.
+func (p *Pool) FlushPage(pid PageID) {
+	f, ok := p.lookup(pid)
+	if !ok {
+		return
+	}
+	f.pins.Add(1)
+	f.Latch.AcquireS()
+	p.flush(f)
+	f.Latch.ReleaseS()
+	p.Unpin(f)
+}
+
+// lookup returns the buffered frame for pid, if any, without pinning.
+func (p *Pool) lookup(pid PageID) (*Frame, bool) {
+	if p.cap == 0 {
+		v, ok := p.fmap.Load(pid)
+		if !ok {
+			return nil, false
+		}
+		return v.(*Frame), true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	return f, ok
+}
+
+// snapshotFrames returns all buffered frames.
+func (p *Pool) snapshotFrames() []*Frame {
+	var out []*Frame
+	if p.cap == 0 {
+		p.fmap.Range(func(_, v any) bool {
+			out = append(out, v.(*Frame))
+			return true
+		})
+		return out
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		out = append(out, f)
+	}
+	return out
+}
+
+// FlushAll flushes every dirty frame whose latch is immediately available
+// (a fuzzy sweep; concurrently latched pages are skipped) and returns the
+// number flushed.
+func (p *Pool) FlushAll() int {
+	flushed := 0
+	for _, f := range p.snapshotFrames() {
+		if f.Latch.TryAcquireS() {
+			if f.Dirty() {
+				flushed++
+			}
+			p.flush(f)
+			f.Latch.ReleaseS()
+		}
+	}
+	return flushed
+}
+
+// DirtyPages snapshots the dirty page table: page ID to recLSN (the LSN
+// that first dirtied it). Fuzzy checkpoints log this.
+func (p *Pool) DirtyPages() map[PageID]wal.LSN {
+	out := make(map[PageID]wal.LSN)
+	for _, f := range p.snapshotFrames() {
+		f.meta.Lock()
+		if f.dirty {
+			out[f.ID] = f.recLSN
+		}
+		f.meta.Unlock()
+	}
+	return out
+}
+
+// Stats returns flush and miss counters.
+func (p *Pool) Stats() (flushes, misses int64) {
+	return p.flushCount.Load(), p.missCount.Load()
+}
+
+// BufferedCount returns the number of frames currently buffered.
+func (p *Pool) BufferedCount() int {
+	return len(p.snapshotFrames())
+}

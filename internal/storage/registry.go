@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// Compensation describes the page-oriented inverse of a logged update: the
+// operation that, applied through its Kind's Redo, undoes the original.
+// Rollback appends it as a CLR and applies it; restart redo replays the
+// CLR like any other record, which is what makes undo idempotent.
+type Compensation struct {
+	Kind    wal.Kind
+	StoreID uint32
+	PageID  PageID
+	Payload []byte
+}
+
+// Handler gives redo/undo semantics to one record Kind.
+type Handler struct {
+	// Redo applies the record's effect to the frame's decoded contents.
+	// The driver holds the frame's X latch, has verified pageLSN <
+	// rec.LSN, and sets the new pageLSN afterwards. Redo must be a pure
+	// function of (page state, record).
+	Redo func(f *Frame, rec *wal.Record) error
+	// MakeUndo returns the page-oriented compensation for rec. It must
+	// not touch pages. Nil for redo-only kinds (never undone).
+	MakeUndo func(rec *wal.Record) (Compensation, error)
+	// LogicalUndo, if set, performs a non-page-oriented undo: a full
+	// logical operation (e.g. a tree re-traversal delete) that does its
+	// own logging, ending with a CLR whose UndoNext is rec.PrevLSN. When
+	// set it takes precedence over MakeUndo during rollback.
+	LogicalUndo func(rec *wal.Record) error
+}
+
+// Registry maps record Kinds to Handlers and store IDs to Pools. One
+// Registry serves a whole environment (all stores sharing a log); both the
+// transaction manager (rollback) and restart recovery drive it.
+type Registry struct {
+	mu       sync.RWMutex
+	handlers map[wal.Kind]Handler
+	pools    map[uint32]*Pool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		handlers: make(map[wal.Kind]Handler),
+		pools:    make(map[uint32]*Pool),
+	}
+}
+
+// Register installs the handler for kind. Registering a kind twice panics:
+// kinds are compile-time constants and a collision is a coding error.
+func (r *Registry) Register(kind wal.Kind, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.handlers[kind]; dup {
+		panic(fmt.Sprintf("storage: duplicate handler for kind %d", kind))
+	}
+	r.handlers[kind] = h
+}
+
+// AddPool associates a store ID with its pool.
+func (r *Registry) AddPool(p *Pool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.pools[p.StoreID]; dup {
+		panic(fmt.Sprintf("storage: duplicate pool for store %d", p.StoreID))
+	}
+	r.pools[p.StoreID] = p
+}
+
+// Pool returns the pool for storeID.
+func (r *Registry) Pool(storeID uint32) (*Pool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.pools[storeID]
+	if !ok {
+		return nil, fmt.Errorf("storage: no pool for store %d", storeID)
+	}
+	return p, nil
+}
+
+// Handler returns the handler for kind.
+func (r *Registry) Handler(kind wal.Kind) (Handler, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.handlers[kind]
+	if !ok {
+		return Handler{}, fmt.Errorf("storage: no handler for kind %d", kind)
+	}
+	return h, nil
+}
+
+// ApplyRedo applies rec to its page if the page has not already seen it
+// (the pageLSN test), fetching or creating the frame as needed. It is the
+// single code path used both when compensations are applied during normal
+// rollback and when history is repeated at restart.
+func (r *Registry) ApplyRedo(rec *wal.Record) error {
+	h, err := r.Handler(rec.Kind)
+	if err != nil {
+		return err
+	}
+	p, err := r.Pool(rec.StoreID)
+	if err != nil {
+		return err
+	}
+	f, err := p.FetchOrCreate(PageID(rec.PageID))
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(f)
+	f.Latch.AcquireX()
+	defer f.Latch.ReleaseX()
+	if f.PageLSN() >= rec.LSN {
+		return nil // already reflected
+	}
+	if err := h.Redo(f, rec); err != nil {
+		return fmt.Errorf("redo kind %d page %d at LSN %d: %w", rec.Kind, rec.PageID, rec.LSN, err)
+	}
+	f.SetPageLSN(rec.LSN)
+	return nil
+}

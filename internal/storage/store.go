@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/latch"
+	"repro/internal/wal"
+)
+
+// Record kinds owned by package storage (meta-page operations). Other
+// packages allocate from their own ranges; see each package's kinds file.
+const (
+	// KindMetaFormat initializes an empty meta page.
+	KindMetaFormat wal.Kind = 1
+	// KindMetaAlloc records allocation of one page ID.
+	KindMetaAlloc wal.Kind = 2
+	// KindMetaFree records de-allocation of one page ID.
+	KindMetaFree wal.Kind = 3
+	// KindMetaSetRoot records a root-directory entry.
+	KindMetaSetRoot wal.Kind = 4
+)
+
+// MetaRank is the latch rank of the space-management page: strictly last,
+// per §4.1.1 ("space management information can be ordered last").
+const MetaRank latch.Rank = 1<<63 - 1
+
+// UpdateLogger is the slice of a transaction (or atomic action) that
+// logged page operations need: append an update record to the caller's
+// undo chain. *txn.Txn implements it.
+type UpdateLogger interface {
+	// LogUpdate appends a RecUpdate for (storeID, pageID, kind, payload)
+	// linked into the caller's chain, and returns its LSN.
+	LogUpdate(storeID uint32, pageID uint64, kind wal.Kind, payload []byte) wal.LSN
+}
+
+// Store bundles a pool with logged space management: page allocation,
+// de-allocation and the root directory all go through the meta page so
+// that restart recovery reconstructs them exactly.
+type Store struct {
+	Pool *Pool
+}
+
+// NewStore creates a store over the pool and registers the pool with reg.
+func NewStore(p *Pool, reg *Registry) *Store {
+	reg.AddPool(p)
+	return &Store{Pool: p}
+}
+
+// Bootstrap formats the meta page inside the caller's transaction or
+// atomic action. It must be the first operation on a fresh store.
+func (s *Store) Bootstrap(lg UpdateLogger) error {
+	f := s.Pool.Create(MetaPage)
+	defer s.Pool.Unpin(f)
+	f.Latch.AcquireX()
+	defer f.Latch.ReleaseX()
+	if f.Data != nil {
+		return fmt.Errorf("storage: bootstrap of non-empty store %d", s.Pool.StoreID)
+	}
+	f.Data = NewMeta()
+	lsn := lg.LogUpdate(s.Pool.StoreID, uint64(MetaPage), KindMetaFormat, nil)
+	f.MarkDirty(lsn)
+	return nil
+}
+
+// withMeta runs fn with the meta frame X-latched.
+func (s *Store) withMeta(t *latch.Tracker, fn func(f *Frame, m *Meta) error) error {
+	f, err := s.Pool.Fetch(MetaPage)
+	if err != nil {
+		return err
+	}
+	defer s.Pool.Unpin(f)
+	f.Latch.AcquireX()
+	t.Acquired(&f.Latch, MetaRank, latch.X)
+	defer func() {
+		t.Released(&f.Latch)
+		f.Latch.ReleaseX()
+	}()
+	m, ok := f.Data.(*Meta)
+	if !ok {
+		return fmt.Errorf("storage: meta page of store %d has wrong type %T", s.Pool.StoreID, f.Data)
+	}
+	return fn(f, m)
+}
+
+// Alloc allocates a page ID, logging the allocation in lg's chain. The
+// meta latch is acquired and released inside, honoring the "space
+// management last" order; t, if enabled, asserts it.
+func (s *Store) Alloc(lg UpdateLogger, t *latch.Tracker) (PageID, error) {
+	var pid PageID
+	err := s.withMeta(t, func(f *Frame, m *Meta) error {
+		pid = m.AllocLocal()
+		lsn := lg.LogUpdate(s.Pool.StoreID, uint64(MetaPage), KindMetaAlloc, encodePID(pid))
+		f.MarkDirty(lsn)
+		return nil
+	})
+	return pid, err
+}
+
+// Free returns pid to the free list, logging the de-allocation.
+func (s *Store) Free(lg UpdateLogger, t *latch.Tracker, pid PageID) error {
+	return s.withMeta(t, func(f *Frame, m *Meta) error {
+		if m.IsFree(pid) || pid >= m.Next || pid == MetaPage {
+			return fmt.Errorf("storage: free of invalid page %d", pid)
+		}
+		m.FreeLocal(pid)
+		lsn := lg.LogUpdate(s.Pool.StoreID, uint64(MetaPage), KindMetaFree, encodePID(pid))
+		f.MarkDirty(lsn)
+		return nil
+	})
+}
+
+// SetRoot records name -> pid in the root directory.
+func (s *Store) SetRoot(lg UpdateLogger, t *latch.Tracker, name string, pid PageID) error {
+	return s.withMeta(t, func(f *Frame, m *Meta) error {
+		m.Roots[name] = pid
+		lsn := lg.LogUpdate(s.Pool.StoreID, uint64(MetaPage), KindMetaSetRoot, encodeSetRoot(name, pid))
+		f.MarkDirty(lsn)
+		return nil
+	})
+}
+
+// Root looks up a root directory entry.
+func (s *Store) Root(name string) (PageID, error) {
+	f, err := s.Pool.Fetch(MetaPage)
+	if err != nil {
+		return NilPage, err
+	}
+	defer s.Pool.Unpin(f)
+	f.Latch.AcquireS()
+	defer f.Latch.ReleaseS()
+	m, ok := f.Data.(*Meta)
+	if !ok {
+		return NilPage, fmt.Errorf("storage: meta page of store %d has wrong type %T", s.Pool.StoreID, f.Data)
+	}
+	pid, ok := m.Roots[name]
+	if !ok || pid == NilPage {
+		return NilPage, fmt.Errorf("storage: no root named %q in store %d", name, s.Pool.StoreID)
+	}
+	return pid, nil
+}
+
+// IsAllocated reports whether pid is currently allocated (not on the free
+// list and below the high-water mark). Node-consolidation verification in
+// CP mode uses it in tests.
+func (s *Store) IsAllocated(pid PageID) (bool, error) {
+	f, err := s.Pool.Fetch(MetaPage)
+	if err != nil {
+		return false, err
+	}
+	defer s.Pool.Unpin(f)
+	f.Latch.AcquireS()
+	defer f.Latch.ReleaseS()
+	m, ok := f.Data.(*Meta)
+	if !ok {
+		return false, fmt.Errorf("storage: meta page of store %d has wrong type %T", s.Pool.StoreID, f.Data)
+	}
+	return pid < m.Next && pid != MetaPage && !m.IsFree(pid), nil
+}
+
+func encodePID(pid PageID) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(pid))
+	return b[:]
+}
+
+func decodePID(b []byte) (PageID, error) {
+	if len(b) != 8 {
+		return NilPage, fmt.Errorf("storage: bad pid payload length %d", len(b))
+	}
+	return PageID(binary.LittleEndian.Uint64(b)), nil
+}
+
+func encodeSetRoot(name string, pid PageID) []byte {
+	b := make([]byte, 8+len(name))
+	binary.LittleEndian.PutUint64(b, uint64(pid))
+	copy(b[8:], name)
+	return b
+}
+
+func decodeSetRoot(b []byte) (string, PageID, error) {
+	if len(b) < 8 {
+		return "", NilPage, fmt.Errorf("storage: bad setroot payload length %d", len(b))
+	}
+	return string(b[8:]), PageID(binary.LittleEndian.Uint64(b)), nil
+}
+
+// RegisterMetaHandlers installs redo/undo for the meta-page kinds. Call
+// once per environment (registry), not per store.
+func RegisterMetaHandlers(reg *Registry) {
+	reg.Register(KindMetaFormat, Handler{
+		Redo: func(f *Frame, rec *wal.Record) error {
+			f.Data = NewMeta()
+			return nil
+		},
+		// Formatting the meta page is never undone: it happens once at
+		// store creation, before anything can depend on it.
+		MakeUndo: nil,
+	})
+	reg.Register(KindMetaAlloc, Handler{
+		Redo: func(f *Frame, rec *wal.Record) error {
+			m, ok := f.Data.(*Meta)
+			if !ok {
+				return fmt.Errorf("storage: alloc redo on non-meta page")
+			}
+			pid, err := decodePID(rec.Payload)
+			if err != nil {
+				return err
+			}
+			m.RemoveFree(pid)
+			if pid >= m.Next {
+				m.Next = pid + 1
+			}
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (Compensation, error) {
+			return Compensation{Kind: KindMetaFree, StoreID: rec.StoreID, PageID: PageID(rec.PageID), Payload: rec.Payload}, nil
+		},
+	})
+	reg.Register(KindMetaFree, Handler{
+		Redo: func(f *Frame, rec *wal.Record) error {
+			m, ok := f.Data.(*Meta)
+			if !ok {
+				return fmt.Errorf("storage: free redo on non-meta page")
+			}
+			pid, err := decodePID(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if !m.IsFree(pid) {
+				m.FreeLocal(pid)
+			}
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (Compensation, error) {
+			return Compensation{Kind: KindMetaAlloc, StoreID: rec.StoreID, PageID: PageID(rec.PageID), Payload: rec.Payload}, nil
+		},
+	})
+	reg.Register(KindMetaSetRoot, Handler{
+		Redo: func(f *Frame, rec *wal.Record) error {
+			m, ok := f.Data.(*Meta)
+			if !ok {
+				return fmt.Errorf("storage: setroot redo on non-meta page")
+			}
+			name, pid, err := decodeSetRoot(rec.Payload)
+			if err != nil {
+				return err
+			}
+			m.Roots[name] = pid
+			return nil
+		},
+		// Root creation happens in the index-creation atomic action; undo
+		// removes the entry.
+		LogicalUndo: nil,
+		MakeUndo: func(rec *wal.Record) (Compensation, error) {
+			// Compensate by pointing the name at NilPage; lookups treat
+			// that as absent. (Index creation aborting is the only path.)
+			name, _, err := decodeSetRoot(rec.Payload)
+			if err != nil {
+				return Compensation{}, err
+			}
+			return Compensation{Kind: KindMetaSetRoot, StoreID: rec.StoreID, PageID: PageID(rec.PageID), Payload: encodeSetRoot(name, NilPage)}, nil
+		},
+	})
+}

@@ -1,0 +1,428 @@
+// Package tsb implements the Time-Split B-tree of Lomet & Salzberg (1989)
+// as a Π-tree instance (§2.2.2 of the 1992 paper): a versioned index over
+// key × time, maintained with the same decomposed atomic actions, side
+// pointers, and lazy index-term posting as the B-link instance in
+// internal/core.
+//
+// Every node is responsible for a rectangle of key × time space. A node
+// delegates the high part of its key range to a KEY SIBLING (key split)
+// and the old part of its time range to a HISTORY SIBLING (time split):
+//
+//	"A time split produces a new (historical) node with the original node
+//	 directly containing the more recent time. ... A key split produces a
+//	 new (current) node ... The new node will contain a copy of the
+//	 history sibling pointer. It makes the new current node responsible
+//	 for not merely its current key space, but for the entire history of
+//	 this key space."
+//
+// Historical nodes never split again, so nodes are immortal and the CNS
+// invariant (§5.2.1) governs traversals: one latch at a time, trusted
+// saved state. Index terms carry child rectangles; index-node key splits
+// may CLIP a wide historical term into both halves (§3.2.2), which is the
+// multi-parent machinery of the paper arising naturally.
+package tsb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/enc"
+	"repro/internal/keys"
+	"repro/internal/storage"
+)
+
+// NoEnd is the open upper time bound of current nodes and live versions.
+const NoEnd uint64 = math.MaxUint64
+
+// Rect is a rectangle in key × time space: keys in [KeyLow, KeyHigh),
+// times in [TimeLow, TimeHigh). A nil KeyLow is the minimum key; an
+// Unbounded KeyHigh and a TimeHigh of NoEnd are the open sides.
+type Rect struct {
+	KeyLow   keys.Key
+	KeyHigh  keys.Bound
+	TimeLow  uint64
+	TimeHigh uint64
+}
+
+// EntireRect covers all keys at all times.
+func EntireRect() Rect {
+	return Rect{KeyLow: nil, KeyHigh: keys.Inf, TimeLow: 0, TimeHigh: NoEnd}
+}
+
+// Contains reports whether the rectangle contains the point (k, t).
+func (r Rect) Contains(k keys.Key, t uint64) bool {
+	if r.KeyLow != nil && keys.Compare(k, r.KeyLow) < 0 {
+		return false
+	}
+	if !r.KeyHigh.ContainsBelow(k) {
+		return false
+	}
+	return t >= r.TimeLow && t < r.TimeHigh
+}
+
+// ContainsKey reports whether k is within the key range.
+func (r Rect) ContainsKey(k keys.Key) bool {
+	if r.KeyLow != nil && keys.Compare(k, r.KeyLow) < 0 {
+		return false
+	}
+	return r.KeyHigh.ContainsBelow(k)
+}
+
+// SpansKey reports whether the rectangle's key range strictly contains
+// the boundary k in its interior (the clipping condition).
+func (r Rect) SpansKey(k keys.Key) bool {
+	if r.KeyLow != nil && keys.Compare(k, r.KeyLow) <= 0 {
+		return false
+	}
+	return r.KeyHigh.ContainsBelow(k) || r.KeyHigh.Unbounded
+}
+
+// String renders the rectangle for diagnostics.
+func (r Rect) String() string {
+	kl := "-inf"
+	if r.KeyLow != nil {
+		kl = fmt.Sprintf("%x", []byte(r.KeyLow))
+	}
+	kh := "+inf"
+	if !r.KeyHigh.Unbounded {
+		kh = fmt.Sprintf("%x", []byte(r.KeyHigh.Key))
+	}
+	th := "now"
+	if r.TimeHigh != NoEnd {
+		th = fmt.Sprintf("%d", r.TimeHigh)
+	}
+	return fmt.Sprintf("[%s,%s)x[%d,%s)", kl, kh, r.TimeLow, th)
+}
+
+// Entry is one slot of a TSB node.
+//
+//   - Data nodes (level 0): a record VERSION — Key, Start (the version's
+//     creation time), Value, and Deleted (a tombstone version). A version
+//     is alive from Start until the next version of the same key.
+//   - Index nodes (level 1): an index term — ChildRect and Child.
+//   - Index nodes (level >= 2): a key-only term — Key (low bound), Child.
+type Entry struct {
+	Key       keys.Key
+	Start     uint64
+	Value     []byte
+	Deleted   bool
+	Child     storage.PageID
+	ChildRect Rect
+	// Clipped marks a term installed under clipping: its child may have
+	// further parents (§3.3's multi-parent mark).
+	Clipped bool
+}
+
+// Node is the decoded contents of one TSB page.
+type Node struct {
+	// Level is 0 for data nodes.
+	Level int
+	// Rect is the node's DIRECTLY CONTAINED rectangle: KeyHigh and
+	// TimeLow move as the node delegates space; KeyLow and TimeHigh are
+	// fixed at creation (TimeHigh becomes fixed when a current node is
+	// time-split into history).
+	Rect Rect
+	// KeySib is the side pointer to the node responsible for
+	// [KeyHigh, ...) × the node's full history.
+	KeySib storage.PageID
+	// HistSib is the side pointer to the historical node responsible for
+	// the node's key range at times before TimeLow.
+	HistSib storage.PageID
+	// Entries are sorted by (Key, Start) in data nodes, by
+	// (KeyLow=Key of rect, TimeLow) in level-1 nodes, and by Key in
+	// higher index nodes.
+	Entries []Entry
+}
+
+// IsData reports whether the node is a data node.
+func (n *Node) IsData() bool { return n.Level == 0 }
+
+// Current reports whether the node's time range is open-ended.
+func (n *Node) Current() bool { return n.Rect.TimeHigh == NoEnd }
+
+// searchVersion returns the index of the live-at-t version of key, if
+// any: the entry with the largest Start <= t among entries of that key.
+func (n *Node) searchVersion(k keys.Key, t uint64) (int, bool) {
+	// First entry with Key >= k.
+	i := sort.Search(len(n.Entries), func(i int) bool {
+		c := keys.Compare(n.Entries[i].Key, k)
+		return c > 0 || (c == 0 && n.Entries[i].Start > t)
+	})
+	// The candidate is the previous entry if it is a version of k.
+	if i == 0 {
+		return 0, false
+	}
+	if !keys.Equal(n.Entries[i-1].Key, k) {
+		return i - 1, false
+	}
+	return i - 1, true
+}
+
+// versionPos returns the insertion position for (k, start) and whether an
+// identical version exists.
+func (n *Node) versionPos(k keys.Key, start uint64) (int, bool) {
+	i := sort.Search(len(n.Entries), func(i int) bool {
+		c := keys.Compare(n.Entries[i].Key, k)
+		return c > 0 || (c == 0 && n.Entries[i].Start >= start)
+	})
+	if i < len(n.Entries) && keys.Equal(n.Entries[i].Key, k) && n.Entries[i].Start == start {
+		return i, true
+	}
+	return i, false
+}
+
+// insertVersion places a version at its sorted position; it reports false
+// if an identical (key, start) version already exists.
+func (n *Node) insertVersion(e Entry) bool {
+	i, dup := n.versionPos(e.Key, e.Start)
+	if dup {
+		return false
+	}
+	n.Entries = append(n.Entries, Entry{})
+	copy(n.Entries[i+1:], n.Entries[i:])
+	n.Entries[i] = e
+	return true
+}
+
+// removeVersion deletes the exact (key, start) version.
+func (n *Node) removeVersion(k keys.Key, start uint64) bool {
+	i, ok := n.versionPos(k, start)
+	if !ok {
+		return false
+	}
+	n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+	return true
+}
+
+// termPos returns the insertion position for a level-1 term sorted by
+// (KeyLow, TimeLow), and whether a term for the same child exists.
+func (n *Node) termFor(child storage.PageID) (int, bool) {
+	for i := range n.Entries {
+		if n.Entries[i].Child == child {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// insertTerm places a level-1 rect-term sorted by (KeyLow, TimeLow).
+func (n *Node) insertTerm(e Entry) {
+	i := sort.Search(len(n.Entries), func(i int) bool {
+		c := keys.Compare(n.Entries[i].ChildRect.KeyLow, e.ChildRect.KeyLow)
+		return c > 0 || (c == 0 && n.Entries[i].ChildRect.TimeLow >= e.ChildRect.TimeLow)
+	})
+	n.Entries = append(n.Entries, Entry{})
+	copy(n.Entries[i+1:], n.Entries[i:])
+	n.Entries[i] = e
+}
+
+// chooseTerm picks the level-1 term to descend to for the point (k, t).
+// Because posting is lazy, the containing term may be absent; the chosen
+// child then only APPROXIMATELY contains the point and the data-level
+// side pointers (key sibling, history sibling) finish the job. Priority:
+//
+//  1. a key-covering term with the largest TimeLow <= t (exact or the
+//     closest newer-than-t start, since the child's history chain reaches
+//     older times);
+//  2. a key-covering term with the smallest TimeLow (t predates every
+//     posted term: descend to the oldest and chase history siblings);
+//  3. the term with the largest KeyLow <= k, most current first (key
+//     sibling traversal will move right).
+//
+// ok is false only when no entry has KeyLow <= k, which a well-formed
+// node never exhibits for points in its directly contained space.
+func (n *Node) chooseTerm(k keys.Key, t uint64) (Entry, bool) {
+	// containing: rect contains (k,t) exactly — prefer the largest
+	// TimeLow (tightest). current: rect covers k with an open time end —
+	// always a safe landing (its history chain reaches all older times),
+	// preferred with the largest KeyLow (closest current node). belowKey:
+	// last resort when no rect covers k (only lower key groups posted):
+	// prefer open-ended time so the landing has key siblings to follow.
+	containing, current, belowKey := -1, -1, -1
+	for i := range n.Entries {
+		r := n.Entries[i].ChildRect
+		if r.KeyLow != nil && keys.Compare(k, r.KeyLow) < 0 {
+			continue
+		}
+		if belowKey == -1 ||
+			(r.TimeHigh == NoEnd && n.Entries[belowKey].ChildRect.TimeHigh != NoEnd) ||
+			(r.TimeHigh == NoEnd) == (n.Entries[belowKey].ChildRect.TimeHigh == NoEnd) &&
+				keys.Compare(r.KeyLow, n.Entries[belowKey].ChildRect.KeyLow) > 0 {
+			belowKey = i
+		}
+		if !r.ContainsKey(k) {
+			continue
+		}
+		if r.Contains(k, t) {
+			// Prefer the most specific containing term: largest KeyLow
+			// (closest key group), then largest TimeLow (tightest time).
+			if containing == -1 {
+				containing = i
+			} else {
+				cur := n.Entries[containing].ChildRect
+				if c := keys.Compare(r.KeyLow, cur.KeyLow); c > 0 || (c == 0 && r.TimeLow > cur.TimeLow) {
+					containing = i
+				}
+			}
+		}
+		if r.TimeHigh == NoEnd && (current == -1 || keys.Compare(r.KeyLow, n.Entries[current].ChildRect.KeyLow) > 0) {
+			current = i
+		}
+	}
+	switch {
+	case containing >= 0:
+		return n.Entries[containing], true
+	case current >= 0:
+		return n.Entries[current], true
+	case belowKey >= 0:
+		return n.Entries[belowKey], true
+	}
+	return Entry{}, false
+}
+
+// keyChildFor is the level->=2 lookup: largest entry Key <= k.
+func (n *Node) keyChildFor(k keys.Key) (Entry, bool) {
+	i := sort.Search(len(n.Entries), func(i int) bool {
+		return keys.Compare(n.Entries[i].Key, k) > 0
+	})
+	if i == 0 {
+		return Entry{}, false
+	}
+	return n.Entries[i-1], true
+}
+
+// insertKeyTerm places a key-only term (level >= 2).
+func (n *Node) insertKeyTerm(e Entry) bool {
+	i := sort.Search(len(n.Entries), func(i int) bool {
+		return keys.Compare(n.Entries[i].Key, e.Key) >= 0
+	})
+	if i < len(n.Entries) && keys.Equal(n.Entries[i].Key, e.Key) {
+		return false
+	}
+	n.Entries = append(n.Entries, Entry{})
+	copy(n.Entries[i+1:], n.Entries[i:])
+	n.Entries[i] = e
+	return true
+}
+
+// clone returns a deep copy.
+func (n *Node) clone() *Node {
+	c := &Node{Level: n.Level, Rect: cloneRect(n.Rect), KeySib: n.KeySib, HistSib: n.HistSib}
+	c.Entries = make([]Entry, len(n.Entries))
+	for i, e := range n.Entries {
+		c.Entries[i] = cloneEntry(e)
+	}
+	return c
+}
+
+func cloneRect(r Rect) Rect {
+	r.KeyLow = keys.Clone(r.KeyLow)
+	r.KeyHigh.Key = keys.Clone(r.KeyHigh.Key)
+	return r
+}
+
+func cloneEntry(e Entry) Entry {
+	out := e
+	out.Key = keys.Clone(e.Key)
+	if e.Value != nil {
+		out.Value = append([]byte(nil), e.Value...)
+	}
+	out.ChildRect = cloneRect(e.ChildRect)
+	return out
+}
+
+// --- serialization --------------------------------------------------------
+
+func encodeRect(w *enc.Writer, r Rect) {
+	w.Bytes32(r.KeyLow)
+	w.Bool(r.KeyHigh.Unbounded)
+	w.Bytes32(r.KeyHigh.Key)
+	w.U64(r.TimeLow)
+	w.U64(r.TimeHigh)
+}
+
+func decodeRect(r *enc.Reader) Rect {
+	var out Rect
+	out.KeyLow = r.Bytes32()
+	out.KeyHigh.Unbounded = r.Bool()
+	out.KeyHigh.Key = r.Bytes32()
+	out.TimeLow = r.U64()
+	out.TimeHigh = r.U64()
+	return out
+}
+
+func encodeEntry(w *enc.Writer, e Entry) {
+	w.Bytes32(e.Key)
+	w.U64(e.Start)
+	w.Bytes32(e.Value)
+	w.Bool(e.Deleted)
+	w.U64(uint64(e.Child))
+	encodeRect(w, e.ChildRect)
+	w.Bool(e.Clipped)
+}
+
+func decodeEntry(r *enc.Reader) Entry {
+	var e Entry
+	e.Key = r.Bytes32()
+	e.Start = r.U64()
+	e.Value = r.Bytes32()
+	e.Deleted = r.Bool()
+	e.Child = storage.PageID(r.U64())
+	e.ChildRect = decodeRect(r)
+	e.Clipped = r.Bool()
+	return e
+}
+
+func encodeNode(w *enc.Writer, n *Node) {
+	w.U16(uint16(n.Level))
+	encodeRect(w, n.Rect)
+	w.U64(uint64(n.KeySib))
+	w.U64(uint64(n.HistSib))
+	w.U32(uint32(len(n.Entries)))
+	for _, e := range n.Entries {
+		encodeEntry(w, e)
+	}
+}
+
+func decodeNode(r *enc.Reader) (*Node, error) {
+	n := &Node{}
+	n.Level = int(r.U16())
+	n.Rect = decodeRect(r)
+	n.KeySib = storage.PageID(r.U64())
+	n.HistSib = storage.PageID(r.U64())
+	cnt := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	n.Entries = make([]Entry, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		n.Entries = append(n.Entries, decodeEntry(r))
+	}
+	return n, r.Err()
+}
+
+func encNodeImage(n *Node) []byte {
+	var w enc.Writer
+	encodeNode(&w, n)
+	return w.Bytes()
+}
+
+// Codec is the storage.Codec for TSB pages.
+type Codec struct{}
+
+// EncodePage implements storage.Codec.
+func (Codec) EncodePage(v any) ([]byte, error) {
+	n, ok := v.(*Node)
+	if !ok {
+		return nil, fmt.Errorf("tsb: cannot encode page of type %T", v)
+	}
+	var w enc.Writer
+	encodeNode(&w, n)
+	return w.Bytes(), nil
+}
+
+// DecodePage implements storage.Codec.
+func (Codec) DecodePage(b []byte) (any, error) {
+	return decodeNode(enc.NewReader(b))
+}

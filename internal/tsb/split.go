@@ -1,0 +1,545 @@
+package tsb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/keys"
+	"repro/internal/latch"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// postTask asks for the index term describing a committed split to be
+// posted at parentLevel: a rectangle term when the parent is level 1, a
+// key-only term higher up.
+type postTask struct {
+	parentLevel int
+	child       storage.PageID
+	rect        Rect
+}
+
+func (t postTask) key() string { return fmt.Sprintf("%d:%d", t.parentLevel, t.child) }
+
+// completer mirrors internal/core's: schedule is non-blocking and safe
+// under latches; execution re-tests state, so duplicates are no-ops.
+type completer struct {
+	t       *Tree
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tasks   []postTask
+	pending map[string]struct{}
+	active  int
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+func newCompleter(t *Tree) *completer {
+	c := &completer{t: t, pending: make(map[string]struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	if !t.opts.SyncCompletion {
+		for i := 0; i < t.opts.CompletionWorkers; i++ {
+			c.wg.Add(1)
+			go c.worker()
+		}
+	}
+	return c
+}
+
+func (c *completer) schedule(task postTask) {
+	if c.t.opts.NoCompletion {
+		return
+	}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	if _, dup := c.pending[task.key()]; dup {
+		c.mu.Unlock()
+		return
+	}
+	c.pending[task.key()] = struct{}{}
+	c.tasks = append(c.tasks, task)
+	c.t.Stats.PostsScheduled.Add(1)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *completer) pop(block bool) (postTask, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.tasks) == 0 {
+		if !block || c.stopped {
+			return postTask{}, false
+		}
+		c.cond.Wait()
+	}
+	task := c.tasks[0]
+	c.tasks = c.tasks[1:]
+	delete(c.pending, task.key())
+	c.active++
+	return task, true
+}
+
+func (c *completer) done() {
+	c.mu.Lock()
+	c.active--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *completer) worker() {
+	defer c.wg.Done()
+	for {
+		task, ok := c.pop(true)
+		if !ok {
+			return
+		}
+		c.t.postTerm(task)
+		c.done()
+	}
+}
+
+func (c *completer) drain() {
+	if c.t.opts.SyncCompletion {
+		for {
+			task, ok := c.pop(false)
+			if !ok {
+				return
+			}
+			c.t.postTerm(task)
+			c.done()
+		}
+	}
+	c.mu.Lock()
+	for len(c.tasks) > 0 || c.active > 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+func (c *completer) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.tasks = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// noteKeySibling schedules posting for a key sibling discovered by a side
+// traversal (lazy completion, §5.1). The sibling's current direct
+// rectangle is read under its latch when posted; here the delegation
+// boundary suffices.
+func (t *Tree) noteKeySibling(n *Node, pid storage.PageID) {
+	if n.KeySib == storage.NilPage || n.Rect.KeyHigh.Unbounded {
+		return
+	}
+	t.comp.schedule(postTask{
+		parentLevel: n.Level + 1,
+		child:       n.KeySib,
+		rect: Rect{
+			KeyLow:   keys.Clone(n.Rect.KeyHigh.Key),
+			KeyHigh:  keys.Inf, // refined at posting time for level-1 terms
+			TimeLow:  n.Rect.TimeLow,
+			TimeHigh: n.Rect.TimeHigh,
+		},
+	})
+}
+
+// noteHistSibling schedules posting for a history sibling.
+func (t *Tree) noteHistSibling(n *Node) {
+	if n.HistSib == storage.NilPage || !n.IsData() {
+		return
+	}
+	t.comp.schedule(postTask{
+		parentLevel: 1,
+		child:       n.HistSib,
+		rect: Rect{
+			KeyLow:   keys.Clone(n.Rect.KeyLow),
+			KeyHigh:  n.Rect.KeyHigh,
+			TimeLow:  0,
+			TimeHigh: n.Rect.TimeLow,
+		},
+	})
+}
+
+// splitData splits the full, U-latched data node as an independent atomic
+// action: a TIME split when enough of the node is history (dead
+// versions), a KEY split otherwise (§2.2.2, Figure 1). The latch is
+// released on return; the caller retries its operation.
+func (t *Tree) splitData(o *opCtx, leaf *nref) error {
+	aa := t.tm.BeginAtomicAction()
+	o.promote(leaf)
+	n := leaf.n
+	pre := n.clone()
+
+	distinct := 0
+	var prevKey keys.Key
+	for _, e := range n.Entries {
+		if prevKey == nil || !keys.Equal(prevKey, e.Key) {
+			distinct++
+			prevKey = e.Key
+		}
+	}
+
+	timeSplit := distinct <= int(float64(len(n.Entries))*t.opts.CurrentFraction) && distinct < len(n.Entries)
+	if distinct < 2 {
+		timeSplit = true // single-key node: only history can leave
+	}
+	if timeSplit && distinct == len(n.Entries) {
+		// Nothing would leave: forced to key split (distinct >= 2 here).
+		timeSplit = false
+	}
+
+	newPid, err := t.store.Alloc(aa, &o.tr)
+	if err != nil {
+		o.release(leaf)
+		_ = aa.Abort()
+		return err
+	}
+
+	var newNode *Node
+	var taskRect Rect
+	if timeSplit {
+		ts := t.tick()
+		newNode = &Node{
+			Level: 0,
+			Rect: Rect{
+				KeyLow:   keys.Clone(n.Rect.KeyLow),
+				KeyHigh:  n.Rect.KeyHigh,
+				TimeLow:  n.Rect.TimeLow,
+				TimeHigh: ts,
+			},
+			// "New historic nodes contain copies of old history
+			// pointers" (Figure 1).
+			HistSib: n.HistSib,
+			Entries: historyContents(pre, ts),
+		}
+		newNode.Rect.KeyHigh.Key = keys.Clone(newNode.Rect.KeyHigh.Key)
+		taskRect = cloneRect(newNode.Rect)
+		t.formatNode(o, aa, newPid, newNode)
+		lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindTimeSplit, encTimeSplit(ts, newPid, pre))
+		applyTimeSplit(n, ts, newPid)
+		leaf.f.MarkDirty(lsn)
+		t.Stats.TimeSplits.Add(1)
+	} else {
+		k := t.medianKey(n)
+		newNode = &Node{
+			Level: 0,
+			Rect: Rect{
+				KeyLow:   keys.Clone(k),
+				KeyHigh:  n.Rect.KeyHigh,
+				TimeLow:  n.Rect.TimeLow,
+				TimeHigh: NoEnd,
+			},
+			KeySib: n.KeySib,
+			// "The new node will contain a copy of the history sibling
+			// pointer": the new current node is responsible for the
+			// entire history of its key space.
+			HistSib: n.HistSib,
+		}
+		newNode.Rect.KeyHigh.Key = keys.Clone(newNode.Rect.KeyHigh.Key)
+		for _, e := range pre.Entries {
+			if keys.Compare(e.Key, k) >= 0 {
+				newNode.Entries = append(newNode.Entries, cloneEntry(e))
+			}
+		}
+		taskRect = cloneRect(newNode.Rect)
+		t.formatNode(o, aa, newPid, newNode)
+		lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindKeySplit, encKeySplit(k, newPid, pre))
+		applyKeySplit(n, k, newPid)
+		leaf.f.MarkDirty(lsn)
+		t.Stats.KeySplits.Add(1)
+	}
+
+	// Commit before unlatching, then schedule the separate posting
+	// action (§3.2.1 step 6).
+	cerr := aa.Commit()
+	o.release(leaf)
+	if cerr != nil {
+		return cerr
+	}
+	t.comp.schedule(postTask{parentLevel: 1, child: newPid, rect: taskRect})
+	return nil
+}
+
+// medianKey picks the median distinct key of a data node (strictly above
+// its low bound, so both halves are non-empty).
+func (t *Tree) medianKey(n *Node) keys.Key {
+	var distinct []keys.Key
+	for i, e := range n.Entries {
+		if i == 0 || !keys.Equal(n.Entries[i-1].Key, e.Key) {
+			distinct = append(distinct, e.Key)
+		}
+	}
+	k := distinct[len(distinct)/2]
+	if len(distinct) >= 2 && (n.Rect.KeyLow == nil || keys.Compare(k, n.Rect.KeyLow) > 0) {
+		return keys.Clone(k)
+	}
+	return keys.Clone(distinct[len(distinct)-1])
+}
+
+// formatNode creates and logs a fresh node image under the action.
+func (t *Tree) formatNode(o *opCtx, aa logUpdater, pid storage.PageID, n *Node) {
+	f := t.store.Pool.Create(pid)
+	f.Latch.AcquireX()
+	o.tr.Acquired(&f.Latch, o.rank(n.Level), latch.X)
+	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(pid), KindFormat, encNodeImage(n))
+	f.Data = n
+	f.MarkDirty(lsn)
+	o.tr.Released(&f.Latch)
+	f.Latch.ReleaseX()
+	t.store.Pool.Unpin(f)
+}
+
+// logUpdater is the logging slice of txn.Txn used here.
+type logUpdater interface {
+	LogUpdate(storeID uint32, pageID uint64, kind wal.Kind, payload []byte) wal.LSN
+}
+
+// postTerm is the completing atomic action for TSB splits: post the index
+// term describing the child in the level task.parentLevel index node
+// whose key range covers the child's low key. It follows §5.3 — Search,
+// Verify (posted-test; under CNS the child's existence needs no
+// verification, nodes are immortal), Space Test (index key split with
+// clipping, or root growth), Update — with all latches retained until the
+// action commits.
+func (t *Tree) postTerm(task postTask) {
+	_ = t.retryLoop(func() error {
+		o := t.newOp(nil)
+		defer o.tr.AssertNoneHeld()
+		node, err := t.descend(o, task.rect.KeyLow, NoEnd-1, task.parentLevel, latch.U, false)
+		if errors.Is(err, errLevelGone) {
+			t.Stats.PostsNoop.Add(1)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+
+		if _, posted := node.n.termFor(task.child); posted {
+			t.Stats.PostsNoop.Add(1)
+			o.release(&node)
+			return nil
+		}
+
+		aa := t.tm.BeginAtomicAction()
+		var held []nref
+		releaseAll := func() {
+			o.release(&node)
+			for i := len(held) - 1; i >= 0; i-- {
+				o.release(&held[i])
+			}
+			held = nil
+		}
+		o.promote(&node)
+
+		// Space Test.
+		for len(node.n.Entries) >= t.opts.IndexCapacity {
+			k, ok := t.indexSplitKey(node.n)
+			if !ok {
+				// No usable boundary (e.g. the node is all history terms
+				// of one key range): soft overflow rather than a complex
+				// index time split; documented simplification.
+				t.Stats.SoftOverflows.Add(1)
+				break
+			}
+			if node.pid() == t.root {
+				next, err := t.growRoot(o, aa, &node, k, task.rect.KeyLow)
+				if err != nil {
+					releaseAll()
+					_ = aa.Abort()
+					return err
+				}
+				held = append(held, node)
+				node = next
+				continue
+			}
+			next, err := t.splitIndex(o, aa, &node, k, task.rect.KeyLow)
+			if err != nil {
+				releaseAll()
+				_ = aa.Abort()
+				return err
+			}
+			if next.f != nil {
+				held = append(held, node)
+				node = next
+			}
+		}
+
+		if node.n.Level == 1 {
+			term := Entry{Child: task.child, ChildRect: cloneRect(task.rect)}
+			if term.ChildRect.KeyHigh.Unbounded && !node.n.Rect.KeyHigh.Unbounded {
+				// Key-sibling tasks carry an open key bound; tighten it to
+				// the child's actual direct bound by reading the child.
+				child, err := o.acquire(task.child, latch.S, 0)
+				if err == nil {
+					term.ChildRect = cloneRect(child.n.Rect)
+					o.release(&child)
+				}
+			}
+			lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(node.pid()), KindPostTerm, encTerm(term))
+			node.n.insertTerm(term)
+			node.f.MarkDirty(lsn)
+		} else {
+			lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(node.pid()), KindPostKeyTerm, encKeyTerm(task.rect.KeyLow, task.child))
+			node.n.insertKeyTerm(Entry{Key: keys.Clone(task.rect.KeyLow), Child: task.child})
+			node.f.MarkDirty(lsn)
+		}
+		err = aa.Commit()
+		releaseAll()
+		if err != nil {
+			return err
+		}
+		t.Stats.PostsPerformed.Add(1)
+		return nil
+	})
+}
+
+// indexSplitKey picks a key boundary that puts at least one whole term on
+// each side: the median distinct boundary strictly above the node's low
+// key. Level-1 boundaries come from term KeyLows; clipping handles terms
+// that span the chosen key.
+func (t *Tree) indexSplitKey(n *Node) (keys.Key, bool) {
+	var bounds []keys.Key
+	seen := map[string]bool{}
+	for _, e := range n.Entries {
+		var b keys.Key
+		if n.Level == 1 {
+			b = e.ChildRect.KeyLow
+		} else {
+			b = e.Key
+		}
+		if b == nil {
+			continue
+		}
+		if n.Rect.KeyLow != nil && keys.Compare(b, n.Rect.KeyLow) <= 0 {
+			continue
+		}
+		if !seen[string(b)] {
+			seen[string(b)] = true
+			bounds = append(bounds, b)
+		}
+	}
+	if len(bounds) == 0 {
+		return nil, false
+	}
+	sortKeys(bounds)
+	return keys.Clone(bounds[len(bounds)/2]), true
+}
+
+func sortKeys(ks []keys.Key) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && keys.Compare(ks[j], ks[j-1]) < 0; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}
+
+// splitIndex key-splits the X-latched index node at k inside the posting
+// action, CLIPPING spanning level-1 terms into both halves (§3.2.2). It
+// returns the half that covers searchKey X-latched (a zero nref when the
+// original node still covers it), schedules the upper-level posting after
+// the enclosing action commits via the completer (safe: the sibling is
+// only reachable through the side pointer until then, and the whole
+// action holds its latches to commit).
+func (t *Tree) splitIndex(o *opCtx, aa logUpdater, node *nref, k keys.Key, searchKey keys.Key) (nref, error) {
+	n := node.n
+	pre := n.clone()
+	sibPid, err := t.store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nref{}, err
+	}
+	entries, clipped := indexSiblingEntries(pre, k)
+	sib := &Node{
+		Level: n.Level,
+		Rect: Rect{
+			KeyLow:   keys.Clone(k),
+			KeyHigh:  pre.Rect.KeyHigh,
+			TimeLow:  0,
+			TimeHigh: NoEnd,
+		},
+		KeySib:  pre.KeySib,
+		Entries: entries,
+	}
+	sib.Rect.KeyHigh.Key = keys.Clone(sib.Rect.KeyHigh.Key)
+	t.formatNode(o, aa, sibPid, sib)
+	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(node.pid()), KindIndexKeySplit, encKeySplit(k, sibPid, pre))
+	applyIndexKeySplit(n, k, sibPid)
+	node.f.MarkDirty(lsn)
+	t.Stats.IndexSplits.Add(1)
+	t.Stats.ClippedTerms.Add(int64(clipped))
+	t.comp.schedule(postTask{
+		parentLevel: n.Level + 1,
+		child:       sibPid,
+		rect:        cloneRect(sib.Rect),
+	})
+	if keys.Compare(searchKey, k) >= 0 {
+		return o.acquire(sibPid, latch.X, n.Level)
+	}
+	return nref{}, nil
+}
+
+// growRoot raises the tree height: the root's contents move to two new
+// nodes A (low half, side pointer to B) and B (high half), and the root
+// becomes an index node one level up with two key terms. The root page
+// never moves. Returns the half covering searchKey, X-latched.
+func (t *Tree) growRoot(o *opCtx, aa logUpdater, root *nref, k keys.Key, searchKey keys.Key) (nref, error) {
+	n := root.n
+	pre := n.clone()
+	pidB, err := t.store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nref{}, err
+	}
+	pidA, err := t.store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nref{}, err
+	}
+	entriesB, clippedB := indexSiblingEntries(pre, k)
+	nodeB := &Node{
+		Level:   pre.Level,
+		Rect:    Rect{KeyLow: keys.Clone(k), KeyHigh: keys.Inf, TimeLow: 0, TimeHigh: NoEnd},
+		Entries: entriesB,
+	}
+	nodeA := &Node{
+		Level:  pre.Level,
+		Rect:   Rect{KeyLow: nil, KeyHigh: keys.At(k), TimeLow: 0, TimeHigh: NoEnd},
+		KeySib: pidB,
+	}
+	for _, e := range pre.Entries {
+		if pre.Level == 1 {
+			if keys.Compare(e.ChildRect.KeyLow, k) < 0 {
+				c := cloneEntry(e)
+				if e.ChildRect.SpansKey(k) {
+					c.Clipped = true
+				}
+				nodeA.Entries = append(nodeA.Entries, c)
+			}
+		} else if keys.Compare(e.Key, k) < 0 {
+			nodeA.Entries = append(nodeA.Entries, cloneEntry(e))
+		}
+	}
+	t.formatNode(o, aa, pidB, nodeB)
+	t.formatNode(o, aa, pidA, nodeA)
+
+	termA := Entry{Key: nil, Child: pidA}
+	termB := Entry{Key: keys.Clone(k), Child: pidB}
+	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(root.pid()), KindRootGrow, encRootGrow(termA, termB, pre))
+	n.Level++
+	n.Entries = []Entry{termA, termB}
+	n.Rect = EntireRect()
+	n.KeySib = storage.NilPage
+	n.HistSib = storage.NilPage
+	root.f.MarkDirty(lsn)
+	t.Stats.RootGrowths.Add(1)
+	t.Stats.ClippedTerms.Add(int64(clippedB))
+
+	pid := pidA
+	if keys.Compare(searchKey, k) >= 0 {
+		pid = pidB
+	}
+	return o.acquire(pid, latch.X, pre.Level)
+}

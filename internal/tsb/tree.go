@@ -1,0 +1,592 @@
+package tsb
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/keys"
+	"repro/internal/latch"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Options configure one TSB tree.
+type Options struct {
+	// DataCapacity and IndexCapacity are maximum entry counts (page-size
+	// stand-ins). Defaults: 64, 64.
+	DataCapacity  int
+	IndexCapacity int
+	// CurrentFraction is the time-vs-key split policy knob: when fewer
+	// than this fraction of a full data node's versions are alive, the
+	// node is time-split (history moves out); otherwise it is key-split.
+	// Default 0.67.
+	CurrentFraction float64
+	// SyncCompletion, CompletionWorkers and NoCompletion mirror the core
+	// tree's lazy-completion controls.
+	SyncCompletion    bool
+	CompletionWorkers int
+	NoCompletion      bool
+	// CheckLatchOrder enables per-operation latch order assertions.
+	CheckLatchOrder bool
+}
+
+func (o Options) normalized() Options {
+	if o.DataCapacity < 4 {
+		if o.DataCapacity <= 0 {
+			o.DataCapacity = 64
+		} else {
+			o.DataCapacity = 4
+		}
+	}
+	if o.IndexCapacity < 4 {
+		if o.IndexCapacity <= 0 {
+			o.IndexCapacity = 64
+		} else {
+			o.IndexCapacity = 4
+		}
+	}
+	if o.CurrentFraction <= 0 || o.CurrentFraction > 1 {
+		o.CurrentFraction = 0.67
+	}
+	if o.CompletionWorkers <= 0 {
+		o.CompletionWorkers = 2
+	}
+	return o
+}
+
+// Stats counts TSB events.
+type Stats struct {
+	Puts           atomic.Int64
+	Gets           atomic.Int64
+	TimeSplits     atomic.Int64
+	KeySplits      atomic.Int64
+	IndexSplits    atomic.Int64
+	RootGrowths    atomic.Int64
+	KeySibWalks    atomic.Int64
+	HistSibWalks   atomic.Int64
+	PostsScheduled atomic.Int64
+	PostsPerformed atomic.Int64
+	PostsNoop      atomic.Int64
+	ClippedTerms   atomic.Int64
+	SoftOverflows  atomic.Int64
+	Restarts       atomic.Int64
+}
+
+// Tree is one TSB tree. Because historical nodes never split and no node
+// is ever consolidated, the CNS invariant (§5.2.1) holds: traversals hold
+// one latch at a time and saved state is trusted.
+type Tree struct {
+	Name string
+
+	store   *storage.Store
+	tm      *txn.Manager
+	lm      *lock.Manager
+	binding *Binding
+	opts    Options
+	root    storage.PageID
+	comp    *completer
+	clock   atomic.Uint64
+
+	Stats Stats
+}
+
+// ErrKeyNotFound reports a missing (or deleted-as-of) key.
+var ErrKeyNotFound = errors.New("tsb: key not found")
+
+var errRetry = errors.New("tsb: internal retry")
+
+// errLevelGone reports a descent target level above the current root; the
+// posting that wanted it is obsolete until the root grows, and side
+// traversals will reschedule it.
+var errLevelGone = errors.New("tsb: target level does not exist yet")
+
+// Create builds a new TSB tree: a level-1 index root over one data node
+// covering all keys at all times. One atomic action.
+func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
+	t := &Tree{Name: name, store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized()}
+	aa := tm.BeginAtomicAction()
+	o := t.newOp(nil)
+
+	if f, err := store.Pool.Fetch(storage.MetaPage); err == nil {
+		store.Pool.Unpin(f)
+	} else if errors.Is(err, storage.ErrPageNotFound) {
+		if err := store.Bootstrap(aa); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+
+	rootPid, err := store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nil, err
+	}
+	dataPid, err := store.Alloc(aa, &o.tr)
+	if err != nil {
+		return nil, err
+	}
+
+	data := &Node{Level: 0, Rect: EntireRect()}
+	root := &Node{Level: 1, Rect: EntireRect(), Entries: []Entry{{Child: dataPid, ChildRect: EntireRect()}}}
+	for _, nn := range []struct {
+		pid  storage.PageID
+		node *Node
+	}{{dataPid, data}, {rootPid, root}} {
+		f := store.Pool.Create(nn.pid)
+		f.Latch.AcquireX()
+		lsn := aa.LogUpdate(store.Pool.StoreID, uint64(nn.pid), KindFormat, encNodeImage(nn.node))
+		f.Data = nn.node
+		f.MarkDirty(lsn)
+		f.Latch.ReleaseX()
+		store.Pool.Unpin(f)
+	}
+	if err := store.SetRoot(aa, &o.tr, name, rootPid); err != nil {
+		return nil, err
+	}
+	if err := aa.Commit(); err != nil {
+		return nil, err
+	}
+	t.root = rootPid
+	t.comp = newCompleter(t)
+	b.Bind(t)
+	return t, nil
+}
+
+// Open attaches to an existing TSB tree after a restart. The version
+// clock reseeds from the log's end LSN, which is always at or above any
+// previously assigned timestamp (every Put appended at least one record).
+func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
+	rootPid, err := store.Root(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Name: name, store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized(), root: rootPid}
+	t.clock.Store(uint64(tm.Log.EndLSN()))
+	t.comp = newCompleter(t)
+	b.Bind(t)
+	return t, nil
+}
+
+// Close stops the completion workers.
+func (t *Tree) Close() { t.comp.stop() }
+
+// DrainCompletions blocks until all scheduled completing actions ran.
+func (t *Tree) DrainCompletions() { t.comp.drain() }
+
+// Now returns the tree's current logical time; versions written later get
+// strictly larger timestamps.
+func (t *Tree) Now() uint64 { return t.clock.Load() }
+
+// tick returns a fresh, strictly increasing timestamp.
+func (t *Tree) tick() uint64 { return t.clock.Add(1) }
+
+// Options returns the normalized options.
+func (t *Tree) Options() Options { return t.opts }
+
+func (t *Tree) recLockName(k keys.Key) string { return "tsbr:" + t.Name + ":" + string(k) }
+
+// --- operation context (CNS: one latch at a time) ---------------------------
+
+type opCtx struct {
+	t   *Tree
+	txn *txn.Txn
+	tr  latch.Tracker
+	seq uint64
+}
+
+func (t *Tree) newOp(tx *txn.Txn) *opCtx {
+	return &opCtx{t: t, txn: tx, tr: latch.Tracker{Enabled: t.opts.CheckLatchOrder}}
+}
+
+const maxLevel = 63
+
+func (o *opCtx) rank(level int) latch.Rank {
+	o.seq++
+	return latch.Rank(uint64(maxLevel-level)<<40 | (o.seq & (1<<40 - 1)))
+}
+
+type nref struct {
+	f    *storage.Frame
+	n    *Node
+	mode latch.Mode
+}
+
+func (r *nref) pid() storage.PageID { return r.f.ID }
+
+func (o *opCtx) acquire(pid storage.PageID, mode latch.Mode, level int) (nref, error) {
+	f, err := o.t.store.Pool.Fetch(pid)
+	if err != nil {
+		return nref{}, err
+	}
+	f.Latch.Acquire(mode)
+	o.tr.Acquired(&f.Latch, o.rank(level), mode)
+	n, ok := f.Data.(*Node)
+	if !ok {
+		o.tr.Released(&f.Latch)
+		f.Latch.Release(mode)
+		o.t.store.Pool.Unpin(f)
+		return nref{}, fmt.Errorf("tsb: page %d holds %T, not a node", pid, f.Data)
+	}
+	return nref{f: f, n: n, mode: mode}, nil
+}
+
+func (o *opCtx) release(r *nref) {
+	if r.f == nil {
+		return
+	}
+	o.tr.Released(&r.f.Latch)
+	r.f.Latch.Release(r.mode)
+	o.t.store.Pool.Unpin(r.f)
+	r.f = nil
+	r.n = nil
+}
+
+func (o *opCtx) promote(r *nref) {
+	r.f.Latch.Promote()
+	o.tr.Promoted(&r.f.Latch)
+	r.mode = latch.X
+}
+
+// step releases cur and acquires pid (CNS: nodes are immortal, so no
+// coupling is needed).
+func (t *Tree) step(o *opCtx, cur *nref, pid storage.PageID, mode latch.Mode, level int) (nref, error) {
+	o.release(cur)
+	return o.acquire(pid, mode, level)
+}
+
+// descend walks from the root to the node at stopLevel whose directly
+// contained rectangle includes (k, time), latched in finalMode. Sibling
+// traversals at any level schedule the corresponding completing posting
+// when sched is true.
+func (t *Tree) descend(o *opCtx, k keys.Key, time uint64, stopLevel int, finalMode latch.Mode, sched bool) (nref, error) {
+	cur, err := o.acquire(t.root, latch.S, maxLevel)
+	if err != nil {
+		return nref{}, err
+	}
+	if cur.n.Level < stopLevel {
+		o.release(&cur)
+		return nref{}, errLevelGone
+	}
+	if cur.n.Level == stopLevel && finalMode != latch.S {
+		lvl := cur.n.Level
+		o.release(&cur)
+		cur, err = o.acquire(t.root, finalMode, lvl)
+		if err != nil {
+			return nref{}, err
+		}
+		if cur.n.Level != stopLevel {
+			o.release(&cur)
+			return nref{}, errRetry
+		}
+	}
+	for {
+		// Key-sibling traversal (any level).
+		for !cur.n.Rect.ContainsKey(k) {
+			if cur.n.Rect.KeyLow != nil && keys.Compare(k, cur.n.Rect.KeyLow) < 0 {
+				o.release(&cur)
+				return nref{}, errRetry
+			}
+			sib := cur.n.KeySib
+			if sib == storage.NilPage {
+				o.release(&cur)
+				return nref{}, errRetry
+			}
+			t.Stats.KeySibWalks.Add(1)
+			if sched {
+				t.noteKeySibling(cur.n, cur.pid())
+			}
+			next, err := t.step(o, &cur, sib, cur.mode, cur.n.Level)
+			if err != nil {
+				return nref{}, err
+			}
+			cur = next
+		}
+		// History-sibling traversal (data level only; index nodes span
+		// all time).
+		for cur.n.IsData() && time < cur.n.Rect.TimeLow {
+			hist := cur.n.HistSib
+			if hist == storage.NilPage {
+				// No history before the tree existed: land here.
+				break
+			}
+			t.Stats.HistSibWalks.Add(1)
+			if sched {
+				t.noteHistSibling(cur.n)
+			}
+			next, err := t.step(o, &cur, hist, cur.mode, cur.n.Level)
+			if err != nil {
+				return nref{}, err
+			}
+			cur = next
+			// A history node's key range can be wider than the search
+			// path suggests; keys stay inside by construction.
+		}
+		if cur.n.Level == stopLevel {
+			return cur, nil
+		}
+		var child storage.PageID
+		if cur.n.Level == 1 {
+			e, ok := cur.n.chooseTerm(k, time)
+			if !ok {
+				o.release(&cur)
+				return nref{}, errRetry
+			}
+			child = e.Child
+		} else {
+			e, ok := cur.n.keyChildFor(k)
+			if !ok {
+				o.release(&cur)
+				return nref{}, errRetry
+			}
+			child = e.Child
+		}
+		childLevel := cur.n.Level - 1
+		childMode := latch.S
+		if childLevel == stopLevel {
+			childMode = finalMode
+		}
+		next, err := t.step(o, &cur, child, childMode, childLevel)
+		if err != nil {
+			return nref{}, err
+		}
+		cur = next
+	}
+}
+
+func (t *Tree) retryLoop(fn func() error) error {
+	for {
+		err := fn()
+		if errors.Is(err, errRetry) {
+			t.Stats.Restarts.Add(1)
+			continue
+		}
+		return err
+	}
+}
+
+// --- public operations -------------------------------------------------------
+
+// Put writes a new version of key with value, timestamped now. With a nil
+// transaction the put runs as its own atomic action.
+func (t *Tree) Put(tx *txn.Txn, key keys.Key, value []byte) error {
+	return t.put(tx, key, value, false)
+}
+
+// Delete writes a tombstone version of key: as-of reads at earlier times
+// still see the old versions.
+func (t *Tree) Delete(tx *txn.Txn, key keys.Key) error {
+	return t.put(tx, key, nil, true)
+}
+
+func (t *Tree) put(tx *txn.Txn, key keys.Key, value []byte, deleted bool) error {
+	t.Stats.Puts.Add(1)
+	return t.retryLoop(func() error {
+		o := t.newOp(tx)
+		defer o.tr.AssertNoneHeld()
+		leaf, err := t.descend(o, key, NoEnd-1, 0, latch.U, true)
+		if err != nil {
+			return err
+		}
+		if !leaf.n.Current() {
+			// Writes must land on a current node; an approximate descent
+			// that ends in history restarts (selection makes this rare).
+			o.release(&leaf)
+			return errRetry
+		}
+		if tx != nil && !tx.TryLock(t.recLockName(key), lock.X) {
+			o.release(&leaf)
+			if err := tx.Lock(t.recLockName(key), lock.X); err != nil {
+				return err
+			}
+			return errRetry
+		}
+		if len(leaf.n.Entries) >= t.opts.DataCapacity {
+			if err := t.splitData(o, &leaf); err != nil {
+				return err
+			}
+			return errRetry
+		}
+		var lg *txn.Txn
+		if tx != nil {
+			lg = tx
+		} else {
+			lg = t.tm.BeginAtomicAction()
+		}
+		o.promote(&leaf)
+		ts := t.tick()
+		e := Entry{Key: keys.Clone(key), Start: ts, Value: append([]byte(nil), value...), Deleted: deleted}
+		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindPut, encPut(e))
+		leaf.n.insertVersion(e)
+		leaf.f.MarkDirty(lsn)
+		if tx == nil {
+			if cerr := lg.Commit(); cerr != nil {
+				o.release(&leaf)
+				return cerr
+			}
+		}
+		o.release(&leaf)
+		return nil
+	})
+}
+
+// Get returns the current value of key.
+func (t *Tree) Get(tx *txn.Txn, key keys.Key) ([]byte, bool, error) {
+	return t.GetAsOf(tx, key, t.Now())
+}
+
+// GetAsOf returns the value of key as of time. Historical versions are
+// immutable, so as-of reads below the current time need no locks; reads
+// at the current time under a transaction take the record S lock.
+func (t *Tree) GetAsOf(tx *txn.Txn, key keys.Key, time uint64) ([]byte, bool, error) {
+	t.Stats.Gets.Add(1)
+	var val []byte
+	var found bool
+	err := t.retryLoop(func() error {
+		o := t.newOp(tx)
+		defer o.tr.AssertNoneHeld()
+		leaf, err := t.descend(o, key, time, 0, latch.S, true)
+		if err != nil {
+			return err
+		}
+		if tx != nil && time >= t.Now() {
+			if !tx.TryLock(t.recLockName(key), lock.S) {
+				o.release(&leaf)
+				if err := tx.Lock(t.recLockName(key), lock.S); err != nil {
+					return err
+				}
+				return errRetry
+			}
+		}
+		if i, ok := leaf.n.searchVersion(key, time); ok && !leaf.n.Entries[i].Deleted {
+			val = append([]byte(nil), leaf.n.Entries[i].Value...)
+			found = true
+		} else {
+			val, found = nil, false
+		}
+		o.release(&leaf)
+		return nil
+	})
+	return val, found, err
+}
+
+// ScanAsOf calls fn for every key in [lo, hi) alive as of time, in key
+// order. hi may be nil for an unbounded scan.
+func (t *Tree) ScanAsOf(time uint64, lo, hi keys.Key, fn func(k keys.Key, v []byte) bool) error {
+	cursor := keys.Clone(lo)
+	for {
+		type rec struct {
+			k keys.Key
+			v []byte
+		}
+		var batch []rec
+		var next keys.Key
+		done := false
+		err := t.retryLoop(func() error {
+			batch = batch[:0]
+			o := t.newOp(nil)
+			defer o.tr.AssertNoneHeld()
+			leaf, err := t.descend(o, cursor, time, 0, latch.S, true)
+			if err != nil {
+				return err
+			}
+			// The live version at `time` is, per key, the last entry with
+			// Start <= time; entries are sorted by (key, start), so track
+			// the current key group and flush on key change.
+			var curKey keys.Key
+			var curVal []byte
+			curDel := false
+			flush := func() {
+				if curKey != nil && !curDel {
+					batch = append(batch, rec{k: keys.Clone(curKey), v: append([]byte(nil), curVal...)})
+				}
+				curKey, curVal, curDel = nil, nil, false
+			}
+			for _, e := range leaf.n.Entries {
+				if keys.Compare(e.Key, cursor) < 0 {
+					continue
+				}
+				if hi != nil && keys.Compare(e.Key, hi) >= 0 {
+					break
+				}
+				if e.Start > time {
+					continue
+				}
+				if curKey == nil || !keys.Equal(curKey, e.Key) {
+					flush()
+					curKey = e.Key
+				}
+				curVal, curDel = e.Value, e.Deleted
+			}
+			flush()
+			if leaf.n.Rect.KeyHigh.Unbounded {
+				done = true
+			} else {
+				next = keys.Clone(leaf.n.Rect.KeyHigh.Key)
+				if hi != nil && keys.Compare(next, hi) >= 0 {
+					done = true
+				}
+			}
+			o.release(&leaf)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range batch {
+			if !fn(r.k, r.v) {
+				return nil
+			}
+		}
+		if done {
+			return nil
+		}
+		cursor = next
+	}
+}
+
+// logicalUndoPut compensates a Put by removing the exact version from
+// wherever it now lives. A time split performed after the put may have
+// COPIED the version into a history node (alive-across versions exist in
+// both nodes), so the undo walks the history chain from the current node
+// back past Start, removing every copy; each removal is its own CLR with
+// the same UndoNext, keeping restart idempotent.
+func (t *Tree) logicalUndoPut(rec *wal.Record, e Entry) error {
+	tx, ok := t.tm.Lookup(rec.TxnID)
+	if !ok {
+		return fmt.Errorf("tsb: logical undo for unknown txn %d", rec.TxnID)
+	}
+	return t.retryLoop(func() error {
+		o := t.newOp(nil)
+		defer o.tr.AssertNoneHeld()
+		cur, err := t.descend(o, e.Key, NoEnd-1, 0, latch.U, false)
+		if err != nil {
+			return err
+		}
+		// Intermediate removal CLRs point back AT rec (UndoNext=rec.LSN):
+		// a crash mid-undo re-runs the whole logical undo, which is
+		// idempotent. Only the terminal CLR advances past rec.
+		for {
+			if _, ok := cur.n.versionPos(e.Key, e.Start); ok {
+				o.promote(&cur)
+				lsn := tx.LogCLR(t.store.Pool.StoreID, uint64(cur.pid()), KindRemoveVersion, encVersionRef(e.Key, e.Start), rec.LSN)
+				cur.n.removeVersion(e.Key, e.Start)
+				cur.f.MarkDirty(lsn)
+			}
+			if cur.n.Rect.TimeLow <= e.Start || cur.n.HistSib == storage.NilPage {
+				break
+			}
+			hist := cur.n.HistSib
+			next, err := t.step(o, &cur, hist, latch.U, 0)
+			if err != nil {
+				return err
+			}
+			cur = next
+		}
+		o.release(&cur)
+		tx.LogCLR(0, 0, 0, nil, rec.PrevLSN)
+		return nil
+	})
+}

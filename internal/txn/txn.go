@@ -1,0 +1,463 @@
+// Package txn provides database transactions and the paper's atomic
+// actions (§4, §4.3).
+//
+// An atomic action is a short, independent unit of structure change with
+// the all-or-nothing property. The paper lists three ways to identify one
+// to the recovery manager (§4.3.2): a separate database transaction, a
+// special system transaction, or a nested top-level action. This package
+// implements two of them:
+//
+//   - BeginAtomicAction starts a system transaction (FlagSystem in the
+//     log). Its commit does not force the log — atomic actions are only
+//     "relatively" durable (§4.3.1): the first dependent user commit
+//     forces the log and makes them durable too.
+//   - (*Txn).BeginNested starts a nested top-level action inside a user
+//     transaction; CommitNested writes a dummy CLR that backs the undo
+//     chain over the NTA's records so a later abort of the enclosing
+//     transaction does not undo them.
+//
+// Rollback walks the transaction's undo chain, writing compensation log
+// records (CLRs) that are themselves redo-only, so restart never undoes
+// an undo.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// State is a transaction's lifecycle state.
+type State int
+
+const (
+	// Active transactions may log updates.
+	Active State = iota
+	// Committed transactions have a commit record in the log.
+	Committed
+	// Aborted transactions have been fully rolled back.
+	Aborted
+)
+
+// ErrNotActive reports an operation on a finished transaction.
+var ErrNotActive = errors.New("txn: transaction not active")
+
+// Options configure a Manager.
+type Options struct {
+	// ForceOnAACommit disables relative durability: every atomic-action
+	// commit forces the log. Experiment T12 measures what that costs.
+	ForceOnAACommit bool
+}
+
+// Manager creates transactions and atomic actions over one log.
+type Manager struct {
+	Log    *wal.Log
+	Locks  *lock.Manager
+	Reg    *storage.Registry
+	opts   Options
+	mu     sync.Mutex
+	nextID wal.TxnID
+	active map[wal.TxnID]*Txn
+}
+
+// NewManager returns a manager writing to log, locking through lm and
+// undoing through reg.
+func NewManager(log *wal.Log, lm *lock.Manager, reg *storage.Registry, opts Options) *Manager {
+	return &Manager{
+		Log:    log,
+		Locks:  lm,
+		Reg:    reg,
+		opts:   opts,
+		nextID: 1,
+		active: make(map[wal.TxnID]*Txn),
+	}
+}
+
+// Txn is a database transaction or an atomic action.
+type Txn struct {
+	ID     wal.TxnID
+	System bool // true for atomic actions
+
+	mgr      *Manager
+	mu       sync.Mutex
+	lastLSN  wal.LSN
+	state    State
+	onCommit []func()
+}
+
+// OnCommit registers fn to run after the transaction commits, its locks
+// are released, and its end record is written. Aborted transactions never
+// run their hooks. The Π-tree uses this to defer index-term posting for
+// in-transaction data-node splits until the split is durable (§4.2.2:
+// "the posting of the index term for splits cannot occur until and unless
+// T commits").
+func (t *Txn) OnCommit(fn func()) {
+	t.mu.Lock()
+	t.onCommit = append(t.onCommit, fn)
+	t.mu.Unlock()
+}
+
+func (m *Manager) begin(system bool) *Txn {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	t := &Txn{ID: id, System: system, mgr: m}
+	m.active[id] = t
+	m.mu.Unlock()
+
+	flags := wal.Flags(0)
+	if system {
+		flags |= wal.FlagSystem
+	}
+	lsn := m.Log.Append(&wal.Record{Type: wal.RecBegin, Flags: flags, TxnID: id})
+	t.mu.Lock()
+	t.lastLSN = lsn
+	t.mu.Unlock()
+	return t
+}
+
+// Begin starts a user database transaction.
+func (m *Manager) Begin() *Txn { return m.begin(false) }
+
+// BeginAtomicAction starts an atomic action as a system transaction. It
+// is independent of any database transaction, holds only short-duration
+// latches (and, for consolidation, short two-phase locks), and its commit
+// relies on relative durability.
+func (m *Manager) BeginAtomicAction() *Txn { return m.begin(true) }
+
+// Lookup returns the active transaction with the given ID.
+func (m *Manager) Lookup(id wal.TxnID) (*Txn, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.active[id]
+	return t, ok
+}
+
+// ActiveCount returns the number of unfinished transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// ATTEntry is a snapshot row of the active-transaction table, taken for
+// fuzzy checkpoints.
+type ATTEntry struct {
+	ID      wal.TxnID
+	LastLSN wal.LSN
+	System  bool
+}
+
+// SnapshotATT returns the live transaction table for a fuzzy checkpoint.
+func (m *Manager) SnapshotATT() []ATTEntry {
+	m.mu.Lock()
+	txns := make([]*Txn, 0, len(m.active))
+	for _, t := range m.active {
+		txns = append(txns, t)
+	}
+	m.mu.Unlock()
+	out := make([]ATTEntry, 0, len(txns))
+	for _, t := range txns {
+		t.mu.Lock()
+		out = append(out, ATTEntry{ID: t.ID, LastLSN: t.lastLSN, System: t.System})
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// FinishRecovered writes the end record for a transaction that restart
+// found committed but unended.
+func (t *Txn) FinishRecovered() {
+	t.mu.Lock()
+	t.state = Committed
+	t.mu.Unlock()
+	t.finish(wal.RecEnd)
+}
+
+// Adopt registers a reconstructed loser transaction during restart so
+// that undo can drive it through the normal rollback path.
+func (m *Manager) Adopt(id wal.TxnID, system bool, lastLSN wal.LSN) *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id >= m.nextID {
+		m.nextID = id + 1
+	}
+	t := &Txn{ID: id, System: system, mgr: m, lastLSN: lastLSN}
+	m.active[id] = t
+	return t
+}
+
+// LastLSN returns the most recent log record of this transaction.
+func (t *Txn) LastLSN() wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN
+}
+
+// State returns the transaction's lifecycle state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// flags returns the record flags for this transaction.
+func (t *Txn) flags() wal.Flags {
+	if t.System {
+		return wal.FlagSystem
+	}
+	return 0
+}
+
+// LogUpdate appends a physiological update record in this transaction's
+// undo chain and returns its LSN. It implements storage.UpdateLogger. The
+// caller must apply the matching page change under the page's X latch and
+// MarkDirty with the returned LSN.
+func (t *Txn) LogUpdate(storeID uint32, pageID uint64, kind wal.Kind, payload []byte) wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != Active {
+		panic(fmt.Sprintf("txn %d: LogUpdate in state %d", t.ID, t.state))
+	}
+	lsn := t.mgr.Log.Append(&wal.Record{
+		Type:    wal.RecUpdate,
+		Flags:   t.flags(),
+		Kind:    kind,
+		TxnID:   t.ID,
+		PrevLSN: t.lastLSN,
+		StoreID: storeID,
+		PageID:  pageID,
+		Payload: payload,
+	})
+	t.lastLSN = lsn
+	return lsn
+}
+
+// LogCLR appends a compensation record in this transaction's chain with
+// the given undo-next pointer, and returns its LSN. Logical undo handlers
+// use it: they apply the compensating change to whatever page the data
+// lives on now (under that page's X latch) and log it here; undoNext must
+// be the PrevLSN of the record being compensated so restart never repeats
+// the undo.
+func (t *Txn) LogCLR(storeID uint32, pageID uint64, kind wal.Kind, payload []byte, undoNext wal.LSN) wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lsn := t.mgr.Log.Append(&wal.Record{
+		Type:     wal.RecCLR,
+		Flags:    t.flags(),
+		Kind:     kind,
+		TxnID:    t.ID,
+		PrevLSN:  t.lastLSN,
+		UndoNext: undoNext,
+		StoreID:  storeID,
+		PageID:   pageID,
+		Payload:  payload,
+	})
+	t.lastLSN = lsn
+	return lsn
+}
+
+// Lock acquires a database lock for this transaction; see lock.Manager.
+// Callers must obey the No-Wait rule: release any latch that can conflict
+// with a database-lock holder before calling.
+func (t *Txn) Lock(name string, mode lock.Mode) error {
+	return t.mgr.Locks.Lock(t.ID, name, mode)
+}
+
+// TryLock acquires a database lock only if no waiting is needed.
+func (t *Txn) TryLock(name string, mode lock.Mode) bool {
+	return t.mgr.Locks.TryLock(t.ID, name, mode)
+}
+
+// Commit makes the transaction's effects permanent. User commits force
+// the log (durability promise to the user); atomic-action commits do not,
+// unless the manager was configured with ForceOnAACommit.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.state != Active {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	lsn := t.mgr.Log.Append(&wal.Record{Type: wal.RecCommit, Flags: t.flags(), TxnID: t.ID, PrevLSN: t.lastLSN})
+	t.lastLSN = lsn
+	t.state = Committed
+	t.mu.Unlock()
+
+	if !t.System || t.mgr.opts.ForceOnAACommit {
+		t.mgr.Log.Force(lsn)
+	}
+	t.finish(wal.RecEnd)
+	t.mu.Lock()
+	hooks := t.onCommit
+	t.onCommit = nil
+	t.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	return nil
+}
+
+// Abort rolls the transaction back completely and releases its locks.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.state != Active {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	lsn := t.mgr.Log.Append(&wal.Record{Type: wal.RecAbort, Flags: t.flags(), TxnID: t.ID, PrevLSN: t.lastLSN})
+	t.lastLSN = lsn
+	from := t.lastLSN
+	t.mu.Unlock()
+
+	if err := t.rollbackTo(from, wal.NilLSN); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.state = Aborted
+	t.mu.Unlock()
+	t.finish(wal.RecEnd)
+	return nil
+}
+
+// finish writes the end record and releases the transaction's resources.
+func (t *Txn) finish(end wal.RecType) {
+	t.mu.Lock()
+	lsn := t.mgr.Log.Append(&wal.Record{Type: end, Flags: t.flags(), TxnID: t.ID, PrevLSN: t.lastLSN})
+	t.lastLSN = lsn
+	t.mu.Unlock()
+	t.mgr.Locks.ReleaseAll(t.ID)
+	t.mgr.mu.Lock()
+	delete(t.mgr.active, t.ID)
+	t.mgr.mu.Unlock()
+}
+
+// NestedToken marks the start of a nested top-level action.
+type NestedToken struct {
+	savedLSN wal.LSN
+}
+
+// BeginNested starts a nested top-level action: subsequent updates will
+// survive an abort of the enclosing transaction once CommitNested runs.
+func (t *Txn) BeginNested() NestedToken {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return NestedToken{savedLSN: t.lastLSN}
+}
+
+// CommitNested ends a nested top-level action by writing a dummy CLR whose
+// UndoNext bypasses the NTA's records in the undo chain.
+func (t *Txn) CommitNested(tok NestedToken) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != Active {
+		panic("txn: CommitNested on finished transaction")
+	}
+	lsn := t.mgr.Log.Append(&wal.Record{
+		Type:     wal.RecDummyCLR,
+		Flags:    t.flags(),
+		TxnID:    t.ID,
+		PrevLSN:  t.lastLSN,
+		UndoNext: tok.savedLSN,
+	})
+	t.lastLSN = lsn
+}
+
+// AbortNested rolls back only the records logged since BeginNested,
+// leaving the enclosing transaction active.
+func (t *Txn) AbortNested(tok NestedToken) error {
+	t.mu.Lock()
+	from := t.lastLSN
+	t.mu.Unlock()
+	return t.rollbackTo(from, tok.savedLSN)
+}
+
+// rollbackTo undoes this transaction's updates from LSN `from` backwards
+// until the chain reaches `until` (NilLSN = the begin record). It is also
+// the restart-undo engine: recovery adopts losers and calls it.
+func (t *Txn) rollbackTo(from, until wal.LSN) error {
+	next := from
+	for next != wal.NilLSN && next != until {
+		rec, err := t.mgr.Log.Read(next)
+		if err != nil {
+			return fmt.Errorf("txn %d rollback read: %w", t.ID, err)
+		}
+		switch rec.Type {
+		case wal.RecUpdate:
+			if err := t.undoOne(&rec); err != nil {
+				return err
+			}
+			next = rec.PrevLSN
+		case wal.RecCLR, wal.RecDummyCLR:
+			next = rec.UndoNext
+		default:
+			next = rec.PrevLSN
+		}
+	}
+	return nil
+}
+
+// undoOne compensates a single update record.
+func (t *Txn) undoOne(rec *wal.Record) error {
+	h, err := t.mgr.Reg.Handler(rec.Kind)
+	if err != nil {
+		return err
+	}
+	if h.LogicalUndo != nil {
+		return h.LogicalUndo(rec)
+	}
+	if h.MakeUndo == nil {
+		// Redo-only record: back the chain over it with a CLR so restart
+		// does not revisit it.
+		t.mu.Lock()
+		t.lastLSN = t.mgr.Log.Append(&wal.Record{
+			Type:     wal.RecCLR,
+			Flags:    t.flags(),
+			Kind:     0,
+			TxnID:    t.ID,
+			PrevLSN:  t.lastLSN,
+			UndoNext: rec.PrevLSN,
+		})
+		t.mu.Unlock()
+		return nil
+	}
+	comp, err := h.MakeUndo(rec)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	clr := &wal.Record{
+		Type:     wal.RecCLR,
+		Flags:    t.flags(),
+		Kind:     comp.Kind,
+		TxnID:    t.ID,
+		PrevLSN:  t.lastLSN,
+		UndoNext: rec.PrevLSN,
+		StoreID:  comp.StoreID,
+		PageID:   uint64(comp.PageID),
+		Payload:  comp.Payload,
+	}
+	t.mgr.Log.Append(clr)
+	t.lastLSN = clr.LSN
+	t.mu.Unlock()
+	return t.mgr.Reg.ApplyRedo(clr)
+}
+
+// RollbackLoser drives restart undo for an adopted loser: it rolls back
+// everything and writes the end record.
+func (t *Txn) RollbackLoser() error {
+	t.mu.Lock()
+	from := t.lastLSN
+	t.mu.Unlock()
+	if err := t.rollbackTo(from, wal.NilLSN); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.state = Aborted
+	t.mu.Unlock()
+	t.finish(wal.RecEnd)
+	return nil
+}

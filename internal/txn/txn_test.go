@@ -1,0 +1,346 @@
+package txn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// counterKind is a test record kind: the page holds a *counter and the
+// payload is a delta; undo applies the negated delta to the same page.
+const counterKind wal.Kind = 200
+
+type counter struct{ v int64 }
+
+type counterCodec struct{}
+
+func (counterCodec) EncodePage(v any) ([]byte, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v.(*counter).v))
+	return b[:], nil
+}
+
+func (counterCodec) DecodePage(b []byte) (any, error) {
+	return &counter{v: int64(binary.LittleEndian.Uint64(b))}, nil
+}
+
+func delta(d int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(d))
+	return b[:]
+}
+
+func registerCounter(reg *storage.Registry) {
+	reg.Register(counterKind, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			if f.Data == nil {
+				f.Data = &counter{}
+			}
+			f.Data.(*counter).v += int64(binary.LittleEndian.Uint64(rec.Payload))
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			d := int64(binary.LittleEndian.Uint64(rec.Payload))
+			return storage.Compensation{Kind: counterKind, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: delta(-d)}, nil
+		},
+	})
+}
+
+type env struct {
+	log  *wal.Log
+	reg  *storage.Registry
+	lm   *lock.Manager
+	tm   *Manager
+	pool *storage.Pool
+}
+
+func newEnv(t testing.TB, opts Options) *env {
+	t.Helper()
+	log := wal.New()
+	reg := storage.NewRegistry()
+	registerCounter(reg)
+	lm := lock.NewManager()
+	tm := NewManager(log, lm, reg, opts)
+	pool := storage.NewPool(1, storage.NewDisk(), log, counterCodec{}, 0)
+	reg.AddPool(pool)
+	return &env{log: log, reg: reg, lm: lm, tm: tm, pool: pool}
+}
+
+// add applies a counter delta to page pid inside t, like a page operation
+// would: log, mutate under latch, mark dirty.
+func (e *env) add(t *Txn, pid storage.PageID, d int64) {
+	f, err := e.pool.FetchOrCreate(pid)
+	if err != nil {
+		panic(err)
+	}
+	f.Latch.AcquireX()
+	if f.Data == nil {
+		f.Data = &counter{}
+	}
+	lsn := t.LogUpdate(1, uint64(pid), counterKind, delta(d))
+	f.Data.(*counter).v += d
+	f.MarkDirty(lsn)
+	f.Latch.ReleaseX()
+	e.pool.Unpin(f)
+}
+
+func (e *env) value(t testing.TB, pid storage.PageID) int64 {
+	f, err := e.pool.FetchOrCreate(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.pool.Unpin(f)
+	if f.Data == nil {
+		return 0
+	}
+	return f.Data.(*counter).v
+}
+
+func TestCommitForcesLog(t *testing.T) {
+	e := newEnv(t, Options{})
+	tx := e.tm.Begin()
+	e.add(tx, 5, 10)
+	before := e.log.StableLSN()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.log.StableLSN() <= before {
+		t.Fatal("user commit did not force the log")
+	}
+	if e.tm.ActiveCount() != 0 {
+		t.Fatal("transaction still active after commit")
+	}
+}
+
+func TestAACommitRelativeDurability(t *testing.T) {
+	e := newEnv(t, Options{})
+	aa := e.tm.BeginAtomicAction()
+	e.add(aa, 5, 10)
+	_, before := e.log.Stats()
+	if err := aa.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := e.log.Stats(); after != before {
+		t.Fatal("atomic action commit forced the log despite relative durability")
+	}
+	// The next user commit carries it to stability. (The commit's own
+	// end record trails the force, so compare against the pre-commit
+	// end of log, which covers every atomic-action record.)
+	tx := e.tm.Begin()
+	e.add(tx, 6, 1)
+	preCommit := e.log.EndLSN()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.log.StableLSN() < preCommit {
+		t.Fatal("user commit did not flush the atomic action's records")
+	}
+}
+
+func TestAACommitForcedWhenConfigured(t *testing.T) {
+	e := newEnv(t, Options{ForceOnAACommit: true})
+	aa := e.tm.BeginAtomicAction()
+	e.add(aa, 5, 10)
+	_, before := e.log.Stats()
+	if err := aa.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := e.log.Stats(); after != before+1 {
+		t.Fatal("ForceOnAACommit did not force")
+	}
+}
+
+func TestAbortRestoresPages(t *testing.T) {
+	e := newEnv(t, Options{})
+	tx := e.tm.Begin()
+	e.add(tx, 5, 10)
+	e.add(tx, 5, 7)
+	e.add(tx, 6, 3)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.value(t, 5); v != 0 {
+		t.Fatalf("page 5 = %d after abort", v)
+	}
+	if v := e.value(t, 6); v != 0 {
+		t.Fatalf("page 6 = %d after abort", v)
+	}
+	if e.tm.ActiveCount() != 0 {
+		t.Fatal("active after abort")
+	}
+}
+
+func TestAbortWritesCLRChain(t *testing.T) {
+	e := newEnv(t, Options{})
+	tx := e.tm.Begin()
+	e.add(tx, 5, 10)
+	e.add(tx, 5, 20)
+	_ = tx.Abort()
+	var clrs int
+	var lastUndoNext wal.LSN
+	e.log.FullImage().Scan(wal.NilLSN, func(r wal.Record) bool {
+		if r.Type == wal.RecCLR {
+			clrs++
+			lastUndoNext = r.UndoNext
+		}
+		return true
+	})
+	if clrs != 2 {
+		t.Fatalf("CLRs = %d, want 2", clrs)
+	}
+	// The final CLR's UndoNext must point at the begin record's LSN (1),
+	// i.e. before the first update.
+	if lastUndoNext != 1 {
+		t.Fatalf("final UndoNext = %d, want 1", lastUndoNext)
+	}
+}
+
+func TestNestedTopLevelActionSurvivesAbort(t *testing.T) {
+	e := newEnv(t, Options{})
+	tx := e.tm.Begin()
+	e.add(tx, 5, 1) // undoable
+	nt := tx.BeginNested()
+	e.add(tx, 6, 100) // NTA: survives abort
+	tx.CommitNested(nt)
+	e.add(tx, 5, 2) // undoable
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.value(t, 5); v != 0 {
+		t.Fatalf("page 5 = %d, want 0", v)
+	}
+	if v := e.value(t, 6); v != 100 {
+		t.Fatalf("page 6 = %d, want 100 (NTA must survive)", v)
+	}
+}
+
+func TestAbortNestedRollsBackOnlyNested(t *testing.T) {
+	e := newEnv(t, Options{})
+	tx := e.tm.Begin()
+	e.add(tx, 5, 1)
+	nt := tx.BeginNested()
+	e.add(tx, 5, 50)
+	e.add(tx, 6, 7)
+	if err := tx.AbortNested(nt); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.value(t, 5); v != 1 {
+		t.Fatalf("page 5 = %d, want 1", v)
+	}
+	if v := e.value(t, 6); v != 0 {
+		t.Fatalf("page 6 = %d, want 0", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.value(t, 5); v != 1 {
+		t.Fatalf("page 5 = %d after commit", v)
+	}
+}
+
+func TestOnCommitHooks(t *testing.T) {
+	e := newEnv(t, Options{})
+	tx := e.tm.Begin()
+	ran := false
+	tx.OnCommit(func() { ran = true })
+	if ran {
+		t.Fatal("hook ran early")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("hook did not run on commit")
+	}
+	tx2 := e.tm.Begin()
+	ran2 := false
+	tx2.OnCommit(func() { ran2 = true })
+	_ = tx2.Abort()
+	if ran2 {
+		t.Fatal("hook ran on abort")
+	}
+}
+
+func TestLocksReleasedAtEnd(t *testing.T) {
+	e := newEnv(t, Options{})
+	tx := e.tm.Begin()
+	if err := tx.Lock("k", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if e.lm.HeldCount(tx.ID) != 1 {
+		t.Fatal("lock not recorded")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.lm.HeldCount(tx.ID) != 0 {
+		t.Fatal("locks survived commit")
+	}
+}
+
+func TestDoubleFinishRejected(t *testing.T) {
+	e := newEnv(t, Options{})
+	tx := e.tm.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrNotActive {
+		t.Fatalf("second commit: %v", err)
+	}
+	if err := tx.Abort(); err != ErrNotActive {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestSnapshotATT(t *testing.T) {
+	e := newEnv(t, Options{})
+	t1 := e.tm.Begin()
+	aa := e.tm.BeginAtomicAction()
+	e.add(t1, 5, 1)
+	att := e.tm.SnapshotATT()
+	if len(att) != 2 {
+		t.Fatalf("ATT rows = %d", len(att))
+	}
+	bySys := map[bool]int{}
+	for _, row := range att {
+		bySys[row.System]++
+		if row.LastLSN == wal.NilLSN {
+			t.Fatal("ATT row without lastLSN")
+		}
+	}
+	if bySys[true] != 1 || bySys[false] != 1 {
+		t.Fatalf("ATT composition: %v", bySys)
+	}
+	_ = t1.Commit()
+	_ = aa.Commit()
+}
+
+func TestManyTxnIDsUnique(t *testing.T) {
+	e := newEnv(t, Options{})
+	seen := make(map[wal.TxnID]bool)
+	for i := 0; i < 100; i++ {
+		tx := e.tm.Begin()
+		if seen[tx.ID] {
+			t.Fatalf("duplicate txn id %d", tx.ID)
+		}
+		seen[tx.ID] = true
+		_ = tx.Commit()
+	}
+}
+
+func ExampleTxn_Commit() {
+	log := wal.New()
+	reg := storage.NewRegistry()
+	tm := NewManager(log, lock.NewManager(), reg, Options{})
+	tx := tm.Begin()
+	fmt.Println(tx.State() == Active)
+	_ = tx.Commit()
+	fmt.Println(tx.State() == Committed)
+	// Output:
+	// true
+	// true
+}

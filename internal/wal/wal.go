@@ -1,0 +1,408 @@
+// Package wal implements the write-ahead log the paper's recovery
+// assumptions require (§4.3): every update is logged before the page it
+// changed can reach the stable database, and atomic actions are only
+// "relatively" durable — their commit records need not force the log,
+// because the first dependent transaction commit forces it for them.
+//
+// The log is modeled as an append-only byte sequence. An LSN is the byte
+// offset at which a record starts, so LSNs are monotone and recovery can
+// scan from any record boundary. The tail of the sequence beyond the last
+// Force is volatile: a simulated crash truncates it, exactly as a real
+// system loses its unforced log buffer.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// LSN is a log sequence number: the byte offset of a record's start in the
+// log. NilLSN (0) means "no record"; the log begins at offset 1 so that 0
+// is never a valid record position.
+type LSN uint64
+
+// NilLSN is the null LSN.
+const NilLSN LSN = 0
+
+// TxnID identifies a database transaction or an atomic action (which is a
+// system transaction, one of the identification options of §4.3.2).
+type TxnID uint64
+
+// NilTxn is the null transaction ID.
+const NilTxn TxnID = 0
+
+// RecType discriminates log record types.
+type RecType uint16
+
+// Log record types. Update and CLR carry a Kind that the handler registry
+// in package recovery dispatches on; the WAL itself never interprets
+// payloads.
+const (
+	RecInvalid RecType = iota
+	// RecBegin marks the start of a transaction or atomic action.
+	RecBegin
+	// RecCommit marks a commit. For user transactions commit forces the
+	// log; atomic-action commits rely on relative durability and do not.
+	RecCommit
+	// RecAbort marks the decision to roll back.
+	RecAbort
+	// RecEnd marks the completion of commit or rollback processing.
+	RecEnd
+	// RecUpdate is a physiological page update with redo and undo parts.
+	RecUpdate
+	// RecCLR is a compensation log record written during undo; it is
+	// redo-only and carries UndoNext, the next record of the transaction
+	// to undo.
+	RecCLR
+	// RecCheckpoint carries the fuzzy-checkpoint snapshot (transaction
+	// table and dirty page table) encoded by package recovery.
+	RecCheckpoint
+	// RecDummyCLR implements a nested top-level action: it backs the
+	// enclosing transaction's undo chain over the NTA's records, making
+	// them unconditionally durable with respect to that transaction.
+	RecDummyCLR
+)
+
+// String renders the record type for diagnostics.
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecEnd:
+		return "END"
+	case RecUpdate:
+		return "UPDATE"
+	case RecCLR:
+		return "CLR"
+	case RecCheckpoint:
+		return "CKPT"
+	case RecDummyCLR:
+		return "DUMMYCLR"
+	default:
+		return fmt.Sprintf("RecType(%d)", uint16(t))
+	}
+}
+
+// Flags annotate records.
+type Flags uint16
+
+const (
+	// FlagSystem marks records belonging to an atomic action (system
+	// transaction) rather than a user database transaction.
+	FlagSystem Flags = 1 << iota
+)
+
+// Kind identifies the operation an Update or CLR record describes; the
+// recovery handler registry maps Kinds to redo/undo procedures. Kinds are
+// allocated by the packages that own the pages (storage metadata, core
+// tree, tsb tree, spatial tree).
+type Kind uint16
+
+// Record is one log record. StoreID and PageID locate the affected page
+// for physiological updates; they are zero for purely transactional
+// records.
+type Record struct {
+	LSN      LSN // assigned by Append
+	Type     RecType
+	Flags    Flags
+	Kind     Kind
+	TxnID    TxnID
+	PrevLSN  LSN // previous record of the same transaction
+	UndoNext LSN // CLR/DummyCLR: next record to undo for this transaction
+	StoreID  uint32
+	PageID   uint64
+	Payload  []byte
+}
+
+// IsSystem reports whether the record belongs to an atomic action.
+func (r *Record) IsSystem() bool { return r.Flags&FlagSystem != 0 }
+
+const headerSize = 4 + 4 + 2 + 2 + 2 + 8 + 8 + 8 + 4 + 8 // len,crc,type,flags,kind,txn,prev,undonext,store,page
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encode appends the wire form of r (excluding LSN, which is positional)
+// to dst and returns the extended slice.
+func encode(dst []byte, r *Record) []byte {
+	total := headerSize + len(r.Payload)
+	off := len(dst)
+	dst = append(dst, make([]byte, total)...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b[0:], uint32(total))
+	// CRC filled below over bytes [8:total].
+	binary.LittleEndian.PutUint16(b[8:], uint16(r.Type))
+	binary.LittleEndian.PutUint16(b[10:], uint16(r.Flags))
+	binary.LittleEndian.PutUint16(b[12:], uint16(r.Kind))
+	binary.LittleEndian.PutUint64(b[14:], uint64(r.TxnID))
+	binary.LittleEndian.PutUint64(b[22:], uint64(r.PrevLSN))
+	binary.LittleEndian.PutUint64(b[30:], uint64(r.UndoNext))
+	binary.LittleEndian.PutUint32(b[38:], r.StoreID)
+	binary.LittleEndian.PutUint64(b[42:], r.PageID)
+	copy(b[headerSize:], r.Payload)
+	crc := crc32.Checksum(b[8:total], crcTable)
+	binary.LittleEndian.PutUint32(b[4:], crc)
+	return dst
+}
+
+// ErrBadRecord reports a torn or corrupt record; recovery treats it as the
+// end of the log.
+var ErrBadRecord = errors.New("wal: torn or corrupt record")
+
+// decode parses one record starting at b[0]. It returns the record and its
+// encoded length.
+func decode(b []byte) (Record, int, error) {
+	if len(b) < headerSize {
+		return Record{}, 0, ErrBadRecord
+	}
+	total := int(binary.LittleEndian.Uint32(b[0:]))
+	if total < headerSize || total > len(b) {
+		return Record{}, 0, ErrBadRecord
+	}
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if crc32.Checksum(b[8:total], crcTable) != crc {
+		return Record{}, 0, ErrBadRecord
+	}
+	r := Record{
+		Type:     RecType(binary.LittleEndian.Uint16(b[8:])),
+		Flags:    Flags(binary.LittleEndian.Uint16(b[10:])),
+		Kind:     Kind(binary.LittleEndian.Uint16(b[12:])),
+		TxnID:    TxnID(binary.LittleEndian.Uint64(b[14:])),
+		PrevLSN:  LSN(binary.LittleEndian.Uint64(b[22:])),
+		UndoNext: LSN(binary.LittleEndian.Uint64(b[30:])),
+		StoreID:  binary.LittleEndian.Uint32(b[38:]),
+		PageID:   binary.LittleEndian.Uint64(b[42:]),
+	}
+	if total > headerSize {
+		r.Payload = make([]byte, total-headerSize)
+		copy(r.Payload, b[headerSize:total])
+	}
+	return r, total, nil
+}
+
+// Log is the log manager. It is safe for concurrent use.
+type Log struct {
+	mu        sync.Mutex
+	buf       []byte // entire log contents; buf[0] is a pad byte so LSN 0 is invalid
+	stableLSN LSN    // bytes [ :stableLSN] survive a crash
+	ckptLSN   LSN    // master-record anchor: LSN of the last stable checkpoint
+	flushes   int64  // number of Force calls that advanced stableLSN
+	appends   int64
+}
+
+// New returns an empty log.
+func New() *Log {
+	return &Log{buf: []byte{0}, stableLSN: 1}
+}
+
+// NewFromImage continues a log from a crash image: the image's contents
+// become the stable prefix and appends resume after it, preserving LSN
+// continuity across restart exactly as a real single log would.
+func NewFromImage(r *Reader) *Log {
+	buf := make([]byte, len(r.buf))
+	copy(buf, r.buf)
+	if len(buf) == 0 {
+		buf = []byte{0}
+	}
+	return &Log{buf: buf, stableLSN: LSN(len(buf)), ckptLSN: r.ckptLSN}
+}
+
+// NoteCheckpoint records lsn as the most recent checkpoint anchor (the
+// "master record" of real systems). Callers force the log through lsn
+// first; an unforced anchor would not survive a crash, so CrashImage drops
+// anchors beyond the truncation point.
+func (l *Log) NoteCheckpoint(lsn LSN) {
+	l.mu.Lock()
+	if lsn <= l.stableLSN || lsn < LSN(len(l.buf)) {
+		l.ckptLSN = lsn
+	}
+	l.mu.Unlock()
+}
+
+// CheckpointLSN returns the current checkpoint anchor, or NilLSN.
+func (l *Log) CheckpointLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptLSN
+}
+
+// Append adds r to the log buffer, assigns and returns its LSN. The record
+// is not stable until a Force at or beyond it.
+func (l *Log) Append(r *Record) LSN {
+	l.mu.Lock()
+	lsn := LSN(len(l.buf))
+	r.LSN = lsn
+	l.buf = encode(l.buf, r)
+	l.appends++
+	l.mu.Unlock()
+	return lsn
+}
+
+// Force makes every record with LSN <= lsn stable. Forcing NilLSN is a
+// no-op; forcing beyond the end flushes everything.
+func (l *Log) Force(lsn LSN) {
+	if lsn == NilLSN {
+		return
+	}
+	l.mu.Lock()
+	end := LSN(len(l.buf))
+	// A record is stable iff it starts below stableLSN, so a force is
+	// needed whenever the requested record starts at or past it.
+	if lsn >= l.stableLSN && end > l.stableLSN {
+		// A force writes whole buffered records: stability advances to
+		// the current end of buffer, as a real group-commit write would.
+		l.stableLSN = end
+		l.flushes++
+	}
+	l.mu.Unlock()
+}
+
+// ForceAll makes the entire log stable.
+func (l *Log) ForceAll() {
+	l.mu.Lock()
+	if l.stableLSN < LSN(len(l.buf)) {
+		l.stableLSN = LSN(len(l.buf))
+		l.flushes++
+	}
+	l.mu.Unlock()
+}
+
+// StableLSN returns the first LSN that is NOT stable; records starting at
+// or beyond it are lost in a crash.
+func (l *Log) StableLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stableLSN
+}
+
+// EndLSN returns the LSN one past the last appended record.
+func (l *Log) EndLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN(len(l.buf))
+}
+
+// Stats returns the number of appends and physical flushes so far, for the
+// relative-durability experiment (T12).
+func (l *Log) Stats() (appends, flushes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.flushes
+}
+
+// Read returns the record starting at lsn, reading from the full buffered
+// log (normal processing, e.g. rollback, sees unforced records too).
+func (l *Log) Read(lsn LSN) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn == NilLSN || lsn >= LSN(len(l.buf)) {
+		return Record{}, fmt.Errorf("wal: read at invalid LSN %d", lsn)
+	}
+	r, _, err := decode(l.buf[lsn:])
+	if err != nil {
+		return Record{}, err
+	}
+	r.LSN = lsn
+	return r, nil
+}
+
+// CrashImage returns the stable prefix of the log as a Reader, simulating
+// loss of the volatile tail. If truncateAt is non-nil and lies at a record
+// boundary before the stable point, the image is truncated there instead,
+// which lets the crash matrix test every prefix of a run.
+func (l *Log) CrashImage(truncateAt *LSN) *Reader {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	end := l.stableLSN
+	if truncateAt != nil && *truncateAt < end {
+		end = *truncateAt
+	}
+	img := make([]byte, end)
+	copy(img, l.buf[:end])
+	ckpt := l.ckptLSN
+	if ckpt >= end {
+		ckpt = NilLSN
+	}
+	return &Reader{buf: img, ckptLSN: ckpt}
+}
+
+// FullImage returns a Reader over the entire buffered log, for tests that
+// want to enumerate record boundaries.
+func (l *Log) FullImage() *Reader {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	img := make([]byte, len(l.buf))
+	copy(img, l.buf)
+	return &Reader{buf: img, ckptLSN: l.ckptLSN}
+}
+
+// Reader iterates a (possibly truncated) log image during restart.
+type Reader struct {
+	buf     []byte
+	ckptLSN LSN
+}
+
+// CheckpointLSN returns the image's checkpoint anchor, or NilLSN if no
+// checkpoint survived.
+func (r *Reader) CheckpointLSN() LSN { return r.ckptLSN }
+
+// Scan calls fn for each record from lsn (NilLSN means the log start) to
+// the end of the image, stopping early if fn returns false. A torn record
+// terminates the scan silently, as restart would.
+func (r *Reader) Scan(lsn LSN, fn func(Record) bool) {
+	pos := int(lsn)
+	if pos == 0 {
+		pos = 1
+	}
+	for pos < len(r.buf) {
+		rec, n, err := decode(r.buf[pos:])
+		if err != nil {
+			return
+		}
+		rec.LSN = LSN(pos)
+		if !fn(rec) {
+			return
+		}
+		pos += n
+	}
+}
+
+// Read returns the record at lsn within the image.
+func (r *Reader) Read(lsn LSN) (Record, error) {
+	if lsn == NilLSN || int(lsn) >= len(r.buf) {
+		return Record{}, fmt.Errorf("wal: image read at invalid LSN %d", lsn)
+	}
+	rec, _, err := decode(r.buf[lsn:])
+	if err != nil {
+		return Record{}, err
+	}
+	rec.LSN = lsn
+	return rec, nil
+}
+
+// EndLSN returns one past the last byte of the image.
+func (r *Reader) EndLSN() LSN { return LSN(len(r.buf)) }
+
+// Boundaries returns the LSN of every record boundary in the image,
+// including the final end-of-log position. The crash matrix uses these as
+// truncation points.
+func (r *Reader) Boundaries() []LSN {
+	var out []LSN
+	pos := 1
+	for pos < len(r.buf) {
+		out = append(out, LSN(pos))
+		_, n, err := decode(r.buf[pos:])
+		if err != nil {
+			break
+		}
+		pos += n
+	}
+	out = append(out, LSN(pos))
+	return out
+}

@@ -1,0 +1,232 @@
+package wal
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l := New()
+	recs := []Record{
+		{Type: RecBegin, TxnID: 1},
+		{Type: RecUpdate, TxnID: 1, Kind: 7, StoreID: 3, PageID: 9, PrevLSN: 1, Payload: []byte("hello")},
+		{Type: RecCLR, TxnID: 1, Kind: 8, UndoNext: 1, Payload: []byte{}},
+		{Type: RecCommit, TxnID: 1, Flags: FlagSystem},
+		{Type: RecEnd, TxnID: 1},
+	}
+	var lsns []LSN
+	for i := range recs {
+		lsns = append(lsns, l.Append(&recs[i]))
+	}
+	for i, lsn := range lsns {
+		got, err := l.Read(lsn)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Type != recs[i].Type || got.TxnID != recs[i].TxnID || got.Kind != recs[i].Kind ||
+			got.StoreID != recs[i].StoreID || got.PageID != recs[i].PageID ||
+			got.PrevLSN != recs[i].PrevLSN || got.UndoNext != recs[i].UndoNext ||
+			got.Flags != recs[i].Flags || !bytes.Equal(got.Payload, recs[i].Payload) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got, recs[i])
+		}
+		if got.LSN != lsn {
+			t.Fatalf("record %d LSN %d != %d", i, got.LSN, lsn)
+		}
+	}
+}
+
+func TestPayloadRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, txn uint64, kind uint16, page uint64) bool {
+		l := New()
+		lsn := l.Append(&Record{Type: RecUpdate, TxnID: TxnID(txn), Kind: Kind(kind), PageID: page, Payload: payload})
+		got, err := l.Read(lsn)
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(got.Payload) == 0
+		}
+		return bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSNsAreMonotone(t *testing.T) {
+	l := New()
+	var prev LSN
+	for i := 0; i < 100; i++ {
+		lsn := l.Append(&Record{Type: RecUpdate, Payload: make([]byte, i)})
+		if lsn <= prev {
+			t.Fatalf("LSN %d not after %d", lsn, prev)
+		}
+		prev = lsn
+	}
+}
+
+func TestForceAndCrashTruncation(t *testing.T) {
+	l := New()
+	var lsns []LSN
+	for i := 0; i < 10; i++ {
+		lsns = append(lsns, l.Append(&Record{Type: RecUpdate, TxnID: TxnID(i)}))
+	}
+	l.Force(lsns[4])
+	// Force flushes the whole buffer (group commit): stable covers all.
+	img := l.CrashImage(nil)
+	count := 0
+	img.Scan(NilLSN, func(r Record) bool { count++; return true })
+	if count != 10 {
+		t.Fatalf("stable records = %d, want 10 (group write)", count)
+	}
+
+	// Unforced tail is lost.
+	l2 := New()
+	for i := 0; i < 5; i++ {
+		l2.Append(&Record{Type: RecUpdate, TxnID: TxnID(i)})
+	}
+	mid := l2.EndLSN()
+	l2.Force(mid - 1)
+	for i := 5; i < 10; i++ {
+		l2.Append(&Record{Type: RecUpdate, TxnID: TxnID(i)})
+	}
+	img2 := l2.CrashImage(nil)
+	count = 0
+	img2.Scan(NilLSN, func(r Record) bool { count++; return true })
+	if count != 5 {
+		t.Fatalf("stable records = %d, want 5", count)
+	}
+}
+
+func TestCrashImageExplicitTruncation(t *testing.T) {
+	l := New()
+	var lsns []LSN
+	for i := 0; i < 10; i++ {
+		lsns = append(lsns, l.Append(&Record{Type: RecUpdate, TxnID: TxnID(i)}))
+	}
+	l.ForceAll()
+	img := l.CrashImage(&lsns[3])
+	count := 0
+	img.Scan(NilLSN, func(r Record) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("truncated image has %d records, want 3", count)
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	l := New()
+	n := 7
+	for i := 0; i < n; i++ {
+		l.Append(&Record{Type: RecUpdate, Payload: make([]byte, i*3)})
+	}
+	l.ForceAll()
+	b := l.FullImage().Boundaries()
+	if len(b) != n+1 {
+		t.Fatalf("boundaries = %d, want %d", len(b), n+1)
+	}
+	if b[0] != 1 || b[len(b)-1] != l.EndLSN() {
+		t.Fatalf("boundary endpoints %d..%d, want 1..%d", b[0], b[len(b)-1], l.EndLSN())
+	}
+}
+
+func TestTornRecordStopsScan(t *testing.T) {
+	l := New()
+	l.Append(&Record{Type: RecUpdate, TxnID: 1})
+	lsn2 := l.Append(&Record{Type: RecUpdate, TxnID: 2, Payload: []byte("payload")})
+	l.ForceAll()
+	img := l.CrashImage(nil)
+	// Corrupt a byte inside the second record.
+	img.buf[int(lsn2)+headerSize] ^= 0xFF
+	count := 0
+	img.Scan(NilLSN, func(r Record) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("scan past torn record: count = %d, want 1", count)
+	}
+	if _, err := img.Read(lsn2); err == nil {
+		t.Fatal("read of torn record did not fail")
+	}
+}
+
+func TestNewFromImageContinues(t *testing.T) {
+	l := New()
+	lsn1 := l.Append(&Record{Type: RecBegin, TxnID: 1})
+	l.ForceAll()
+	l2 := NewFromImage(l.CrashImage(nil))
+	if l2.EndLSN() != l.EndLSN() {
+		t.Fatalf("continuation EndLSN %d != %d", l2.EndLSN(), l.EndLSN())
+	}
+	got, err := l2.Read(lsn1)
+	if err != nil || got.TxnID != 1 {
+		t.Fatalf("old record unreadable: %+v %v", got, err)
+	}
+	lsn2 := l2.Append(&Record{Type: RecCommit, TxnID: 1})
+	if lsn2 <= lsn1 {
+		t.Fatal("LSN continuity broken")
+	}
+}
+
+func TestCheckpointAnchor(t *testing.T) {
+	l := New()
+	l.Append(&Record{Type: RecUpdate})
+	ck := l.Append(&Record{Type: RecCheckpoint})
+	l.Force(ck)
+	l.NoteCheckpoint(ck)
+	if l.CheckpointLSN() != ck {
+		t.Fatal("anchor not recorded")
+	}
+	img := l.CrashImage(nil)
+	if img.CheckpointLSN() != ck {
+		t.Fatal("anchor lost in crash image")
+	}
+	// An anchor beyond the truncation point must be dropped.
+	cut := ck
+	img2 := l.CrashImage(&cut)
+	if img2.CheckpointLSN() != NilLSN {
+		t.Fatal("anchor survived truncation before it")
+	}
+}
+
+func TestStatsCountForces(t *testing.T) {
+	l := New()
+	lsn := l.Append(&Record{Type: RecCommit})
+	l.Force(lsn)
+	l.Force(lsn) // second force is a no-op
+	a, f := l.Stats()
+	if a != 1 || f != 1 {
+		t.Fatalf("appends=%d flushes=%d, want 1,1", a, f)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	l := New()
+	const workers = 8
+	const each = 500
+	var wg sync.WaitGroup
+	lsnCh := make(chan LSN, workers*each)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				lsnCh <- l.Append(&Record{Type: RecUpdate, TxnID: TxnID(w), Payload: []byte{byte(i)}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(lsnCh)
+	seen := make(map[LSN]bool)
+	for lsn := range lsnCh {
+		if seen[lsn] {
+			t.Fatalf("duplicate LSN %d", lsn)
+		}
+		seen[lsn] = true
+		if _, err := l.Read(lsn); err != nil {
+			t.Fatalf("read %d: %v", lsn, err)
+		}
+	}
+	if len(seen) != workers*each {
+		t.Fatalf("records = %d", len(seen))
+	}
+}
