@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: everything CI runs — vet, build, tests, and the race detector
+## over the concurrency-critical packages.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/storage ./internal/wal ./internal/latch ./internal/core
+
+## bench: root microbenchmarks (WAL append, pool fetch, tree ops).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1s .

@@ -15,7 +15,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/keys"
 	"repro/internal/spatial"
+	"repro/internal/storage"
 	"repro/internal/tsb"
+	"repro/internal/wal"
 )
 
 const benchPreload = 20000
@@ -291,6 +293,92 @@ func BenchmarkT12Recovery(b *testing.B) {
 		if _, err := e2.Recover(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchCodec stores raw byte slices as pages (storage-substrate
+// microbenchmarks only).
+type benchCodec struct{}
+
+func (benchCodec) EncodePage(v any) ([]byte, error) { return append([]byte(nil), v.([]byte)...), nil }
+func (benchCodec) DecodePage(b []byte) (any, error) { return append([]byte(nil), b...), nil }
+
+// BenchmarkWALAppendParallel measures raw log-append throughput with all
+// workers appending small update records concurrently, plus a variant
+// where every 64th append forces the log (group commit).
+func BenchmarkWALAppendParallel(b *testing.B) {
+	payload := make([]byte, 64)
+	b.Run("append", func(b *testing.B) {
+		l := wal.New()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				l.Append(&wal.Record{Type: wal.RecUpdate, TxnID: 1, StoreID: 1, PageID: 2, Payload: payload})
+			}
+		})
+	})
+	b.Run("append-force64", func(b *testing.B) {
+		l := wal.New()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			n := 0
+			for pb.Next() {
+				lsn := l.Append(&wal.Record{Type: wal.RecUpdate, TxnID: 1, StoreID: 1, PageID: 2, Payload: payload})
+				if n++; n%64 == 0 {
+					l.Force(lsn)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkPoolFetchParallel measures Fetch/Unpin throughput against a
+// preloaded store: unbounded (pure hit path), bounded with the working
+// set resident (hit path + replacement bookkeeping), and bounded with a
+// working set 4x capacity (eviction + reload churn).
+func BenchmarkPoolFetchParallel(b *testing.B) {
+	const nPages = 1024
+	build := func() *storage.Disk {
+		log := wal.New()
+		p := storage.NewPool(1, storage.NewDisk(), log, benchCodec{}, 0)
+		for i := 0; i < nPages; i++ {
+			pid := storage.PageID(2 + i)
+			f := p.Create(pid)
+			f.Latch.AcquireX()
+			f.Data = []byte{byte(i)}
+			lsn := log.Append(&wal.Record{Type: wal.RecUpdate, StoreID: 1, PageID: uint64(pid)})
+			f.MarkDirty(lsn)
+			f.Latch.ReleaseX()
+			p.Unpin(f)
+		}
+		p.FlushAll()
+		return p.Disk()
+	}
+	disk := build()
+	for _, cfg := range []struct {
+		name string
+		cap  int
+	}{
+		{"unbounded", 0},
+		{"bounded-resident", nPages * 2},
+		{"bounded-thrash", nPages / 4},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := storage.NewPool(1, disk, wal.New(), benchCodec{}, cfg.cap)
+			var seq atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					pid := storage.PageID(2 + (seq.Add(1)*2654435761)%nPages)
+					f, err := p.Fetch(pid)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					p.Unpin(f)
+				}
+			})
+		})
 	}
 }
 

@@ -68,17 +68,30 @@ func F1Figure(w io.Writer, p Params) {
 func runScaling(w io.Writer, p Params, mix Mix, title string) {
 	rows := make(map[string][]Result)
 	order := []string{}
+	var poolLines []string
 	for _, method := range AllMethods() {
 		order = append(order, method.Name)
 		for _, tc := range p.Threads {
 			kv, closer := method.New(p.Capacity)
 			Preload(kv, p.Preload)
 			r := Run(kv, tc, p.OpsPerThread, p.Preload, mix)
+			if pt, ok := kv.(*PiTree); ok {
+				s := pt.PoolStats()
+				poolLines = append(poolLines, fmt.Sprintf(
+					"  threads=%-2d hits=%d misses=%d evictions=%d hit-ratio=%.2f%%",
+					tc, s.Hits, s.Misses, s.Evictions, 100*s.HitRatio()))
+			}
 			closer()
 			rows[method.Name] = append(rows[method.Name], r)
 		}
 	}
 	printOrdered(w, title, p.Threads, order, rows)
+	if len(poolLines) > 0 {
+		fmt.Fprintln(w, "pi-tree buffer pool:")
+		for _, ln := range poolLines {
+			fmt.Fprintln(w, ln)
+		}
+	}
 }
 
 func printOrdered(w io.Writer, title string, threads []int, order []string, rows map[string][]Result) {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/keys"
+	"repro/internal/storage"
 )
 
 // KV is the method-agnostic surface the driver runs against (identical
@@ -70,6 +71,19 @@ func (p *PiTree) Label() string { return "pi-tree" }
 
 // Close stops background workers.
 func (p *PiTree) Close() { p.T.Close() }
+
+// PoolStats sums buffer-pool counters across the engine's stores.
+func (p *PiTree) PoolStats() storage.PoolStats {
+	var s storage.PoolStats
+	for _, pool := range p.E.Pools() {
+		ps := pool.Stats()
+		s.Flushes += ps.Flushes
+		s.Misses += ps.Misses
+		s.Hits += ps.Hits
+		s.Evictions += ps.Evictions
+	}
+	return s
+}
 
 // Mix is an operation mix in percent; the remainder after Search and
 // Insert is range scans of ~100 keys.

@@ -31,10 +31,16 @@ type AttEntry struct {
 }
 
 // Checkpoint is the fuzzy-checkpoint payload: the live transaction table
-// and, per store, the dirty page table (page -> recLSN).
+// and, per store, the dirty page table (page -> recLSN). StartLSN is the
+// log end observed before the tables were snapshotted: records appended
+// while the snapshot was being taken land between StartLSN and the
+// checkpoint record itself, so analysis must scan from StartLSN or it
+// would miss pages they dirtied. (Zero in images from before the field
+// existed; analysis then falls back to the checkpoint record's LSN.)
 type Checkpoint struct {
-	ATT []AttEntry
-	DPT map[uint32]map[uint64]wal.LSN
+	StartLSN wal.LSN
+	ATT      []AttEntry
+	DPT      map[uint32]map[uint64]wal.LSN
 }
 
 func encodeCheckpoint(c *Checkpoint) ([]byte, error) {
@@ -57,7 +63,7 @@ func decodeCheckpoint(b []byte) (*Checkpoint, error) {
 // the transaction manager's live table, forces it, and records it as the
 // log's checkpoint anchor. It returns the checkpoint's LSN.
 func TakeCheckpoint(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.LSN, error) {
-	c := Checkpoint{DPT: make(map[uint32]map[uint64]wal.LSN)}
+	c := Checkpoint{StartLSN: log.EndLSN(), DPT: make(map[uint32]map[uint64]wal.LSN)}
 	for _, e := range tm.SnapshotATT() {
 		c.ATT = append(c.ATT, AttEntry{ID: e.ID, LastLSN: e.LastLSN, System: e.System})
 	}
@@ -171,6 +177,15 @@ func AnalyzeAndRedo(log *wal.Log, reg *storage.Registry) (*Pending, error) {
 			}
 		}
 		scanFrom = ckpt
+		if c.StartLSN != wal.NilLSN && c.StartLSN < scanFrom {
+			// The checkpoint is fuzzy: its tables were snapshotted some time
+			// before the record itself was appended. Re-scan that window so
+			// updates racing the snapshot still reach the ATT/DPT. Replaying
+			// pre-snapshot records over the snapshot is harmless: it can only
+			// add conservative DPT entries (redo is pageLSN-guarded) and the
+			// ATT converges to the same rows.
+			scanFrom = c.StartLSN
+		}
 	}
 
 	noteDirty := func(store uint32, page uint64, lsn wal.LSN) {

@@ -1,9 +1,9 @@
 package storage
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -15,10 +15,16 @@ import (
 // stable.
 var ErrPageNotFound = errors.New("storage: page not found")
 
+// dirtyBit is the dirty flag packed into Frame.meta's top bit; the low 63
+// bits hold the pageLSN. LSNs are byte offsets into the in-memory log and
+// never reach 2^63.
+const dirtyBit = uint64(1) << 63
+
 // Frame is a buffered page. The decoded contents (Data) are protected by
 // the frame's Latch: mutate only under X, read under S or U. Bookkeeping
-// (pageLSN, dirty, recLSN) has its own tiny mutex so fuzzy checkpoints can
-// snapshot it without latching the page.
+// (pageLSN+dirty packed into one atomic word, recLSN in another) is
+// lock-free so that PageLSN — read on every node visit during a search —
+// and fuzzy-checkpoint snapshots never contend on a mutex.
 //
 // Protocol: pin (via Fetch/Create) before latching; unlatch before
 // unpinning. A pinned frame is never evicted.
@@ -29,53 +35,78 @@ type Frame struct {
 	// page (only recovery and fresh allocations see that state).
 	Data any
 
-	meta    sync.Mutex
-	pageLSN wal.LSN
-	dirty   bool
-	recLSN  wal.LSN // LSN that first dirtied the page since it was last clean
+	meta atomic.Uint64 // dirtyBit | pageLSN
+	// recLSN is the LSN that first dirtied the page since it was last
+	// clean. It goes stale (not zeroed) when a flush cleans the page and
+	// is rewritten on the next clean->dirty transition; a reader that
+	// races a flush therefore sees a recLSN at most one incarnation old,
+	// which only starts redo earlier — never too late.
+	recLSN atomic.Uint64
 
 	pins atomic.Int64
-	elem *list.Element // bounded pools only
+	ref      atomic.Uint32 // clock reference bit (bounded pools)
+	clockIdx int           // position in the owning shard's clock ring; shard mu
 }
 
 // PageLSN returns the frame's current page LSN (its state identifier,
 // §5.2: "log sequence numbers are used for state identifiers in many
 // commercial systems").
 func (f *Frame) PageLSN() wal.LSN {
-	f.meta.Lock()
-	defer f.meta.Unlock()
-	return f.pageLSN
+	return wal.LSN(f.meta.Load() &^ dirtyBit)
 }
 
 // MarkDirty records that the update logged at lsn changed this page. Call
 // under the frame's X latch, after appending the log record.
 func (f *Frame) MarkDirty(lsn wal.LSN) {
-	f.meta.Lock()
-	if !f.dirty {
-		f.dirty = true
-		f.recLSN = lsn
+	for {
+		old := f.meta.Load()
+		if old&dirtyBit == 0 {
+			// Clean -> dirty: publish recLSN before the dirty bit so any
+			// reader that observes dirty also observes a recLSN.
+			f.recLSN.Store(uint64(lsn))
+		}
+		if f.meta.CompareAndSwap(old, dirtyBit|uint64(lsn)) {
+			return
+		}
 	}
-	f.pageLSN = lsn
-	f.meta.Unlock()
 }
 
 // SetPageLSN overwrites the page LSN; recovery uses it when installing
 // redo results.
 func (f *Frame) SetPageLSN(lsn wal.LSN) {
-	f.meta.Lock()
-	if !f.dirty {
-		f.dirty = true
-		f.recLSN = lsn
-	}
-	f.pageLSN = lsn
-	f.meta.Unlock()
+	f.MarkDirty(lsn)
 }
 
 // Dirty reports whether the frame has unflushed changes.
 func (f *Frame) Dirty() bool {
-	f.meta.Lock()
-	defer f.meta.Unlock()
-	return f.dirty
+	return f.meta.Load()&dirtyBit != 0
+}
+
+// dirtySnapshot returns the frame's recLSN if it is dirty. MarkDirty
+// publishes recLSN before the dirty bit, so a dirty observation always
+// has a usable recLSN; racing a concurrent flush can only yield the
+// previous (lower, conservative) incarnation's value.
+func (f *Frame) dirtySnapshot() (wal.LSN, bool) {
+	if f.meta.Load()&dirtyBit == 0 {
+		return wal.NilLSN, false
+	}
+	return wal.LSN(f.recLSN.Load()), true
+}
+
+// PoolStats are cumulative pool counters.
+type PoolStats struct {
+	Flushes   int64 // dirty pages written to the stable layer
+	Misses    int64 // fetches that had to read the stable layer
+	Hits      int64 // fetches served from a buffered frame
+	Evictions int64 // frames removed by replacement (bounded pools)
+}
+
+// HitRatio returns hits/(hits+misses), or 0 with no traffic.
+func (s PoolStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 // Pool is the buffer pool for one store. It enforces the WAL protocol: a
@@ -85,8 +116,10 @@ func (f *Frame) Dirty() bool {
 //   - unbounded (capacity 0): frames live in a lock-free map and are
 //     never evicted — node visits take no pool-wide lock, which is what
 //     lets the concurrency experiments scale;
-//   - bounded: a mutex-guarded map with LRU eviction of unpinned,
-//     unlatched frames.
+//   - bounded: the page table is sharded (shard count a power of two
+//     near GOMAXPROCS) with a per-shard map and clock-sweep
+//     (second-chance) eviction, so a fetch touches only its shard and
+//     never a pool-wide lock.
 type Pool struct {
 	StoreID uint32
 	disk    *Disk
@@ -98,12 +131,72 @@ type Pool struct {
 	fmap sync.Map // PageID -> *Frame
 
 	// Bounded regime.
-	mu     sync.Mutex
-	frames map[PageID]*Frame
-	lru    *list.List // least-recently fetched at front
+	shards    []poolShard
+	shardMask uint64
 
 	flushCount atomic.Int64
 	missCount  atomic.Int64
+	hitCount   atomic.Int64 // unbounded regime; bounded hits are per-shard
+}
+
+// poolShard is one slice of a bounded pool's page table. All pins on
+// bounded frames are taken while holding the owning shard's mu, which is
+// what lets eviction trust a zero pin count: with the pin-before-latch
+// protocol, pins == 0 under mu means no one holds (or can acquire) the
+// frame's latch, so the evictor has exclusive access without touching it.
+type poolShard struct {
+	mu     sync.Mutex
+	frames map[PageID]*Frame
+	clock  []*Frame // unordered ring swept by the clock hand
+	hand   int
+	cap    int // this shard's share of the pool capacity
+	// Counters kept plain (not atomic): they are only touched under mu,
+	// which keeps the hit path free of cross-shard cache-line traffic.
+	hits      int64
+	evictions int64
+	// free parks recycled Frame shells. Eviction proved pins == 0 under
+	// mu, so no goroutine retains a usable reference and the struct can be
+	// reissued for a different page without a fresh allocation.
+	free []*Frame
+}
+
+// maxFreeFrames bounds a shard's recycle list; in steady state eviction
+// and installation alternate, so it rarely holds more than one entry.
+const maxFreeFrames = 8
+
+// takeFrame returns a frame shell to install: a recycled one when
+// available, else a fresh allocation. Caller holds sh.mu and must set ID,
+// Data, and meta before publishing it in the map.
+func (sh *poolShard) takeFrame() *Frame {
+	if n := len(sh.free); n > 0 {
+		f := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		return f
+	}
+	return &Frame{}
+}
+
+// recycle parks an evicted frame for reuse. Caller holds sh.mu and has
+// proved pins == 0 under it.
+func (sh *poolShard) recycle(f *Frame) {
+	if len(sh.free) < maxFreeFrames {
+		f.Data = nil // release the page contents to the collector now
+		sh.free = append(sh.free, f)
+	}
+}
+
+// shardCount picks a power-of-two shard count near GOMAXPROCS, shrunk so
+// every shard keeps a useful share of the capacity.
+func shardCount(capacity int) int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 32 {
+		n <<= 1
+	}
+	for n > 1 && capacity/n < 4 {
+		n >>= 1
+	}
+	return n
 }
 
 // NewPool returns a pool over disk logging to log. capacity is the maximum
@@ -118,10 +211,25 @@ func NewPool(storeID uint32, disk *Disk, log *wal.Log, codec Codec, capacity int
 		cap:     capacity,
 	}
 	if capacity > 0 {
-		p.frames = make(map[PageID]*Frame)
-		p.lru = list.New()
+		n := shardCount(capacity)
+		p.shards = make([]poolShard, n)
+		p.shardMask = uint64(n - 1)
+		for i := range p.shards {
+			sh := &p.shards[i]
+			sh.frames = make(map[PageID]*Frame)
+			sh.cap = capacity / n
+			if i < capacity%n {
+				sh.cap++
+			}
+		}
 	}
 	return p
+}
+
+// shard returns the shard owning pid.
+func (p *Pool) shard(pid PageID) *poolShard {
+	// Fibonacci hash spreads sequential page IDs across shards.
+	return &p.shards[(uint64(pid)*0x9E3779B97F4A7C15>>33)&p.shardMask]
 }
 
 // Disk returns the pool's stable layer.
@@ -136,56 +244,83 @@ func (p *Pool) Fetch(pid PageID) (*Frame, error) {
 		if v, ok := p.fmap.Load(pid); ok {
 			f := v.(*Frame)
 			f.pins.Add(1)
+			p.hitCount.Add(1)
 			return f, nil
 		}
 		f, err := p.loadFromDisk(pid)
 		if err != nil {
 			return nil, err
 		}
-		actual, loaded := p.fmap.LoadOrStore(pid, f)
+		// Another goroutine may install first; both read the same stable
+		// image, so dropping ours is safe.
+		actual, _ := p.fmap.LoadOrStore(pid, f)
 		af := actual.(*Frame)
-		if loaded {
-			// Another goroutine installed it first; both read the same
-			// stable image, so dropping ours is safe.
-			af.pins.Add(1)
-			return af, nil
-		}
 		af.pins.Add(1)
 		return af, nil
 	}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[pid]; ok {
+	sh := p.shard(pid)
+	sh.mu.Lock()
+	if f, ok := sh.frames[pid]; ok {
 		f.pins.Add(1)
-		p.lru.MoveToBack(f.elem)
+		f.ref.Store(1)
+		sh.hits++
+		sh.mu.Unlock()
 		return f, nil
 	}
-	f, err := p.loadFromDisk(pid)
+	sh.mu.Unlock()
+	// The disk read and decode are the expensive part of a miss; do them
+	// outside the shard lock so they never serialize the shard.
+	lsn, data, err := p.readPage(pid)
 	if err != nil {
 		return nil, err
 	}
+	sh.mu.Lock()
+	if g, ok := sh.frames[pid]; ok {
+		// Lost the install race; both decodes saw the same stable image.
+		g.pins.Add(1)
+		g.ref.Store(1)
+		sh.mu.Unlock()
+		return g, nil
+	}
+	f := sh.takeFrame()
+	f.ID = pid
+	f.Data = data
+	f.meta.Store(lsn &^ dirtyBit)
 	f.pins.Add(1)
-	p.installLocked(f)
+	sh.install(p, f)
+	sh.mu.Unlock()
 	return f, nil
 }
 
-// loadFromDisk reads and decodes the stable image of pid.
-func (p *Pool) loadFromDisk(pid PageID) (*Frame, error) {
+// readPage reads and decodes the stable image of pid.
+func (p *Pool) readPage(pid PageID) (lsn uint64, data any, err error) {
 	img, ok := p.disk.Read(pid)
 	if !ok {
-		return nil, fmt.Errorf("%w: page %d", ErrPageNotFound, pid)
+		return 0, nil, fmt.Errorf("%w: page %d", ErrPageNotFound, pid)
 	}
 	p.missCount.Add(1)
 	lsn, tag, content, err := unframeImage(img)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	data, err := p.decodeFrameData(tag, content)
+	data, err = p.decodeFrameData(tag, content)
+	if err != nil {
+		return 0, nil, err
+	}
+	return lsn, data, nil
+}
+
+// loadFromDisk reads and decodes the stable image of pid into a fresh
+// frame (unbounded regime).
+func (p *Pool) loadFromDisk(pid PageID) (*Frame, error) {
+	lsn, data, err := p.readPage(pid)
 	if err != nil {
 		return nil, err
 	}
-	return &Frame{ID: pid, Data: data, pageLSN: wal.LSN(lsn)}, nil
+	f := &Frame{ID: pid, Data: data}
+	f.meta.Store(lsn &^ dirtyBit)
+	return f, nil
 }
 
 // Create returns a pinned frame for a page that does not yet have valid
@@ -200,16 +335,20 @@ func (p *Pool) Create(pid PageID) *Frame {
 		af.pins.Add(1)
 		return af
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[pid]; ok {
+	sh := p.shard(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[pid]; ok {
 		f.pins.Add(1)
-		p.lru.MoveToBack(f.elem)
+		f.ref.Store(1)
 		return f
 	}
-	f := &Frame{ID: pid}
+	f := sh.takeFrame()
+	f.ID = pid
+	f.Data = nil
+	f.meta.Store(0)
 	f.pins.Add(1)
-	p.installLocked(f)
+	sh.install(p, f)
 	return f
 }
 
@@ -227,44 +366,69 @@ func (p *Pool) FetchOrCreate(pid PageID) (*Frame, error) {
 	return nil, err
 }
 
-// installLocked adds f to the bounded pool, evicting if over capacity.
-// Caller holds p.mu.
-func (p *Pool) installLocked(f *Frame) {
-	f.elem = p.lru.PushBack(f)
-	p.frames[f.ID] = f
-	p.evictLocked(len(p.frames) - p.cap)
+// install adds f to the shard and evicts past capacity. Caller holds
+// sh.mu.
+func (sh *poolShard) install(p *Pool, f *Frame) {
+	sh.frames[f.ID] = f
+	f.ref.Store(1)
+	f.clockIdx = len(sh.clock)
+	sh.clock = append(sh.clock, f)
+	for len(sh.frames) > sh.cap {
+		if !sh.evictOne(p) {
+			break // everything pinned: allow temporary overflow
+		}
+	}
 }
 
-// evictLocked tries to evict up to n frames. Caller holds p.mu.
-func (p *Pool) evictLocked(n int) {
-	e := p.lru.Front()
-	for n > 0 && e != nil {
-		next := e.Next()
-		f := e.Value.(*Frame)
-		if f.pins.Load() == 0 && f.Latch.TryAcquireX() {
-			if f.pins.Load() == 0 {
-				p.flush(f)
-				delete(p.frames, f.ID)
-				p.lru.Remove(e)
-				n--
-			}
-			f.Latch.ReleaseX()
+// evictOne runs the clock hand until it finds an unpinned frame whose
+// reference bit is clear, flushes it if dirty, and removes it. Giving
+// every frame one second chance bounds the sweep at two laps. Caller
+// holds sh.mu; see poolShard for why a zero pin count is sufficient
+// exclusion.
+func (sh *poolShard) evictOne(p *Pool) bool {
+	for scanned := 2 * len(sh.clock); scanned > 0; scanned-- {
+		if sh.hand >= len(sh.clock) {
+			sh.hand = 0
 		}
-		e = next
+		f := sh.clock[sh.hand]
+		if f.pins.Load() != 0 {
+			sh.hand++
+			continue
+		}
+		if f.ref.Swap(0) != 0 {
+			sh.hand++ // second chance
+			continue
+		}
+		p.flush(f)
+		sh.removeAt(f.clockIdx)
+		sh.recycle(f)
+		sh.evictions++
+		return true
 	}
+	return false
+}
+
+// removeAt deletes the clock ring entry at i by swapping in the last
+// entry. Caller holds sh.mu.
+func (sh *poolShard) removeAt(i int) {
+	f := sh.clock[i]
+	last := len(sh.clock) - 1
+	sh.clock[i] = sh.clock[last]
+	sh.clock[i].clockIdx = i
+	sh.clock[last] = nil
+	sh.clock = sh.clock[:last]
+	delete(sh.frames, f.ID)
 }
 
 // flush writes f to disk if dirty, forcing the log first (WAL protocol).
 // The caller must hold the frame's latch or have otherwise excluded
-// mutators.
+// mutators (eviction relies on pins == 0 under the shard lock).
 func (p *Pool) flush(f *Frame) {
-	f.meta.Lock()
-	dirty := f.dirty
-	lsn := f.pageLSN
-	f.meta.Unlock()
-	if !dirty || f.Data == nil {
+	m := f.meta.Load()
+	if m&dirtyBit == 0 || f.Data == nil {
 		return
 	}
+	lsn := wal.LSN(m &^ dirtyBit)
 	tag, content, err := p.encodeFrameData(f.Data)
 	if err != nil {
 		// Encoding a buffered page can only fail on a programming error;
@@ -273,11 +437,11 @@ func (p *Pool) flush(f *Frame) {
 	}
 	p.log.Force(lsn)
 	p.disk.Write(f.ID, frameImage(uint64(lsn), tag, content))
-	f.meta.Lock()
-	f.dirty = false
-	f.recLSN = wal.NilLSN
-	f.meta.Unlock()
-	p.flushCount.Add(1)
+	// Clean again; recLSN is left stale (see its comment). A lost race
+	// means a concurrent flusher of the same contents already cleaned it.
+	if f.meta.CompareAndSwap(m, uint64(lsn)) {
+		p.flushCount.Add(1)
+	}
 }
 
 // Unpin releases one pin on f.
@@ -300,61 +464,77 @@ func (p *Pool) Drop(pid PageID) {
 		}
 		return
 	}
-	p.mu.Lock()
-	if f, ok := p.frames[pid]; ok {
+	sh := p.shard(pid)
+	sh.mu.Lock()
+	if f, ok := sh.frames[pid]; ok {
 		if f.pins.Load() > 0 {
-			p.mu.Unlock()
+			sh.mu.Unlock()
 			panic(fmt.Sprintf("storage: drop of pinned page %d", pid))
 		}
-		p.lru.Remove(f.elem)
-		delete(p.frames, pid)
+		sh.removeAt(f.clockIdx)
+		sh.recycle(f)
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // FlushPage flushes pid if it is buffered and dirty. The caller must not
 // hold the frame's latch; FlushPage takes an S latch to exclude mutators.
 func (p *Pool) FlushPage(pid PageID) {
-	f, ok := p.lookup(pid)
+	f, ok := p.lookupPinned(pid)
 	if !ok {
 		return
 	}
-	f.pins.Add(1)
 	f.Latch.AcquireS()
 	p.flush(f)
 	f.Latch.ReleaseS()
 	p.Unpin(f)
 }
 
-// lookup returns the buffered frame for pid, if any, without pinning.
-func (p *Pool) lookup(pid PageID) (*Frame, bool) {
+// lookupPinned returns the buffered frame for pid pinned, if present.
+func (p *Pool) lookupPinned(pid PageID) (*Frame, bool) {
 	if p.cap == 0 {
 		v, ok := p.fmap.Load(pid)
 		if !ok {
 			return nil, false
 		}
-		return v.(*Frame), true
+		f := v.(*Frame)
+		f.pins.Add(1)
+		return f, true
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pid]
-	return f, ok
+	sh := p.shard(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[pid]
+	if !ok {
+		return nil, false
+	}
+	f.pins.Add(1)
+	return f, true
 }
 
-// snapshotFrames returns all buffered frames.
+// snapshotFrames returns all buffered frames, pinned: bounded-pool pins
+// are taken under each shard's mu, so frames in the snapshot cannot be
+// evicted (and their flushes cannot race an evictor's) until the caller
+// unpins them.
 func (p *Pool) snapshotFrames() []*Frame {
 	var out []*Frame
 	if p.cap == 0 {
 		p.fmap.Range(func(_, v any) bool {
-			out = append(out, v.(*Frame))
+			f := v.(*Frame)
+			f.pins.Add(1)
+			out = append(out, f)
 			return true
 		})
 		return out
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		out = append(out, f)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			f.pins.Add(1)
+			out = append(out, f)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -372,6 +552,7 @@ func (p *Pool) FlushAll() int {
 			p.flush(f)
 			f.Latch.ReleaseS()
 		}
+		p.Unpin(f)
 	}
 	return flushed
 }
@@ -381,21 +562,36 @@ func (p *Pool) FlushAll() int {
 func (p *Pool) DirtyPages() map[PageID]wal.LSN {
 	out := make(map[PageID]wal.LSN)
 	for _, f := range p.snapshotFrames() {
-		f.meta.Lock()
-		if f.dirty {
-			out[f.ID] = f.recLSN
+		if rec, dirty := f.dirtySnapshot(); dirty {
+			out[f.ID] = rec
 		}
-		f.meta.Unlock()
+		p.Unpin(f)
 	}
 	return out
 }
 
-// Stats returns flush and miss counters.
-func (p *Pool) Stats() (flushes, misses int64) {
-	return p.flushCount.Load(), p.missCount.Load()
+// Stats returns cumulative pool counters.
+func (p *Pool) Stats() PoolStats {
+	s := PoolStats{
+		Flushes: p.flushCount.Load(),
+		Misses:  p.missCount.Load(),
+		Hits:    p.hitCount.Load(),
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // BufferedCount returns the number of frames currently buffered.
 func (p *Pool) BufferedCount() int {
-	return len(p.snapshotFrames())
+	frames := p.snapshotFrames()
+	for _, f := range frames {
+		p.Unpin(f)
+	}
+	return len(frames)
 }

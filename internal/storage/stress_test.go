@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// seedPages creates pages [2, 2+n) with one-byte contents, logging each
+// format, and leaves every image on disk.
+func seedPages(t *testing.T, p *Pool, logger *testLogger, n int) {
+	t.Helper()
+	for pid := PageID(2); pid < PageID(2+n); pid++ {
+		f := p.Create(pid)
+		f.Latch.AcquireX()
+		f.Data = []byte{byte(pid)}
+		f.MarkDirty(logger.LogUpdate(p.StoreID, uint64(pid), 0, nil))
+		f.Latch.ReleaseX()
+		p.Unpin(f)
+	}
+	p.FlushAll()
+}
+
+// TestBoundedEvictionAccounting pins down the Stats bookkeeping of the
+// bounded pool: evictions count replacement victims, every dirty victim
+// is flushed exactly once, and the hit/miss split matches residency.
+func TestBoundedEvictionAccounting(t *testing.T) {
+	const capacity, n = 4, 12 // capacity 4 keeps a single shard: deterministic
+	p, lg := newTestPool(capacity)
+	logger := &testLogger{log: lg}
+	for pid := PageID(2); pid < PageID(2+n); pid++ {
+		f := p.Create(pid)
+		f.Latch.AcquireX()
+		f.Data = []byte{byte(pid)}
+		f.MarkDirty(logger.LogUpdate(p.StoreID, uint64(pid), 0, nil))
+		f.Latch.ReleaseX()
+		p.Unpin(f)
+	}
+
+	s := p.Stats()
+	if s.Evictions != n-capacity {
+		t.Errorf("evictions = %d, want %d", s.Evictions, n-capacity)
+	}
+	if s.Flushes != s.Evictions {
+		t.Errorf("flushes = %d, want %d (every victim was dirty)", s.Flushes, s.Evictions)
+	}
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("hits/misses = %d/%d before any Fetch", s.Hits, s.Misses)
+	}
+	if got := p.BufferedCount(); got != capacity {
+		t.Errorf("buffered = %d, want %d", got, capacity)
+	}
+
+	// A page just installed is resident: two back-to-back fetches are a
+	// hit each, and return the same frame.
+	last := PageID(2 + n - 1)
+	f1, err := p.Fetch(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := p.Fetch(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("resident page refetched into a different frame")
+	}
+	p.Unpin(f1)
+	p.Unpin(f2)
+	s2 := p.Stats()
+	if s2.Hits != s.Hits+2 || s2.Misses != s.Misses {
+		t.Errorf("hits/misses = %d/%d after two resident fetches, want %d/%d",
+			s2.Hits, s2.Misses, s.Hits+2, s.Misses)
+	}
+
+	// Sweep all n pages: at most capacity can be resident, so at least
+	// n-capacity fetches must miss, and every page must decode its image.
+	for pid := PageID(2); pid < PageID(2+n); pid++ {
+		f, err := p.Fetch(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := f.Data.([]byte); b[0] != byte(pid) {
+			t.Errorf("page %d contents = %d", pid, b[0])
+		}
+		p.Unpin(f)
+	}
+	s3 := p.Stats()
+	if got := (s3.Hits + s3.Misses) - (s2.Hits + s2.Misses); got != int64(n) {
+		t.Errorf("sweep recorded %d fetches, want %d", got, n)
+	}
+	if got := s3.Misses - s2.Misses; got < int64(n-capacity) {
+		t.Errorf("sweep misses = %d, want >= %d", got, n-capacity)
+	}
+	if r := s3.HitRatio(); r <= 0 || r >= 1 {
+		t.Errorf("hit ratio = %v, want in (0, 1)", r)
+	}
+}
+
+// checkWALRule asserts that every stable page image carries a pageLSN at
+// or below the log's stable watermark — the write-ahead rule. The disk is
+// snapshotted before reading StableLSN: the watermark is monotonic and
+// every image in the snapshot was forced before it was written, so the
+// later watermark read can only over-approximate.
+func checkWALRule(t *testing.T, p *Pool, lg *wal.Log) {
+	t.Helper()
+	snap := p.Disk().Snapshot()
+	stable := lg.StableLSN()
+	for pid, img := range snap.pages {
+		lsn, _, _, err := unframeImage(img)
+		if err != nil {
+			t.Errorf("page %d: bad stable image: %v", pid, err)
+			continue
+		}
+		if wal.LSN(lsn) > stable {
+			t.Errorf("WAL rule violated: page %d stable image has LSN %d > stable %d",
+				pid, lsn, stable)
+		}
+	}
+}
+
+// TestCheckpointStress hammers a small bounded pool from many goroutines
+// (fetch, re-fetch, dirty, unpin) while a checkpointer concurrently takes
+// DirtyPages snapshots and fuzzy FlushAll sweeps. Run it under -race. It
+// asserts that a pinned frame is never evicted (a re-fetch while pinned
+// must return the identical frame) and that no flush ever violates the
+// write-ahead rule.
+func TestCheckpointStress(t *testing.T) {
+	const (
+		capacity = 16
+		nPages   = 64
+		workers  = 8
+		ckpts    = 40
+	)
+	p, lg := newTestPool(capacity)
+	seedPages(t, p, &testLogger{log: lg}, nPages)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := uint64(w)*0x9E3779B97F4A7C15 + 1
+			var last wal.LSN
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rnd = rnd*6364136223846793005 + 1442695040888963407
+				pid := PageID(2 + (rnd>>32)%nPages)
+				f, err := p.Fetch(pid)
+				if err != nil {
+					t.Errorf("fetch %d: %v", pid, err)
+					return
+				}
+				if f.ID != pid {
+					t.Errorf("fetch %d returned frame for page %d", pid, f.ID)
+				}
+				// While f is pinned it cannot be evicted, so a second
+				// fetch must find the very same frame.
+				g, err := p.Fetch(pid)
+				if err != nil {
+					t.Errorf("refetch %d: %v", pid, err)
+					p.Unpin(f)
+					return
+				}
+				if g != f {
+					t.Errorf("page %d: pinned frame was evicted and reloaded", pid)
+				}
+				p.Unpin(g)
+				if rnd%4 == 0 {
+					f.Latch.AcquireX()
+					lsn := lg.Append(&wal.Record{
+						Type: wal.RecUpdate, TxnID: wal.TxnID(w + 1), PrevLSN: last,
+						StoreID: p.StoreID, PageID: uint64(pid),
+					})
+					last = lsn
+					f.MarkDirty(lsn)
+					f.Latch.ReleaseX()
+				}
+				p.Unpin(f)
+			}
+		}(w)
+	}
+
+	for i := 0; i < ckpts; i++ {
+		dpt := p.DirtyPages()
+		for pid, rec := range dpt {
+			if rec == wal.NilLSN {
+				t.Errorf("checkpoint %d: dirty page %d with nil recLSN", i, pid)
+			}
+		}
+		p.FlushAll()
+		checkWALRule(t, p, lg)
+	}
+	close(stop)
+	wg.Wait()
+
+	p.FlushAll()
+	checkWALRule(t, p, lg)
+	if got := p.BufferedCount(); got > capacity+workers {
+		t.Errorf("buffered = %d after quiesce, want <= %d", got, capacity+workers)
+	}
+}

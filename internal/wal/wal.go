@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // LSN is a log sequence number: the byte offset of a record's start in the
@@ -128,13 +130,11 @@ const headerSize = 4 + 4 + 2 + 2 + 2 + 8 + 8 + 8 + 4 + 8 // len,crc,type,flags,k
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// encode appends the wire form of r (excluding LSN, which is positional)
-// to dst and returns the extended slice.
-func encode(dst []byte, r *Record) []byte {
-	total := headerSize + len(r.Payload)
-	off := len(dst)
-	dst = append(dst, make([]byte, total)...)
-	b := dst[off:]
+// encodeInto writes the wire form of r (excluding LSN, which is
+// positional) into b, which must be exactly headerSize+len(r.Payload)
+// bytes.
+func encodeInto(b []byte, r *Record) {
+	total := len(b)
 	binary.LittleEndian.PutUint32(b[0:], uint32(total))
 	// CRC filled below over bytes [8:total].
 	binary.LittleEndian.PutUint16(b[8:], uint16(r.Type))
@@ -148,7 +148,6 @@ func encode(dst []byte, r *Record) []byte {
 	copy(b[headerSize:], r.Payload)
 	crc := crc32.Checksum(b[8:total], crcTable)
 	binary.LittleEndian.PutUint32(b[4:], crc)
-	return dst
 }
 
 // ErrBadRecord reports a torn or corrupt record; recovery treats it as the
@@ -186,31 +185,172 @@ func decode(b []byte) (Record, int, error) {
 	return r, total, nil
 }
 
+// Log buffer geometry. The log lives in fixed-size segments so that the
+// buffer grows without ever re-copying earlier records (a single
+// append-grown slice re-copies the whole log on every doubling) and so
+// that concurrent appenders can copy into disjoint reserved ranges
+// without any shared lock.
+const (
+	segShift = 16 // 64 KiB segments
+	segSize  = 1 << segShift
+	segMask  = segSize - 1
+
+	// inflightSlots bounds the number of concurrently reserving
+	// appenders; excess appenders spin briefly for a free slot.
+	inflightSlots = 64
+
+	// idleSlot marks an in-flight slot as unused.
+	idleSlot = ^uint64(0)
+)
+
+// inflightSlot is one publication slot, padded to a cache line so
+// concurrent appenders do not false-share.
+type inflightSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
 // Log is the log manager. It is safe for concurrent use.
+//
+// Appends are lock-free: an appender reserves LSN space with an atomic
+// fetch-add on tail, copies the encoded record into its reserved range
+// of the segmented buffer, and publishes completion by clearing its
+// in-flight slot. A slot holds a lower bound on the owner's start offset
+// from before the reservation is made, so the minimum over the active
+// slots (capped at tail) is a watermark below which every byte is fully
+// copied. Force only ever advances stability over that fully-published
+// prefix, waiting out any holes left by still-copying appenders — group
+// commit without blocking them.
 type Log struct {
-	mu        sync.Mutex
-	buf       []byte // entire log contents; buf[0] is a pad byte so LSN 0 is invalid
-	stableLSN LSN    // bytes [ :stableLSN] survive a crash
-	ckptLSN   LSN    // master-record anchor: LSN of the last stable checkpoint
-	flushes   int64  // number of Force calls that advanced stableLSN
-	appends   int64
+	tail    atomic.Uint64 // next free byte offset; offset 0 is a pad so LSN 0 is invalid
+	appends atomic.Int64
+
+	segs   atomic.Pointer[[][]byte] // grow-only directory of segSize segments
+	growMu sync.Mutex               // serializes segment allocation only
+
+	inflight [inflightSlots]inflightSlot
+	slotHint atomic.Uint32 // rotates claim start points across appenders
+
+	mu        sync.Mutex // force/anchor state below
+	stableLSN LSN        // bytes [ :stableLSN] survive a crash
+	ckptLSN   LSN        // master-record anchor: LSN of the last stable checkpoint
+	flushes   int64      // number of Force calls that advanced stableLSN
 }
 
 // New returns an empty log.
 func New() *Log {
-	return &Log{buf: []byte{0}, stableLSN: 1}
+	l := &Log{stableLSN: 1}
+	l.tail.Store(1)
+	segs := [][]byte{make([]byte, segSize)}
+	l.segs.Store(&segs)
+	for i := range l.inflight {
+		l.inflight[i].v.Store(idleSlot)
+	}
+	return l
 }
 
 // NewFromImage continues a log from a crash image: the image's contents
 // become the stable prefix and appends resume after it, preserving LSN
 // continuity across restart exactly as a real single log would.
 func NewFromImage(r *Reader) *Log {
-	buf := make([]byte, len(r.buf))
-	copy(buf, r.buf)
-	if len(buf) == 0 {
-		buf = []byte{0}
+	l := New()
+	if len(r.buf) > 1 {
+		end := uint64(len(r.buf))
+		segs := l.ensure(end)
+		copyIn(segs, 1, r.buf[1:])
+		l.tail.Store(end)
+		l.stableLSN = LSN(end)
 	}
-	return &Log{buf: buf, stableLSN: LSN(len(buf)), ckptLSN: r.ckptLSN}
+	l.ckptLSN = r.ckptLSN
+	return l
+}
+
+// ensure returns a segment directory covering bytes [0:end), allocating
+// segments as needed.
+func (l *Log) ensure(end uint64) [][]byte {
+	need := int((end + segSize - 1) >> segShift)
+	segs := *l.segs.Load()
+	if len(segs) >= need {
+		return segs
+	}
+	l.growMu.Lock()
+	segs = *l.segs.Load()
+	if len(segs) < need {
+		ns := segs
+		if cap(ns) < need {
+			// Grow the directory geometrically so the pointer array is
+			// not re-copied on every new segment.
+			newCap := 2 * cap(ns)
+			if newCap < need {
+				newCap = need
+			}
+			if newCap < 64 {
+				newCap = 64
+			}
+			ns = make([][]byte, len(segs), newCap)
+			copy(ns, segs)
+		}
+		// Appending within capacity only writes indices at or beyond
+		// every published header's length, so concurrent readers of the
+		// old header never observe them.
+		for len(ns) < need {
+			ns = append(ns, make([]byte, segSize))
+		}
+		l.segs.Store(&ns)
+		segs = ns
+	}
+	l.growMu.Unlock()
+	return segs
+}
+
+// copyIn copies b into the segmented buffer at off; the range must lie
+// within already-allocated segments.
+func copyIn(segs [][]byte, off uint64, b []byte) {
+	for len(b) > 0 {
+		n := copy(segs[off>>segShift][off&segMask:], b)
+		b = b[n:]
+		off += uint64(n)
+	}
+}
+
+// copyOut copies len(dst) bytes starting at off out of the segmented
+// buffer.
+func copyOut(segs [][]byte, dst []byte, off uint64) {
+	for len(dst) > 0 {
+		n := copy(dst, segs[off>>segShift][off&segMask:])
+		dst = dst[n:]
+		off += uint64(n)
+	}
+}
+
+// claimSlot reserves one in-flight publication slot, pre-charged with a
+// lower bound on the caller's eventual start offset.
+func (l *Log) claimSlot() *atomic.Uint64 {
+	i := l.slotHint.Add(1)
+	for attempt := 0; ; attempt++ {
+		s := &l.inflight[(i+uint32(attempt))%inflightSlots].v
+		// The bound must be loaded before the CAS makes the slot visible
+		// and before the reservation, so it never exceeds the start.
+		bound := l.tail.Load()
+		if s.CompareAndSwap(idleSlot, bound) {
+			return s
+		}
+		if attempt%inflightSlots == inflightSlots-1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// publishedPrefix returns an offset below which every reserved byte has
+// been fully copied, at most limit.
+func (l *Log) publishedPrefix(limit uint64) uint64 {
+	min := limit
+	for i := range l.inflight {
+		if v := l.inflight[i].v.Load(); v < min {
+			min = v
+		}
+	}
+	return min
 }
 
 // NoteCheckpoint records lsn as the most recent checkpoint anchor (the
@@ -219,7 +359,7 @@ func NewFromImage(r *Reader) *Log {
 // anchors beyond the truncation point.
 func (l *Log) NoteCheckpoint(lsn LSN) {
 	l.mu.Lock()
-	if lsn <= l.stableLSN || lsn < LSN(len(l.buf)) {
+	if lsn <= l.stableLSN || lsn < LSN(l.tail.Load()) {
 		l.ckptLSN = lsn
 	}
 	l.mu.Unlock()
@@ -233,44 +373,80 @@ func (l *Log) CheckpointLSN() LSN {
 }
 
 // Append adds r to the log buffer, assigns and returns its LSN. The record
-// is not stable until a Force at or beyond it.
+// is not stable until a Force at or beyond it. Appenders never block each
+// other: LSN space is reserved with an atomic add and the record bytes are
+// copied into the reservation concurrently.
 func (l *Log) Append(r *Record) LSN {
-	l.mu.Lock()
-	lsn := LSN(len(l.buf))
-	r.LSN = lsn
-	l.buf = encode(l.buf, r)
-	l.appends++
-	l.mu.Unlock()
-	return lsn
+	total := uint64(headerSize + len(r.Payload))
+	slot := l.claimSlot()
+	start := l.tail.Add(total) - total
+	// Tighten the slot's bound from pre-reservation tail to the exact
+	// start, so a concurrent Force group-committing records before ours
+	// does not wait on our copy.
+	slot.Store(start)
+	r.LSN = LSN(start)
+	end := start + total
+	segs := l.ensure(end)
+	if start>>segShift == (end-1)>>segShift {
+		// Common case: the record fits one segment; encode in place.
+		so := start & segMask
+		encodeInto(segs[start>>segShift][so:so+total], r)
+	} else {
+		b := make([]byte, total)
+		encodeInto(b, r)
+		copyIn(segs, start, b)
+	}
+	l.appends.Add(1)
+	// Publish: after this store the bytes are covered by publishedPrefix.
+	slot.Store(idleSlot)
+	return LSN(start)
 }
 
 // Force makes every record with LSN <= lsn stable. Forcing NilLSN is a
-// no-op; forcing beyond the end flushes everything.
+// no-op; forcing beyond the end flushes everything. Force waits for
+// concurrent appenders that hold earlier LSN reservations to finish
+// copying (hole filling), then advances stability over the whole
+// fully-published prefix — group commit.
 func (l *Log) Force(lsn LSN) {
 	if lsn == NilLSN {
 		return
 	}
 	l.mu.Lock()
-	end := LSN(len(l.buf))
-	// A record is stable iff it starts below stableLSN, so a force is
-	// needed whenever the requested record starts at or past it.
-	if lsn >= l.stableLSN && end > l.stableLSN {
-		// A force writes whole buffered records: stability advances to
-		// the current end of buffer, as a real group-commit write would.
-		l.stableLSN = end
-		l.flushes++
+	defer l.mu.Unlock()
+	// A record is stable iff it starts below stableLSN.
+	if lsn < l.stableLSN {
+		return
 	}
-	l.mu.Unlock()
+	limit := l.tail.Load()
+	target := uint64(lsn) + 1
+	if target > limit {
+		target = limit
+	}
+	l.advanceStable(limit, target)
 }
 
-// ForceAll makes the entire log stable.
+// ForceAll makes the entire appended log stable.
 func (l *Log) ForceAll() {
 	l.mu.Lock()
-	if l.stableLSN < LSN(len(l.buf)) {
-		l.stableLSN = LSN(len(l.buf))
-		l.flushes++
+	defer l.mu.Unlock()
+	limit := l.tail.Load()
+	l.advanceStable(limit, limit)
+}
+
+// advanceStable waits until the published prefix reaches target, then
+// advances stableLSN over it. Caller holds l.mu.
+func (l *Log) advanceStable(limit, target uint64) {
+	for {
+		pub := l.publishedPrefix(limit)
+		if pub >= target {
+			if LSN(pub) > l.stableLSN {
+				l.stableLSN = LSN(pub)
+				l.flushes++
+			}
+			return
+		}
+		runtime.Gosched()
 	}
-	l.mu.Unlock()
 }
 
 // StableLSN returns the first LSN that is NOT stable; records starting at
@@ -283,33 +459,65 @@ func (l *Log) StableLSN() LSN {
 
 // EndLSN returns the LSN one past the last appended record.
 func (l *Log) EndLSN() LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return LSN(len(l.buf))
+	return LSN(l.tail.Load())
 }
 
 // Stats returns the number of appends and physical flushes so far, for the
 // relative-durability experiment (T12).
 func (l *Log) Stats() (appends, flushes int64) {
+	appends = l.appends.Load()
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.appends, l.flushes
+	flushes = l.flushes
+	l.mu.Unlock()
+	return appends, flushes
 }
 
 // Read returns the record starting at lsn, reading from the full buffered
-// log (normal processing, e.g. rollback, sees unforced records too).
+// log (normal processing, e.g. rollback, sees unforced records too). The
+// caller must have learned lsn from a completed Append.
 func (l *Log) Read(lsn LSN) (Record, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if lsn == NilLSN || lsn >= LSN(len(l.buf)) {
+	end := l.tail.Load()
+	if lsn == NilLSN || uint64(lsn) >= end {
 		return Record{}, fmt.Errorf("wal: read at invalid LSN %d", lsn)
 	}
-	r, _, err := decode(l.buf[lsn:])
+	b, err := l.copyRecord(uint64(lsn), end)
+	if err != nil {
+		return Record{}, err
+	}
+	r, _, err := decode(b)
 	if err != nil {
 		return Record{}, err
 	}
 	r.LSN = lsn
 	return r, nil
+}
+
+// copyRecord copies the encoded record starting at off into a fresh
+// contiguous buffer; end bounds the readable offset space.
+func (l *Log) copyRecord(off, end uint64) ([]byte, error) {
+	segs := *l.segs.Load()
+	if off+4 > end {
+		return nil, ErrBadRecord
+	}
+	var lenb [4]byte
+	copyOut(segs, lenb[:], off)
+	total := uint64(binary.LittleEndian.Uint32(lenb[:]))
+	if total < headerSize || off+total > end {
+		return nil, ErrBadRecord
+	}
+	b := make([]byte, total)
+	copyOut(segs, b, off)
+	return b, nil
+}
+
+// contiguous returns a fresh contiguous copy of bytes [0:end).
+func (l *Log) contiguous(end uint64) []byte {
+	img := make([]byte, end)
+	segs := *l.segs.Load()
+	if end > 1 {
+		copyOut(segs, img[1:], 1)
+	}
+	return img
 }
 
 // CrashImage returns the stable prefix of the log as a Reader, simulating
@@ -323,23 +531,20 @@ func (l *Log) CrashImage(truncateAt *LSN) *Reader {
 	if truncateAt != nil && *truncateAt < end {
 		end = *truncateAt
 	}
-	img := make([]byte, end)
-	copy(img, l.buf[:end])
 	ckpt := l.ckptLSN
 	if ckpt >= end {
 		ckpt = NilLSN
 	}
-	return &Reader{buf: img, ckptLSN: ckpt}
+	return &Reader{buf: l.contiguous(uint64(end)), ckptLSN: ckpt}
 }
 
-// FullImage returns a Reader over the entire buffered log, for tests that
-// want to enumerate record boundaries.
+// FullImage returns a Reader over the fully-published buffered log, for
+// restart analysis and tests that enumerate record boundaries.
 func (l *Log) FullImage() *Reader {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	img := make([]byte, len(l.buf))
-	copy(img, l.buf)
-	return &Reader{buf: img, ckptLSN: l.ckptLSN}
+	end := l.publishedPrefix(l.tail.Load())
+	return &Reader{buf: l.contiguous(end), ckptLSN: l.ckptLSN}
 }
 
 // Reader iterates a (possibly truncated) log image during restart.
