@@ -46,6 +46,18 @@ type Frame struct {
 	pins atomic.Int64
 	ref      atomic.Uint32 // clock reference bit (bounded pools)
 	clockIdx int           // position in the owning shard's clock ring; shard mu
+
+	// loading marks a pinned placeholder whose disk read is still in
+	// flight (bounded pools). Concurrent fetchers of the same page pin the
+	// placeholder and park on loadCh — created lazily by the first waiter,
+	// so the common no-waiter miss pays no allocation — instead of reading
+	// the stable image themselves. loadErr is the read's result. All three
+	// fields are written only under the owning shard's mu; the loader
+	// writes loadErr (and the page contents) before closing loadCh, so
+	// waiters observe them through the close.
+	loading bool
+	loadCh  chan struct{}
+	loadErr error
 }
 
 // PageLSN returns the frame's current page LSN (its state identifier,
@@ -150,6 +162,11 @@ type poolShard struct {
 	clock  []*Frame // unordered ring swept by the clock hand
 	hand   int
 	cap    int // this shard's share of the pool capacity
+	// flushing holds detached dirty victims whose write-back is still in
+	// flight, keyed by page ID. A page is in frames or in flushing, never
+	// both: installers wait for the write to land before re-reading the
+	// stable image, or a fetch could resurrect the pre-flush contents.
+	flushing map[PageID]*flushOp
 	// Counters kept plain (not atomic): they are only touched under mu,
 	// which keeps the hit path free of cross-shard cache-line traffic.
 	hits      int64
@@ -158,6 +175,29 @@ type poolShard struct {
 	// mu, so no goroutine retains a usable reference and the struct can be
 	// reissued for a different page without a fresh allocation.
 	free []*Frame
+}
+
+// flushOp is one in-flight eviction write-back. The evictor owns f
+// exclusively (it was detached with pins == 0 under the shard mu, and
+// nothing in the map can hand out new pins). done — created lazily,
+// under the shard mu, by the first fetcher that needs to wait — is
+// closed once the stable image is current and the page may be re-read
+// from disk.
+type flushOp struct {
+	f    *Frame
+	done chan struct{}
+}
+
+// wait parks the caller until the write-back completes. Caller holds
+// sh.mu, which wait releases before blocking and reacquires after.
+func (op *flushOp) wait(sh *poolShard) {
+	if op.done == nil {
+		op.done = make(chan struct{})
+	}
+	ch := op.done
+	sh.mu.Unlock()
+	<-ch
+	sh.mu.Lock()
 }
 
 // maxFreeFrames bounds a shard's recycle list; in steady state eviction
@@ -217,6 +257,7 @@ func NewPool(storeID uint32, disk *Disk, log *wal.Log, codec Codec, capacity int
 		for i := range p.shards {
 			sh := &p.shards[i]
 			sh.frames = make(map[PageID]*Frame)
+			sh.flushing = make(map[PageID]*flushOp)
 			sh.cap = capacity / n
 			if i < capacity%n {
 				sh.cap++
@@ -261,35 +302,78 @@ func (p *Pool) Fetch(pid PageID) (*Frame, error) {
 
 	sh := p.shard(pid)
 	sh.mu.Lock()
-	if f, ok := sh.frames[pid]; ok {
-		f.pins.Add(1)
-		f.ref.Store(1)
-		sh.hits++
-		sh.mu.Unlock()
-		return f, nil
+	for {
+		if f, ok := sh.frames[pid]; ok {
+			f.pins.Add(1)
+			f.ref.Store(1)
+			sh.hits++
+			if !f.loading {
+				sh.mu.Unlock()
+				return f, nil
+			}
+			// Another fetcher's disk read is in flight; wait for it to
+			// publish the contents (or fail) instead of decoding a second
+			// copy.
+			if f.loadCh == nil {
+				f.loadCh = make(chan struct{})
+			}
+			ch := f.loadCh
+			sh.mu.Unlock()
+			<-ch
+			if err := f.loadErr; err != nil {
+				p.Unpin(f)
+				return nil, err
+			}
+			return f, nil
+		}
+		op, ok := sh.flushing[pid]
+		if !ok {
+			break
+		}
+		// An evictor is writing this page back; wait for the write to
+		// land. Reading the stable image now could install the pre-flush
+		// contents over the newer ones.
+		op.wait(sh)
 	}
+	// Miss: publish a pinned loading placeholder under the lock, then do
+	// the expensive disk read and decode outside it so they never
+	// serialize the shard. The pin keeps the evictor away and the loading
+	// marker parks concurrent fetchers of the same page, so the window
+	// between lookup and install can never admit a stale image over newer
+	// buffered (or freshly flushed) state.
+	f := sh.takeFrame()
+	f.ID = pid
+	f.Data = nil
+	f.meta.Store(0)
+	f.loading = true
+	f.loadErr = nil
+	f.pins.Add(1)
+	victims := sh.install(f)
 	sh.mu.Unlock()
-	// The disk read and decode are the expensive part of a miss; do them
-	// outside the shard lock so they never serialize the shard.
+	p.writeBack(sh, victims)
+
 	lsn, data, err := p.readPage(pid)
+	sh.mu.Lock()
+	if err != nil {
+		// Withdraw the placeholder. Waiters still pin it and will read
+		// loadErr after the close; the frame is not recycled.
+		sh.removeAt(f.clockIdx)
+		f.loadErr = err
+		f.pins.Add(-1)
+	} else {
+		f.Data = data
+		f.meta.Store(lsn &^ dirtyBit)
+	}
+	f.loading = false
+	ch := f.loadCh
+	f.loadCh = nil
+	sh.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
 	if err != nil {
 		return nil, err
 	}
-	sh.mu.Lock()
-	if g, ok := sh.frames[pid]; ok {
-		// Lost the install race; both decodes saw the same stable image.
-		g.pins.Add(1)
-		g.ref.Store(1)
-		sh.mu.Unlock()
-		return g, nil
-	}
-	f := sh.takeFrame()
-	f.ID = pid
-	f.Data = data
-	f.meta.Store(lsn &^ dirtyBit)
-	f.pins.Add(1)
-	sh.install(p, f)
-	sh.mu.Unlock()
 	return f, nil
 }
 
@@ -337,18 +421,43 @@ func (p *Pool) Create(pid PageID) *Frame {
 	}
 	sh := p.shard(pid)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if f, ok := sh.frames[pid]; ok {
-		f.pins.Add(1)
-		f.ref.Store(1)
-		return f
+	for {
+		if f, ok := sh.frames[pid]; ok {
+			f.pins.Add(1)
+			f.ref.Store(1)
+			if !f.loading {
+				sh.mu.Unlock()
+				return f
+			}
+			if f.loadCh == nil {
+				f.loadCh = make(chan struct{})
+			}
+			ch := f.loadCh
+			sh.mu.Unlock()
+			<-ch
+			if f.loadErr != nil {
+				// The loader failed and withdrew its placeholder; install
+				// a fresh empty frame instead.
+				p.Unpin(f)
+				sh.mu.Lock()
+				continue
+			}
+			return f
+		}
+		op, ok := sh.flushing[pid]
+		if !ok {
+			break
+		}
+		op.wait(sh)
 	}
 	f := sh.takeFrame()
 	f.ID = pid
 	f.Data = nil
 	f.meta.Store(0)
 	f.pins.Add(1)
-	sh.install(p, f)
+	victims := sh.install(f)
+	sh.mu.Unlock()
+	p.writeBack(sh, victims)
 	return f
 }
 
@@ -366,26 +475,37 @@ func (p *Pool) FetchOrCreate(pid PageID) (*Frame, error) {
 	return nil, err
 }
 
-// install adds f to the shard and evicts past capacity. Caller holds
-// sh.mu.
-func (sh *poolShard) install(p *Pool, f *Frame) {
+// install adds f to the shard and detaches victims past capacity,
+// returning the dirty ones for the caller to write back via writeBack
+// after dropping sh.mu. Caller holds sh.mu.
+func (sh *poolShard) install(f *Frame) []*flushOp {
 	sh.frames[f.ID] = f
 	f.ref.Store(1)
 	f.clockIdx = len(sh.clock)
 	sh.clock = append(sh.clock, f)
+	var victims []*flushOp
 	for len(sh.frames) > sh.cap {
-		if !sh.evictOne(p) {
+		op, found := sh.detachVictim()
+		if !found {
 			break // everything pinned: allow temporary overflow
 		}
+		if op != nil {
+			victims = append(victims, op)
+		}
 	}
+	return victims
 }
 
-// evictOne runs the clock hand until it finds an unpinned frame whose
-// reference bit is clear, flushes it if dirty, and removes it. Giving
-// every frame one second chance bounds the sweep at two laps. Caller
-// holds sh.mu; see poolShard for why a zero pin count is sufficient
-// exclusion.
-func (sh *poolShard) evictOne(p *Pool) bool {
+// detachVictim runs the clock hand until it finds an unpinned frame
+// whose reference bit is clear and removes it from the shard. Giving
+// every frame one second chance bounds the sweep at two laps. A clean
+// victim is recycled on the spot; a dirty one is registered in
+// sh.flushing and returned for write-back outside the lock — once
+// detached with pins == 0 nothing can re-dirty it, so the dirty
+// decision is stable. found is false when every frame is pinned or
+// referenced. Caller holds sh.mu; see poolShard for why a zero pin
+// count is sufficient exclusion.
+func (sh *poolShard) detachVictim() (op *flushOp, found bool) {
 	for scanned := 2 * len(sh.clock); scanned > 0; scanned-- {
 		if sh.hand >= len(sh.clock) {
 			sh.hand = 0
@@ -399,13 +519,36 @@ func (sh *poolShard) evictOne(p *Pool) bool {
 			sh.hand++ // second chance
 			continue
 		}
-		p.flush(f)
 		sh.removeAt(f.clockIdx)
-		sh.recycle(f)
 		sh.evictions++
-		return true
+		if !f.Dirty() {
+			sh.recycle(f)
+			return nil, true
+		}
+		op = &flushOp{f: f}
+		sh.flushing[f.ID] = op
+		return op, true
 	}
-	return false
+	return nil, false
+}
+
+// writeBack flushes detached dirty victims and retires their in-flight
+// entries, waking fetchers parked on those pages. It runs without sh.mu
+// held: flush forces the log, and log.Force can wait out in-flight
+// appenders — a wait that must stall only this page, not every fetch on
+// the shard.
+func (p *Pool) writeBack(sh *poolShard, victims []*flushOp) {
+	for _, op := range victims {
+		p.flush(op.f)
+		sh.mu.Lock()
+		delete(sh.flushing, op.f.ID)
+		sh.recycle(op.f)
+		ch := op.done
+		sh.mu.Unlock()
+		if ch != nil {
+			close(ch)
+		}
+	}
 }
 
 // removeAt deletes the clock ring entry at i by swapping in the last
@@ -503,13 +646,21 @@ func (p *Pool) lookupPinned(pid PageID) (*Frame, bool) {
 	}
 	sh := p.shard(pid)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	f, ok := sh.frames[pid]
-	if !ok {
-		return nil, false
+	for {
+		if f, ok := sh.frames[pid]; ok {
+			f.pins.Add(1)
+			sh.mu.Unlock()
+			return f, true
+		}
+		op, ok := sh.flushing[pid]
+		if !ok {
+			sh.mu.Unlock()
+			return nil, false
+		}
+		// An evictor is writing the page back; FlushPage promises the
+		// stable image is current on return, so wait the write out.
+		op.wait(sh)
 	}
-	f.pins.Add(1)
-	return f, true
 }
 
 // snapshotFrames returns all buffered frames, pinned: bounded-pool pins
@@ -561,11 +712,33 @@ func (p *Pool) FlushAll() int {
 // that first dirtied it). Fuzzy checkpoints log this.
 func (p *Pool) DirtyPages() map[PageID]wal.LSN {
 	out := make(map[PageID]wal.LSN)
-	for _, f := range p.snapshotFrames() {
-		if rec, dirty := f.dirtySnapshot(); dirty {
-			out[f.ID] = rec
+	if p.cap == 0 {
+		for _, f := range p.snapshotFrames() {
+			if rec, dirty := f.dirtySnapshot(); dirty {
+				out[f.ID] = rec
+			}
+			p.Unpin(f)
 		}
-		p.Unpin(f)
+		return out
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if rec, dirty := f.dirtySnapshot(); dirty {
+				out[f.ID] = rec
+			}
+		}
+		// A detached victim mid-write-back is still dirty in memory until
+		// its image lands; the checkpoint must not drop it from the dirty
+		// page table. Once its flush cleans it, the stable image is
+		// current and omitting it is correct.
+		for pid, op := range sh.flushing {
+			if rec, dirty := op.f.dirtySnapshot(); dirty {
+				out[pid] = rec
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }

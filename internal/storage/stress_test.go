@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"encoding/binary"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/wal"
@@ -96,6 +98,95 @@ func TestBoundedEvictionAccounting(t *testing.T) {
 	if r := s3.HitRatio(); r <= 0 || r >= 1 {
 		t.Errorf("hit ratio = %v, want in (0, 1)", r)
 	}
+}
+
+// TestFetchEvictChurn drives fully-unpinned re-fetches of a tiny bounded
+// pool so that fetch misses, eviction write-backs, and re-installs of the
+// same pages race constantly; run it under -race. Each page carries a
+// counter incremented under the X latch, and every increment bumps a
+// per-page high-water mark. Observing a counter below the mark means a
+// fetch installed a stale stable image over newer contents (the
+// fetch/evict race: a lost update). Unlike TestCheckpointStress, workers
+// drop every pin between operations, so the pool is free to evict and
+// reload the page under them between increments.
+func TestFetchEvictChurn(t *testing.T) {
+	const (
+		capacity = 4
+		nPages   = 16
+		workers  = 8
+		incs     = 3000
+	)
+	p, lg := newTestPool(capacity)
+	logger := &testLogger{log: lg}
+	for pid := PageID(2); pid < PageID(2+nPages); pid++ {
+		f := p.Create(pid)
+		f.Latch.AcquireX()
+		f.Data = make([]byte, 8)
+		f.MarkDirty(logger.LogUpdate(p.StoreID, uint64(pid), 0, nil))
+		f.Latch.ReleaseX()
+		p.Unpin(f)
+	}
+	p.FlushAll()
+
+	var hi [nPages]atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := uint64(w)*0x9E3779B97F4A7C15 + 1
+			var last wal.LSN
+			for i := 0; i < incs; i++ {
+				rnd = rnd*6364136223846793005 + 1442695040888963407
+				idx := (rnd >> 32) % nPages
+				pid := PageID(2 + idx)
+				f, err := p.Fetch(pid)
+				if err != nil {
+					t.Errorf("fetch %d: %v", pid, err)
+					return
+				}
+				f.Latch.AcquireX()
+				b := f.Data.([]byte)
+				v := binary.LittleEndian.Uint64(b)
+				// The X latch serializes increments of one page, so under
+				// it the high-water mark is exact: a lower counter means a
+				// stale image was installed over newer contents.
+				if prev := hi[idx].Load(); v < prev {
+					t.Errorf("page %d: counter %d after %d was observed — lost update", pid, v, prev)
+				}
+				binary.LittleEndian.PutUint64(b, v+1)
+				hi[idx].Store(v + 1)
+				lsn := lg.Append(&wal.Record{
+					Type: wal.RecUpdate, TxnID: wal.TxnID(w + 1), PrevLSN: last,
+					StoreID: p.StoreID, PageID: uint64(pid),
+				})
+				last = lsn
+				f.MarkDirty(lsn)
+				f.Latch.ReleaseX()
+				p.Unpin(f)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := uint64(0)
+	for idx := uint64(0); idx < nPages; idx++ {
+		f, err := p.Fetch(PageID(2 + idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := binary.LittleEndian.Uint64(f.Data.([]byte))
+		if want := hi[idx].Load(); v != want {
+			t.Errorf("page %d: final counter %d, want %d", 2+idx, v, want)
+		}
+		total += v
+		p.Unpin(f)
+	}
+	if total != workers*incs {
+		t.Errorf("total increments = %d, want %d", total, workers*incs)
+	}
+	p.FlushAll()
+	checkWALRule(t, p, lg)
 }
 
 // checkWALRule asserts that every stable page image carries a pageLSN at

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // LSN is a log sequence number: the byte offset of a record's start in the
@@ -324,7 +325,12 @@ func copyOut(segs [][]byte, dst []byte, off uint64) {
 }
 
 // claimSlot reserves one in-flight publication slot, pre-charged with a
-// lower bound on the caller's eventual start offset.
+// lower bound on the caller's eventual start offset. All inflightSlots
+// slots busy means more than inflightSlots appenders are mid-copy; each
+// copy is short (an in-memory memcpy), so slots normally free up within
+// a few probes. Under heavier oversubscription the claimant yields for
+// the first laps, then backs off to a real sleep so that spinning
+// claimants cannot starve the very copiers they are waiting on.
 func (l *Log) claimSlot() *atomic.Uint64 {
 	i := l.slotHint.Add(1)
 	for attempt := 0; ; attempt++ {
@@ -336,7 +342,11 @@ func (l *Log) claimSlot() *atomic.Uint64 {
 			return s
 		}
 		if attempt%inflightSlots == inflightSlots-1 {
-			runtime.Gosched()
+			if lap := attempt / inflightSlots; lap < 4 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(time.Microsecond << min(lap-3, 7))
+			}
 		}
 	}
 }
