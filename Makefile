@@ -1,10 +1,13 @@
 GO ?= go
+BENCH_COUNT ?= 1
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race benchbuild bench
 
-## check: everything CI runs — vet, build, tests, and the race detector
-## over the concurrency-critical packages.
-check: vet build test race
+## check: everything CI runs — vet, build, tests, the race detector over
+## the concurrency-critical packages, and a compile+link of every
+## benchmark binary (run with zero iterations) so bench-only code can't
+## rot between bench runs.
+check: vet build test race benchbuild
 
 vet:
 	$(GO) vet ./...
@@ -16,8 +19,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/storage ./internal/wal ./internal/latch ./internal/core
+	$(GO) test -race ./internal/storage ./internal/wal ./internal/latch ./internal/core ./internal/lock ./internal/txn
 
-## bench: root microbenchmarks (WAL append, pool fetch, tree ops).
+benchbuild:
+	$(GO) test -run '^$$' -bench '^$$' ./... >/dev/null
+
+## bench: all microbenchmarks with allocation stats (root experiment
+## benchmarks plus the lock/txn/wal substrate benchmarks). Set
+## BENCH_COUNT>1 for variance estimates.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1s .
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1s -count $(BENCH_COUNT) ./...

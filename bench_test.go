@@ -330,6 +330,21 @@ func BenchmarkWALAppendParallel(b *testing.B) {
 			}
 		})
 	})
+	// Every append is a "commit" demanding durability before returning:
+	// the worst case for a force-per-commit scheme and the best case for
+	// group commit. forces/op shows the coalescing factor.
+	b.Run("append-groupcommit", func(b *testing.B) {
+		l := wal.New()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				lsn := l.Append(&wal.Record{Type: wal.RecCommit, TxnID: 1, Payload: payload})
+				l.ForceGroup(lsn)
+			}
+		})
+		_, flushes := l.Stats()
+		b.ReportMetric(float64(flushes)/float64(b.N), "forces/op")
+	})
 }
 
 // BenchmarkPoolFetchParallel measures Fetch/Unpin throughput against a

@@ -19,8 +19,9 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (T1..T12, F1, F2) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (T1..T13, F1, F2) or 'all'")
 	full := flag.Bool("full", false, "larger workload sizes (slower, stabler numbers)")
+	jsonPath := flag.String("json", "", "also write machine-readable metrics to this file")
 	flag.Parse()
 
 	p := bench.Quick()
@@ -28,6 +29,9 @@ func main() {
 		p.Preload = 200_000
 		p.OpsPerThread = 100_000
 		p.Threads = []int{1, 2, 4, 8, 16, 32}
+	}
+	if *jsonPath != "" {
+		p.Report = &bench.Report{}
 	}
 
 	runners := []struct {
@@ -49,6 +53,7 @@ func main() {
 		{"T10", func() { bench.T10TSB(os.Stdout, p) }, "TSB-tree time splits"},
 		{"T11", func() { bench.T11Spatial(os.Stdout, p) }, "multi-attribute clipping"},
 		{"T12", func() { bench.T12Recovery(os.Stdout, p) }, "recovery & relative durability"},
+		{"T13", func() { bench.T13GroupCommit(os.Stdout, p) }, "group commit: forces per commit"},
 	}
 
 	want := map[string]bool{}
@@ -72,5 +77,12 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := p.Report.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote metrics to %s\n", *jsonPath)
 	}
 }

@@ -31,15 +31,24 @@ func TestRunSmoke(t *testing.T) {
 // TestExperimentsSmoke runs the cheap experiment printers at reduced
 // sizes and sanity-checks their output.
 func TestExperimentsSmoke(t *testing.T) {
-	p := Params{Threads: []int{1, 2}, Preload: 2000, OpsPerThread: 500, Capacity: 16}
+	p := Params{Threads: []int{1, 2}, Preload: 2000, OpsPerThread: 500, Capacity: 16, Report: &Report{}}
 	var buf bytes.Buffer
 	T4CrashMatrix(&buf, p)
 	T5LazyCompletion(&buf, p)
 	T9SavedPath(&buf, p)
+	T13GroupCommit(&buf, p)
 	out := buf.String()
-	for _, want := range []string{"T4:", "logical-undo/CP", "T5:", "residual side traversals", "T9:"} {
+	for _, want := range []string{"T4:", "logical-undo/CP", "T5:", "residual side traversals", "T9:", "T13:", "relative durability"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(p.Report.Metrics) == 0 {
+		t.Fatal("experiments recorded no metrics")
+	}
+	for _, m := range p.Report.Metrics {
+		if m.Name == "aa-only-forces" && m.Value != 0 {
+			t.Fatalf("aa-only-forces = %v, want 0 (relative durability)", m.Value)
 		}
 	}
 }

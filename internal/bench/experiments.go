@@ -20,6 +20,10 @@ type Params struct {
 	Preload      int
 	OpsPerThread int
 	Capacity     int
+
+	// Report, when non-nil, collects machine-readable metrics alongside
+	// the printed tables (pitree-bench -json).
+	Report *Report
 }
 
 // Quick returns the default parameter set.
@@ -37,12 +41,12 @@ func Quick() Params {
 // that the B-link family scales where subtree latching and coarse locks
 // do not.
 func T1SearchScaling(w io.Writer, p Params) {
-	runScaling(w, p, Mix{SearchPct: 100}, "T1: search-only throughput (kops/s) vs threads")
+	runScaling(w, p, Mix{SearchPct: 100}, "T1", "T1: search-only throughput (kops/s) vs threads")
 }
 
 // T2MixedScaling is experiment T2: 50% search / 50% insert.
 func T2MixedScaling(w io.Writer, p Params) {
-	runScaling(w, p, Mix{SearchPct: 50, InsertPct: 50}, "T2: 50/50 search/insert throughput (kops/s) vs threads")
+	runScaling(w, p, Mix{SearchPct: 50, InsertPct: 50}, "T2", "T2: 50/50 search/insert throughput (kops/s) vs threads")
 }
 
 // F1Figure prints the same data as CSV series for plotting (the paper's
@@ -65,7 +69,7 @@ func F1Figure(w io.Writer, p Params) {
 	}
 }
 
-func runScaling(w io.Writer, p Params, mix Mix, title string) {
+func runScaling(w io.Writer, p Params, mix Mix, id, title string) {
 	rows := make(map[string][]Result)
 	order := []string{}
 	var poolLines []string
@@ -75,6 +79,7 @@ func runScaling(w io.Writer, p Params, mix Mix, title string) {
 			kv, closer := method.New(p.Capacity)
 			Preload(kv, p.Preload)
 			r := Run(kv, tc, p.OpsPerThread, p.Preload, mix)
+			p.Report.Add(id, fmt.Sprintf("%s/threads=%d", method.Name, tc), r.OpsPerSec(), "ops/s")
 			if pt, ok := kv.(*PiTree); ok {
 				s := pt.PoolStats()
 				poolLines = append(poolLines, fmt.Sprintf(

@@ -165,7 +165,8 @@ func T5LazyCompletion(w io.Writer, p Params) {
 // (all splits independent) — §4.2's cost, quantified.
 func T7MoveLocks(w io.Writer, p Params) {
 	fmt.Fprintf(w, "\nT7: move-lock cost — transactional inserts, 8 threads, capacity 16 (kops/s)\n")
-	fmt.Fprintf(w, "%-24s%12s%14s%14s%14s\n", "undo regime", "kops/s", "moveLockWaits", "inTxnSplits", "deadlocks")
+	fmt.Fprintf(w, "%-24s%10s%14s%12s%11s%9s%9s%9s\n",
+		"undo regime", "kops/s", "moveLockWaits", "inTxnSplits", "deadlocks", "waits", "grants", "stripes")
 	for _, rg := range []struct {
 		name string
 		e    engine.Options
@@ -185,9 +186,14 @@ func T7MoveLocks(w io.Writer, p Params) {
 		elapsed := time.Since(start)
 		pi.T.DrainCompletions()
 		st := pi.T.Stats.Snapshot()
-		_, dl := pi.E.Locks.Stats()
-		fmt.Fprintf(w, "%-24s%12.1f%14d%14d%14d\n", rg.name,
-			float64(total)/elapsed.Seconds()/1000, st.MoveLockWaits, st.InTxnSplits, dl)
+		lm := pi.E.Locks.StatsSnapshot()
+		kops := float64(total) / elapsed.Seconds() / 1000
+		fmt.Fprintf(w, "%-24s%10.1f%14d%12d%11d%9d%9d%9d\n", rg.name,
+			kops, st.MoveLockWaits, st.InTxnSplits, lm.Deadlocks, lm.Waits, lm.Grants, lm.Stripes)
+		p.Report.Add("T7", rg.name+"/kops", kops, "kops/s")
+		p.Report.Add("T7", rg.name+"/lock-waits", float64(lm.Waits), "count")
+		p.Report.Add("T7", rg.name+"/deadlocks", float64(lm.Deadlocks), "count")
+		p.Report.Add("T7", rg.name+"/lock-grants", float64(lm.Grants), "count")
 		pi.Close()
 	}
 }
@@ -392,8 +398,13 @@ func T12Recovery(w io.Writer, p Params) {
 		_, flushes := e.Log.Stats()
 		return flushes
 	}
+	relForces, aaForces := forceCount(false), forceCount(true)
 	fmt.Fprintf(w, "log forces for 5k inserts: relative durability=%d, force-per-AA-commit=%d\n",
-		forceCount(false), forceCount(true))
+		relForces, aaForces)
+	p.Report.Add("T12", "restart-no-ckpt", dNo.Seconds()*1000, "ms")
+	p.Report.Add("T12", "restart-with-ckpt", dYes.Seconds()*1000, "ms")
+	p.Report.Add("T12", "forces/relative-durability", float64(relForces), "count")
+	p.Report.Add("T12", "forces/force-per-aa-commit", float64(aaForces), "count")
 }
 
 // tiny deterministic rng without math/rand import gymnastics.

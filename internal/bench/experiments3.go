@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/keys"
+)
+
+// T13GroupCommit is experiment T13: commit throughput and physical force
+// count as committer concurrency grows. Each committer runs
+// single-insert transactions ending in a durable commit; with group
+// commit the leader of each force round carries every commit registered
+// so far, so forces-per-commit falls well below 1 as soon as committers
+// overlap while every commit still returns with its record stable. The
+// final line re-checks relative durability (§4.3.1) under concurrency:
+// an atomic-action-only workload performs zero forces.
+func T13GroupCommit(w io.Writer, p Params) {
+	fmt.Fprintf(w, "\nT13: group commit — transactional single-insert commits (capacity 32)\n")
+	fmt.Fprintf(w, "%-12s%10s%12s%12s%12s%16s\n",
+		"committers", "kops/s", "commits", "forces", "rounds", "forces/commit")
+	for _, committers := range []int{1, 2, 4, 8, 16} {
+		pi := NewPiTree(engine.Options{}, core.Options{
+			LeafCapacity: 32, IndexCapacity: 32, Consolidation: true,
+		})
+		_, before := pi.E.Log.Stats()
+		start := time.Now()
+		total := runTxnInserts(pi, committers, p.OpsPerThread/8)
+		elapsed := time.Since(start)
+		pi.T.DrainCompletions()
+		_, after := pi.E.Log.Stats()
+		_, rounds := pi.E.Log.GroupCommitStats()
+		commits := total / 5 // runTxnInserts commits 5 inserts per txn
+		forces := after - before
+		perCommit := float64(forces) / float64(commits)
+		kops := float64(total) / elapsed.Seconds() / 1000
+		fmt.Fprintf(w, "%-12d%10.1f%12d%12d%12d%16.3f\n",
+			committers, kops, commits, forces, rounds, perCommit)
+		p.Report.Add("T13", fmt.Sprintf("committers=%d/kops", committers), kops, "kops/s")
+		p.Report.Add("T13", fmt.Sprintf("committers=%d/forces-per-commit", committers), perCommit, "ratio")
+		pi.Close()
+	}
+
+	// Atomic actions never force, grouped or not.
+	pi := NewPiTree(engine.Options{}, core.Options{
+		LeafCapacity: 32, IndexCapacity: 32, Consolidation: true,
+	})
+	_, before := pi.E.Log.Stats()
+	for i := 0; i < 5000; i++ {
+		pi.Insert(keys.Uint64(uint64(i)), []byte("v"))
+	}
+	pi.T.DrainCompletions()
+	_, after := pi.E.Log.Stats()
+	fmt.Fprintf(w, "atomic-action-only workload (5k inserts): %d forces (relative durability)\n", after-before)
+	p.Report.Add("T13", "aa-only-forces", float64(after-before), "count")
+	pi.Close()
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// Metric is one machine-readable measurement emitted by an experiment:
+// the experiment id, a metric name qualified enough to be compared
+// across runs (method/threads baked in), the value, and its unit.
+type Metric struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit"`
+}
+
+// Report collects Metrics across experiments for -json output. A nil
+// *Report ignores Add, so experiments record unconditionally and the
+// human-readable path pays nothing.
+type Report struct {
+	mu      sync.Mutex
+	Metrics []Metric
+}
+
+// Add records one measurement. Safe on a nil receiver and from
+// concurrent goroutines.
+func (r *Report) Add(experiment, name string, value float64, unit string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.Metrics = append(r.Metrics, Metric{Experiment: experiment, Name: name, Value: value, Unit: unit})
+	r.mu.Unlock()
+}
+
+// reportFile is the on-disk shape: enough environment to interpret the
+// numbers, then the flat metric list.
+type reportFile struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Metrics    []Metric `json:"metrics"`
+}
+
+// WriteJSON writes the collected metrics to path (pretty-printed, one
+// stable ordering: insertion order).
+func (r *Report) WriteJSON(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := reportFile{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Metrics:    r.Metrics,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,12 +1,40 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 
 	"repro/internal/keys"
 	"repro/internal/storage"
 )
+
+// taskKey identifies a pending completion for duplicate folding. It is a
+// comparable value — scheduling a task from the hot path allocates no
+// strings. Post tasks carry the separator as an FNV-1a fingerprint; a
+// collision folds two distinct posts, which lazy completion repairs the
+// next time a traversal crosses the unposted sibling (§5.1: every
+// completing action re-tests the tree state anyway).
+type taskKey struct {
+	kind  uint8
+	level int
+	pid   storage.PageID
+	sep   uint64
+}
+
+const (
+	taskPost uint8 = iota + 1
+	taskConsolidate
+	taskRootShrink
+)
+
+// fingerprint is FNV-1a over a key, for taskKey dedup.
+func fingerprint(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
 
 // postTask asks for the index term describing a split to be posted at
 // `level` (§5.3's LEVEL): sep is the new node's low key (the KEY searched
@@ -18,8 +46,8 @@ type postTask struct {
 	path   *Path
 }
 
-func (t postTask) key() string {
-	return fmt.Sprintf("p:%d:%x", t.level, []byte(t.sep))
+func (t postTask) key() taskKey {
+	return taskKey{kind: taskPost, level: t.level, pid: t.newPid, sep: fingerprint(t.sep)}
 }
 
 // consolidateTask asks for an attempt to consolidate the under-utilized
@@ -30,16 +58,16 @@ type consolidateTask struct {
 	pid   storage.PageID
 }
 
-func (t consolidateTask) key() string {
-	return fmt.Sprintf("c:%d:%d", t.level, t.pid)
+func (t consolidateTask) key() taskKey {
+	return taskKey{kind: taskConsolidate, level: t.level, pid: t.pid}
 }
 
 // rootShrinkTask asks for a height-reduction attempt.
 type rootShrinkTask struct{}
 
-func (rootShrinkTask) key() string { return "shrink" }
+func (rootShrinkTask) key() taskKey { return taskKey{kind: taskRootShrink} }
 
-type completionTask interface{ key() string }
+type completionTask interface{ key() taskKey }
 
 // completer schedules and executes completing atomic actions: index-term
 // postings and node consolidations. Scheduling is non-blocking and safe
@@ -53,7 +81,7 @@ type completer struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	tasks   []completionTask
-	pending map[string]struct{}
+	pending map[taskKey]struct{}
 	active  int
 	stopped bool
 	wg      sync.WaitGroup
@@ -62,7 +90,7 @@ type completer struct {
 func newCompleter(t *Tree) *completer {
 	c := &completer{
 		t:       t,
-		pending: make(map[string]struct{}),
+		pending: make(map[taskKey]struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if !t.opts.SyncCompletion {

@@ -17,7 +17,7 @@ import (
 // restarted afterwards (the lock stays held, so the retry's TryLock
 // succeeds immediately). A nil error with restart=false means the lock is
 // held and the latch was kept.
-func (o *opCtx) lockDance(r *nref, name string, mode lock.Mode) (restart bool, err error) {
+func (o *opCtx) lockDance(r *nref, name lock.Name, mode lock.Mode) (restart bool, err error) {
 	if o.txn == nil {
 		return false, nil
 	}
@@ -288,7 +288,7 @@ func (t *Tree) handleSplitError(o *opCtx, held *nref, err error) error {
 }
 
 // splitLeafInTxn performs the split inside the updating transaction.
-func (t *Tree) splitLeafInTxn(o *opCtx, leaf *nref, path *Path, pageName string) error {
+func (t *Tree) splitLeafInTxn(o *opCtx, leaf *nref, path *Path, pageName lock.Name) error {
 	tx := o.txn
 	// Upgrade our IX to the move lock; other updaters force the No-Wait
 	// dance.
@@ -336,11 +336,11 @@ func (t *Tree) splitLeafInTxn(o *opCtx, leaf *nref, path *Path, pageName string)
 // still held by a transaction that knew the page's previous incarnation;
 // the split must back off and wait it out.
 type errPageLocked struct {
-	name string
+	name lock.Name
 }
 
 func (e *errPageLocked) Error() string {
-	return "core: new page's lock name still held: " + e.name
+	return "core: new page's lock name still held: " + e.name.String()
 }
 
 // lockNewDataPage takes the move lock on a just-allocated data page

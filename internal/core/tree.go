@@ -144,6 +144,10 @@ type Tree struct {
 	// names.
 	Name string
 
+	// lockSpace is the tree's lock namespace, derived once from Name so
+	// building a lock.Name on the hot path is allocation-free.
+	lockSpace uint32
+
 	store   *storage.Store
 	tm      *txn.Manager
 	lm      *lock.Manager
@@ -171,12 +175,13 @@ var errRetry = errors.New("core: internal retry")
 // whole creation is one atomic action.
 func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
 	t := &Tree{
-		Name:    name,
-		store:   store,
-		tm:      tm,
-		lm:      lm,
-		binding: b,
-		opts:    opts.normalized(),
+		Name:      name,
+		lockSpace: lock.SpaceID("pitree", name),
+		store:     store,
+		tm:        tm,
+		lm:        lm,
+		binding:   b,
+		opts:      opts.normalized(),
 	}
 	aa := tm.BeginAtomicAction()
 	o := t.newOp(aa)
@@ -224,13 +229,14 @@ func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, n
 		return nil, err
 	}
 	t := &Tree{
-		Name:    name,
-		store:   store,
-		tm:      tm,
-		lm:      lm,
-		binding: b,
-		opts:    opts.normalized(),
-		root:    rootPid,
+		Name:      name,
+		lockSpace: lock.SpaceID("pitree", name),
+		store:     store,
+		tm:        tm,
+		lm:        lm,
+		binding:   b,
+		opts:      opts.normalized(),
+		root:      rootPid,
 	}
 	t.comp = newCompleter(t)
 	b.Bind(t)
@@ -260,12 +266,12 @@ func (t *Tree) Store() *storage.Store { return t.store }
 
 // --- lock names ----------------------------------------------------------
 
-func (t *Tree) recLockName(k keys.Key) string {
-	return "r:" + t.Name + ":" + string(k)
+func (t *Tree) recLockName(k keys.Key) lock.Name {
+	return lock.KeyName(t.lockSpace, k)
 }
 
-func (t *Tree) pageLockName(pid storage.PageID) string {
-	return fmt.Sprintf("p:%s:%d", t.Name, pid)
+func (t *Tree) pageLockName(pid storage.PageID) lock.Name {
+	return lock.PageName(t.lockSpace, uint64(pid))
 }
 
 // --- operation context ----------------------------------------------------

@@ -13,11 +13,31 @@
 // resolved by aborting the requester (ErrDeadlock). Latch-lock deadlocks
 // are prevented by the No-Wait rule, which callers implement by releasing
 // conflicting latches before calling Lock.
+//
+// # Concurrency structure
+//
+// The manager is striped: lock names hash onto a fixed power-of-two array
+// of stripes, each with its own mutex, lock table and per-transaction
+// lock lists, so uncontended Lock/TryLock/Unlock/ReleaseAll on different
+// names proceed in parallel (the transaction-side twin of the sharded
+// buffer pool). A per-transaction stripe bitmask lets ReleaseAll visit
+// only the stripes the transaction actually used.
+//
+// The waits-for graph lives in a separate detector component guarded by
+// its own mutex, consulted only when a requester must actually block —
+// the uncontended paths never touch it. The internal lock order is
+// stripe.mu → detector.mu, and the detector never calls back into a
+// stripe, so the manager's own mutexes cannot deadlock. Registering the
+// new waiter's edges and running the cycle check atomically under
+// detector.mu guarantees that when two transactions concurrently form a
+// cycle across different stripes, the second one to register observes the
+// first one's edges and aborts.
 package lock
 
 import (
 	"errors"
-	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
 
 	"repro/internal/wal"
@@ -53,7 +73,7 @@ func (m Mode) String() string {
 	case X:
 		return "X"
 	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
+		return "Mode(?)"
 	}
 }
 
@@ -86,91 +106,12 @@ type waiter struct {
 	txn     wal.TxnID
 	mode    Mode
 	upgrade bool
-	ready   chan error // closed-with-value when granted or aborted
+	ready   chan struct{} // buffered; receives when granted
 }
 
 type lockState struct {
 	holders []holder
 	queue   []*waiter
-}
-
-// Manager is the lock manager. It is safe for concurrent use.
-type Manager struct {
-	mu    sync.Mutex
-	locks map[string]*lockState
-	// byTxn tracks every name a transaction holds, for ReleaseAll.
-	byTxn map[wal.TxnID]map[string]struct{}
-	// waitingOn maps a blocked transaction to the transactions it waits
-	// for, for cycle detection.
-	waitingOn map[wal.TxnID]map[wal.TxnID]struct{}
-
-	waits     int64
-	deadlocks int64
-}
-
-// NewManager returns an empty lock manager.
-func NewManager() *Manager {
-	return &Manager{
-		locks:     make(map[string]*lockState),
-		byTxn:     make(map[wal.TxnID]map[string]struct{}),
-		waitingOn: make(map[wal.TxnID]map[wal.TxnID]struct{}),
-	}
-}
-
-// Lock acquires name in mode for txn, blocking until granted. Re-requests
-// are upgrades: the transaction ends up holding the stronger of its
-// current and requested modes. Lock returns ErrDeadlock if waiting would
-// close a waits-for cycle; the transaction must then abort.
-func (m *Manager) Lock(txn wal.TxnID, name string, mode Mode) error {
-	m.mu.Lock()
-	ls := m.locks[name]
-	if ls == nil {
-		ls = &lockState{}
-		m.locks[name] = ls
-	}
-
-	cur, held := ls.holderMode(txn)
-	if held && !stronger(mode, cur) {
-		m.mu.Unlock()
-		return nil // already held at sufficient strength
-	}
-
-	w := &waiter{txn: txn, mode: mode, upgrade: held, ready: make(chan error, 1)}
-	if held {
-		// Upgrades go to the head of the queue: the holder already
-		// excludes conflicting newcomers, and queue-jumping bounds the
-		// promotion wait.
-		ls.queue = append([]*waiter{w}, ls.queue...)
-	} else {
-		ls.queue = append(ls.queue, w)
-	}
-	m.grantLocked(name, ls)
-
-	select {
-	case err := <-w.ready:
-		m.mu.Unlock()
-		return err
-	default:
-	}
-
-	// We must wait. Record waits-for edges and check for a cycle.
-	blockers := ls.blockersOf(w)
-	if m.wouldDeadlock(txn, blockers) {
-		ls.removeWaiter(w)
-		m.deadlocks++
-		m.mu.Unlock()
-		return ErrDeadlock
-	}
-	m.waitingOn[txn] = blockers
-	m.waits++
-	m.mu.Unlock()
-
-	err := <-w.ready
-
-	m.mu.Lock()
-	delete(m.waitingOn, txn)
-	m.mu.Unlock()
-	return err
 }
 
 // holderMode returns txn's current mode on the lock.
@@ -181,6 +122,22 @@ func (ls *lockState) holderMode(txn wal.TxnID) (Mode, bool) {
 		}
 	}
 	return 0, false
+}
+
+// grantableNow reports whether the request could be granted without
+// queuing: an upgrade only needs the other holders to be compatible (it
+// would jump the queue anyway); a fresh request must additionally find
+// the queue empty (no overtaking, so writers are not starved).
+func (ls *lockState) grantableNow(txn wal.TxnID, mode Mode, upgrade bool) bool {
+	if !upgrade && len(ls.queue) > 0 {
+		return false
+	}
+	for _, h := range ls.holders {
+		if h.txn != txn && !Compatible(h.mode, mode) {
+			return false
+		}
+	}
+	return true
 }
 
 // blockersOf returns the set of transactions preventing w from being
@@ -206,44 +163,102 @@ func (ls *lockState) blockersOf(w *waiter) map[wal.TxnID]struct{} {
 func (ls *lockState) removeWaiter(w *waiter) {
 	for i, q := range ls.queue {
 		if q == w {
-			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			copy(ls.queue[i:], ls.queue[i+1:])
+			ls.queue = ls.queue[:len(ls.queue)-1]
 			return
 		}
 	}
 }
 
-// wouldDeadlock reports whether txn transitively waits for itself given
-// the new blocker set. Caller holds m.mu.
-func (m *Manager) wouldDeadlock(txn wal.TxnID, blockers map[wal.TxnID]struct{}) bool {
-	seen := make(map[wal.TxnID]struct{})
-	var visit func(t wal.TxnID) bool
-	visit = func(t wal.TxnID) bool {
-		if t == txn {
-			return true
-		}
-		if _, ok := seen[t]; ok {
-			return false
-		}
-		seen[t] = struct{}{}
-		for next := range m.waitingOn[t] {
-			if visit(next) {
-				return true
-			}
-		}
-		return false
-	}
-	for b := range blockers {
-		if visit(b) {
-			return true
-		}
-	}
-	return false
+// Freelist bounds, per stripe. Beyond these, retired objects go to the GC.
+const (
+	maxFreeStates = 64
+	maxFreeNames  = 32
+)
+
+// stripe is one shard of the lock table. Counters are plain ints guarded
+// by mu; StatsSnapshot aggregates them.
+type stripe struct {
+	mu    sync.Mutex
+	locks map[Name]*lockState
+	// byTxn lists every name a transaction holds in this stripe, for
+	// ReleaseAll and HeldCount.
+	byTxn map[wal.TxnID][]Name
+
+	// freeStates and freeNames recycle lockState structs and name slices
+	// so the steady-state acquire/release cycle does not allocate.
+	freeStates []*lockState
+	freeNames  [][]Name
+
+	waits     int64
+	deadlocks int64
+	grants    int64
+
+	_ [32]byte // keep neighboring stripe mutexes off one cache line
 }
 
-// grantLocked grants queued waiters in FIFO order while they remain
+func (s *stripe) takeState() *lockState {
+	if n := len(s.freeStates); n > 0 {
+		ls := s.freeStates[n-1]
+		s.freeStates = s.freeStates[:n-1]
+		return ls
+	}
+	return &lockState{holders: make([]holder, 0, 4)}
+}
+
+func (s *stripe) takeNames() []Name {
+	if n := len(s.freeNames); n > 0 {
+		ns := s.freeNames[n-1]
+		s.freeNames = s.freeNames[:n-1]
+		return ns
+	}
+	return make([]Name, 0, 8)
+}
+
+func (s *stripe) recycleNames(ns []Name) {
+	if len(s.freeNames) < maxFreeNames {
+		s.freeNames = append(s.freeNames, ns[:0])
+	}
+}
+
+// getState returns the lock state for name, creating it if absent.
+// Caller holds s.mu.
+func (s *stripe) getState(name Name) *lockState {
+	ls, ok := s.locks[name]
+	if !ok {
+		ls = s.takeState()
+		s.locks[name] = ls
+	}
+	return ls
+}
+
+// maybeFree retires an empty lock state. Caller holds s.mu.
+func (s *stripe) maybeFree(name Name, ls *lockState) {
+	if len(ls.holders) != 0 || len(ls.queue) != 0 {
+		return
+	}
+	delete(s.locks, name)
+	if len(s.freeStates) < maxFreeStates {
+		ls.holders = ls.holders[:0]
+		ls.queue = ls.queue[:0]
+		s.freeStates = append(s.freeStates, ls)
+	}
+}
+
+// addOwned records that txn now holds name in this stripe. Caller holds
+// s.mu.
+func (s *stripe) addOwned(txn wal.TxnID, name Name) {
+	ns, ok := s.byTxn[txn]
+	if !ok {
+		ns = s.takeNames()
+	}
+	s.byTxn[txn] = append(ns, name)
+}
+
+// grantQueued grants queued waiters in FIFO order while they remain
 // compatible with the holders, stopping at the first that is not (no
-// overtaking, so writers are not starved). Caller holds m.mu.
-func (m *Manager) grantLocked(name string, ls *lockState) {
+// overtaking, so writers are not starved). Caller holds s.mu.
+func (s *stripe) grantQueued(name Name, ls *lockState) {
 	for len(ls.queue) > 0 {
 		w := ls.queue[0]
 		compatible := true
@@ -259,7 +274,8 @@ func (m *Manager) grantLocked(name string, ls *lockState) {
 		if !compatible {
 			return
 		}
-		ls.queue = ls.queue[1:]
+		copy(ls.queue, ls.queue[1:])
+		ls.queue = ls.queue[:len(ls.queue)-1]
 		if w.upgrade {
 			for i := range ls.holders {
 				if ls.holders[i].txn == w.txn {
@@ -269,34 +285,253 @@ func (m *Manager) grantLocked(name string, ls *lockState) {
 			}
 		} else {
 			ls.holders = append(ls.holders, holder{txn: w.txn, mode: w.mode})
-			if m.byTxn[w.txn] == nil {
-				m.byTxn[w.txn] = make(map[string]struct{})
-			}
-			m.byTxn[w.txn][name] = struct{}{}
+			s.addOwned(w.txn, name)
 		}
-		w.ready <- nil
+		s.grants++
+		w.ready <- struct{}{}
 	}
 }
 
+// releaseLocked drops txn's hold on name (if any) and wakes newly
+// grantable waiters. It does NOT maintain byTxn; callers do, because
+// Unlock removes one entry while ReleaseAll consumes the whole list.
+// Caller holds s.mu.
+func (s *stripe) releaseLocked(txn wal.TxnID, name Name) {
+	ls, ok := s.locks[name]
+	if !ok {
+		return
+	}
+	for i := range ls.holders {
+		if ls.holders[i].txn == txn {
+			last := len(ls.holders) - 1
+			ls.holders[i] = ls.holders[last]
+			ls.holders = ls.holders[:last]
+			break
+		}
+	}
+	s.grantQueued(name, ls)
+	s.maybeFree(name, ls)
+}
+
+// detector owns the waits-for graph. It is consulted only when a request
+// must block; grants and releases never touch it. Lock order:
+// stripe.mu → detector.mu (the detector never calls into a stripe).
+type detector struct {
+	mu sync.Mutex
+	// waitingOn maps a blocked transaction to the transactions it waits
+	// for, for cycle detection.
+	waitingOn map[wal.TxnID]map[wal.TxnID]struct{}
+}
+
+// blockOrDetect atomically checks whether blocking txn on blockers would
+// close a waits-for cycle, and if not, registers the edges. The
+// registration and check are one critical section so that of two
+// transactions concurrently completing a cycle, the second observes the
+// first's edges and aborts.
+func (d *detector) blockOrDetect(txn wal.TxnID, blockers map[wal.TxnID]struct{}) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen := make(map[wal.TxnID]struct{})
+	var visit func(t wal.TxnID) bool
+	visit = func(t wal.TxnID) bool {
+		if t == txn {
+			return true
+		}
+		if _, ok := seen[t]; ok {
+			return false
+		}
+		seen[t] = struct{}{}
+		for next := range d.waitingOn[t] {
+			if visit(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for b := range blockers {
+		if visit(b) {
+			return ErrDeadlock
+		}
+	}
+	d.waitingOn[txn] = blockers
+	return nil
+}
+
+// clear removes txn's waits-for edges after its wait ends.
+func (d *detector) clear(txn wal.TxnID) {
+	d.mu.Lock()
+	delete(d.waitingOn, txn)
+	d.mu.Unlock()
+}
+
+// ownerShards is the size of the small hash table mapping a transaction
+// to the bitmask of stripes it holds locks in.
+const ownerShards = 16
+
+type ownerShard struct {
+	mu    sync.Mutex
+	masks map[wal.TxnID]uint64
+}
+
+// Manager is the lock manager. It is safe for concurrent use.
+type Manager struct {
+	stripes    []stripe
+	stripeMask uint64
+	det        detector
+	owners     [ownerShards]ownerShard
+}
+
+// stripeCount picks a power of two near GOMAXPROCS, at least 8 (so
+// striping is exercised even on small machines) and at most 64 (the
+// per-transaction stripe mask is one uint64).
+func stripeCount() int {
+	n := runtime.GOMAXPROCS(0)
+	c := 8
+	for c < n && c < 64 {
+		c <<= 1
+	}
+	return c
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	n := stripeCount()
+	m := &Manager{
+		stripes:    make([]stripe, n),
+		stripeMask: uint64(n - 1),
+	}
+	for i := range m.stripes {
+		m.stripes[i].locks = make(map[Name]*lockState)
+		m.stripes[i].byTxn = make(map[wal.TxnID][]Name)
+	}
+	m.det.waitingOn = make(map[wal.TxnID]map[wal.TxnID]struct{})
+	for i := range m.owners {
+		m.owners[i].masks = make(map[wal.TxnID]uint64)
+	}
+	return m
+}
+
+func (m *Manager) stripeIndex(name Name) uint64 {
+	return name.stripeHash() & m.stripeMask
+}
+
+func (m *Manager) ownerShard(txn wal.TxnID) *ownerShard {
+	return &m.owners[uint64(txn)&(ownerShards-1)]
+}
+
+// noteStripe marks stripe idx in txn's stripe mask. It is always called
+// by the transaction's own goroutine (after its Lock/TryLock returns
+// success), never while holding a stripe mutex, so the owner table never
+// nests with stripe mutexes. ReleaseAll is ordered after every Lock call
+// returns, so the bit is always set before it can matter.
+func (m *Manager) noteStripe(txn wal.TxnID, idx uint64) {
+	o := m.ownerShard(txn)
+	o.mu.Lock()
+	o.masks[txn] |= 1 << idx
+	o.mu.Unlock()
+}
+
+// Lock acquires name in mode for txn, blocking until granted. Re-requests
+// are upgrades: the transaction ends up holding the stronger of its
+// current and requested modes. Lock returns ErrDeadlock if waiting would
+// close a waits-for cycle; the transaction must then abort.
+func (m *Manager) Lock(txn wal.TxnID, name Name, mode Mode) error {
+	idx := m.stripeIndex(name)
+	s := &m.stripes[idx]
+	s.mu.Lock()
+	ls := s.getState(name)
+
+	cur, held := ls.holderMode(txn)
+	if held && !stronger(mode, cur) {
+		s.mu.Unlock()
+		return nil // already held at sufficient strength
+	}
+
+	// Fast path: grantable immediately — no waiter, no channel, no
+	// detector involvement.
+	if ls.grantableNow(txn, mode, held) {
+		if held {
+			for i := range ls.holders {
+				if ls.holders[i].txn == txn {
+					ls.holders[i].mode = mode
+					break
+				}
+			}
+		} else {
+			ls.holders = append(ls.holders, holder{txn: txn, mode: mode})
+			s.addOwned(txn, name)
+		}
+		s.grants++
+		s.mu.Unlock()
+		if !held {
+			m.noteStripe(txn, idx)
+		}
+		return nil
+	}
+
+	// Slow path: enqueue, then consult the deadlock detector before
+	// blocking. Upgrades go to the head of the queue: the holder already
+	// excludes conflicting newcomers, and queue-jumping bounds the
+	// promotion wait.
+	w := &waiter{txn: txn, mode: mode, upgrade: held, ready: make(chan struct{}, 1)}
+	if held {
+		ls.queue = append(ls.queue, nil)
+		copy(ls.queue[1:], ls.queue)
+		ls.queue[0] = w
+	} else {
+		ls.queue = append(ls.queue, w)
+	}
+
+	blockers := ls.blockersOf(w)
+	if err := m.det.blockOrDetect(txn, blockers); err != nil {
+		ls.removeWaiter(w)
+		s.deadlocks++
+		s.maybeFree(name, ls)
+		s.mu.Unlock()
+		return err
+	}
+	s.waits++
+	s.mu.Unlock()
+
+	<-w.ready
+	m.det.clear(txn)
+	if !held {
+		m.noteStripe(txn, idx)
+	}
+	return nil
+}
+
 // TryLock acquires name in mode for txn only if that needs no waiting, and
-// reports whether it did (or already held it strongly enough).
-func (m *Manager) TryLock(txn wal.TxnID, name string, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.locks[name]
-	if ls == nil {
-		ls = &lockState{}
-		m.locks[name] = ls
+// reports whether it did (or already held it strongly enough). Unlike
+// Lock, a TryLock upgrade does not jump a non-empty queue: it simply
+// fails, preserving the queue's no-overtaking guarantee.
+func (m *Manager) TryLock(txn wal.TxnID, name Name, mode Mode) bool {
+	idx := m.stripeIndex(name)
+	s := &m.stripes[idx]
+	s.mu.Lock()
+	ls, ok := s.locks[name]
+	if !ok {
+		ls = s.takeState()
+		s.locks[name] = ls
+		ls.holders = append(ls.holders, holder{txn: txn, mode: mode})
+		s.addOwned(txn, name)
+		s.grants++
+		s.mu.Unlock()
+		m.noteStripe(txn, idx)
+		return true
 	}
 	cur, held := ls.holderMode(txn)
 	if held && !stronger(mode, cur) {
+		s.mu.Unlock()
 		return true
 	}
 	if len(ls.queue) > 0 {
+		s.mu.Unlock()
 		return false
 	}
 	for _, h := range ls.holders {
 		if h.txn != txn && !Compatible(h.mode, mode) {
+			s.mu.Unlock()
 			return false
 		}
 	}
@@ -304,70 +539,81 @@ func (m *Manager) TryLock(txn wal.TxnID, name string, mode Mode) bool {
 		for i := range ls.holders {
 			if ls.holders[i].txn == txn {
 				ls.holders[i].mode = mode
+				break
 			}
 		}
+		s.grants++
+		s.mu.Unlock()
 		return true
 	}
 	ls.holders = append(ls.holders, holder{txn: txn, mode: mode})
-	if m.byTxn[txn] == nil {
-		m.byTxn[txn] = make(map[string]struct{})
-	}
-	m.byTxn[txn][name] = struct{}{}
+	s.addOwned(txn, name)
+	s.grants++
+	s.mu.Unlock()
+	m.noteStripe(txn, idx)
 	return true
 }
 
 // Unlock releases txn's hold on name before transaction end. Only safe
 // for locks that are not needed for two-phase correctness (e.g. test
 // scaffolding); transactions normally use ReleaseAll at commit or abort.
-func (m *Manager) Unlock(txn wal.TxnID, name string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.unlockLocked(txn, name)
-}
-
-func (m *Manager) unlockLocked(txn wal.TxnID, name string) {
-	ls := m.locks[name]
-	if ls == nil {
-		return
-	}
-	for i, h := range ls.holders {
-		if h.txn == txn {
-			ls.holders = append(ls.holders[:i], ls.holders[i+1:]...)
-			break
+func (m *Manager) Unlock(txn wal.TxnID, name Name) {
+	s := &m.stripes[m.stripeIndex(name)]
+	s.mu.Lock()
+	if ns, ok := s.byTxn[txn]; ok {
+		for i := range ns {
+			if ns[i] == name {
+				last := len(ns) - 1
+				ns[i] = ns[last]
+				ns = ns[:last]
+				break
+			}
+		}
+		if len(ns) == 0 {
+			delete(s.byTxn, txn)
+			s.recycleNames(ns)
+		} else {
+			s.byTxn[txn] = ns
 		}
 	}
-	if set := m.byTxn[txn]; set != nil {
-		delete(set, name)
-		if len(set) == 0 {
-			delete(m.byTxn, txn)
-		}
-	}
-	m.grantLocked(name, ls)
-	if len(ls.holders) == 0 && len(ls.queue) == 0 {
-		delete(m.locks, name)
-	}
+	s.releaseLocked(txn, name)
+	s.mu.Unlock()
+	// The stripe-mask bit stays set; ReleaseAll tolerates stripes with no
+	// remaining entries.
 }
 
-// ReleaseAll releases every lock txn holds, at commit or abort.
+// ReleaseAll releases every lock txn holds, at commit or abort. It visits
+// only the stripes the transaction used, guided by its stripe mask.
 func (m *Manager) ReleaseAll(txn wal.TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	set := m.byTxn[txn]
-	names := make([]string, 0, len(set))
-	for name := range set {
-		names = append(names, name)
-	}
-	for _, name := range names {
-		m.unlockLocked(txn, name)
+	o := m.ownerShard(txn)
+	o.mu.Lock()
+	mask := o.masks[txn]
+	delete(o.masks, txn)
+	o.mu.Unlock()
+
+	for mask != 0 {
+		idx := bits.TrailingZeros64(mask)
+		mask &^= 1 << idx
+		s := &m.stripes[idx]
+		s.mu.Lock()
+		if ns, ok := s.byTxn[txn]; ok {
+			delete(s.byTxn, txn)
+			for _, name := range ns {
+				s.releaseLocked(txn, name)
+			}
+			s.recycleNames(ns)
+		}
+		s.mu.Unlock()
 	}
 }
 
 // HeldMode returns the mode txn holds on name, if any.
-func (m *Manager) HeldMode(txn wal.TxnID, name string) (Mode, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.locks[name]
-	if ls == nil {
+func (m *Manager) HeldMode(txn wal.TxnID, name Name) (Mode, bool) {
+	s := &m.stripes[m.stripeIndex(name)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls, ok := s.locks[name]
+	if !ok {
 		return 0, false
 	}
 	return ls.holderMode(txn)
@@ -379,11 +625,12 @@ func (m *Manager) HeldMode(txn wal.TxnID, name string) (Mode, bool) {
 // posting" (§4.2.2). The rule applies even to the moving transaction's
 // own traversals: the posting must wait for its commit regardless of who
 // notices the unposted sibling.
-func (m *Manager) MoveLocked(name string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.locks[name]
-	if ls == nil {
+func (m *Manager) MoveLocked(name Name) bool {
+	s := &m.stripes[m.stripeIndex(name)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls, ok := s.locks[name]
+	if !ok {
 		return false
 	}
 	for _, h := range ls.holders {
@@ -394,16 +641,62 @@ func (m *Manager) MoveLocked(name string) bool {
 	return false
 }
 
-// Stats returns the number of blocking waits and detected deadlocks.
-func (m *Manager) Stats() (waits, deadlocks int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.waits, m.deadlocks
-}
-
 // HeldCount returns how many locks txn currently holds.
 func (m *Manager) HeldCount(txn wal.TxnID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.byTxn[txn])
+	o := m.ownerShard(txn)
+	o.mu.Lock()
+	mask := o.masks[txn]
+	o.mu.Unlock()
+
+	total := 0
+	for mask != 0 {
+		idx := bits.TrailingZeros64(mask)
+		mask &^= 1 << idx
+		s := &m.stripes[idx]
+		s.mu.Lock()
+		total += len(s.byTxn[txn])
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns the number of blocking waits and detected deadlocks.
+func (m *Manager) Stats() (waits, deadlocks int64) {
+	st := m.StatsSnapshot()
+	return st.Waits, st.Deadlocks
+}
+
+// StripeStats is one stripe's counters.
+type StripeStats struct {
+	Locks  int // live lock-table entries at snapshot time
+	Waits  int64
+	Grants int64
+}
+
+// ManagerStats is a consistent-enough snapshot of the manager's counters
+// for observability; each stripe is sampled under its own mutex.
+type ManagerStats struct {
+	Stripes   int
+	Waits     int64
+	Deadlocks int64
+	Grants    int64
+	PerStripe []StripeStats
+}
+
+// StatsSnapshot samples every stripe's counters.
+func (m *Manager) StatsSnapshot() ManagerStats {
+	st := ManagerStats{
+		Stripes:   len(m.stripes),
+		PerStripe: make([]StripeStats, len(m.stripes)),
+	}
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		st.PerStripe[i] = StripeStats{Locks: len(s.locks), Waits: s.waits, Grants: s.grants}
+		st.Waits += s.waits
+		st.Deadlocks += s.deadlocks
+		st.Grants += s.grants
+		s.mu.Unlock()
+	}
+	return st
 }

@@ -10,6 +10,9 @@ import (
 	"repro/internal/wal"
 )
 
+// nm builds a record lock name for tests.
+func nm(s string) Name { return KeyName(1, []byte(s)) }
+
 func TestCompatibilityMatrix(t *testing.T) {
 	want := map[[2]Mode]bool{
 		{S, S}: true, {S, IX}: true, {S, MV}: true, {S, X}: false,
@@ -24,32 +27,55 @@ func TestCompatibilityMatrix(t *testing.T) {
 	}
 }
 
+func TestNames(t *testing.T) {
+	if PageName(1, 7) == KeyName(1, []byte{7}) {
+		t.Fatal("page and record namespaces must not collide on kind")
+	}
+	if PageName(1, 7) != PageName(1, 7) {
+		t.Fatal("names must be comparable values")
+	}
+	if PageName(1, 7) == PageName(2, 7) {
+		t.Fatal("distinct spaces must give distinct names")
+	}
+	if SpaceID("pitree", "t1") == SpaceID("pitree", "t2") {
+		t.Fatal("space ids for distinct trees collided")
+	}
+	if SpaceID("ab", "c") == SpaceID("a", "bc") {
+		t.Fatal("space id must separate class and name")
+	}
+	if PointName(1, 3, 4) == PointName(1, 4, 3) {
+		t.Fatal("point name must distinguish coordinate order")
+	}
+}
+
 func TestSharedGrants(t *testing.T) {
 	m := NewManager()
+	a := nm("a")
 	for i := wal.TxnID(1); i <= 5; i++ {
-		if err := m.Lock(i, "a", S); err != nil {
+		if err := m.Lock(i, a, S); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// A move lock is compatible with the readers.
-	if err := m.Lock(6, "a", MV); err != nil {
+	if err := m.Lock(6, a, MV); err != nil {
 		t.Fatal(err)
 	}
 	// An updater is not.
-	if m.TryLock(7, "a", IX) {
+	if m.TryLock(7, a, IX) {
 		t.Fatal("IX granted alongside MV")
 	}
 	for i := wal.TxnID(1); i <= 6; i++ {
 		m.ReleaseAll(i)
 	}
-	if !m.TryLock(7, "a", IX) {
+	if !m.TryLock(7, a, IX) {
 		t.Fatal("IX not granted after releases")
 	}
 }
 
 func TestBlockingAndFIFO(t *testing.T) {
 	m := NewManager()
-	if err := m.Lock(1, "k", X); err != nil {
+	k := nm("k")
+	if err := m.Lock(1, k, X); err != nil {
 		t.Fatal(err)
 	}
 	var order []int
@@ -59,7 +85,7 @@ func TestBlockingAndFIFO(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := m.Lock(wal.TxnID(i), "k", X); err != nil {
+			if err := m.Lock(wal.TxnID(i), k, X); err != nil {
 				t.Error(err)
 				return
 			}
@@ -79,15 +105,16 @@ func TestBlockingAndFIFO(t *testing.T) {
 
 func TestUpgrade(t *testing.T) {
 	m := NewManager()
-	if err := m.Lock(1, "k", S); err != nil {
+	k := nm("k")
+	if err := m.Lock(1, k, S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(2, "k", S); err != nil {
+	if err := m.Lock(2, k, S); err != nil {
 		t.Fatal(err)
 	}
 	// 1 upgrades to X: must wait for 2.
 	done := make(chan error, 1)
-	go func() { done <- m.Lock(1, "k", X) }()
+	go func() { done <- m.Lock(1, k, X) }()
 	select {
 	case <-done:
 		t.Fatal("upgrade granted while another S holder exists")
@@ -97,24 +124,81 @@ func TestUpgrade(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	if mode, ok := m.HeldMode(1, "k"); !ok || mode != X {
+	if mode, ok := m.HeldMode(1, k); !ok || mode != X {
 		t.Fatalf("mode = %v ok=%v, want X", mode, ok)
 	}
 	// Downgrade requests are no-ops.
-	if err := m.Lock(1, "k", S); err != nil {
+	if err := m.Lock(1, k, S); err != nil {
 		t.Fatal(err)
 	}
-	if mode, _ := m.HeldMode(1, "k"); mode != X {
+	if mode, _ := m.HeldMode(1, k); mode != X {
 		t.Fatal("downgrade changed the held mode")
+	}
+}
+
+// TestUpgradeQueueJump checks the promotion fairness rule: an upgrader
+// goes to the head of the queue, ahead of earlier plain waiters, because
+// the holder already excludes conflicting newcomers and queue-jumping
+// bounds the promotion wait.
+func TestUpgradeQueueJump(t *testing.T) {
+	m := NewManager()
+	k := nm("k")
+	if err := m.Lock(1, k, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, k, S); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []int
+	var mu sync.Mutex
+	note := func(i int) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+	}
+
+	// txn 3 queues first, wanting X (blocked by both S holders).
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := m.Lock(3, k, X); err != nil {
+			t.Errorf("txn 3: %v", err)
+			return
+		}
+		note(3)
+		m.ReleaseAll(3)
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// txn 1 then upgrades S→X: queued behind 3 in arrival order, but the
+	// upgrade must jump ahead of it.
+	go func() {
+		defer wg.Done()
+		if err := m.Lock(1, k, X); err != nil {
+			t.Errorf("txn 1 upgrade: %v", err)
+			return
+		}
+		note(1)
+		m.ReleaseAll(1)
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	m.ReleaseAll(2) // drop the other S holder; upgrade becomes grantable
+	wg.Wait()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("grant order = %v, want upgrade first [1 3]", order)
 	}
 }
 
 func TestDeadlockDetection(t *testing.T) {
 	m := NewManager()
-	if err := m.Lock(1, "a", X); err != nil {
+	a, b := nm("a"), nm("b")
+	if err := m.Lock(1, a, X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(2, "b", X); err != nil {
+	if err := m.Lock(2, b, X); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -122,13 +206,13 @@ func TestDeadlockDetection(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		// txn 1 waits for b (held by 2).
-		if err := m.Lock(1, "b", X); err != nil {
+		if err := m.Lock(1, b, X); err != nil {
 			t.Errorf("txn 1: %v", err)
 		}
 	}()
 	time.Sleep(20 * time.Millisecond)
 	// txn 2 requests a (held by 1): cycle, must be refused.
-	err := m.Lock(2, "a", X)
+	err := m.Lock(2, a, X)
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("err = %v, want ErrDeadlock", err)
 	}
@@ -141,20 +225,56 @@ func TestDeadlockDetection(t *testing.T) {
 	}
 }
 
+// TestCrossStripeDeadlock pins the two resources to different stripes
+// (distinct page ids spread by the stripe hash) so the waits-for cycle
+// spans stripes; the shared detector must still see it.
+func TestCrossStripeDeadlock(t *testing.T) {
+	m := NewManager()
+	a, b := PageName(1, 1), PageName(1, 2)
+	if m.stripeIndex(a) == m.stripeIndex(b) {
+		// Extremely unlikely with ≥8 stripes and splitmix64, but keep the
+		// test honest: find another pid on a different stripe.
+		for pid := uint64(3); ; pid++ {
+			b = PageName(1, pid)
+			if m.stripeIndex(a) != m.stripeIndex(b) {
+				break
+			}
+		}
+	}
+	if err := m.Lock(1, a, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, b, X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(1, b, X) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Lock(2, a, X); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock across stripes", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
 func TestSelfUpgradeDeadlock(t *testing.T) {
 	// Two IX holders both upgrading to MV on the same name is the
 	// canonical move-lock deadlock; the second requester must be refused.
 	m := NewManager()
-	if err := m.Lock(1, "p", IX); err != nil {
+	p := nm("p")
+	if err := m.Lock(1, p, IX); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(2, "p", IX); err != nil {
+	if err := m.Lock(2, p, IX); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
-	go func() { got <- m.Lock(1, "p", MV) }()
+	go func() { got <- m.Lock(1, p, MV) }()
 	time.Sleep(20 * time.Millisecond)
-	err := m.Lock(2, "p", MV)
+	err := m.Lock(2, p, MV)
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("second upgrader: err = %v, want ErrDeadlock", err)
 	}
@@ -165,36 +285,104 @@ func TestSelfUpgradeDeadlock(t *testing.T) {
 	m.ReleaseAll(1)
 }
 
+// TestConcurrentMVUpgraders races pairs of move-lock upgraders on one
+// name, in both flavors the matrix allows:
+//
+//   - S→MV: move locks are compatible with share locks, so concurrent
+//     upgraders must serialize WITHOUT deadlock — each ends up holding MV
+//     in turn.
+//   - IX→MV: the T7 promotion conflict. MV conflicts with IX, so each
+//     upgrader blocks on the other's IX; exactly one is refused with
+//     ErrDeadlock (the victim aborts) and the survivor proceeds to MV.
+func TestConcurrentMVUpgraders(t *testing.T) {
+	m := NewManager()
+	p := nm("p")
+	var deadlocks atomic.Int64
+	for round := 0; round < 50; round++ {
+		t1 := wal.TxnID(2*round + 1)
+		t2 := wal.TxnID(2*round + 2)
+		base := S
+		if round%2 == 1 {
+			base = IX
+		}
+		if err := m.Lock(t1, p, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Lock(t2, p, base); err != nil {
+			t.Fatal(err)
+		}
+		var roundDeadlocks atomic.Int64
+		var wg sync.WaitGroup
+		for _, id := range []wal.TxnID{t1, t2} {
+			wg.Add(1)
+			go func(id wal.TxnID) {
+				defer wg.Done()
+				err := m.Lock(id, p, MV)
+				if errors.Is(err, ErrDeadlock) {
+					roundDeadlocks.Add(1)
+					m.ReleaseAll(id) // victim aborts
+					return
+				}
+				if err != nil {
+					t.Errorf("txn %d: %v", id, err)
+					return
+				}
+				if mode, ok := m.HeldMode(id, p); !ok || mode != MV {
+					t.Errorf("txn %d: survivor holds %v, want MV", id, mode)
+				}
+				m.ReleaseAll(id)
+			}(id)
+		}
+		wg.Wait()
+		if base == S && roundDeadlocks.Load() != 0 {
+			t.Fatalf("round %d: S→MV upgraders deadlocked; MV must be S-compatible", round)
+		}
+		if base == IX && roundDeadlocks.Load() != 1 {
+			t.Fatalf("round %d: IX→MV upgraders saw %d deadlocks, want exactly 1",
+				round, roundDeadlocks.Load())
+		}
+		deadlocks.Add(roundDeadlocks.Load())
+		if m.MoveLocked(p) {
+			t.Fatal("name still move-locked after round")
+		}
+	}
+	if _, d := m.Stats(); d != deadlocks.Load() {
+		t.Fatalf("manager counted %d deadlocks, test saw %d", d, deadlocks.Load())
+	}
+}
+
 func TestMoveLocked(t *testing.T) {
 	m := NewManager()
-	if err := m.Lock(1, "p", MV); err != nil {
+	p, q := nm("p"), nm("q")
+	if err := m.Lock(1, p, MV); err != nil {
 		t.Fatal(err)
 	}
-	if !m.MoveLocked("p") {
+	if !m.MoveLocked(p) {
 		t.Fatal("MoveLocked must see the holder")
 	}
-	if m.MoveLocked("q") {
+	if m.MoveLocked(q) {
 		t.Fatal("MoveLocked on unlocked name")
 	}
 	m.ReleaseAll(1)
-	if m.MoveLocked("p") {
+	if m.MoveLocked(p) {
 		t.Fatal("MoveLocked after release")
 	}
 }
 
 func TestReleaseAllWakesWaiters(t *testing.T) {
 	m := NewManager()
-	if err := m.Lock(1, "a", X); err != nil {
+	a, b := nm("a"), nm("b")
+	if err := m.Lock(1, a, X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(1, "b", X); err != nil {
+	if err := m.Lock(1, b, X); err != nil {
 		t.Fatal(err)
 	}
 	var granted atomic.Int32
 	var wg sync.WaitGroup
-	for _, name := range []string{"a", "b"} {
+	for _, name := range []Name{a, b} {
 		wg.Add(1)
-		go func(name string) {
+		go func(name Name) {
 			defer wg.Done()
 			if err := m.Lock(2, name, S); err == nil {
 				granted.Add(1)
@@ -214,16 +402,17 @@ func TestReleaseAllWakesWaiters(t *testing.T) {
 
 func TestTryLockQueueRespect(t *testing.T) {
 	m := NewManager()
-	if err := m.Lock(1, "k", S); err != nil {
+	k := nm("k")
+	if err := m.Lock(1, k, S); err != nil {
 		t.Fatal(err)
 	}
 	go func() {
-		_ = m.Lock(2, "k", X) // parks in queue
+		_ = m.Lock(2, k, X) // parks in queue
 	}()
 	time.Sleep(20 * time.Millisecond)
 	// A TryLock S would be compatible with the holder but must not jump
 	// the queued X waiter.
-	if m.TryLock(3, "k", S) {
+	if m.TryLock(3, k, S) {
 		t.Fatal("TryLock overtook a queued writer")
 	}
 	m.ReleaseAll(1)
@@ -231,11 +420,123 @@ func TestTryLockQueueRespect(t *testing.T) {
 	m.ReleaseAll(2)
 }
 
+// TestReleaseAllRacesTryLock hammers one set of names with transactions
+// that TryLock a few and ReleaseAll, while others Lock and ReleaseAll.
+// Run under -race this checks the striped fast paths, the owner-mask
+// bookkeeping and the freelists against each other; afterwards every
+// name must be free.
+func TestReleaseAllRacesTryLock(t *testing.T) {
+	m := NewManager()
+	names := make([]Name, 16)
+	for i := range names {
+		names[i] = PageName(7, uint64(i))
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := wal.TxnID(w + 1)
+			for i := 0; i < 500; i++ {
+				if w%2 == 0 {
+					for j := 0; j < 4; j++ {
+						m.TryLock(id, names[(w+i+j)%len(names)], IX)
+					}
+				} else {
+					name := names[(w+i)%len(names)]
+					if err := m.Lock(id, name, S); err != nil && !errors.Is(err, ErrDeadlock) {
+						t.Errorf("lock: %v", err)
+						return
+					}
+				}
+				m.ReleaseAll(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, name := range names {
+		if m.MoveLocked(name) {
+			t.Fatalf("name %d move-locked after quiesce", i)
+		}
+	}
+	st := m.StatsSnapshot()
+	for i, ps := range st.PerStripe {
+		if ps.Locks != 0 {
+			t.Fatalf("stripe %d has %d live lock entries after quiesce", i, ps.Locks)
+		}
+	}
+	if st.Grants == 0 {
+		t.Fatal("no grants counted")
+	}
+}
+
+// TestUncontendedNoAllocs pins the zero-allocation guarantee of the
+// uncontended Lock/TryLock/ReleaseAll cycle; the striped manager's
+// freelists make the steady state allocation-free.
+func TestUncontendedNoAllocs(t *testing.T) {
+	m := NewManager()
+	names := make([]Name, 8)
+	for i := range names {
+		names[i] = PageName(3, uint64(i))
+	}
+	const txn = wal.TxnID(9)
+	// Warm the freelists and map buckets.
+	for i := 0; i < 100; i++ {
+		for _, n := range names {
+			if err := m.Lock(txn, n, X); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.ReleaseAll(txn)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for _, n := range names {
+			_ = m.Lock(txn, n, X)
+		}
+		m.ReleaseAll(txn)
+	})
+	if avg != 0 {
+		t.Fatalf("uncontended lock cycle allocates %.1f objects per run, want 0", avg)
+	}
+	avg = testing.AllocsPerRun(200, func() {
+		for _, n := range names {
+			m.TryLock(txn, n, IX)
+		}
+		m.ReleaseAll(txn)
+	})
+	if avg != 0 {
+		t.Fatalf("uncontended trylock cycle allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, nm("a"), X); err != nil {
+		t.Fatal(err)
+	}
+	st := m.StatsSnapshot()
+	if st.Stripes != len(m.stripes) || len(st.PerStripe) != st.Stripes {
+		t.Fatalf("snapshot shape: %+v", st)
+	}
+	if st.Grants != 1 {
+		t.Fatalf("grants = %d, want 1", st.Grants)
+	}
+	live := 0
+	for _, ps := range st.PerStripe {
+		live += ps.Locks
+	}
+	if live != 1 {
+		t.Fatalf("live locks = %d, want 1", live)
+	}
+	m.ReleaseAll(1)
+}
+
 func TestConcurrentStress(t *testing.T) {
 	m := NewManager()
 	const workers = 8
 	var wg sync.WaitGroup
-	names := []string{"a", "b", "c", "d"}
+	names := []Name{nm("a"), nm("b"), nm("c"), nm("d")}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {

@@ -1,0 +1,116 @@
+package lock
+
+import "fmt"
+
+// Name identifies a lockable resource as a packed value: a lock space
+// (which tree or store the resource belongs to), a kind discriminant
+// (page vs record vs point), and a 64-bit resource discriminant (a page
+// id, or a fingerprint of a variable-length key). Names are comparable
+// and hash without allocating, unlike the former string names which cost
+// a fmt.Sprintf and a heap allocation per lock call.
+//
+// Record and point names fingerprint their keys with FNV-1a, so two
+// distinct keys can collide onto one Name. A collision makes two records
+// share one lock — false sharing, which can only over-serialize (extra
+// blocking, a spurious conflict or deadlock abort), never under-lock, so
+// two-phase locking and the move-lock protocol remain correct.
+type Name struct {
+	space uint32
+	kind  uint8
+	disc  uint64
+}
+
+// Lock-name kinds. Pages and records live in disjoint sub-namespaces even
+// when a page id happens to equal a key fingerprint.
+const (
+	kindPage uint8 = iota + 1
+	kindRecord
+	kindPoint
+)
+
+// FNV constants (FNV-1a, 32- and 64-bit variants).
+const (
+	fnvOffset32 uint32 = 2166136261
+	fnvPrime32  uint32 = 16777619
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// SpaceID derives a lock-space id from a class tag (e.g. "pitree") and an
+// instance name (e.g. the tree name). Distinct trees get distinct spaces
+// with high probability; a collision merges two lock namespaces, which is
+// safe (false sharing only). Trees compute this once at construction.
+func SpaceID(class, name string) uint32 {
+	h := fnvOffset32
+	for i := 0; i < len(class); i++ {
+		h ^= uint32(class[i])
+		h *= fnvPrime32
+	}
+	// Separator byte so ("ab","c") and ("a","bc") differ.
+	h ^= 0xff
+	h *= fnvPrime32
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// PageName names a page-granularity lock.
+func PageName(space uint32, pid uint64) Name {
+	return Name{space: space, kind: kindPage, disc: pid}
+}
+
+// KeyName names a record-granularity lock by key fingerprint.
+func KeyName(space uint32, key []byte) Name {
+	h := fnvOffset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return Name{space: space, kind: kindRecord, disc: h}
+}
+
+// PointName names a record-granularity lock on a 2-D point.
+func PointName(space uint32, x, y uint64) Name {
+	h := fnvOffset64
+	for s := 0; s < 64; s += 8 {
+		h ^= (x >> s) & 0xff
+		h *= fnvPrime64
+	}
+	for s := 0; s < 64; s += 8 {
+		h ^= (y >> s) & 0xff
+		h *= fnvPrime64
+	}
+	return Name{space: space, kind: kindPoint, disc: h}
+}
+
+// String renders the name for diagnostics and error messages. It
+// allocates, so it stays off the lock fast path.
+func (n Name) String() string {
+	var k string
+	switch n.kind {
+	case kindPage:
+		k = "p"
+	case kindRecord:
+		k = "r"
+	case kindPoint:
+		k = "pt"
+	default:
+		k = "?"
+	}
+	return fmt.Sprintf("%s:%08x:%x", k, n.space, n.disc)
+}
+
+// stripeHash spreads the name over stripes with a splitmix64-style
+// finalizer; page ids are sequential, so the raw discriminant alone would
+// clump onto a few stripes.
+func (n Name) stripeHash() uint64 {
+	z := n.disc ^ (uint64(n.space) << 24) ^ (uint64(n.kind) << 56)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -65,7 +65,7 @@ func decodeCheckpoint(b []byte) (*Checkpoint, error) {
 func TakeCheckpoint(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.LSN, error) {
 	c := Checkpoint{StartLSN: log.EndLSN(), DPT: make(map[uint32]map[uint64]wal.LSN)}
 	for _, e := range tm.SnapshotATT() {
-		c.ATT = append(c.ATT, AttEntry{ID: e.ID, LastLSN: e.LastLSN, System: e.System})
+		c.ATT = append(c.ATT, AttEntry{ID: e.ID, LastLSN: e.LastLSN, System: e.System, Committed: e.Committed})
 	}
 	for _, p := range pools {
 		dpt := make(map[uint64]wal.LSN)

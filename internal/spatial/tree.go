@@ -69,6 +69,9 @@ type Stats struct {
 type Tree struct {
 	Name string
 
+	// lockSpace is the tree's lock namespace, derived once from Name.
+	lockSpace uint32
+
 	store   *storage.Store
 	tm      *txn.Manager
 	lm      *lock.Manager
@@ -91,7 +94,7 @@ var errRetry = errors.New("spatial: internal retry")
 // Create builds a new spatial tree: a level-1 root over one data node
 // covering the full space.
 func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
-	t := &Tree{Name: name, store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized()}
+	t := &Tree{Name: name, lockSpace: lock.SpaceID("spatial", name), store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized()}
 	aa := tm.BeginAtomicAction()
 	o := t.newOp(nil)
 
@@ -145,7 +148,7 @@ func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, n
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{Name: name, store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized(), root: rootPid}
+	t := &Tree{Name: name, lockSpace: lock.SpaceID("spatial", name), store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized(), root: rootPid}
 	t.comp = newCompleter(t)
 	b.Bind(t)
 	return t, nil
@@ -160,8 +163,8 @@ func (t *Tree) DrainCompletions() { t.comp.drain() }
 // Options returns the normalized options.
 func (t *Tree) Options() Options { return t.opts }
 
-func (t *Tree) recLockName(p Point) string {
-	return fmt.Sprintf("spr:%s:%d,%d", t.Name, p.X, p.Y)
+func (t *Tree) recLockName(p Point) lock.Name {
+	return lock.PointName(t.lockSpace, p.X, p.Y)
 }
 
 // --- operation context -------------------------------------------------------

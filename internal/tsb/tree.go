@@ -81,6 +81,9 @@ type Stats struct {
 type Tree struct {
 	Name string
 
+	// lockSpace is the tree's lock namespace, derived once from Name.
+	lockSpace uint32
+
 	store   *storage.Store
 	tm      *txn.Manager
 	lm      *lock.Manager
@@ -106,7 +109,7 @@ var errLevelGone = errors.New("tsb: target level does not exist yet")
 // Create builds a new TSB tree: a level-1 index root over one data node
 // covering all keys at all times. One atomic action.
 func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
-	t := &Tree{Name: name, store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized()}
+	t := &Tree{Name: name, lockSpace: lock.SpaceID("tsb", name), store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized()}
 	aa := tm.BeginAtomicAction()
 	o := t.newOp(nil)
 
@@ -163,7 +166,7 @@ func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, n
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{Name: name, store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized(), root: rootPid}
+	t := &Tree{Name: name, lockSpace: lock.SpaceID("tsb", name), store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized(), root: rootPid}
 	t.clock.Store(uint64(tm.Log.EndLSN()))
 	t.comp = newCompleter(t)
 	b.Bind(t)
@@ -186,7 +189,7 @@ func (t *Tree) tick() uint64 { return t.clock.Add(1) }
 // Options returns the normalized options.
 func (t *Tree) Options() Options { return t.opts }
 
-func (t *Tree) recLockName(k keys.Key) string { return "tsbr:" + t.Name + ":" + string(k) }
+func (t *Tree) recLockName(k keys.Key) lock.Name { return lock.KeyName(t.lockSpace, k) }
 
 // --- operation context (CNS: one latch at a time) ---------------------------
 

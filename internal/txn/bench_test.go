@@ -1,0 +1,39 @@
+package txn
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// BenchmarkParallelCommit measures the user-commit path under concurrent
+// committers: each iteration is one single-update transaction ending in a
+// durable commit.
+func BenchmarkParallelCommit(b *testing.B) {
+	log := wal.New()
+	reg := storage.NewRegistry()
+	registerCounter(reg)
+	lm := lock.NewManager()
+	tm := NewManager(log, lm, reg, Options{})
+	pool := storage.NewPool(256, storage.NewDisk(), log, counterCodec{}, 0)
+	reg.AddPool(pool)
+	e := &env{log: log, reg: reg, lm: lm, tm: tm, pool: pool}
+
+	var nextPid atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		pid := storage.PageID(nextPid.Add(1))
+		for pb.Next() {
+			t := tm.Begin()
+			e.add(t, pid, 1)
+			if err := t.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_, flushes := log.Stats()
+	b.ReportMetric(float64(flushes)/float64(b.N), "forces/commit")
+}

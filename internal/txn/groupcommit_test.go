@@ -1,0 +1,91 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestGroupCommitSharesForces: with many transactions committing
+// concurrently, the commit path's ForceGroup coalesces their forces, so
+// the physical flush count lands well below the commit count while
+// every commit still returns durable.
+func TestGroupCommitSharesForces(t *testing.T) {
+	e := newEnv(t, Options{})
+	const committers = 8
+	const perG = 40
+	_, flushesBefore := e.log.Stats()
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	errs := make(chan error, committers)
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start.Wait()
+			for i := 0; i < perG; i++ {
+				tx := e.tm.Begin()
+				e.add(tx, storage.PageID(g+1), 1)
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	start.Done()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	const commits = committers * perG
+	_, flushesAfter := e.log.Stats()
+	flushes := flushesAfter - flushesBefore
+	if flushes >= commits {
+		t.Fatalf("flushes = %d for %d commits; commits are not sharing forces", flushes, commits)
+	}
+	requests, rounds := e.log.GroupCommitStats()
+	if requests != commits {
+		t.Fatalf("group-commit requests = %d, want %d", requests, commits)
+	}
+	t.Logf("commits=%d flushes=%d rounds=%d (%.3f forces/commit)",
+		commits, flushes, rounds, float64(flushes)/float64(commits))
+	for g := 0; g < committers; g++ {
+		if v := e.value(t, storage.PageID(g+1)); v != perG {
+			t.Fatalf("page %d = %d, want %d", g+1, v, perG)
+		}
+	}
+}
+
+// TestGroupCommitAANeverForces: relative durability survives the group
+// commit rewrite — a workload of only atomic actions performs zero
+// forces, concurrently or not.
+func TestGroupCommitAANeverForces(t *testing.T) {
+	e := newEnv(t, Options{})
+	_, flushesBefore := e.log.Stats()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				aa := e.tm.BeginAtomicAction()
+				e.add(aa, storage.PageID(g+1), 1)
+				if err := aa.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, flushesAfter := e.log.Stats(); flushesAfter != flushesBefore {
+		t.Fatalf("atomic actions forced the log %d times; relative durability broken",
+			flushesAfter-flushesBefore)
+	}
+	if requests, _ := e.log.GroupCommitStats(); requests != 0 {
+		t.Fatalf("atomic actions registered %d group-commit requests", requests)
+	}
+}

@@ -24,6 +24,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/lock"
@@ -86,7 +87,11 @@ type Txn struct {
 	mu       sync.Mutex
 	lastLSN  wal.LSN
 	state    State
-	onCommit []func()
+	// committing is set while the commit record is being appended outside
+	// t.mu; SnapshotATT waits it out so a checkpoint's ATT entry never
+	// misses a commit record that landed below the checkpoint's StartLSN.
+	committing bool
+	onCommit   []func()
 }
 
 // OnCommit registers fn to run after the transaction commits, its locks
@@ -145,14 +150,20 @@ func (m *Manager) ActiveCount() int {
 }
 
 // ATTEntry is a snapshot row of the active-transaction table, taken for
-// fuzzy checkpoints.
+// fuzzy checkpoints. Committed marks a transaction whose commit record is
+// already in the log but whose end record is not; analysis must treat it
+// as a winner even when the commit record predates the checkpoint's scan
+// window.
 type ATTEntry struct {
-	ID      wal.TxnID
-	LastLSN wal.LSN
-	System  bool
+	ID        wal.TxnID
+	LastLSN   wal.LSN
+	System    bool
+	Committed bool
 }
 
 // SnapshotATT returns the live transaction table for a fuzzy checkpoint.
+// It waits out any in-flight commit-record append so each entry's
+// (LastLSN, Committed) pair is consistent with the log contents.
 func (m *Manager) SnapshotATT() []ATTEntry {
 	m.mu.Lock()
 	txns := make([]*Txn, 0, len(m.active))
@@ -163,7 +174,12 @@ func (m *Manager) SnapshotATT() []ATTEntry {
 	out := make([]ATTEntry, 0, len(txns))
 	for _, t := range txns {
 		t.mu.Lock()
-		out = append(out, ATTEntry{ID: t.ID, LastLSN: t.lastLSN, System: t.System})
+		for t.committing {
+			t.mu.Unlock()
+			runtime.Gosched()
+			t.mu.Lock()
+		}
+		out = append(out, ATTEntry{ID: t.ID, LastLSN: t.lastLSN, System: t.System, Committed: t.state == Committed})
 		t.mu.Unlock()
 	}
 	return out
@@ -264,31 +280,42 @@ func (t *Txn) LogCLR(storeID uint32, pageID uint64, kind wal.Kind, payload []byt
 // Lock acquires a database lock for this transaction; see lock.Manager.
 // Callers must obey the No-Wait rule: release any latch that can conflict
 // with a database-lock holder before calling.
-func (t *Txn) Lock(name string, mode lock.Mode) error {
+func (t *Txn) Lock(name lock.Name, mode lock.Mode) error {
 	return t.mgr.Locks.Lock(t.ID, name, mode)
 }
 
 // TryLock acquires a database lock only if no waiting is needed.
-func (t *Txn) TryLock(name string, mode lock.Mode) bool {
+func (t *Txn) TryLock(name lock.Name, mode lock.Mode) bool {
 	return t.mgr.Locks.TryLock(t.ID, name, mode)
 }
 
 // Commit makes the transaction's effects permanent. User commits force
-// the log (durability promise to the user); atomic-action commits do not,
-// unless the manager was configured with ForceOnAACommit.
+// the log through the group-commit path (durability promise to the
+// user); atomic-action commits do not force at all — relative durability
+// (§4.3.1) — unless the manager was configured with ForceOnAACommit.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.state != Active {
 		t.mu.Unlock()
 		return ErrNotActive
 	}
-	lsn := t.mgr.Log.Append(&wal.Record{Type: wal.RecCommit, Flags: t.flags(), TxnID: t.ID, PrevLSN: t.lastLSN})
+	// Append the commit record outside t.mu: the append may stall behind
+	// concurrent appenders, and t.mu must stay cheap to take. committing
+	// makes the window visible to SnapshotATT, which needs (lastLSN,
+	// Committed) consistent with the log when it builds a checkpoint.
+	t.committing = true
+	prev := t.lastLSN
+	t.mu.Unlock()
+
+	lsn := t.mgr.Log.Append(&wal.Record{Type: wal.RecCommit, Flags: t.flags(), TxnID: t.ID, PrevLSN: prev})
+	t.mu.Lock()
 	t.lastLSN = lsn
 	t.state = Committed
+	t.committing = false
 	t.mu.Unlock()
 
 	if !t.System || t.mgr.opts.ForceOnAACommit {
-		t.mgr.Log.Force(lsn)
+		t.mgr.Log.ForceGroup(lsn)
 	}
 	t.finish(wal.RecEnd)
 	t.mu.Lock()

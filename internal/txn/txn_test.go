@@ -268,7 +268,7 @@ func TestOnCommitHooks(t *testing.T) {
 func TestLocksReleasedAtEnd(t *testing.T) {
 	e := newEnv(t, Options{})
 	tx := e.tm.Begin()
-	if err := tx.Lock("k", lock.X); err != nil {
+	if err := tx.Lock(lock.KeyName(1, []byte("k")), lock.X); err != nil {
 		t.Fatal(err)
 	}
 	if e.lm.HeldCount(tx.ID) != 1 {
