@@ -1,13 +1,15 @@
 GO ?= go
 BENCH_COUNT ?= 1
+TORTURE_ROUNDS ?= 24
+TORTURE_SEED ?= 7
 
-.PHONY: check vet build test race benchbuild bench
+.PHONY: check vet build test race benchbuild bench torture
 
 ## check: everything CI runs — vet, build, tests, the race detector over
-## the concurrency-critical packages, and a compile+link of every
-## benchmark binary (run with zero iterations) so bench-only code can't
-## rot between bench runs.
-check: vet build test race benchbuild
+## the concurrency-critical packages, a compile+link of every benchmark
+## binary (run with zero iterations) so bench-only code can't rot
+## between bench runs, and a short seeded fault-injection torture run.
+check: vet build test race benchbuild torture
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +25,11 @@ race:
 
 benchbuild:
 	$(GO) test -run '^$$' -bench '^$$' ./... >/dev/null
+
+## torture: seeded crash-point fault-injection rounds across all three
+## access methods. Failures print the reproducing seed and failpoint.
+torture:
+	$(GO) run ./cmd/pitree-verify -torture -rounds $(TORTURE_ROUNDS) -seed $(TORTURE_SEED)
 
 ## bench: all microbenchmarks with allocation stats (root experiment
 ## benchmarks plus the lock/txn/wal substrate benchmarks). Set

@@ -13,6 +13,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/keys"
 	"repro/internal/spatial"
 	"repro/internal/storage"
@@ -305,31 +306,49 @@ func (benchCodec) DecodePage(b []byte) (any, error) { return append([]byte(nil),
 
 // BenchmarkWALAppendParallel measures raw log-append throughput with all
 // workers appending small update records concurrently, plus a variant
-// where every 64th append forces the log (group commit).
+// where every 64th append forces the log (group commit). The *-disarmed
+// variants attach a fault injector with no armed failpoints: their delta
+// against the plain variants is the cost of the always-compiled-in
+// fault probes on the log's hot path (expected to be noise).
 func BenchmarkWALAppendParallel(b *testing.B) {
 	payload := make([]byte, 64)
-	b.Run("append", func(b *testing.B) {
-		l := wal.New()
-		b.ResetTimer()
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				l.Append(&wal.Record{Type: wal.RecUpdate, TxnID: 1, StoreID: 1, PageID: 2, Payload: payload})
-			}
-		})
-	})
-	b.Run("append-force64", func(b *testing.B) {
-		l := wal.New()
-		b.ResetTimer()
-		b.RunParallel(func(pb *testing.PB) {
-			n := 0
-			for pb.Next() {
-				lsn := l.Append(&wal.Record{Type: wal.RecUpdate, TxnID: 1, StoreID: 1, PageID: 2, Payload: payload})
-				if n++; n%64 == 0 {
-					l.Force(lsn)
+	for _, v := range []struct {
+		name string
+		inj  *fault.Injector
+	}{{"append", nil}, {"append-disarmed", fault.New(1)}} {
+		b.Run(v.name, func(b *testing.B) {
+			l := wal.New()
+			l.SetInjector(v.inj)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					l.Append(&wal.Record{Type: wal.RecUpdate, TxnID: 1, StoreID: 1, PageID: 2, Payload: payload})
 				}
-			}
+			})
 		})
-	})
+	}
+	for _, v := range []struct {
+		name string
+		inj  *fault.Injector
+	}{{"append-force64", nil}, {"append-force64-disarmed", fault.New(1)}} {
+		b.Run(v.name, func(b *testing.B) {
+			l := wal.New()
+			l.SetInjector(v.inj)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				n := 0
+				for pb.Next() {
+					lsn := l.Append(&wal.Record{Type: wal.RecUpdate, TxnID: 1, StoreID: 1, PageID: 2, Payload: payload})
+					if n++; n%64 == 0 {
+						if err := l.Force(lsn); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
 	// Every append is a "commit" demanding durability before returning:
 	// the worst case for a force-per-commit scheme and the best case for
 	// group commit. forces/op shows the coalescing factor.
@@ -353,12 +372,15 @@ func BenchmarkWALAppendParallel(b *testing.B) {
 // working set 4x capacity (eviction + reload churn).
 func BenchmarkPoolFetchParallel(b *testing.B) {
 	const nPages = 1024
-	build := func() *storage.Disk {
+	build := func() storage.Disk {
 		log := wal.New()
 		p := storage.NewPool(1, storage.NewDisk(), log, benchCodec{}, 0)
 		for i := 0; i < nPages; i++ {
 			pid := storage.PageID(2 + i)
-			f := p.Create(pid)
+			f, err := p.Create(pid)
+			if err != nil {
+				b.Fatal(err)
+			}
 			f.Latch.AcquireX()
 			f.Data = []byte{byte(i)}
 			lsn := log.Append(&wal.Record{Type: wal.RecUpdate, StoreID: 1, PageID: uint64(pid)})
@@ -366,20 +388,34 @@ func BenchmarkPoolFetchParallel(b *testing.B) {
 			f.Latch.ReleaseX()
 			p.Unpin(f)
 		}
-		p.FlushAll()
+		if _, err := p.FlushAll(); err != nil {
+			b.Fatal(err)
+		}
 		return p.Disk()
 	}
 	disk := build()
+	// The *-disarmed variants route every disk access through a
+	// FaultyDisk carrying an injector with nothing armed, and attach the
+	// same injector to the pool's eviction failpoint: the delta against
+	// the plain variants is the full disarmed probe cost on the
+	// fetch/evict hot path.
 	for _, cfg := range []struct {
 		name string
 		cap  int
+		inj  *fault.Injector
 	}{
-		{"unbounded", 0},
-		{"bounded-resident", nPages * 2},
-		{"bounded-thrash", nPages / 4},
+		{"unbounded", 0, nil},
+		{"bounded-resident", nPages * 2, nil},
+		{"bounded-thrash", nPages / 4, nil},
+		{"bounded-thrash-disarmed", nPages / 4, fault.New(1)},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			p := storage.NewPool(1, disk, wal.New(), benchCodec{}, cfg.cap)
+			d := disk
+			if cfg.inj != nil {
+				d = storage.NewFaultyDisk(disk, cfg.inj)
+			}
+			p := storage.NewPool(1, d, wal.New(), benchCodec{}, cfg.cap)
+			p.SetInjector(cfg.inj)
 			var seq atomic.Uint64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {

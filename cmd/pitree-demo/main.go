@@ -44,7 +44,7 @@ func main() {
 	fmt.Printf("   -> side traversals so far: %d\n\n", tree.Stats.SideTraversals.Load())
 
 	fmt.Println("3. CRASH with the structure changes incomplete (log forced, pages not).")
-	e.Log.ForceAll()
+	check(e.Log.ForceAll())
 	tree.Close()
 	img := e.Crash(nil)
 

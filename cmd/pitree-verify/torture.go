@@ -1,0 +1,436 @@
+// Crash-point torture mode: concurrent transactional workloads against
+// an engine whose stable layer is armed with one seeded failpoint per
+// round — a torn page write, a dead or flaky log device, a crash latch
+// tripped mid-eviction, mid-SMO, or mid-group-commit. The round then
+// recovers from exactly the frozen stable state and checks three
+// properties: every acknowledged commit survived, nothing unacknowledged
+// ghosted in, and the tree is well-formed with lazy completion able to
+// converge it. Every round is reproducible from (-seed, round).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/keys"
+	"repro/internal/spatial"
+	"repro/internal/tsb"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// tortTree is the uniform surface the torture loop drives. Adapters
+// normalize the three access methods to insert/remove/lookup on uint64
+// keys; remove on a tree without deletions reports unsupported.
+type tortTree interface {
+	insert(tx *txn.Txn, k uint64, v []byte) error
+	remove(tx *txn.Txn, k uint64) error
+	lookup(k uint64) ([]byte, bool, error)
+	drain()
+	close()
+	verify() error
+}
+
+// treeKind builds and reopens one access method over an engine.
+type treeKind struct {
+	name   string
+	create func(e *engine.Engine) (tortTree, error)
+	open   func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error)
+}
+
+// recoveryPending defers the undo pass until the tree is open (logical
+// record undo needs the tree bound).
+type recoveryPending struct {
+	finish func() error
+}
+
+const tortureStoreID = 1
+
+// --- core Π-tree adapter ------------------------------------------------
+
+type coreTort struct{ t *core.Tree }
+
+func (a coreTort) insert(tx *txn.Txn, k uint64, v []byte) error {
+	return a.t.Insert(tx, keys.Uint64(k), v)
+}
+func (a coreTort) remove(tx *txn.Txn, k uint64) error { return a.t.Delete(tx, keys.Uint64(k)) }
+func (a coreTort) lookup(k uint64) ([]byte, bool, error) {
+	return a.t.Search(nil, keys.Uint64(k))
+}
+func (a coreTort) drain()        { a.t.DrainCompletions() }
+func (a coreTort) close()        { a.t.Close() }
+func (a coreTort) verify() error { _, err := a.t.Verify(); return err }
+
+func coreTortOpts() core.Options {
+	return core.Options{LeafCapacity: 6, IndexCapacity: 6, Consolidation: true, CompletionWorkers: 2}
+}
+
+// --- TSB-tree adapter ---------------------------------------------------
+
+type tsbTort struct{ t *tsb.Tree }
+
+func (a tsbTort) insert(tx *txn.Txn, k uint64, v []byte) error {
+	return a.t.Put(tx, keys.Uint64(k), v)
+}
+func (a tsbTort) remove(tx *txn.Txn, k uint64) error { return a.t.Delete(tx, keys.Uint64(k)) }
+func (a tsbTort) lookup(k uint64) ([]byte, bool, error) {
+	return a.t.Get(nil, keys.Uint64(k))
+}
+func (a tsbTort) drain()        { a.t.DrainCompletions() }
+func (a tsbTort) close()        { a.t.Close() }
+func (a tsbTort) verify() error { _, err := a.t.Verify(); return err }
+
+func tsbTortOpts() tsb.Options {
+	return tsb.Options{DataCapacity: 6, IndexCapacity: 6, CompletionWorkers: 2}
+}
+
+// --- spatial hB-tree adapter -------------------------------------------
+
+type spatialTort struct{ t *spatial.Tree }
+
+// tortPoint maps a workload key to a point; splitmix64 spreads the keys
+// across the space so data-node splits happen everywhere.
+func tortPoint(k uint64) spatial.Point {
+	z := k + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return spatial.Point{X: z % spatial.MaxCoord, Y: (z >> 32) % spatial.MaxCoord}
+}
+
+func (a spatialTort) insert(tx *txn.Txn, k uint64, v []byte) error {
+	return a.t.Insert(tx, tortPoint(k), v)
+}
+func (a spatialTort) remove(tx *txn.Txn, k uint64) error { return a.t.Delete(tx, tortPoint(k)) }
+func (a spatialTort) lookup(k uint64) ([]byte, bool, error) {
+	return a.t.Search(nil, tortPoint(k))
+}
+func (a spatialTort) drain()        { a.t.DrainCompletions() }
+func (a spatialTort) close()        { a.t.Close() }
+func (a spatialTort) verify() error { _, err := a.t.Verify(); return err }
+
+func spatialTortOpts() spatial.Options {
+	return spatial.Options{DataCapacity: 6, IndexCapacity: 6, CompletionWorkers: 2}
+}
+
+func tortureKinds() []treeKind {
+	return []treeKind{
+		{
+			name: "core",
+			create: func(e *engine.Engine) (tortTree, error) {
+				b := core.Register(e.Reg, e.Opts.PageOriented)
+				st := e.AddStore(tortureStoreID, core.Codec{})
+				t, err := core.Create(st, e.TM, e.Locks, b, "tort", coreTortOpts())
+				if err != nil {
+					return nil, err
+				}
+				return coreTort{t}, nil
+			},
+			open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
+				b := core.Register(e.Reg, e.Opts.PageOriented)
+				st := e.AttachStore(tortureStoreID, core.Codec{}, img.Disks[tortureStoreID])
+				p, err := e.AnalyzeAndRedo()
+				if err != nil {
+					return nil, err
+				}
+				pend.finish = func() error { return e.FinishRecovery(p) }
+				t, err := core.Open(st, e.TM, e.Locks, b, "tort", coreTortOpts())
+				if err != nil {
+					return nil, err
+				}
+				return coreTort{t}, nil
+			},
+		},
+		{
+			name: "tsb",
+			create: func(e *engine.Engine) (tortTree, error) {
+				b := tsb.Register(e.Reg)
+				st := e.AddStore(tortureStoreID, tsb.Codec{})
+				t, err := tsb.Create(st, e.TM, e.Locks, b, "tort", tsbTortOpts())
+				if err != nil {
+					return nil, err
+				}
+				return tsbTort{t}, nil
+			},
+			open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
+				b := tsb.Register(e.Reg)
+				st := e.AttachStore(tortureStoreID, tsb.Codec{}, img.Disks[tortureStoreID])
+				p, err := e.AnalyzeAndRedo()
+				if err != nil {
+					return nil, err
+				}
+				pend.finish = func() error { return e.FinishRecovery(p) }
+				t, err := tsb.Open(st, e.TM, e.Locks, b, "tort", tsbTortOpts())
+				if err != nil {
+					return nil, err
+				}
+				return tsbTort{t}, nil
+			},
+		},
+		{
+			name: "spatial",
+			create: func(e *engine.Engine) (tortTree, error) {
+				b := spatial.Register(e.Reg)
+				st := e.AddStore(tortureStoreID, spatial.Codec{})
+				t, err := spatial.Create(st, e.TM, e.Locks, b, "tort", spatialTortOpts())
+				if err != nil {
+					return nil, err
+				}
+				return spatialTort{t}, nil
+			},
+			open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
+				b := spatial.Register(e.Reg)
+				st := e.AttachStore(tortureStoreID, spatial.Codec{}, img.Disks[tortureStoreID])
+				p, err := e.AnalyzeAndRedo()
+				if err != nil {
+					return nil, err
+				}
+				pend.finish = func() error { return e.FinishRecovery(p) }
+				t, err := spatial.Open(st, e.TM, e.Locks, b, "tort", spatialTortOpts())
+				if err != nil {
+					return nil, err
+				}
+				return spatialTort{t}, nil
+			},
+		},
+	}
+}
+
+// --- failure menu -------------------------------------------------------
+
+// menuEntry is one way a round can hurt the system. spread bounds the
+// randomized After (which hit of the failpoint fires).
+type menuEntry struct {
+	name   string
+	point  string
+	spec   fault.Spec
+	spread int
+}
+
+func tortureMenu() []menuEntry {
+	return []menuEntry{
+		{"torn-page-write+crash", "disk.write", fault.Spec{Kind: fault.Torn, Crash: true}, 12},
+		{"permanent-disk-write", "disk.write", fault.Spec{Kind: fault.Permanent}, 12},
+		{"transient-disk-write", "disk.write", fault.Spec{Kind: fault.Transient, Count: 3}, 12},
+		{"transient-disk-read", "disk.read", fault.Spec{Kind: fault.Transient, Count: 3}, 12},
+		{"torn-log-sync+crash", wal.FPSync, fault.Spec{Kind: fault.Torn, Crash: true}, 40},
+		{"permanent-log-sync", wal.FPSync, fault.Spec{Kind: fault.Permanent}, 40},
+		{"crash-at-log-sync", wal.FPSync, fault.Spec{Kind: fault.None, Crash: true}, 40},
+		{"crash-mid-eviction", "pool.evict", fault.Spec{Kind: fault.None, Crash: true}, 20},
+		{"crash-mid-smo-commit", txn.FPAACommit, fault.Spec{Kind: fault.None, Crash: true}, 30},
+		{"crash-mid-user-commit", txn.FPUserCommit, fault.Spec{Kind: fault.None, Crash: true}, 40},
+	}
+}
+
+// --- the torture loop ---------------------------------------------------
+
+// oracleVal is the durably-committed state of one key: its value, or
+// absent. Only the owning worker mutates an entry, so no lock is needed
+// until the workers are joined.
+type oracleVal struct {
+	present bool
+	val     string
+}
+
+type tortureConfig struct {
+	rounds, workers, ops int
+	seed                 int64
+	pageOriented         bool
+}
+
+func runTorture(cfg tortureConfig) error {
+	kinds := tortureKinds()
+	menu := tortureMenu()
+	for round := 0; round < cfg.rounds; round++ {
+		seed := cfg.seed + int64(round)*1000003
+		kind := kinds[round%len(kinds)]
+		rng := rand.New(rand.NewSource(seed))
+		entry := menu[rng.Intn(len(menu))]
+		if err := tortureRound(seed, kind, entry, rng, cfg); err != nil {
+			return fmt.Errorf("round %d (tree=%s fault=%s seed=%d): %w\nreproduce with: pitree-verify -torture -seed %d -rounds %d",
+				round, kind.name, entry.name, seed, err, cfg.seed, round+1)
+		}
+		fmt.Printf("torture round %d ok (tree=%s fault=%s)\n", round, kind.name, entry.name)
+	}
+	fmt.Println("all torture rounds verified: committed data durable, no ghosts, trees well-formed")
+	return nil
+}
+
+func tortureRound(seed int64, kind treeKind, entry menuEntry, rng *rand.Rand, cfg tortureConfig) error {
+	inj := fault.New(seed)
+	spec := entry.spec
+	spec.After = 1 + int64(rng.Intn(entry.spread))
+	inj.Arm(entry.point, spec)
+
+	eopts := engine.Options{Injector: inj, PoolCapacity: 40, PageOriented: cfg.pageOriented}
+	e := engine.New(eopts)
+	tree, err := kind.create(e)
+	if err != nil {
+		// Creation can only fail if the fault fired this early; the round
+		// degenerates to "nothing ever committed", which recovery of an
+		// empty image trivially satisfies.
+		if errors.Is(err, fault.ErrInjected) || inj.Crashed() {
+			return nil
+		}
+		return fmt.Errorf("create: %v", err)
+	}
+
+	// Concurrent transactional workload. Workers own disjoint key sets,
+	// so each worker's oracle entries are exact: a nil Commit guarantees
+	// durability (the commit record was stable when acked) and a non-nil
+	// Commit guarantees rollback (the record can never become stable).
+	oracle := make([]map[uint64]oracleVal, cfg.workers)
+	attempted := make([]map[uint64]bool, cfg.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		oracle[w] = make(map[uint64]oracleVal)
+		attempted[w] = make(map[uint64]bool)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed ^ int64(w+1)*7919))
+			seq := 0
+			for i := 0; i < cfg.ops; i++ {
+				if inj.Crashed() || e.Degraded() {
+					return
+				}
+				k := uint64(w + cfg.workers*wrng.Intn(cfg.ops/2+1))
+				present := oracle[w][k].present
+				tx := e.TM.Begin()
+				var opErr error
+				del := false
+				val := ""
+				if present && wrng.Intn(2) == 0 {
+					del = true
+					opErr = tree.remove(tx, k)
+				} else {
+					seq++
+					val = fmt.Sprintf("v%d.%d.%d", w, k, seq)
+					opErr = tree.insert(tx, k, []byte(val))
+				}
+				if opErr != nil {
+					_ = tx.Abort()
+					continue
+				}
+				attempted[w][k] = true
+				if wrng.Intn(8) == 0 {
+					_ = tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					// Not durable, rolled back: oracle unchanged.
+					continue
+				}
+				if del {
+					oracle[w][k] = oracleVal{}
+				} else {
+					oracle[w][k] = oracleVal{present: true, val: val}
+				}
+			}
+		}(w)
+	}
+
+	// Background chaos: flushes, checkpoints, drains — all failable.
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		crng := rand.New(rand.NewSource(seed * 31))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if inj.Crashed() {
+				return
+			}
+			switch crng.Intn(3) {
+			case 0:
+				_, _ = e.FlushAll()
+			case 1:
+				_, _ = e.Checkpoint()
+			case 2:
+				tree.drain()
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	chaosWG.Wait()
+
+	// Freeze the world if the armed fault never crashed it (permanent /
+	// transient entries, or an After past the workload's hit count).
+	if !inj.Crashed() {
+		inj.TripCrash()
+	}
+	tree.close()
+	img := e.Crash(nil)
+
+	// Restart clean: the injector died with the process.
+	e2 := engine.Restarted(img, engine.Options{PageOriented: cfg.pageOriented})
+	var pend recoveryPending
+	tree2, err := kind.open(e2, img, &pend)
+	if err != nil {
+		// The crash may predate the tree creation becoming stable; then
+		// nothing can have committed.
+		for w := range oracle {
+			for k, v := range oracle[w] {
+				if v.present {
+					return fmt.Errorf("tree unopenable after crash (%v) but key %d was acked", err, k)
+				}
+			}
+		}
+		return nil
+	}
+	defer tree2.close()
+	if pend.finish != nil {
+		if err := pend.finish(); err != nil {
+			return fmt.Errorf("undo losers: %v", err)
+		}
+	}
+
+	if err := tree2.verify(); err != nil {
+		return fmt.Errorf("tree ill-formed after recovery: %v\ntrips: %v", err, inj.Trips())
+	}
+	for w := range oracle {
+		for k, v := range oracle[w] {
+			got, ok, err := tree2.lookup(k)
+			if err != nil {
+				return fmt.Errorf("lookup %d: %v", k, err)
+			}
+			if v.present {
+				if !ok {
+					return fmt.Errorf("durability violation: committed key %d lost (trips: %v)", k, inj.Trips())
+				}
+				if string(got) != v.val {
+					return fmt.Errorf("durability violation: key %d = %q, committed %q", k, got, v.val)
+				}
+			} else if ok {
+				return fmt.Errorf("ghost: deleted key %d present after recovery", k)
+			}
+		}
+		// No-ghost: keys attempted but never acked must be absent.
+		for k := range attempted[w] {
+			if _, acked := oracle[w][k]; acked {
+				continue
+			}
+			if _, ok, _ := tree2.lookup(k); ok {
+				return fmt.Errorf("ghost: unacked key %d present after recovery (trips: %v)", k, inj.Trips())
+			}
+		}
+	}
+	// Lazy completion must converge the recovered tree.
+	tree2.drain()
+	if err := tree2.verify(); err != nil {
+		return fmt.Errorf("tree ill-formed after completion: %v", err)
+	}
+	return nil
+}

@@ -105,7 +105,9 @@ func main() {
 		total, accounts*initialBalance, okStr(total == accounts*initialBalance))
 
 	// Crash and recover; the invariant must survive.
-	e.Log.ForceAll()
+	if err := e.Log.ForceAll(); err != nil {
+		panic(err)
+	}
 	tree.Close()
 	img := e.Crash(nil)
 	e2 := engine.Restarted(img, eopts)

@@ -50,7 +50,9 @@ func main() {
 
 	// Crash and recover: the stable state is the forced log prefix plus
 	// whatever pages were flushed; restart replays history.
-	e.Log.ForceAll()
+	if err := e.Log.ForceAll(); err != nil {
+		panic(err)
+	}
 	tree.Close()
 	img := e.Crash(nil)
 

@@ -63,7 +63,7 @@ func main() {
 
 	// History survives crashes: versions are as durable as everything
 	// else in the write-ahead log.
-	e.Log.ForceAll()
+	must(e.Log.ForceAll())
 	tree.Close()
 	img := e.Crash(nil)
 	e2 := engine.Restarted(img, e.Opts)

@@ -54,7 +54,9 @@ func T4CrashMatrix(w io.Writer, p Params) {
 			}
 		}
 		tree.DrainCompletions()
-		e.Log.ForceAll()
+		if err := e.Log.ForceAll(); err != nil {
+			panic(err)
+		}
 		tree.Close()
 
 		boundaries := e.Log.FullImage().Boundaries()
@@ -119,7 +121,9 @@ func T5LazyCompletion(w io.Writer, p Params) {
 		}
 	}
 	splits := tree.Stats.LeafSplits.Load() + tree.Stats.RootGrowths.Load()
-	e.Log.ForceAll()
+	if err := e.Log.ForceAll(); err != nil {
+		panic(err)
+	}
 	tree.Close()
 
 	img := e.Crash(nil)
@@ -354,14 +358,18 @@ func T12Recovery(w io.Writer, p Params) {
 			}
 			if checkpoint && i%5000 == 4999 {
 				tree.DrainCompletions()
-				e.FlushAll()
+				if _, err := e.FlushAll(); err != nil {
+					panic(err)
+				}
 				if _, err := e.Checkpoint(); err != nil {
 					panic(err)
 				}
 			}
 		}
 		tree.DrainCompletions()
-		e.Log.ForceAll()
+		if err := e.Log.ForceAll(); err != nil {
+			panic(err)
+		}
 		_, flushes := e.Log.Stats()
 		tree.Close()
 		img := e.Crash(nil)

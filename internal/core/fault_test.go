@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/keys"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// TestTornLeafWriteMidSMORecovery is the satellite scenario for the
+// Π-tree: crash between the node-split atomic action and the index-term
+// posting, with the flush racing the crash torn on a page write (the
+// stale image persists). Restart must repeat history over the stale
+// image, the intermediate split state must be well-formed and fully
+// reachable via side pointers, and lazy completion must finish the SMOs
+// — innovation 4 under an actively hostile stable layer.
+func TestTornLeafWriteMidSMORecovery(t *testing.T) {
+	inj := fault.New(0xC0DE)
+	opts := defaultTestOpts()
+	opts.NoCompletion = true // freeze every SMO between its two actions
+	fx := newFixture(t, engine.Options{Injector: inj}, opts)
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := fx.tree.Insert(nil, keys.Uint64(uint64(i)), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fx.tree.Stats.LeafSplits.Load() == 0 {
+		t.Fatal("workload produced no splits")
+	}
+	if err := fx.e.Log.ForceAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flush with a torn page write in the middle: one page keeps its
+	// stale (or absent) image while neighbours get current ones — the
+	// classic partially-flushed crash state.
+	inj.Arm(storage.FPDiskWrite, fault.Spec{Kind: fault.Torn, After: 3})
+	_, err := fx.e.FlushAll()
+	if !fault.IsTorn(err) {
+		t.Fatalf("flush did not tear: %v", err)
+	}
+	if fx.e.Degraded() {
+		t.Fatal("a page-write fault must not degrade the log")
+	}
+	inj.Disarm(storage.FPDiskWrite)
+
+	// Crash and restart clean (the fault lives and dies with the crashed
+	// incarnation), with completion enabled so the tree can finish the
+	// frozen SMOs lazily.
+	fx.e.Opts.Injector = nil
+	fx.tree.opts.NoCompletion = false
+	fx2 := fx.crashRestart(t, nil)
+
+	shape, err := fx2.tree.Verify()
+	if err != nil {
+		t.Fatalf("tree ill-formed after torn-write recovery: %v", err)
+	}
+	if shape.Records != n {
+		t.Fatalf("records = %d, want %d", shape.Records, n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := fx2.tree.Search(nil, keys.Uint64(uint64(i)))
+		if err != nil || !ok || string(v) != string(val(i)) {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if fx2.tree.Stats.SideTraversals.Load() == 0 {
+		t.Fatal("expected side traversals through unposted siblings")
+	}
+	fx2.tree.DrainCompletions()
+	if fx2.tree.Stats.PostsPerformed.Load() == 0 {
+		t.Fatal("lazy completion performed no postings")
+	}
+	if _, err := fx2.tree.Verify(); err != nil {
+		t.Fatalf("after completion: %v", err)
+	}
+}
+
+// TestPermanentLogFaultDegradesReadOnly kills the log device under a
+// live tree: in-flight and future commits must be rejected with the
+// typed degradation error (rolled back, not silently lost), the engine
+// must report Degraded, and concurrent readers must keep being served
+// from the buffered and stable state.
+func TestPermanentLogFaultDegradesReadOnly(t *testing.T) {
+	inj := fault.New(0xDEAD)
+	fx := newFixture(t, engine.Options{Injector: inj}, defaultTestOpts())
+	const n = 60
+	for i := 0; i < n; i++ {
+		tx := fx.e.TM.Begin()
+		if err := fx.tree.Insert(tx, keys.Uint64(uint64(i)), val(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fx.tree.DrainCompletions()
+	if err := fx.e.Log.ForceAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log device dies permanently.
+	inj.Arm(wal.FPSync, fault.Spec{Kind: fault.Permanent, Count: -1})
+
+	// Concurrent writers and readers against the dying engine.
+	const writers, readers = 4, 4
+	var wg sync.WaitGroup
+	writeErrs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := fx.e.TM.Begin()
+			if err := fx.tree.Insert(tx, keys.Uint64(uint64(1000+w)), val(1000+w)); err != nil {
+				writeErrs[w] = err
+				_ = tx.Abort()
+				return
+			}
+			writeErrs[w] = tx.Commit()
+		}(w)
+	}
+	readErrs := make([]error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				v, ok, err := fx.tree.Search(nil, keys.Uint64(uint64(i)))
+				if err != nil || !ok || string(v) != string(val(i)) {
+					readErrs[r] = err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	for w, err := range writeErrs {
+		if err == nil {
+			t.Fatalf("writer %d committed on a dead log device", w)
+		}
+		if !errors.Is(err, engine.ErrDegraded) {
+			t.Fatalf("writer %d: %v is not ErrDegraded", w, err)
+		}
+	}
+	for r, err := range readErrs {
+		if err != nil {
+			t.Fatalf("reader %d failed in degraded mode: %v", r, err)
+		}
+	}
+	if !fx.e.Degraded() {
+		t.Fatal("engine does not report degraded mode")
+	}
+	// Degradation is sticky: a later commit still fails.
+	tx := fx.e.TM.Begin()
+	if err := fx.tree.Insert(tx, keys.Uint64(2000), val(2000)); err == nil {
+		if err := tx.Commit(); !errors.Is(err, engine.ErrDegraded) {
+			t.Fatalf("late commit: %v", err)
+		}
+	} else {
+		_ = tx.Abort()
+	}
+	// And reads still work after the dust settles.
+	for i := 0; i < n; i++ {
+		if _, ok, err := fx.tree.Search(nil, keys.Uint64(uint64(i))); err != nil || !ok {
+			t.Fatalf("degraded read of key %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}

@@ -396,7 +396,10 @@ func (t *Tree) splitNode(o *opCtx, r *nref, act *txn.Txn) (keys.Key, storage.Pag
 		Right:   pre.Right,
 		Entries: append([]Entry(nil), pre.Entries[mid:]...),
 	}
-	fnew := t.store.Pool.Create(newPid)
+	fnew, err := t.store.Pool.Create(newPid)
+	if err != nil {
+		return nil, storage.NilPage, err
+	}
 	fnew.Latch.AcquireX()
 	o.tr.Acquired(&fnew.Latch, o.rank(n.Level), latch.X)
 	lsnF := act.LogUpdate(t.store.Pool.StoreID, uint64(newPid), KindFormatNode, encNodeImage(sibling))
@@ -464,7 +467,10 @@ func (t *Tree) growRoot(o *opCtx, r *nref, act *txn.Txn, pre *Node, sep keys.Key
 		pid  storage.PageID
 		node *Node
 	}{{pidB, nodeB}, {pidA, nodeA}} {
-		f := t.store.Pool.Create(nn.pid)
+		f, err := t.store.Pool.Create(nn.pid)
+		if err != nil {
+			return nil, storage.NilPage, err
+		}
 		f.Latch.AcquireX()
 		o.tr.Acquired(&f.Latch, o.rank(pre.Level), latch.X)
 		lsn := act.LogUpdate(t.store.Pool.StoreID, uint64(nn.pid), KindFormatNode, encNodeImage(nn.node))

@@ -200,7 +200,10 @@ func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding,
 	if err != nil {
 		return nil, err
 	}
-	f := store.Pool.Create(rootPid)
+	f, err := store.Pool.Create(rootPid)
+	if err != nil {
+		return nil, err
+	}
 	f.Latch.AcquireX()
 	root := &Node{Level: 0, Low: nil, High: keys.Inf, Right: storage.NilPage}
 	f.Data = root

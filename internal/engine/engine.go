@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/lock"
 	"repro/internal/recovery"
 	"repro/internal/storage"
@@ -30,7 +31,20 @@ type Options struct {
 	ForceOnAACommit bool
 	// PoolCapacity bounds each buffer pool in frames; 0 = unbounded.
 	PoolCapacity int
+	// Injector, when non-nil, threads a fault injector through the WAL,
+	// the transaction manager, and every store's pool and disk: log syncs
+	// probe wal.sync, eviction write-backs probe pool.evict, page I/O
+	// probes disk.write / disk.read (stores attach behind a FaultyDisk),
+	// and commits probe the txn crash points. A nil injector costs
+	// nothing on any of those paths.
+	Injector *fault.Injector
 }
+
+// ErrDegraded is the typed error returned for writes once the log
+// device has permanently failed and the engine serves reads only. It is
+// the WAL's sticky failure sentinel: errors.Is(err, ErrDegraded)
+// matches every rejected commit after degradation.
+var ErrDegraded = wal.ErrLogFailed
 
 // Engine is one database environment.
 type Engine struct {
@@ -52,10 +66,21 @@ func newEngine(opts Options, log *wal.Log) *Engine {
 		Reg:    storage.NewRegistry(),
 		stores: make(map[uint32]*storage.Store),
 	}
+	if opts.Injector != nil {
+		log.SetInjector(opts.Injector)
+	}
 	e.TM = txn.NewManager(log, e.Locks, e.Reg, txn.Options{ForceOnAACommit: opts.ForceOnAACommit})
+	if opts.Injector != nil {
+		e.TM.SetInjector(opts.Injector)
+	}
 	storage.RegisterMetaHandlers(e.Reg)
 	return e
 }
+
+// Degraded reports whether the engine is in read-only degraded mode:
+// the log device has failed, so no new update can become durable.
+// Committed, already-stable data remains readable.
+func (e *Engine) Degraded() bool { return e.Log.Damaged() }
 
 // New creates a fresh environment with an empty log.
 func New(opts Options) *Engine {
@@ -68,9 +93,17 @@ func (e *Engine) AddStore(storeID uint32, codec storage.Codec) *storage.Store {
 	return e.AttachStore(storeID, codec, storage.NewDisk())
 }
 
-// AttachStore creates a store over an existing disk image (restart path).
-func (e *Engine) AttachStore(storeID uint32, codec storage.Codec, disk *storage.Disk) *storage.Store {
+// AttachStore creates a store over an existing disk image (restart
+// path). With an injector configured, the disk is wrapped in a
+// FaultyDisk so page I/O probes the disk failpoints.
+func (e *Engine) AttachStore(storeID uint32, codec storage.Codec, disk storage.Disk) *storage.Store {
+	if e.Opts.Injector != nil {
+		disk = storage.NewFaultyDisk(disk, e.Opts.Injector)
+	}
 	pool := storage.NewPool(storeID, disk, e.Log, codec, e.Opts.PoolCapacity)
+	if e.Opts.Injector != nil {
+		pool.SetInjector(e.Opts.Injector)
+	}
 	st := storage.NewStore(pool, e.Reg)
 	e.mu.Lock()
 	if _, dup := e.stores[storeID]; dup {
@@ -106,19 +139,26 @@ func (e *Engine) Checkpoint() (wal.LSN, error) {
 }
 
 // FlushAll flushes every pool (forcing the log first per page, WAL
-// protocol) and returns the number of pages written.
-func (e *Engine) FlushAll() int {
+// protocol) and returns the number of pages written. Pages whose flush
+// fails stay dirty; the sweep continues and the first error is
+// returned alongside the count.
+func (e *Engine) FlushAll() (int, error) {
 	n := 0
+	var first error
 	for _, p := range e.Pools() {
-		n += p.FlushAll()
+		fn, err := p.FlushAll()
+		n += fn
+		if err != nil && first == nil {
+			first = err
+		}
 	}
-	return n
+	return n, first
 }
 
 // CrashImage is the stable state surviving a simulated crash.
 type CrashImage struct {
 	LogImage *wal.Reader
-	Disks    map[uint32]*storage.Disk
+	Disks    map[uint32]*storage.MemDisk
 }
 
 // Crash snapshots the stable state: disk images plus the forced log
@@ -129,7 +169,7 @@ type CrashImage struct {
 func (e *Engine) Crash(truncateAt *wal.LSN) *CrashImage {
 	img := &CrashImage{
 		LogImage: e.Log.CrashImage(truncateAt),
-		Disks:    make(map[uint32]*storage.Disk),
+		Disks:    make(map[uint32]*storage.MemDisk),
 	}
 	e.mu.Lock()
 	for id, s := range e.stores {

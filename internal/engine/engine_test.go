@@ -40,7 +40,10 @@ func TestEngineMultiStoreCrashRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	write := func(st *storage.Store, pid storage.PageID, val string) {
-		f := st.Pool.Create(pid)
+		f, err := st.Pool.Create(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
 		f.Latch.AcquireX()
 		lsn := aa.LogUpdate(st.Pool.StoreID, uint64(pid), kindSet, []byte(val))
 		f.Data = []byte(val)
@@ -122,7 +125,10 @@ func TestEngineFlushAllBoundsRedo(t *testing.T) {
 	if err := st.Bootstrap(aa); err != nil {
 		t.Fatal(err)
 	}
-	f := st.Pool.Create(9)
+	f, err := st.Pool.Create(9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f.Latch.AcquireX()
 	lsn := aa.LogUpdate(1, 9, kindSet, []byte("x"))
 	f.Data = []byte("x")
@@ -130,9 +136,11 @@ func TestEngineFlushAllBoundsRedo(t *testing.T) {
 	f.Latch.ReleaseX()
 	st.Pool.Unpin(f)
 	_ = aa.Commit()
-	e.Log.ForceAll()
-	if n := e.FlushAll(); n == 0 {
-		t.Fatal("nothing flushed")
+	if err := e.Log.ForceAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := e.FlushAll(); err != nil || n == 0 {
+		t.Fatalf("flush all: n=%d err=%v", n, err)
 	}
 	if _, err := e.Checkpoint(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNilAndDisarmedCheck(t *testing.T) {
+	var nilInj *Injector
+	if err := nilInj.Check("anything"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if nilInj.Crashed() {
+		t.Fatal("nil injector crashed")
+	}
+	inj := New(1)
+	if err := inj.Check("anything"); err != nil {
+		t.Fatalf("disarmed injector fired: %v", err)
+	}
+}
+
+func TestCountedTrigger(t *testing.T) {
+	inj := New(1)
+	inj.Arm("p", Spec{Kind: Transient, After: 3, Count: 2})
+	var fired []int
+	for hit := 1; hit <= 6; hit++ {
+		if err := inj.Check("p"); err != nil {
+			fired = append(fired, hit)
+			if !IsTransient(err) {
+				t.Fatalf("hit %d: wrong kind: %v", hit, err)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: does not wrap ErrInjected", hit)
+			}
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [3 4]", fired)
+	}
+	if got := inj.Hits("p"); got != 6 {
+		t.Fatalf("Hits = %d, want 6", got)
+	}
+}
+
+func TestUnlimitedCount(t *testing.T) {
+	inj := New(1)
+	inj.Arm("p", Spec{Kind: Permanent, Count: -1})
+	for hit := 1; hit <= 5; hit++ {
+		if err := inj.Check("p"); !IsPermanent(err) {
+			t.Fatalf("hit %d: want permanent fault, got %v", hit, err)
+		}
+	}
+}
+
+func TestCrashOnlyPoint(t *testing.T) {
+	inj := New(1)
+	inj.Arm("p", Spec{After: 2, Crash: true})
+	if err := inj.Check("p"); err != nil || inj.Crashed() {
+		t.Fatalf("fired early: err=%v crashed=%v", err, inj.Crashed())
+	}
+	if err := inj.Check("p"); err != nil {
+		t.Fatalf("crash-only point returned error: %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("crash latch did not trip")
+	}
+	trips := inj.Trips()
+	if len(trips) != 1 || trips[0].Point != "p" || trips[0].Hit != 2 {
+		t.Fatalf("trips = %v", trips)
+	}
+}
+
+func TestTornCarriesFrac(t *testing.T) {
+	inj := New(7)
+	inj.Arm("p", Spec{Kind: Torn, Crash: true})
+	err := inj.Check("p")
+	if !IsTorn(err) {
+		t.Fatalf("want torn fault, got %v", err)
+	}
+	fe := AsError(err)
+	if fe.Frac < 0 || fe.Frac >= 1 {
+		t.Fatalf("Frac = %v, want [0,1)", fe.Frac)
+	}
+	if !inj.Crashed() {
+		t.Fatal("torn+crash spec did not trip crash latch")
+	}
+}
+
+func TestSeededReproducibility(t *testing.T) {
+	run := func(seed int64) []int {
+		inj := New(seed)
+		inj.Arm("p", Spec{Kind: Transient, Prob: 0.3, Count: -1})
+		var fired []int
+		for hit := 1; hit <= 200; hit++ {
+			if inj.Check("p") != nil {
+				fired = append(fired, hit)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("probabilistic trigger degenerate: fired %d/200", len(a))
+	}
+	c := run(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestDisarmStopsFiring(t *testing.T) {
+	inj := New(1)
+	inj.Arm("p", Spec{Kind: Transient, Count: -1})
+	if inj.Check("p") == nil {
+		t.Fatal("armed point did not fire")
+	}
+	inj.Disarm("p")
+	if err := inj.Check("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	// Fully disarmed injector takes the fast path again.
+	if inj.armed.Load() != 0 {
+		t.Fatalf("armed count = %d after disarm", inj.armed.Load())
+	}
+}
+
+func BenchmarkCheckDisarmed(b *testing.B) {
+	inj := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := inj.Check("wal.sync"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckNil(b *testing.B) {
+	var inj *Injector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := inj.Check("wal.sync"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -79,7 +79,12 @@ func TakeCheckpoint(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.
 		return wal.NilLSN, err
 	}
 	lsn := log.Append(&wal.Record{Type: wal.RecCheckpoint, Payload: payload})
-	log.Force(lsn)
+	// The anchor is advanced only after the checkpoint record is stable;
+	// an unforced anchor would point restart at a record that did not
+	// survive.
+	if err := log.Force(lsn); err != nil {
+		return wal.NilLSN, fmt.Errorf("recovery: checkpoint not stable: %w", err)
+	}
 	log.NoteCheckpoint(lsn)
 	return lsn, nil
 }

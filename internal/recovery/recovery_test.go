@@ -57,7 +57,7 @@ type env struct {
 	pool *storage.Pool
 }
 
-func newEnv(disk *storage.Disk, log *wal.Log) *env {
+func newEnv(disk storage.Disk, log *wal.Log) *env {
 	reg := storage.NewRegistry()
 	registerCounter(reg)
 	tm := txn.NewManager(log, lock.NewManager(), reg, txn.Options{})

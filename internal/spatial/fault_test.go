@@ -1,0 +1,76 @@
+package spatial
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/storage"
+)
+
+// TestSpatialTornDataWriteMidSMORecovery mirrors the core torn-write
+// scenario for the hB-tree variant: data-node splits frozen before
+// their index postings, a torn page write during the flush, crash,
+// restart. Every point must stay reachable (via side pointers) and lazy
+// completion must converge the directory.
+func TestSpatialTornDataWriteMidSMORecovery(t *testing.T) {
+	inj := fault.New(0x5BA7)
+	opts := smallOpts()
+	opts.NoCompletion = true
+	e := engine.New(engine.Options{Injector: inj})
+	b := Register(e.Reg)
+	st := e.AddStore(testStoreID, Codec{})
+	tree, err := Create(st, e.TM, e.Locks, b, "points", opts)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	fx := &fixture{e: e, b: b, tree: tree}
+
+	rng := rand.New(rand.NewSource(42))
+	const n = 150
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = randPoint(rng)
+		if err := fx.tree.Insert(nil, pts[i], []byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fx.tree.Stats.DataSplits.Load() == 0 {
+		t.Fatal("workload produced no data splits")
+	}
+	if err := fx.e.Log.ForceAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Arm(storage.FPDiskWrite, fault.Spec{Kind: fault.Torn, After: 3})
+	if _, err := fx.e.FlushAll(); !fault.IsTorn(err) {
+		t.Fatalf("flush did not tear: %v", err)
+	}
+	inj.Disarm(storage.FPDiskWrite)
+
+	fx.e.Opts.Injector = nil
+	fx.tree.opts.NoCompletion = false
+	fx2 := fx.crashRestart(t)
+
+	if _, err := fx2.tree.Verify(); err != nil {
+		t.Fatalf("tree ill-formed after torn-write recovery: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := fx2.tree.Search(nil, pts[i])
+		if err != nil || !ok || string(v) != fmt.Sprintf("p%d", i) {
+			t.Fatalf("point %d: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	if fx2.tree.Stats.SideTraversals.Load() == 0 {
+		t.Fatal("expected side traversals through unposted splits")
+	}
+	fx2.tree.DrainCompletions()
+	if fx2.tree.Stats.PostsPerformed.Load() == 0 {
+		t.Fatal("lazy completion performed no postings")
+	}
+	if _, err := fx2.tree.Verify(); err != nil {
+		t.Fatalf("after completion: %v", err)
+	}
+}

@@ -214,7 +214,11 @@ func (t *Tree) splitNodeAction(o *opCtx, leaf *nref) error {
 	}
 	entries, off, clipped := splitOffContents(pre, alongX, coord)
 	sib := &Node{Level: n.Level, Direct: off, Entries: entries}
-	t.logFormat(o, aa, sibPid, sib)
+	if err := t.logFormat(o, aa, sibPid, sib); err != nil {
+		o.release(leaf)
+		_ = aa.Abort()
+		return err
+	}
 	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindSplitOff, encSplitOff(alongX, coord, sibPid, pre))
 	applySplitOff(n, alongX, coord, sibPid)
 	leaf.f.MarkDirty(lsn)
@@ -293,7 +297,11 @@ func (t *Tree) postTerm(task postTask) {
 			}
 			entries, off, clipped := splitOffContents(pre, alongX, coord)
 			sib := &Node{Level: node.n.Level, Direct: off, Entries: entries}
-			t.logFormat(o, aa, sibPid, sib)
+			if err := t.logFormat(o, aa, sibPid, sib); err != nil {
+				releaseAll()
+				_ = aa.Abort()
+				return err
+			}
 			lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(node.pid()), KindSplitOff, encSplitOff(alongX, coord, sibPid, pre))
 			applySplitOff(node.n, alongX, coord, sibPid)
 			node.f.MarkDirty(lsn)
@@ -327,8 +335,11 @@ func (t *Tree) postTerm(task postTask) {
 }
 
 // logFormat creates and logs a fresh node image under the action.
-func (t *Tree) logFormat(o *opCtx, aa logUpdater, pid storage.PageID, n *Node) {
-	f := t.store.Pool.Create(pid)
+func (t *Tree) logFormat(o *opCtx, aa logUpdater, pid storage.PageID, n *Node) error {
+	f, err := t.store.Pool.Create(pid)
+	if err != nil {
+		return err
+	}
 	f.Latch.AcquireX()
 	o.tr.Acquired(&f.Latch, o.rank(n.Level), latch.X)
 	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(pid), KindFormat, encNodeImage(n))
@@ -337,6 +348,7 @@ func (t *Tree) logFormat(o *opCtx, aa logUpdater, pid storage.PageID, n *Node) {
 	o.tr.Released(&f.Latch)
 	f.Latch.ReleaseX()
 	t.store.Pool.Unpin(f)
+	return nil
 }
 
 type logUpdater interface {
@@ -381,8 +393,12 @@ func (t *Tree) growRootAction(o *opCtx, aa logUpdater, root *nref, alongX bool, 
 			nodeA.Entries = append(nodeA.Entries, c)
 		}
 	}
-	t.logFormat(o, aa, pidB, nodeB)
-	t.logFormat(o, aa, pidA, nodeA)
+	if err := t.logFormat(o, aa, pidB, nodeB); err != nil {
+		return nref{}, err
+	}
+	if err := t.logFormat(o, aa, pidA, nodeA); err != nil {
+		return nref{}, err
+	}
 
 	termA := Entry{Rect: kept, Child: pidA}
 	termB := Entry{Rect: off, Child: pidB}

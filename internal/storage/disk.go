@@ -7,10 +7,19 @@
 // and the unforced log tail — and restarts from the stable page images
 // plus the stable log prefix, which is exactly the state a real system
 // recovers from.
+//
+// The stable layer is failable: Disk is an interface whose Write and
+// Read return errors, and FaultyDisk wraps any Disk with an injector
+// that can fail or tear individual I/Os.
 package storage
 
 import (
+	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // PageID identifies a page within one store. NilPage (0) is never a valid
@@ -25,42 +34,64 @@ const (
 	MetaPage PageID = 1
 )
 
-// Disk is the stable layer: a map from page ID to its last flushed image.
-// Images include an 8-byte pageLSN header followed by a type tag and the
-// codec-encoded content. Disk is safe for concurrent use.
-type Disk struct {
+// Disk is the stable layer under one store: page ID to last flushed
+// image. Images include an 8-byte pageLSN header followed by a type tag
+// and the codec-encoded content. Implementations must be safe for
+// concurrent use, and Write and Read may fail — the pool retries
+// transient errors and propagates the rest.
+type Disk interface {
+	// Write atomically replaces the stable image of pid. The page write
+	// itself is atomic, as sector-sized writes are on real devices;
+	// torn multi-page states are represented by some pages having old
+	// images and others new.
+	Write(pid PageID, img []byte) error
+	// Read returns the stable image of pid; ok=false means the page was
+	// never flushed (not an error).
+	Read(pid PageID) (img []byte, ok bool, err error)
+	// Snapshot returns an independent in-memory copy of the current
+	// stable state, used to build crash images while the original keeps
+	// running. Snapshotting never fails: it copies what is stable now.
+	Snapshot() *MemDisk
+	// Len returns the number of stable pages.
+	Len() int
+	// PageIDs returns the IDs of all stable pages, in no particular order.
+	PageIDs() []PageID
+}
+
+// MemDisk is the in-memory Disk used everywhere: a map from page ID to
+// its last flushed image. MemDisk itself never fails; wrap it in a
+// FaultyDisk to inject failures.
+type MemDisk struct {
 	mu    sync.RWMutex
 	pages map[PageID][]byte
 }
 
 // NewDisk returns an empty stable store.
-func NewDisk() *Disk {
-	return &Disk{pages: make(map[PageID][]byte)}
+func NewDisk() *MemDisk {
+	return &MemDisk{pages: make(map[PageID][]byte)}
 }
 
-// Write atomically replaces the stable image of pid. The page write itself
-// is atomic, as sector-sized writes are on real devices; torn multi-page
-// states are represented by some pages having old images and others new.
-func (d *Disk) Write(pid PageID, img []byte) {
+// Write atomically replaces the stable image of pid.
+func (d *MemDisk) Write(pid PageID, img []byte) error {
 	cp := make([]byte, len(img))
 	copy(cp, img)
 	d.mu.Lock()
 	d.pages[pid] = cp
 	d.mu.Unlock()
+	return nil
 }
 
 // Read returns the stable image of pid, or ok=false if the page was never
 // flushed.
-func (d *Disk) Read(pid PageID) (img []byte, ok bool) {
+func (d *MemDisk) Read(pid PageID) (img []byte, ok bool, err error) {
 	d.mu.RLock()
 	img, ok = d.pages[pid]
 	d.mu.RUnlock()
-	return img, ok
+	return img, ok, nil
 }
 
-// Snapshot returns an independent copy of the stable layer, used to build
-// crash images while the original keeps running.
-func (d *Disk) Snapshot() *Disk {
+// Snapshot returns an independent copy of the stable layer.
+func (d *MemDisk) Snapshot() *MemDisk {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	cp := make(map[PageID][]byte, len(d.pages))
@@ -69,18 +100,18 @@ func (d *Disk) Snapshot() *Disk {
 		copy(b, img)
 		cp[pid] = b
 	}
-	return &Disk{pages: cp}
+	return &MemDisk{pages: cp}
 }
 
 // Len returns the number of stable pages.
-func (d *Disk) Len() int {
+func (d *MemDisk) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.pages)
 }
 
 // PageIDs returns the IDs of all stable pages, in no particular order.
-func (d *Disk) PageIDs() []PageID {
+func (d *MemDisk) PageIDs() []PageID {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	out := make([]PageID, 0, len(d.pages))
@@ -89,3 +120,80 @@ func (d *Disk) PageIDs() []PageID {
 	}
 	return out
 }
+
+// Failpoint names owned by the stable layer.
+const (
+	// FPDiskWrite fires inside FaultyDisk.Write, before the image
+	// reaches the underlying device. A Torn fault here means the stale
+	// prior image persists (the new image never lands); Transient and
+	// Permanent faults fail the write outright.
+	FPDiskWrite = "disk.write"
+	// FPDiskRead fires inside FaultyDisk.Read before the device read.
+	FPDiskRead = "disk.read"
+)
+
+// ErrDiskFailed is wrapped by every error a permanently-failed or
+// crash-frozen FaultyDisk returns.
+var ErrDiskFailed = errors.New("storage: stable device failed")
+
+// FaultyDisk wraps a Disk with an injector. Besides the armed
+// failpoints it enforces two latches: a permanent fault breaks the
+// device for good (every later write fails), and once the injector's
+// crash latch trips no write reaches stable storage — the wrapped
+// disk's contents are frozen at the instant of the crash, which is the
+// state recovery will be run against.
+type FaultyDisk struct {
+	inner  Disk
+	inj    *fault.Injector
+	broken atomic.Bool
+}
+
+// NewFaultyDisk wraps inner so that inj's disk.write / disk.read
+// failpoints apply to it.
+func NewFaultyDisk(inner Disk, inj *fault.Injector) *FaultyDisk {
+	return &FaultyDisk{inner: inner, inj: inj}
+}
+
+// Write checks the disk.write failpoint and then delegates. On a Torn
+// fault the underlying device keeps the old image and the caller gets
+// an error, so it must keep the page dirty; on Permanent the device
+// latches broken.
+func (d *FaultyDisk) Write(pid PageID, img []byte) error {
+	if d.inj.Crashed() {
+		return fmt.Errorf("storage: write page %d after crash: %w", pid, ErrDiskFailed)
+	}
+	if d.broken.Load() {
+		return fmt.Errorf("storage: write page %d: %w", pid, ErrDiskFailed)
+	}
+	if err := d.inj.Check(FPDiskWrite); err != nil {
+		if fault.IsPermanent(err) {
+			d.broken.Store(true)
+		}
+		return fmt.Errorf("storage: write page %d: %w", pid, err)
+	}
+	if d.inj.Crashed() {
+		// A crash-only trip on this very write: the machine died before
+		// the image landed.
+		return fmt.Errorf("storage: write page %d after crash: %w", pid, ErrDiskFailed)
+	}
+	return d.inner.Write(pid, img)
+}
+
+// Read checks the disk.read failpoint and then delegates. Reads keep
+// working after a crash or a broken-for-writes latch: the frozen images
+// remain readable, which is what lets degraded mode serve queries.
+func (d *FaultyDisk) Read(pid PageID) ([]byte, bool, error) {
+	if err := d.inj.Check(FPDiskRead); err != nil {
+		return nil, false, fmt.Errorf("storage: read page %d: %w", pid, err)
+	}
+	return d.inner.Read(pid)
+}
+
+// Snapshot copies the wrapped device's current (possibly frozen) state.
+func (d *FaultyDisk) Snapshot() *MemDisk { return d.inner.Snapshot() }
+
+// Len returns the number of stable pages on the wrapped device.
+func (d *FaultyDisk) Len() int { return d.inner.Len() }
+
+// PageIDs returns the wrapped device's page IDs.
+func (d *FaultyDisk) PageIDs() []PageID { return d.inner.PageIDs() }

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/latch"
 	"repro/internal/wal"
 )
@@ -14,6 +16,16 @@ import (
 // ErrPageNotFound reports a Fetch of a page that is neither buffered nor
 // stable.
 var ErrPageNotFound = errors.New("storage: page not found")
+
+// FPPoolEvict is the failpoint probed at the start of each dirty-victim
+// write-back (eviction's flush of a detached frame). Arming it with a
+// crash trigger stops the world mid-eviction; arming it with a fault
+// kind fails the write-back, which reattaches the victim to its shard.
+const FPPoolEvict = "pool.evict"
+
+// diskRetries bounds retries of an injected transient disk fault within
+// one logical page I/O.
+const diskRetries = 3
 
 // dirtyBit is the dirty flag packed into Frame.meta's top bit; the low 63
 // bits hold the pageLSN. LSNs are byte offsets into the in-memory log and
@@ -134,10 +146,11 @@ func (s PoolStats) HitRatio() float64 {
 //     never a pool-wide lock.
 type Pool struct {
 	StoreID uint32
-	disk    *Disk
+	disk    Disk
 	log     *wal.Log
 	codec   Codec
 	cap     int // 0 = unbounded
+	inj     *fault.Injector // set once before concurrent use; may be nil
 
 	// Unbounded regime.
 	fmap sync.Map // PageID -> *Frame
@@ -242,7 +255,7 @@ func shardCount(capacity int) int {
 // NewPool returns a pool over disk logging to log. capacity is the maximum
 // number of buffered frames (0 for unbounded). codec handles all non-meta
 // pages of the store.
-func NewPool(storeID uint32, disk *Disk, log *wal.Log, codec Codec, capacity int) *Pool {
+func NewPool(storeID uint32, disk Disk, log *wal.Log, codec Codec, capacity int) *Pool {
 	p := &Pool{
 		StoreID: storeID,
 		disk:    disk,
@@ -274,7 +287,12 @@ func (p *Pool) shard(pid PageID) *poolShard {
 }
 
 // Disk returns the pool's stable layer.
-func (p *Pool) Disk() *Disk { return p.disk }
+func (p *Pool) Disk() Disk { return p.disk }
+
+// SetInjector attaches a fault injector whose pool.evict failpoint
+// governs dirty-victim write-backs. Must be called before the pool is
+// used concurrently.
+func (p *Pool) SetInjector(inj *fault.Injector) { p.inj = inj }
 
 // Log returns the pool's write-ahead log.
 func (p *Pool) Log() *wal.Log { return p.log }
@@ -350,9 +368,13 @@ func (p *Pool) Fetch(pid PageID) (*Frame, error) {
 	f.pins.Add(1)
 	victims := sh.install(f)
 	sh.mu.Unlock()
-	p.writeBack(sh, victims)
+	err := p.writeBack(sh, victims)
 
-	lsn, data, err := p.readPage(pid)
+	var lsn uint64
+	var data any
+	if err == nil {
+		lsn, data, err = p.readPage(pid)
+	}
 	sh.mu.Lock()
 	if err != nil {
 		// Withdraw the placeholder. Waiters still pin it and will read
@@ -377,9 +399,21 @@ func (p *Pool) Fetch(pid PageID) (*Frame, error) {
 	return f, nil
 }
 
-// readPage reads and decodes the stable image of pid.
+// readPage reads and decodes the stable image of pid, retrying injected
+// transient read faults with a short backoff.
 func (p *Pool) readPage(pid PageID) (lsn uint64, data any, err error) {
-	img, ok := p.disk.Read(pid)
+	var img []byte
+	var ok bool
+	for attempt := 0; ; attempt++ {
+		img, ok, err = p.disk.Read(pid)
+		if err == nil || !fault.IsTransient(err) || attempt >= diskRetries {
+			break
+		}
+		time.Sleep(time.Microsecond << attempt)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: page %d", ErrPageNotFound, pid)
 	}
@@ -410,14 +444,15 @@ func (p *Pool) loadFromDisk(pid PageID) (*Frame, error) {
 // Create returns a pinned frame for a page that does not yet have valid
 // contents: a freshly allocated page, or a page recovery is about to
 // re-format. Data is nil and pageLSN zero unless a stale buffered frame
-// for pid already exists, in which case that frame is reused.
-func (p *Pool) Create(pid PageID) *Frame {
+// for pid already exists, in which case that frame is reused. Create
+// fails only if making room required a write-back that failed.
+func (p *Pool) Create(pid PageID) (*Frame, error) {
 	if p.cap == 0 {
 		f := &Frame{ID: pid}
 		actual, _ := p.fmap.LoadOrStore(pid, f)
 		af := actual.(*Frame)
 		af.pins.Add(1)
-		return af
+		return af, nil
 	}
 	sh := p.shard(pid)
 	sh.mu.Lock()
@@ -427,7 +462,7 @@ func (p *Pool) Create(pid PageID) *Frame {
 			f.ref.Store(1)
 			if !f.loading {
 				sh.mu.Unlock()
-				return f
+				return f, nil
 			}
 			if f.loadCh == nil {
 				f.loadCh = make(chan struct{})
@@ -442,7 +477,7 @@ func (p *Pool) Create(pid PageID) *Frame {
 				sh.mu.Lock()
 				continue
 			}
-			return f
+			return f, nil
 		}
 		op, ok := sh.flushing[pid]
 		if !ok {
@@ -457,8 +492,22 @@ func (p *Pool) Create(pid PageID) *Frame {
 	f.pins.Add(1)
 	victims := sh.install(f)
 	sh.mu.Unlock()
-	p.writeBack(sh, victims)
-	return f
+	if err := p.writeBack(sh, victims); err != nil {
+		// Withdraw the empty frame unless another goroutine already
+		// pinned it (a concurrent creator will format it); either way
+		// the caller gets the error.
+		sh.mu.Lock()
+		if cur, ok := sh.frames[pid]; ok && cur == f && f.pins.Load() == 1 {
+			sh.removeAt(f.clockIdx)
+			f.pins.Add(-1)
+			sh.recycle(f)
+		} else {
+			f.pins.Add(-1)
+		}
+		sh.mu.Unlock()
+		return nil, err
+	}
+	return f, nil
 }
 
 // FetchOrCreate fetches pid if buffered or stable, and otherwise creates
@@ -470,7 +519,7 @@ func (p *Pool) FetchOrCreate(pid PageID) (*Frame, error) {
 		return f, nil
 	}
 	if errors.Is(err, ErrPageNotFound) {
-		return p.Create(pid), nil
+		return p.Create(pid)
 	}
 	return nil, err
 }
@@ -537,18 +586,46 @@ func (sh *poolShard) detachVictim() (op *flushOp, found bool) {
 // held: flush forces the log, and log.Force can wait out in-flight
 // appenders — a wait that must stall only this page, not every fetch on
 // the shard.
-func (p *Pool) writeBack(sh *poolShard, victims []*flushOp) {
+//
+// A victim whose flush fails is reattached to the shard (temporarily
+// over capacity) instead of recycled: its dirty contents exist nowhere
+// else, so dropping the frame would lose committed-but-unflushed
+// updates. Parked fetchers are woken either way; on the failure path
+// they re-find the page in the shard map. All victims are processed
+// even after a failure; the first error is returned.
+func (p *Pool) writeBack(sh *poolShard, victims []*flushOp) error {
+	var first error
 	for _, op := range victims {
-		p.flush(op.f)
+		err := p.inj.Check(FPPoolEvict)
+		if err == nil {
+			err = p.flush(op.f)
+		}
 		sh.mu.Lock()
 		delete(sh.flushing, op.f.ID)
-		sh.recycle(op.f)
+		if err != nil {
+			sh.reattach(op.f)
+			if first == nil {
+				first = err
+			}
+		} else {
+			sh.recycle(op.f)
+		}
 		ch := op.done
 		sh.mu.Unlock()
 		if ch != nil {
 			close(ch)
 		}
 	}
+	return first
+}
+
+// reattach returns a detached victim to the shard after a failed
+// write-back. Caller holds sh.mu.
+func (sh *poolShard) reattach(f *Frame) {
+	sh.frames[f.ID] = f
+	f.ref.Store(1)
+	f.clockIdx = len(sh.clock)
+	sh.clock = append(sh.clock, f)
 }
 
 // removeAt deletes the clock ring entry at i by swapping in the last
@@ -565,25 +642,44 @@ func (sh *poolShard) removeAt(i int) {
 
 // flush writes f to disk if dirty, forcing the log first (WAL protocol).
 // The caller must hold the frame's latch or have otherwise excluded
-// mutators (eviction relies on pins == 0 under the shard lock).
-func (p *Pool) flush(f *Frame) {
+// mutators (eviction relies on pins == 0 under the shard lock). On any
+// error — encode failure, log force failure, or a disk write that
+// failed or tore — the frame stays dirty, so the page remains in the
+// dirty page table and a later flush (or redo after a crash) still
+// covers it.
+func (p *Pool) flush(f *Frame) error {
 	m := f.meta.Load()
 	if m&dirtyBit == 0 || f.Data == nil {
-		return
+		return nil
 	}
 	lsn := wal.LSN(m &^ dirtyBit)
 	tag, content, err := p.encodeFrameData(f.Data)
 	if err != nil {
-		// Encoding a buffered page can only fail on a programming error;
-		// surface it loudly rather than silently losing the page.
-		panic(fmt.Sprintf("storage: encode page %d: %v", f.ID, err))
+		return fmt.Errorf("storage: encode page %d: %w", f.ID, err)
 	}
-	p.log.Force(lsn)
-	p.disk.Write(f.ID, frameImage(uint64(lsn), tag, content))
+	if err := p.log.Force(lsn); err != nil {
+		return fmt.Errorf("storage: flush page %d: %w", f.ID, err)
+	}
+	if err := p.writeImage(f.ID, frameImage(uint64(lsn), tag, content)); err != nil {
+		return err
+	}
 	// Clean again; recLSN is left stale (see its comment). A lost race
 	// means a concurrent flusher of the same contents already cleaned it.
 	if f.meta.CompareAndSwap(m, uint64(lsn)) {
 		p.flushCount.Add(1)
+	}
+	return nil
+}
+
+// writeImage writes one page image to the stable layer, retrying
+// injected transient faults with a short backoff.
+func (p *Pool) writeImage(pid PageID, img []byte) error {
+	for attempt := 0; ; attempt++ {
+		err := p.disk.Write(pid, img)
+		if err == nil || !fault.IsTransient(err) || attempt >= diskRetries {
+			return err
+		}
+		time.Sleep(time.Microsecond << attempt)
 	}
 }
 
@@ -622,15 +718,16 @@ func (p *Pool) Drop(pid PageID) {
 
 // FlushPage flushes pid if it is buffered and dirty. The caller must not
 // hold the frame's latch; FlushPage takes an S latch to exclude mutators.
-func (p *Pool) FlushPage(pid PageID) {
+func (p *Pool) FlushPage(pid PageID) error {
 	f, ok := p.lookupPinned(pid)
 	if !ok {
-		return
+		return nil
 	}
 	f.Latch.AcquireS()
-	p.flush(f)
+	err := p.flush(f)
 	f.Latch.ReleaseS()
 	p.Unpin(f)
+	return err
 }
 
 // lookupPinned returns the buffered frame for pid pinned, if present.
@@ -692,20 +789,27 @@ func (p *Pool) snapshotFrames() []*Frame {
 
 // FlushAll flushes every dirty frame whose latch is immediately available
 // (a fuzzy sweep; concurrently latched pages are skipped) and returns the
-// number flushed.
-func (p *Pool) FlushAll() int {
+// number flushed. A page whose flush fails stays dirty; the sweep
+// continues past it and the first error is returned alongside the count.
+func (p *Pool) FlushAll() (int, error) {
 	flushed := 0
+	var first error
 	for _, f := range p.snapshotFrames() {
 		if f.Latch.TryAcquireS() {
-			if f.Dirty() {
+			wasDirty := f.Dirty()
+			err := p.flush(f)
+			f.Latch.ReleaseS()
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+			} else if wasDirty {
 				flushed++
 			}
-			p.flush(f)
-			f.Latch.ReleaseS()
 		}
 		p.Unpin(f)
 	}
-	return flushed
+	return flushed, first
 }
 
 // DirtyPages snapshots the dirty page table: page ID to recLSN (the LSN

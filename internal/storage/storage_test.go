@@ -44,9 +44,18 @@ func newTestPool(capacity int) (*Pool, *wal.Log) {
 	return NewPool(1, NewDisk(), log, byteCodec{}, capacity), log
 }
 
+func mustCreate(t testing.TB, p *Pool, pid PageID) *Frame {
+	t.Helper()
+	f, err := p.Create(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 func TestPoolCreateFetchUnpin(t *testing.T) {
 	p, _ := newTestPool(0)
-	f := p.Create(5)
+	f := mustCreate(t, p, 5)
 	f.Latch.AcquireX()
 	f.Data = []byte("hello")
 	f.MarkDirty(10)
@@ -83,7 +92,7 @@ func TestFetchMissing(t *testing.T) {
 
 func TestFlushRoundTripAndWALProtocol(t *testing.T) {
 	p, log := newTestPool(0)
-	f := p.Create(3)
+	f := mustCreate(t, p, 3)
 	f.Latch.AcquireX()
 	lsn := log.Append(&wal.Record{Type: wal.RecUpdate, StoreID: 1, PageID: 3})
 	f.Data = []byte("persisted")
@@ -94,7 +103,9 @@ func TestFlushRoundTripAndWALProtocol(t *testing.T) {
 	if log.StableLSN() > lsn {
 		t.Fatal("log unexpectedly stable before flush")
 	}
-	p.FlushPage(3)
+	if err := p.FlushPage(3); err != nil {
+		t.Fatal(err)
+	}
 	// WAL protocol: the flush must have forced the log through pageLSN.
 	if log.StableLSN() <= lsn {
 		t.Fatal("flush did not force the log first")
@@ -116,7 +127,7 @@ func TestEvictionRespectsCapacityAndPins(t *testing.T) {
 	p, _ := newTestPool(4)
 	var pinned *Frame
 	for i := PageID(10); i < 20; i++ {
-		f := p.Create(i)
+		f := mustCreate(t, p, i)
 		f.Latch.AcquireX()
 		f.Data = []byte{byte(i)}
 		f.MarkDirty(wal.LSN(i))
@@ -151,7 +162,7 @@ func TestEvictionRespectsCapacityAndPins(t *testing.T) {
 func TestDirtyPagesSnapshot(t *testing.T) {
 	p, _ := newTestPool(0)
 	for i := PageID(2); i < 5; i++ {
-		f := p.Create(i)
+		f := mustCreate(t, p, i)
 		f.Latch.AcquireX()
 		f.Data = []byte{1}
 		f.MarkDirty(wal.LSN(i * 100))
@@ -174,7 +185,9 @@ func TestDirtyPagesSnapshot(t *testing.T) {
 	if p.DirtyPages()[3] != 300 {
 		t.Fatal("recLSN moved on second update")
 	}
-	p.FlushAll()
+	if _, err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 	if len(p.DirtyPages()) != 0 {
 		t.Fatal("dirty pages remain after FlushAll")
 	}
@@ -182,15 +195,15 @@ func TestDirtyPagesSnapshot(t *testing.T) {
 
 func TestDiskSnapshotIndependence(t *testing.T) {
 	d := NewDisk()
-	d.Write(1, []byte{1, 2, 3})
+	_ = d.Write(1, []byte{1, 2, 3})
 	snap := d.Snapshot()
-	d.Write(1, []byte{9})
-	d.Write(2, []byte{8})
-	img, ok := snap.Read(1)
-	if !ok || len(img) != 3 {
-		t.Fatalf("snapshot changed: %v %v", img, ok)
+	_ = d.Write(1, []byte{9})
+	_ = d.Write(2, []byte{8})
+	img, ok, err := snap.Read(1)
+	if err != nil || !ok || len(img) != 3 {
+		t.Fatalf("snapshot changed: %v %v %v", img, ok, err)
 	}
-	if _, ok := snap.Read(2); ok {
+	if _, ok, _ := snap.Read(2); ok {
 		t.Fatal("snapshot gained a page")
 	}
 	if snap.Len() != 1 || d.Len() != 2 {
@@ -317,7 +330,7 @@ func TestMetaRedoIdempotence(t *testing.T) {
 func TestConcurrentFetchers(t *testing.T) {
 	p, _ := newTestPool(8)
 	for i := PageID(2); i < 34; i++ {
-		f := p.Create(i)
+		f := mustCreate(t, p, i)
 		f.Latch.AcquireX()
 		f.Data = []byte{byte(i)}
 		f.MarkDirty(wal.LSN(i))

@@ -50,7 +50,10 @@ func NewStore(p *Pool, reg *Registry) *Store {
 // Bootstrap formats the meta page inside the caller's transaction or
 // atomic action. It must be the first operation on a fresh store.
 func (s *Store) Bootstrap(lg UpdateLogger) error {
-	f := s.Pool.Create(MetaPage)
+	f, err := s.Pool.Create(MetaPage)
+	if err != nil {
+		return err
+	}
 	defer s.Pool.Unpin(f)
 	f.Latch.AcquireX()
 	defer f.Latch.ReleaseX()

@@ -14,14 +14,16 @@ import (
 func seedPages(t *testing.T, p *Pool, logger *testLogger, n int) {
 	t.Helper()
 	for pid := PageID(2); pid < PageID(2+n); pid++ {
-		f := p.Create(pid)
+		f := mustCreate(t, p, pid)
 		f.Latch.AcquireX()
 		f.Data = []byte{byte(pid)}
 		f.MarkDirty(logger.LogUpdate(p.StoreID, uint64(pid), 0, nil))
 		f.Latch.ReleaseX()
 		p.Unpin(f)
 	}
-	p.FlushAll()
+	if _, err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestBoundedEvictionAccounting pins down the Stats bookkeeping of the
@@ -32,7 +34,7 @@ func TestBoundedEvictionAccounting(t *testing.T) {
 	p, lg := newTestPool(capacity)
 	logger := &testLogger{log: lg}
 	for pid := PageID(2); pid < PageID(2+n); pid++ {
-		f := p.Create(pid)
+		f := mustCreate(t, p, pid)
 		f.Latch.AcquireX()
 		f.Data = []byte{byte(pid)}
 		f.MarkDirty(logger.LogUpdate(p.StoreID, uint64(pid), 0, nil))
@@ -119,14 +121,16 @@ func TestFetchEvictChurn(t *testing.T) {
 	p, lg := newTestPool(capacity)
 	logger := &testLogger{log: lg}
 	for pid := PageID(2); pid < PageID(2+nPages); pid++ {
-		f := p.Create(pid)
+		f := mustCreate(t, p, pid)
 		f.Latch.AcquireX()
 		f.Data = make([]byte, 8)
 		f.MarkDirty(logger.LogUpdate(p.StoreID, uint64(pid), 0, nil))
 		f.Latch.ReleaseX()
 		p.Unpin(f)
 	}
-	p.FlushAll()
+	if _, err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 
 	var hi [nPages]atomic.Uint64
 	var wg sync.WaitGroup
@@ -185,7 +189,9 @@ func TestFetchEvictChurn(t *testing.T) {
 	if total != workers*incs {
 		t.Errorf("total increments = %d, want %d", total, workers*incs)
 	}
-	p.FlushAll()
+	if _, err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 	checkWALRule(t, p, lg)
 }
 
@@ -285,13 +291,17 @@ func TestCheckpointStress(t *testing.T) {
 				t.Errorf("checkpoint %d: dirty page %d with nil recLSN", i, pid)
 			}
 		}
-		p.FlushAll()
+		if _, err := p.FlushAll(); err != nil {
+			t.Errorf("checkpoint %d flush: %v", i, err)
+		}
 		checkWALRule(t, p, lg)
 	}
 	close(stop)
 	wg.Wait()
 
-	p.FlushAll()
+	if _, err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 	checkWALRule(t, p, lg)
 	if got := p.BufferedCount(); got > capacity+workers {
 		t.Errorf("buffered = %d after quiesce, want <= %d", got, capacity+workers)

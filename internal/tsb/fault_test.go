@@ -1,0 +1,74 @@
+package tsb
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/keys"
+	"repro/internal/storage"
+)
+
+// TestTSBTornDataWriteMidSMORecovery mirrors the core torn-write
+// scenario for the TSB-tree: crash with key splits frozen between their
+// two atomic actions and one page write torn during the final flush.
+// Restart repeats history over the stale image; the split siblings stay
+// reachable through sibling walks and lazy completion posts the missing
+// index terms.
+func TestTSBTornDataWriteMidSMORecovery(t *testing.T) {
+	inj := fault.New(0x75B)
+	opts := smallOpts()
+	opts.NoCompletion = true
+	e := engine.New(engine.Options{Injector: inj})
+	b := Register(e.Reg)
+	st := e.AddStore(testStoreID, Codec{})
+	tree, err := Create(st, e.TM, e.Locks, b, "versions", opts)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	fx := &fixture{e: e, b: b, tree: tree}
+
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := fx.tree.Put(nil, keys.Uint64(uint64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fx.tree.Stats.KeySplits.Load() == 0 {
+		t.Fatal("workload produced no key splits")
+	}
+	if err := fx.e.Log.ForceAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Arm(storage.FPDiskWrite, fault.Spec{Kind: fault.Torn, After: 3})
+	if _, err := fx.e.FlushAll(); !fault.IsTorn(err) {
+		t.Fatalf("flush did not tear: %v", err)
+	}
+	inj.Disarm(storage.FPDiskWrite)
+
+	fx.e.Opts.Injector = nil
+	fx.tree.opts.NoCompletion = false
+	fx2 := fx.crashRestart(t)
+
+	if _, err := fx2.tree.Verify(); err != nil {
+		t.Fatalf("tree ill-formed after torn-write recovery: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := fx2.tree.Get(nil, keys.Uint64(uint64(i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	if fx2.tree.Stats.KeySibWalks.Load() == 0 {
+		t.Fatal("expected sibling walks through unposted splits")
+	}
+	fx2.tree.DrainCompletions()
+	if fx2.tree.Stats.PostsPerformed.Load() == 0 {
+		t.Fatal("lazy completion performed no postings")
+	}
+	if _, err := fx2.tree.Verify(); err != nil {
+		t.Fatalf("after completion: %v", err)
+	}
+}

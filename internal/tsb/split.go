@@ -220,7 +220,11 @@ func (t *Tree) splitData(o *opCtx, leaf *nref) error {
 		}
 		newNode.Rect.KeyHigh.Key = keys.Clone(newNode.Rect.KeyHigh.Key)
 		taskRect = cloneRect(newNode.Rect)
-		t.formatNode(o, aa, newPid, newNode)
+		if err := t.formatNode(o, aa, newPid, newNode); err != nil {
+			o.release(leaf)
+			_ = aa.Abort()
+			return err
+		}
 		lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindTimeSplit, encTimeSplit(ts, newPid, pre))
 		applyTimeSplit(n, ts, newPid)
 		leaf.f.MarkDirty(lsn)
@@ -248,7 +252,11 @@ func (t *Tree) splitData(o *opCtx, leaf *nref) error {
 			}
 		}
 		taskRect = cloneRect(newNode.Rect)
-		t.formatNode(o, aa, newPid, newNode)
+		if err := t.formatNode(o, aa, newPid, newNode); err != nil {
+			o.release(leaf)
+			_ = aa.Abort()
+			return err
+		}
 		lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindKeySplit, encKeySplit(k, newPid, pre))
 		applyKeySplit(n, k, newPid)
 		leaf.f.MarkDirty(lsn)
@@ -283,8 +291,11 @@ func (t *Tree) medianKey(n *Node) keys.Key {
 }
 
 // formatNode creates and logs a fresh node image under the action.
-func (t *Tree) formatNode(o *opCtx, aa logUpdater, pid storage.PageID, n *Node) {
-	f := t.store.Pool.Create(pid)
+func (t *Tree) formatNode(o *opCtx, aa logUpdater, pid storage.PageID, n *Node) error {
+	f, err := t.store.Pool.Create(pid)
+	if err != nil {
+		return err
+	}
 	f.Latch.AcquireX()
 	o.tr.Acquired(&f.Latch, o.rank(n.Level), latch.X)
 	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(pid), KindFormat, encNodeImage(n))
@@ -293,6 +304,7 @@ func (t *Tree) formatNode(o *opCtx, aa logUpdater, pid storage.PageID, n *Node) 
 	o.tr.Released(&f.Latch)
 	f.Latch.ReleaseX()
 	t.store.Pool.Unpin(f)
+	return nil
 }
 
 // logUpdater is the logging slice of txn.Txn used here.
@@ -466,7 +478,9 @@ func (t *Tree) splitIndex(o *opCtx, aa logUpdater, node *nref, k keys.Key, searc
 		Entries: entries,
 	}
 	sib.Rect.KeyHigh.Key = keys.Clone(sib.Rect.KeyHigh.Key)
-	t.formatNode(o, aa, sibPid, sib)
+	if err := t.formatNode(o, aa, sibPid, sib); err != nil {
+		return nref{}, err
+	}
 	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(node.pid()), KindIndexKeySplit, encKeySplit(k, sibPid, pre))
 	applyIndexKeySplit(n, k, sibPid)
 	node.f.MarkDirty(lsn)
@@ -522,8 +536,12 @@ func (t *Tree) growRoot(o *opCtx, aa logUpdater, root *nref, k keys.Key, searchK
 			nodeA.Entries = append(nodeA.Entries, cloneEntry(e))
 		}
 	}
-	t.formatNode(o, aa, pidB, nodeB)
-	t.formatNode(o, aa, pidA, nodeA)
+	if err := t.formatNode(o, aa, pidB, nodeB); err != nil {
+		return nref{}, err
+	}
+	if err := t.formatNode(o, aa, pidA, nodeA); err != nil {
+		return nref{}, err
+	}
 
 	termA := Entry{Key: nil, Child: pidA}
 	termB := Entry{Key: keys.Clone(k), Child: pidB}

@@ -138,7 +138,10 @@ func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding,
 		pid  storage.PageID
 		node *Node
 	}{{dataPid, data}, {rootPid, root}} {
-		f := store.Pool.Create(nn.pid)
+		f, err := store.Pool.Create(nn.pid)
+		if err != nil {
+			return nil, err
+		}
 		f.Latch.AcquireX()
 		lsn := aa.LogUpdate(store.Pool.StoreID, uint64(nn.pid), KindFormat, encNodeImage(nn.node))
 		f.Data = nn.node

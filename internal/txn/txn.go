@@ -27,9 +27,24 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/lock"
 	"repro/internal/storage"
 	"repro/internal/wal"
+)
+
+// Crash-trigger failpoints owned by the transaction layer. Both are
+// probed just before the commit record is appended, so a crash there
+// leaves the transaction's updates in the log with no commit record —
+// the classic "crashed mid-commit" state (mid-SMO, for an atomic
+// action wrapping a structure modification). Fault kinds are ignored
+// at these points; only the crash latch matters.
+const (
+	// FPAACommit fires at the start of an atomic action's commit.
+	FPAACommit = "txn.aacommit"
+	// FPUserCommit fires at the start of a user transaction's commit,
+	// before the commit record is appended and forced.
+	FPUserCommit = "txn.usercommit"
 )
 
 // State is a transaction's lifecycle state.
@@ -60,10 +75,16 @@ type Manager struct {
 	Locks  *lock.Manager
 	Reg    *storage.Registry
 	opts   Options
+	inj    *fault.Injector // set once before concurrent use; may be nil
 	mu     sync.Mutex
 	nextID wal.TxnID
 	active map[wal.TxnID]*Txn
 }
+
+// SetInjector attaches a fault injector whose txn.aacommit and
+// txn.usercommit crash points are probed on the commit paths. Must be
+// called before the manager is used concurrently.
+func (m *Manager) SetInjector(inj *fault.Injector) { m.inj = inj }
 
 // NewManager returns a manager writing to log, locking through lm and
 // undoing through reg.
@@ -299,6 +320,13 @@ func (t *Txn) Commit() error {
 		t.mu.Unlock()
 		return ErrNotActive
 	}
+	// Crash-trigger probes: a crash here leaves every update logged but
+	// no commit record, the state recovery must roll back.
+	if t.System {
+		_ = t.mgr.inj.Check(FPAACommit)
+	} else {
+		_ = t.mgr.inj.Check(FPUserCommit)
+	}
 	// Append the commit record outside t.mu: the append may stall behind
 	// concurrent appenders, and t.mu must stay cheap to take. committing
 	// makes the window visible to SnapshotATT, which needs (lastLSN,
@@ -315,7 +343,20 @@ func (t *Txn) Commit() error {
 	t.mu.Unlock()
 
 	if !t.System || t.mgr.opts.ForceOnAACommit {
-		t.mgr.Log.ForceGroup(lsn)
+		if err := t.mgr.Log.ForceGroup(lsn); err != nil {
+			// The force failed, and force failures are sticky: the commit
+			// record can never reach the stable prefix, so restart is
+			// certain to treat this transaction as a loser. Rolling back
+			// in memory now keeps the running system consistent with that
+			// outcome, and the caller learns durability was NOT achieved.
+			t.mu.Lock()
+			t.state = Active
+			t.mu.Unlock()
+			if aerr := t.Abort(); aerr != nil {
+				return fmt.Errorf("txn %d: commit force failed (%v), rollback also failed: %w", t.ID, err, aerr)
+			}
+			return fmt.Errorf("txn %d: commit not durable, rolled back: %w", t.ID, err)
+		}
 	}
 	t.finish(wal.RecEnd)
 	t.mu.Lock()

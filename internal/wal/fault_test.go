@@ -1,0 +1,253 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// newFaultyLog returns a log wired to a fresh seeded injector.
+func newFaultyLog(seed int64) (*Log, *fault.Injector) {
+	l := New()
+	inj := fault.New(seed)
+	l.SetInjector(inj)
+	return l, inj
+}
+
+func appendN(l *Log, n int) []LSN {
+	lsns := make([]LSN, n)
+	for i := 0; i < n; i++ {
+		lsns[i] = l.Append(&Record{Type: RecUpdate, TxnID: TxnID(i + 1), StoreID: 1, PageID: uint64(i + 2)})
+	}
+	return lsns
+}
+
+func TestForceTransientRetries(t *testing.T) {
+	l, inj := newFaultyLog(1)
+	lsns := appendN(l, 3)
+	inj.Arm(FPSync, fault.Spec{Kind: fault.Transient, Count: 2})
+	if err := l.Force(lsns[2]); err != nil {
+		t.Fatalf("transient sync fault not retried: %v", err)
+	}
+	if l.StableLSN() <= lsns[2] {
+		t.Fatal("force returned nil without advancing stability")
+	}
+	if l.Damaged() {
+		t.Fatal("log damaged after recovered transient fault")
+	}
+	if got := len(inj.Trips()); got != 2 {
+		t.Fatalf("fault fired %d times, want 2", got)
+	}
+}
+
+func TestForceTransientExhaustionDamagesLog(t *testing.T) {
+	l, inj := newFaultyLog(2)
+	lsns := appendN(l, 2)
+	inj.Arm(FPSync, fault.Spec{Kind: fault.Transient, Count: -1})
+	err := l.Force(lsns[1])
+	if err == nil {
+		t.Fatal("force succeeded against an endlessly failing device")
+	}
+	if !errors.Is(err, ErrLogFailed) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error %v missing sentinels", err)
+	}
+	if !l.Damaged() {
+		t.Fatal("log not latched damaged after retry exhaustion")
+	}
+	// Damage is sticky: later forces fail without touching the device,
+	// even after the fault is disarmed.
+	inj.Disarm(FPSync)
+	if err := l.Force(lsns[1]); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("force after damage: %v", err)
+	}
+}
+
+func TestForcePermanentDamagesLog(t *testing.T) {
+	l, inj := newFaultyLog(3)
+	lsns := appendN(l, 2)
+	inj.Arm(FPSync, fault.Spec{Kind: fault.Permanent})
+	if err := l.Force(lsns[1]); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("permanent fault: %v", err)
+	}
+	if !l.Damaged() {
+		t.Fatal("log not damaged after permanent fault")
+	}
+}
+
+func TestForceAlreadyStableSucceedsOnDamagedLog(t *testing.T) {
+	l, inj := newFaultyLog(4)
+	lsns := appendN(l, 3)
+	if err := l.Force(lsns[2]); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(FPSync, fault.Spec{Kind: fault.Permanent})
+	later := l.Append(&Record{Type: RecCommit, TxnID: 9})
+	if err := l.Force(later); err == nil {
+		t.Fatal("force of new record should have failed")
+	}
+	// Records that were stable before the device died stay stable:
+	// forcing them is a no-op, not an error.
+	for _, lsn := range lsns {
+		if err := l.Force(lsn); err != nil {
+			t.Fatalf("force of already-stable %d on damaged log: %v", lsn, err)
+		}
+	}
+}
+
+func TestForceTornStopsAtRecordBoundary(t *testing.T) {
+	l, inj := newFaultyLog(5)
+	lsns := appendN(l, 8)
+	inj.Arm(FPSync, fault.Spec{Kind: fault.Torn})
+	err := l.Force(lsns[7])
+	if err == nil {
+		t.Fatal("torn sync reported success")
+	}
+	if !fault.IsTorn(err) || !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("error %v is not a torn log failure", err)
+	}
+	if !l.Damaged() {
+		t.Fatal("log not damaged after torn sync")
+	}
+	// The surviving prefix must end exactly at one of the record
+	// boundaries strictly before the target.
+	stable := l.StableLSN()
+	if stable > lsns[7] {
+		t.Fatalf("stable %d beyond torn target %d", stable, lsns[7])
+	}
+	ok := stable == 0
+	for _, b := range lsns {
+		if stable == b {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("stable point %d is not a record boundary (%v)", stable, lsns)
+	}
+	// The crash image is readable up to the tear and no further.
+	img := l.CrashImage(nil)
+	n := 0
+	img.Scan(NilLSN, func(rec Record) bool { n++; return true })
+	if LSN(n) > 8 {
+		t.Fatalf("crash image has %d records", n)
+	}
+}
+
+func TestTornReproducibleFromSeed(t *testing.T) {
+	run := func(seed int64) LSN {
+		l, inj := newFaultyLog(seed)
+		lsns := appendN(l, 10)
+		inj.Arm(FPSync, fault.Spec{Kind: fault.Torn})
+		if err := l.Force(lsns[9]); err == nil {
+			t.Fatal("torn sync reported success")
+		}
+		return l.StableLSN()
+	}
+	if a, b := run(77), run(77); a != b {
+		t.Fatalf("same seed tore at %d then %d", a, b)
+	}
+}
+
+func TestForceGroupFollowersNotAckedOnFailure(t *testing.T) {
+	l, inj := newFaultyLog(6)
+	before := l.StableLSN()
+	inj.Arm(FPSync, fault.Spec{Kind: fault.Permanent, Count: -1})
+
+	const committers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, committers)
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn := l.Append(&Record{Type: RecCommit, TxnID: TxnID(i + 1)})
+			errs[i] = l.ForceGroup(lsn)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("committer %d acked with the log device dead", i)
+		}
+		if !errors.Is(err, ErrLogFailed) {
+			t.Fatalf("committer %d: %v", i, err)
+		}
+	}
+	if !l.Damaged() {
+		t.Fatal("log not damaged")
+	}
+	if l.StableLSN() != before {
+		t.Fatalf("stable advanced from %d to %d on a dead device", before, l.StableLSN())
+	}
+}
+
+func TestForceGroupTransientRoundSucceeds(t *testing.T) {
+	l, inj := newFaultyLog(7)
+	inj.Arm(FPSync, fault.Spec{Kind: fault.Transient, Count: 3})
+
+	const committers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, committers)
+	lsns := make([]LSN, committers)
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsns[i] = l.Append(&Record{Type: RecCommit, TxnID: TxnID(i + 1)})
+			errs[i] = l.ForceGroup(lsns[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d failed across a transient fault: %v", i, err)
+		}
+		if !l.stableBeyond(lsns[i]) {
+			t.Fatalf("committer %d acked but record %d not stable", i, lsns[i])
+		}
+	}
+	if l.Damaged() {
+		t.Fatal("log damaged by a recovered transient fault")
+	}
+}
+
+func TestForceGroupTornAcksSurvivingPrefix(t *testing.T) {
+	// Deterministic single-caller torn round: the caller's own record may
+	// or may not survive inside the prefix; if it did, ForceGroup must
+	// return nil even though the round reported an error.
+	l, inj := newFaultyLog(8)
+	lsns := appendN(l, 6)
+	inj.Arm(FPSync, fault.Spec{Kind: fault.Torn})
+	err := l.ForceGroup(lsns[5])
+	stable := l.StableLSN()
+	if lsns[5] < stable {
+		if err != nil {
+			t.Fatalf("record inside surviving prefix not acked: %v", err)
+		}
+	} else if err == nil {
+		t.Fatal("record beyond the tear acked")
+	}
+	// Either way the log is now damaged and future commits are refused.
+	if err := l.ForceGroup(l.Append(&Record{Type: RecCommit, TxnID: 99})); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("commit after torn round: %v", err)
+	}
+}
+
+func TestCrashLatchFreezesStablePoint(t *testing.T) {
+	l, inj := newFaultyLog(9)
+	lsns := appendN(l, 4)
+	if err := l.Force(lsns[3]); err != nil {
+		t.Fatal(err)
+	}
+	before := l.StableLSN()
+	inj.TripCrash()
+	// New records appended after the crash instant can never be forced.
+	late := l.Append(&Record{Type: RecCommit, TxnID: 42})
+	if err := l.Force(late); err == nil {
+		t.Fatal("force succeeded after crash latch")
+	}
+	if l.StableLSN() != before {
+		t.Fatalf("stable moved from %d to %d after crash", before, l.StableLSN())
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // LSN is a log sequence number: the byte offset of a record's start in the
@@ -155,6 +157,24 @@ func encodeInto(b []byte, r *Record) {
 // end of the log.
 var ErrBadRecord = errors.New("wal: torn or corrupt record")
 
+// ErrLogFailed is wrapped by every stable-sync error once the log device
+// has failed (permanently, by a torn sync, or by exhausting transient
+// retries). The failure is sticky: a record whose force returned an
+// error wrapping ErrLogFailed can never later become stable, which is
+// what lets the transaction layer roll back an unacknowledged commit
+// and the engine degrade to read-only instead of panicking.
+var ErrLogFailed = errors.New("wal: log device failed")
+
+// FPSync is the failpoint probed on every physical stable-prefix sync
+// (Force, ForceGroup rounds, ForceAll). A Transient fault is retried
+// with backoff inside the sync; Permanent (or retries exhausted) latches
+// the log damaged; Torn advances stability only to a seeded earlier
+// record boundary before latching.
+const FPSync = "wal.sync"
+
+// maxSyncRetries bounds in-sync retries of an injected transient fault.
+const maxSyncRetries = 4
+
 // decode parses one record starting at b[0]. It returns the record and its
 // encoded length.
 func decode(b []byte) (Record, int, error) {
@@ -241,11 +261,27 @@ type Log struct {
 	// path and never while holding l.mu.
 	gcMu       sync.Mutex
 	gcCond     *sync.Cond
-	gcLeader   bool // a leader is currently inside Force
-	gcMax      LSN  // highest LSN registered by any committer
+	gcLeader   bool  // a leader is currently inside Force
+	gcMax      LSN   // highest LSN registered by any committer
+	gcErr      error // sticky first round failure (the log is damaged)
 	gcRounds   int64
 	gcRequests atomic.Int64
+
+	// Fault injection. inj is set once before concurrent use; damaged
+	// latches sticky on the first failed sync.
+	inj     *fault.Injector
+	damaged atomic.Bool
 }
+
+// SetInjector attaches a fault injector whose wal.sync failpoint governs
+// stable-prefix syncs. Must be called before the log is used
+// concurrently.
+func (l *Log) SetInjector(inj *fault.Injector) { l.inj = inj }
+
+// Damaged reports whether the log device has failed. Once true, every
+// force of a not-yet-stable record fails; already-stable records stay
+// stable and readable.
+func (l *Log) Damaged() bool { return l.damaged.Load() }
 
 // New returns an empty log.
 func New() *Log {
@@ -427,22 +463,112 @@ func (l *Log) Append(r *Record) LSN {
 // concurrent appenders that hold earlier LSN reservations to finish
 // copying (hole filling), then advances stability over the whole
 // fully-published prefix — group commit.
-func (l *Log) Force(lsn LSN) {
+//
+// A nil return guarantees the record is stable. A non-nil return
+// guarantees it never will be (the log is latched damaged), so callers
+// may treat the record as lost and roll back.
+func (l *Log) Force(lsn LSN) error {
 	if lsn == NilLSN {
-		return
+		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	// A record is stable iff it starts below stableLSN.
 	if lsn < l.stableLSN {
-		return
+		return nil
 	}
 	limit := l.tail.Load()
 	target := uint64(lsn) + 1
 	if target > limit {
 		target = limit
 	}
-	l.advanceStable(limit, target)
+	return l.syncLocked(limit, target)
+}
+
+// syncLocked drives the stable point to target (bounded by limit),
+// consulting the fault injector the way a log manager consults its
+// device: transient errors are retried with backoff, a permanent error
+// (or exhausted retries) latches the device failed, a torn sync
+// persists only a prefix ending at a seeded record boundary, and a
+// tripped crash latch freezes the stable point exactly where it is.
+// Caller holds l.mu.
+func (l *Log) syncLocked(limit, target uint64) error {
+	if l.damaged.Load() {
+		return fmt.Errorf("wal: force to %d: %w", target-1, ErrLogFailed)
+	}
+	inj := l.inj
+	for attempt := 0; ; attempt++ {
+		if inj.Crashed() {
+			return fmt.Errorf("wal: force to %d after crash: %w", target-1, ErrLogFailed)
+		}
+		err := inj.Check(FPSync)
+		if err == nil {
+			if inj.Crashed() {
+				// A crash-only trip fired on this very sync: the machine
+				// died before the device acknowledged.
+				return fmt.Errorf("wal: force to %d after crash: %w", target-1, ErrLogFailed)
+			}
+			l.advanceStable(limit, target)
+			return nil
+		}
+		if fault.IsTorn(err) {
+			// The device persisted part of the sync and then failed:
+			// advance stability only to a seeded earlier record boundary.
+			// Publication must complete first so the boundary walk reads
+			// finished headers.
+			l.waitPublished(limit, target)
+			fe := fault.AsError(err)
+			if b := l.tearBoundary(uint64(l.stableLSN), target, fe.Frac); b > uint64(l.stableLSN) {
+				l.stableLSN = LSN(b)
+				l.flushes++
+			}
+			l.damaged.Store(true)
+			return fmt.Errorf("wal: force to %d tore at %d: %w: %w", target-1, l.stableLSN, ErrLogFailed, err)
+		}
+		if fault.IsTransient(err) && attempt < maxSyncRetries {
+			time.Sleep(time.Microsecond << attempt)
+			continue
+		}
+		// Permanent fault, or transient retries exhausted: latch the
+		// device failed, so this record can never quietly become stable
+		// after its committer was told otherwise.
+		l.damaged.Store(true)
+		return fmt.Errorf("wal: force to %d: %w: %w", target-1, ErrLogFailed, err)
+	}
+}
+
+// tearBoundary picks the record boundary a torn sync stopped at: one of
+// the boundaries strictly between from (the current stable point) and
+// target, selected by the seeded draw frac. Returns from when no record
+// completes inside the range.
+func (l *Log) tearBoundary(from, target uint64, frac float64) uint64 {
+	segs := *l.segs.Load()
+	var bounds []uint64
+	pos := from
+	for {
+		if pos+4 > target {
+			break
+		}
+		var lenb [4]byte
+		copyOut(segs, lenb[:], pos)
+		total := uint64(binary.LittleEndian.Uint32(lenb[:]))
+		if total < headerSize || pos+total > target {
+			break
+		}
+		pos += total
+		if pos >= target {
+			break
+		}
+		bounds = append(bounds, pos)
+	}
+	if len(bounds) == 0 {
+		return from
+	}
+	idx := int(frac * float64(len(bounds)))
+	if idx >= len(bounds) {
+		idx = len(bounds) - 1
+	}
+	return bounds[idx]
 }
 
 // ForceGroup makes every record with LSN <= lsn stable, coalescing
@@ -453,9 +579,14 @@ func (l *Log) Force(lsn LSN) {
 // current round simply leads (or joins) the next one, so a caller never
 // waits for more than two rounds and N concurrent commits pay far fewer
 // than N forces. Durability on return is identical to Force(lsn).
-func (l *Log) ForceGroup(lsn LSN) {
+// A follower is acknowledged (nil return) only after a successful force
+// covers its record — if the leader's force fails, every waiter whose
+// record did not reach stability gets the error, never a silent ack. A
+// torn round may leave some followers' records inside the surviving
+// prefix; those are genuinely stable and are acknowledged.
+func (l *Log) ForceGroup(lsn LSN) error {
 	if lsn == NilLSN {
-		return
+		return nil
 	}
 	l.gcRequests.Add(1)
 	l.gcMu.Lock()
@@ -465,7 +596,14 @@ func (l *Log) ForceGroup(lsn LSN) {
 	for {
 		if l.stableBeyond(lsn) {
 			l.gcMu.Unlock()
-			return
+			return nil
+		}
+		if l.gcErr != nil {
+			// A previous round failed; the log is latched damaged, so
+			// this record can never become stable.
+			err := l.gcErr
+			l.gcMu.Unlock()
+			return err
 		}
 		if !l.gcLeader {
 			break
@@ -483,13 +621,24 @@ func (l *Log) ForceGroup(lsn LSN) {
 	target := l.gcMax
 	l.gcMu.Unlock()
 
-	l.Force(target)
+	err := l.Force(target)
 
 	l.gcMu.Lock()
 	l.gcLeader = false
 	l.gcRounds++
+	if err != nil {
+		// Force failures are sticky (the log is damaged), so parking the
+		// error is final: current waiters and future committers alike
+		// must not be acknowledged.
+		l.gcErr = err
+	}
 	l.gcCond.Broadcast()
 	l.gcMu.Unlock()
+	if err != nil && l.stableBeyond(lsn) {
+		// The round tore but this record survived inside the prefix.
+		return nil
+	}
+	return err
 }
 
 // stableBeyond reports whether the record at lsn is already stable.
@@ -511,24 +660,33 @@ func (l *Log) GroupCommitStats() (requests, rounds int64) {
 }
 
 // ForceAll makes the entire appended log stable.
-func (l *Log) ForceAll() {
+func (l *Log) ForceAll() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	limit := l.tail.Load()
-	l.advanceStable(limit, limit)
+	if LSN(limit) <= l.stableLSN {
+		return nil
+	}
+	return l.syncLocked(limit, limit)
 }
 
 // advanceStable waits until the published prefix reaches target, then
 // advances stableLSN over it. Caller holds l.mu.
 func (l *Log) advanceStable(limit, target uint64) {
+	pub := l.waitPublished(limit, target)
+	if LSN(pub) > l.stableLSN {
+		l.stableLSN = LSN(pub)
+		l.flushes++
+	}
+}
+
+// waitPublished spins until the published prefix reaches target and
+// returns it. Caller holds l.mu.
+func (l *Log) waitPublished(limit, target uint64) uint64 {
 	for {
 		pub := l.publishedPrefix(limit)
 		if pub >= target {
-			if LSN(pub) > l.stableLSN {
-				l.stableLSN = LSN(pub)
-				l.flushes++
-			}
-			return
+			return pub
 		}
 		runtime.Gosched()
 	}
