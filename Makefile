@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/storage ./internal/wal ./internal/latch ./internal/core ./internal/lock ./internal/txn
+	$(GO) test -race ./internal/storage ./internal/wal ./internal/latch ./internal/core ./internal/lock ./internal/txn ./internal/tsb ./internal/spatial
 
 benchbuild:
 	$(GO) test -run '^$$' -bench '^$$' ./... >/dev/null
@@ -33,6 +33,8 @@ torture:
 
 ## bench: all microbenchmarks with allocation stats (root experiment
 ## benchmarks plus the lock/txn/wal substrate benchmarks). Set
-## BENCH_COUNT>1 for variance estimates.
+## BENCH_COUNT>1 for variance estimates. -cpu 1,4 runs the traversal
+## micro-benchmarks both uncontended and parallel; read 1-CPU numbers
+## with the caveat in bench_test.go.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1s -count $(BENCH_COUNT) ./...
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1s -cpu 1,4 -count $(BENCH_COUNT) ./...

@@ -66,8 +66,9 @@ func (a coreTort) drain()        { a.t.DrainCompletions() }
 func (a coreTort) close()        { a.t.Close() }
 func (a coreTort) verify() error { _, err := a.t.Verify(); return err }
 
-func coreTortOpts() core.Options {
-	return core.Options{LeafCapacity: 6, IndexCapacity: 6, Consolidation: true, CompletionWorkers: 2}
+func coreTortOpts(pessimistic bool) core.Options {
+	return core.Options{LeafCapacity: 6, IndexCapacity: 6, Consolidation: true, CompletionWorkers: 2,
+		PessimisticDescent: pessimistic}
 }
 
 // --- TSB-tree adapter ---------------------------------------------------
@@ -85,8 +86,9 @@ func (a tsbTort) drain()        { a.t.DrainCompletions() }
 func (a tsbTort) close()        { a.t.Close() }
 func (a tsbTort) verify() error { _, err := a.t.Verify(); return err }
 
-func tsbTortOpts() tsb.Options {
-	return tsb.Options{DataCapacity: 6, IndexCapacity: 6, CompletionWorkers: 2}
+func tsbTortOpts(pessimistic bool) tsb.Options {
+	return tsb.Options{DataCapacity: 6, IndexCapacity: 6, CompletionWorkers: 2,
+		PessimisticDescent: pessimistic}
 }
 
 // --- spatial hB-tree adapter -------------------------------------------
@@ -114,91 +116,104 @@ func (a spatialTort) drain()        { a.t.DrainCompletions() }
 func (a spatialTort) close()        { a.t.Close() }
 func (a spatialTort) verify() error { _, err := a.t.Verify(); return err }
 
-func spatialTortOpts() spatial.Options {
-	return spatial.Options{DataCapacity: 6, IndexCapacity: 6, CompletionWorkers: 2}
+func spatialTortOpts(pessimistic bool) spatial.Options {
+	return spatial.Options{DataCapacity: 6, IndexCapacity: 6, CompletionWorkers: 2,
+		PessimisticDescent: pessimistic}
 }
 
+// tortureKinds lists each access method twice: with the default
+// optimistic (version-validated) descent and with the fully latched
+// descent, so every fault in the menu is crossed with both navigation
+// disciplines.
 func tortureKinds() []treeKind {
-	return []treeKind{
-		{
-			name: "core",
-			create: func(e *engine.Engine) (tortTree, error) {
-				b := core.Register(e.Reg, e.Opts.PageOriented)
-				st := e.AddStore(tortureStoreID, core.Codec{})
-				t, err := core.Create(st, e.TM, e.Locks, b, "tort", coreTortOpts())
-				if err != nil {
-					return nil, err
-				}
-				return coreTort{t}, nil
+	var kinds []treeKind
+	for _, m := range []struct {
+		suffix      string
+		pessimistic bool
+	}{{"", false}, {"-latched", true}} {
+		pess := m.pessimistic
+		kinds = append(kinds,
+			treeKind{
+				name: "core" + m.suffix,
+				create: func(e *engine.Engine) (tortTree, error) {
+					b := core.Register(e.Reg, e.Opts.PageOriented)
+					st := e.AddStore(tortureStoreID, core.Codec{})
+					t, err := core.Create(st, e.TM, e.Locks, b, "tort", coreTortOpts(pess))
+					if err != nil {
+						return nil, err
+					}
+					return coreTort{t}, nil
+				},
+				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
+					b := core.Register(e.Reg, e.Opts.PageOriented)
+					st := e.AttachStore(tortureStoreID, core.Codec{}, img.Disks[tortureStoreID])
+					p, err := e.AnalyzeAndRedo()
+					if err != nil {
+						return nil, err
+					}
+					pend.finish = func() error { return e.FinishRecovery(p) }
+					t, err := core.Open(st, e.TM, e.Locks, b, "tort", coreTortOpts(pess))
+					if err != nil {
+						return nil, err
+					}
+					return coreTort{t}, nil
+				},
 			},
-			open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
-				b := core.Register(e.Reg, e.Opts.PageOriented)
-				st := e.AttachStore(tortureStoreID, core.Codec{}, img.Disks[tortureStoreID])
-				p, err := e.AnalyzeAndRedo()
-				if err != nil {
-					return nil, err
-				}
-				pend.finish = func() error { return e.FinishRecovery(p) }
-				t, err := core.Open(st, e.TM, e.Locks, b, "tort", coreTortOpts())
-				if err != nil {
-					return nil, err
-				}
-				return coreTort{t}, nil
+			treeKind{
+				name: "tsb" + m.suffix,
+				create: func(e *engine.Engine) (tortTree, error) {
+					b := tsb.Register(e.Reg)
+					st := e.AddStore(tortureStoreID, tsb.Codec{})
+					t, err := tsb.Create(st, e.TM, e.Locks, b, "tort", tsbTortOpts(pess))
+					if err != nil {
+						return nil, err
+					}
+					return tsbTort{t}, nil
+				},
+				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
+					b := tsb.Register(e.Reg)
+					st := e.AttachStore(tortureStoreID, tsb.Codec{}, img.Disks[tortureStoreID])
+					p, err := e.AnalyzeAndRedo()
+					if err != nil {
+						return nil, err
+					}
+					pend.finish = func() error { return e.FinishRecovery(p) }
+					t, err := tsb.Open(st, e.TM, e.Locks, b, "tort", tsbTortOpts(pess))
+					if err != nil {
+						return nil, err
+					}
+					return tsbTort{t}, nil
+				},
 			},
-		},
-		{
-			name: "tsb",
-			create: func(e *engine.Engine) (tortTree, error) {
-				b := tsb.Register(e.Reg)
-				st := e.AddStore(tortureStoreID, tsb.Codec{})
-				t, err := tsb.Create(st, e.TM, e.Locks, b, "tort", tsbTortOpts())
-				if err != nil {
-					return nil, err
-				}
-				return tsbTort{t}, nil
+			treeKind{
+				name: "spatial" + m.suffix,
+				create: func(e *engine.Engine) (tortTree, error) {
+					b := spatial.Register(e.Reg)
+					st := e.AddStore(tortureStoreID, spatial.Codec{})
+					t, err := spatial.Create(st, e.TM, e.Locks, b, "tort", spatialTortOpts(pess))
+					if err != nil {
+						return nil, err
+					}
+					return spatialTort{t}, nil
+				},
+				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
+					b := spatial.Register(e.Reg)
+					st := e.AttachStore(tortureStoreID, spatial.Codec{}, img.Disks[tortureStoreID])
+					p, err := e.AnalyzeAndRedo()
+					if err != nil {
+						return nil, err
+					}
+					pend.finish = func() error { return e.FinishRecovery(p) }
+					t, err := spatial.Open(st, e.TM, e.Locks, b, "tort", spatialTortOpts(pess))
+					if err != nil {
+						return nil, err
+					}
+					return spatialTort{t}, nil
+				},
 			},
-			open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
-				b := tsb.Register(e.Reg)
-				st := e.AttachStore(tortureStoreID, tsb.Codec{}, img.Disks[tortureStoreID])
-				p, err := e.AnalyzeAndRedo()
-				if err != nil {
-					return nil, err
-				}
-				pend.finish = func() error { return e.FinishRecovery(p) }
-				t, err := tsb.Open(st, e.TM, e.Locks, b, "tort", tsbTortOpts())
-				if err != nil {
-					return nil, err
-				}
-				return tsbTort{t}, nil
-			},
-		},
-		{
-			name: "spatial",
-			create: func(e *engine.Engine) (tortTree, error) {
-				b := spatial.Register(e.Reg)
-				st := e.AddStore(tortureStoreID, spatial.Codec{})
-				t, err := spatial.Create(st, e.TM, e.Locks, b, "tort", spatialTortOpts())
-				if err != nil {
-					return nil, err
-				}
-				return spatialTort{t}, nil
-			},
-			open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
-				b := spatial.Register(e.Reg)
-				st := e.AttachStore(tortureStoreID, spatial.Codec{}, img.Disks[tortureStoreID])
-				p, err := e.AnalyzeAndRedo()
-				if err != nil {
-					return nil, err
-				}
-				pend.finish = func() error { return e.FinishRecovery(p) }
-				t, err := spatial.Open(st, e.TM, e.Locks, b, "tort", spatialTortOpts())
-				if err != nil {
-					return nil, err
-				}
-				return spatialTort{t}, nil
-			},
-		},
+		)
 	}
+	return kinds
 }
 
 // --- failure menu -------------------------------------------------------

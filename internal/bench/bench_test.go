@@ -3,8 +3,11 @@ package bench
 import (
 	"bytes"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/keys"
 )
 
@@ -52,6 +55,46 @@ func TestExperimentsSmoke(t *testing.T) {
 		}
 	}
 }
+
+// Traversal micro-benchmarks: the interior-descent cost of a point
+// lookup, optimistic vs fully latched. Run with `-cpu 1,4` (the Makefile
+// bench target does): the optimistic path's advantage is contended latch
+// traffic it avoids, so 1-CPU numbers understate it badly — with a
+// single P there is no latch contention to remove, and the two variants
+// should be read as a sanity floor, not a speedup claim. The multi-CPU
+// variant is the measurement.
+func benchmarkSearchDescent(b *testing.B, pessimistic bool) {
+	const preload = 50_000
+	pi := NewPiTree(engine.Options{}, core.Options{
+		LeafCapacity:       64,
+		IndexCapacity:      64,
+		Consolidation:      true,
+		CompletionWorkers:  2,
+		PessimisticDescent: pessimistic,
+	})
+	defer pi.Close()
+	Preload(pi, preload)
+	pi.T.DrainCompletions()
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, 0, 64)
+		base := seq.Add(0x9E3779B97F4A7C15)
+		i := uint64(0)
+		for pb.Next() {
+			k := ((base + i) % preload) * 2
+			i++
+			v, ok, err := pi.T.SearchInto(nil, keys.Uint64(k), buf)
+			if err != nil || !ok {
+				b.Fatalf("search %d: found=%v err=%v", k, ok, err)
+			}
+			buf = v[:0]
+		}
+	})
+}
+
+func BenchmarkSearchDescentOptimistic(b *testing.B) { benchmarkSearchDescent(b, false) }
+func BenchmarkSearchDescentLatched(b *testing.B)   { benchmarkSearchDescent(b, true) }
 
 // TestPercentileDur pins the percentile helper.
 func TestPercentileDur(t *testing.T) {

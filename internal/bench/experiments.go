@@ -82,9 +82,17 @@ func runScaling(w io.Writer, p Params, mix Mix, id, title string) {
 			p.Report.Add(id, fmt.Sprintf("%s/threads=%d", method.Name, tc), r.OpsPerSec(), "ops/s")
 			if pt, ok := kv.(*PiTree); ok {
 				s := pt.PoolStats()
+				ts := pt.T.Stats.Snapshot()
+				optRatio := 0.0
+				if ts.OptimisticHits+ts.OptimisticRetries > 0 {
+					optRatio = float64(ts.OptimisticHits) / float64(ts.OptimisticHits+ts.OptimisticRetries)
+				}
+				p.Report.Add(id, fmt.Sprintf("%s/threads=%d/opt-hit-ratio", method.Name, tc), optRatio, "ratio")
+				p.Report.Add(id, fmt.Sprintf("%s/threads=%d/opt-fallbacks", method.Name, tc), float64(ts.OptimisticFallbacks), "count")
 				poolLines = append(poolLines, fmt.Sprintf(
-					"  threads=%-2d hits=%d misses=%d evictions=%d hit-ratio=%.2f%%",
-					tc, s.Hits, s.Misses, s.Evictions, 100*s.HitRatio()))
+					"  threads=%-2d hits=%d misses=%d evictions=%d hit-ratio=%.2f%% opt-hits=%d opt-retries=%d opt-fallbacks=%d opt-hit-ratio=%.2f%%",
+					tc, s.Hits, s.Misses, s.Evictions, 100*s.HitRatio(),
+					ts.OptimisticHits, ts.OptimisticRetries, ts.OptimisticFallbacks, 100*optRatio))
 			}
 			closer()
 			rows[method.Name] = append(rows[method.Name], r)
@@ -165,6 +173,8 @@ func T3SMORate(w io.Writer, p Params) {
 		Preload(kv, p.Preload/10)
 		lat := measureSearchLatency(kv, p.Preload/10, p.OpsPerThread/4)
 		closer()
+		p.Report.Add("T3b", method.Name+"/p50", float64(percentileDur(lat, 50).Nanoseconds()), "ns")
+		p.Report.Add("T3b", method.Name+"/p99", float64(percentileDur(lat, 99).Nanoseconds()), "ns")
 		fmt.Fprintf(w, "%-16s%12v%12v%12v%14v\n", method.Name,
 			percentileDur(lat, 50), percentileDur(lat, 99), percentileDur(lat, 99.9), percentileDur(lat, 100))
 	}
@@ -218,10 +228,18 @@ func measureSearchLatency(kv KV, preloaded, inserts int) []time.Duration {
 		}()
 	}
 	var lat []time.Duration
+	si, hasSI := kv.(searchIntoKV)
+	buf := make([]byte, 0, 64)
 	for i := 0; i < 20000; i++ {
 		k := uint64(i%preloaded) * 2
 		t0 := time.Now()
-		kv.Search(keys.Uint64(k))
+		if hasSI {
+			if v, _ := si.SearchInto(keys.Uint64(k), buf); v != nil {
+				buf = v[:0]
+			}
+		} else {
+			kv.Search(keys.Uint64(k))
+		}
 		lat = append(lat, time.Since(t0))
 	}
 	close(stop)

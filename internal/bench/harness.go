@@ -59,6 +59,16 @@ func (p *PiTree) Search(k keys.Key) ([]byte, bool) {
 	return v, ok
 }
 
+// SearchInto implements searchIntoKV, exposing the tree's allocation-free
+// lookup to the driver.
+func (p *PiTree) SearchInto(k keys.Key, buf []byte) ([]byte, bool) {
+	v, ok, err := p.T.SearchInto(nil, k, buf)
+	if err != nil {
+		panic(err)
+	}
+	return v, ok
+}
+
 // Scan implements KV.
 func (p *PiTree) Scan(lo, hi keys.Key, fn func(k keys.Key, v []byte) bool) {
 	if err := p.T.RangeScan(nil, lo, hi, fn); err != nil {
@@ -83,6 +93,17 @@ func (p *PiTree) PoolStats() storage.PoolStats {
 		s.Evictions += ps.Evictions
 	}
 	return s
+}
+
+// searchIntoKV is an optional KV extension: a lookup that appends the
+// value to a caller-owned buffer instead of allocating a copy per hit.
+// The driver uses it when present so a method with an allocation-free
+// read path is measured through it; the returned slice is only read
+// before the worker's next operation. The baselines hand out uncopied
+// references from Search already, so this levels the field rather than
+// tilting it.
+type searchIntoKV interface {
+	SearchInto(k keys.Key, buf []byte) ([]byte, bool)
 }
 
 // Mix is an operation mix in percent; the remainder after Search and
@@ -128,12 +149,20 @@ func Run(kv KV, threads, opsPerThread, preloaded int, mix Mix) Result {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)*7919 + 17))
+			si, hasSI := kv.(searchIntoKV)
+			buf := make([]byte, 0, 64)
 			for i := 0; i < opsPerThread; i++ {
 				roll := rng.Intn(100)
 				switch {
 				case roll < mix.SearchPct:
 					k := uint64(rng.Intn(preloaded)) * 2
-					kv.Search(keys.Uint64(k))
+					if hasSI {
+						if v, _ := si.SearchInto(keys.Uint64(k), buf); v != nil {
+							buf = v[:0]
+						}
+					} else {
+						kv.Search(keys.Uint64(k))
+					}
 				case roll < mix.SearchPct+mix.InsertPct:
 					// Odd keys interleaved within the preloaded range:
 					// uniform pressure across all leaves (a monotone or

@@ -28,7 +28,7 @@ func (t *Tree) consolidate(task consolidateTask) {
 	t.Stats.ConsolidateTries.Add(1)
 	_ = t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		parent, err := t.descendTo(o, task.low, task.level+1, latch.U, false, nil)
 		if err != nil {
 			if errors.Is(err, errLevelGone) {
@@ -207,7 +207,7 @@ func (t *Tree) shrinkRoot() {
 	}
 	_ = t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		root, err := o.acquire(t.root, latch.U, maxLevel)
 		if err != nil {
 			return err

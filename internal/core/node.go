@@ -25,7 +25,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/enc"
 	"repro/internal/keys"
@@ -84,15 +83,26 @@ func (n *Node) DirectlyContains(k keys.Key) bool {
 }
 
 // search returns the position of k among the entries and whether an entry
-// with exactly key k exists.
+// with exactly key k exists. The binary search is written out rather than
+// going through sort.Search: node lookups run several times per descent
+// on every operation, and the explicit loop drops the closure call per
+// probe and exits on an exact match (keys are unique within a node), so a
+// hit costs one comparison per level of the search instead of a full
+// lower-bound pass plus an equality check.
 func (n *Node) search(k keys.Key) (int, bool) {
-	i := sort.Search(len(n.Entries), func(i int) bool {
-		return keys.Compare(n.Entries[i].Key, k) >= 0
-	})
-	if i < len(n.Entries) && keys.Equal(n.Entries[i].Key, k) {
-		return i, true
+	lo, hi := 0, len(n.Entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c := keys.Compare(n.Entries[mid].Key, k)
+		if c < 0 {
+			lo = mid + 1
+		} else if c > 0 {
+			hi = mid
+		} else {
+			return mid, true
+		}
 	}
-	return i, false
+	return lo, false
 }
 
 // childFor returns the index term covering k: the entry with the largest

@@ -35,29 +35,45 @@ func (o *opCtx) lockDance(r *nref, name lock.Name, mode lock.Mode) (restart bool
 // transaction the record is read under an S lock held to transaction end
 // (degree-3 reads); with nil it is a latched-only read.
 func (t *Tree) Search(tx *txn.Txn, key keys.Key) (val []byte, found bool, err error) {
+	return t.SearchInto(tx, key, nil)
+}
+
+// SearchInto is Search with caller-provided value storage: the record's
+// value is appended to buf (which may be nil) and the result returned,
+// so a caller reusing a scratch buffer across lookups pays no per-hit
+// allocation. The returned slice aliases buf's array when it had
+// capacity. Locking semantics match Search.
+func (t *Tree) SearchInto(tx *txn.Txn, key keys.Key, buf []byte) (val []byte, found bool, err error) {
 	t.Stats.Searches.Add(1)
-	err = t.retryLoop(func() error {
+	// The retry loop is written out instead of going through t.retryLoop:
+	// a closure there would capture key/buf/val and is the one heap
+	// allocation left on the point-lookup path (see TestSearchIntoAllocs).
+	for {
 		o := t.newOp(tx)
-		defer o.tr.AssertNoneHeld()
 		leaf, err := t.descendTo(o, key, 0, latch.S, true, nil)
-		if err != nil {
-			return err
+		if err == nil {
+			var restart bool
+			restart, err = o.lockDance(&leaf, t.recLockName(key), lock.S)
+			if err == nil && restart {
+				err = errRetry // lock acquired; redo the descent under it
+			}
+			if err == nil {
+				if i, ok := leaf.n.search(key); ok {
+					val = append(buf[:0], leaf.n.Entries[i].Value...)
+					found = true
+				}
+				o.release(&leaf)
+				o.done()
+				return val, found, nil
+			}
 		}
-		if restart, err := o.lockDance(&leaf, t.recLockName(key), lock.S); err != nil {
-			return err
-		} else if restart {
-			return errRetry
+		o.done()
+		if errors.Is(err, errRetry) {
+			t.Stats.Restarts.Add(1)
+			continue
 		}
-		if i, ok := leaf.n.search(key); ok {
-			val = append([]byte(nil), leaf.n.Entries[i].Value...)
-			found = true
-		} else {
-			val, found = nil, false
-		}
-		o.release(&leaf)
-		return nil
-	})
-	return val, found, err
+		return nil, false, err
+	}
 }
 
 // Insert adds key with value. It returns ErrKeyExists if the key is
@@ -122,7 +138,7 @@ func (t *Tree) Delete(tx *txn.Txn, key keys.Key) error {
 func (t *Tree) modify(tx *txn.Txn, key keys.Key, apply func(o *opCtx, leaf *nref, lg storage.UpdateLogger) error) error {
 	return t.retryLoop(func() error {
 		o := t.newOp(tx)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		path := newPath()
 		leaf, err := t.descendTo(o, key, 0, latch.U, true, path)
 		if err != nil {
@@ -546,7 +562,7 @@ func (t *Tree) RangeScan(tx *txn.Txn, lo, hi keys.Key, fn func(k keys.Key, v []b
 		err := t.retryLoop(func() error {
 			batch = batch[:0]
 			o := t.newOp(tx)
-			defer o.tr.AssertNoneHeld()
+			defer o.done()
 			leaf, err := t.descendTo(o, cursor, 0, latch.S, true, nil)
 			if err != nil {
 				return err

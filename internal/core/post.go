@@ -18,7 +18,7 @@ func (t *Tree) postIndexTerm(task postTask) {
 	t.Stats.PostAttempts.Add(1)
 	err := t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 
 		// Step 1 — Search: reach the U-latched NODE at LEVEL whose
 		// directly contained space includes KEY, exploiting the saved

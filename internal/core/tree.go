@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +61,11 @@ type Options struct {
 	// IndexHold, when set, records hold durations of U/X latches on index
 	// nodes (levels >= 1) for experiment T6.
 	IndexHold *latch.HoldTimer
+	// PessimisticDescent disables the optimistic (version-validated)
+	// interior descent, forcing every traversal onto the fully latched
+	// path. Comparison benchmarks and targeted tests use it; leave false
+	// for normal operation.
+	PessimisticDescent bool
 }
 
 func (o Options) normalized() Options {
@@ -109,6 +115,14 @@ type Stats struct {
 	Restarts          atomic.Int64 // operation-level retries
 	InTxnSplits       atomic.Int64 // page-oriented splits inside the updating txn
 	MoveLockWaits     atomic.Int64
+	// Optimistic-descent counters: interior-node visits served from a
+	// validated published snapshot (hits), visits that had to refresh the
+	// snapshot under a brief S latch or failed post-fetch validation
+	// (retries), and whole descents abandoned to the latched path
+	// (fallbacks).
+	OptimisticHits      atomic.Int64
+	OptimisticRetries   atomic.Int64
+	OptimisticFallbacks atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -121,6 +135,8 @@ type StatsSnapshot struct {
 	Consolidations, ConsolidateTries, RootShrinks      int64
 	PathVerifyHits, PathVerifyMisses                   int64
 	Restarts, InTxnSplits, MoveLockWaits               int64
+	OptimisticHits, OptimisticRetries                  int64
+	OptimisticFallbacks                                int64
 }
 
 // Snapshot returns a copy of all counters.
@@ -134,6 +150,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Consolidations: s.Consolidations.Load(), ConsolidateTries: s.ConsolidateTries.Load(), RootShrinks: s.RootShrinks.Load(),
 		PathVerifyHits: s.PathVerifyHits.Load(), PathVerifyMisses: s.PathVerifyMisses.Load(),
 		Restarts: s.Restarts.Load(), InTxnSplits: s.InTxnSplits.Load(), MoveLockWaits: s.MoveLockWaits.Load(),
+		OptimisticHits: s.OptimisticHits.Load(), OptimisticRetries: s.OptimisticRetries.Load(),
+		OptimisticFallbacks: s.OptimisticFallbacks.Load(),
 	}
 }
 
@@ -155,6 +173,17 @@ type Tree struct {
 	opts    Options
 	root    storage.PageID
 	comp    *completer
+
+	// opPool recycles opCtx values across operations; see newOp/done.
+	opPool sync.Pool
+
+	// rootf caches the root's buffer frame with one permanent pin, taken
+	// lazily on first use and dropped by Close. The root page ID is fixed
+	// for the tree's lifetime and the root node is never de-allocated, so
+	// the frame never goes stale; the cache turns the hottest fetch of
+	// every descent — the root, visited by every operation — into a single
+	// atomic load instead of a page-table lookup.
+	rootf atomic.Pointer[storage.Frame]
 
 	// Stats are the tree's event counters.
 	Stats Stats
@@ -185,6 +214,7 @@ func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding,
 	}
 	aa := tm.BeginAtomicAction()
 	o := t.newOp(aa)
+	defer o.done()
 
 	if f, err := store.Pool.Fetch(storage.MetaPage); err == nil {
 		store.Pool.Unpin(f)
@@ -247,9 +277,39 @@ func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, n
 }
 
 // Close stops the tree's background completion workers and waits for
-// in-flight completing actions to finish.
+// in-flight completing actions to finish. It also drops the cached root
+// pin (a straggling operation may briefly re-cache it; the pin is
+// process-local bookkeeping, so that is harmless).
 func (t *Tree) Close() {
 	t.comp.stop()
+	if f := t.rootf.Swap(nil); f != nil {
+		t.store.Pool.Unpin(f)
+	}
+}
+
+// rootFrame returns the root's frame, pinned for the caller, via the
+// cache in t.rootf. The first call fetches and keeps one extra permanent
+// pin; later calls re-pin the cached frame (safe: the permanent pin keeps
+// the count non-zero, see Frame.Pin).
+func (t *Tree) rootFrame() (*storage.Frame, error) {
+	if f := t.rootf.Load(); f != nil {
+		f.Pin()
+		return f, nil
+	}
+	f, err := t.store.Pool.Fetch(t.root)
+	if err != nil {
+		return nil, err
+	}
+	if !t.rootf.CompareAndSwap(nil, f) {
+		// Lost the race to cache; use the winner's entry (the same frame —
+		// one page ID maps to one buffered frame) and return our fetch pin
+		// as the caller's.
+		return f, nil
+	}
+	// Our fetch pin becomes the cache's permanent pin; take another for
+	// the caller.
+	f.Pin()
+	return f, nil
 }
 
 // DrainCompletions blocks until every scheduled completing action has been
@@ -282,6 +342,8 @@ func (t *Tree) pageLockName(pid storage.PageID) lock.Name {
 // opCtx carries per-operation latch-order state. Ranks are derived from
 // the tree level (parents before children) plus a per-operation sequence
 // number (containing nodes before contained nodes along a side chain).
+// Contexts are pooled per tree: obtain one with newOp, return it with
+// done (which also asserts no latches leaked).
 type opCtx struct {
 	t   *Tree
 	txn *txn.Txn // nil for plain reads outside any transaction
@@ -290,7 +352,23 @@ type opCtx struct {
 }
 
 func (t *Tree) newOp(tx *txn.Txn) *opCtx {
-	return &opCtx{t: t, txn: tx, tr: latch.Tracker{Enabled: t.opts.CheckLatchOrder}}
+	o, _ := t.opPool.Get().(*opCtx)
+	if o == nil {
+		o = new(opCtx)
+	}
+	o.t = t
+	o.txn = tx
+	o.seq = 0
+	o.tr.Reset(t.opts.CheckLatchOrder)
+	return o
+}
+
+// done asserts the operation released everything and returns the context
+// to the tree's pool. Callers must not touch o afterwards.
+func (o *opCtx) done() {
+	o.tr.AssertNoneHeld()
+	o.txn = nil
+	o.t.opPool.Put(o)
 }
 
 // maxLevel bounds the tree height for rank arithmetic.
@@ -419,11 +497,25 @@ var errLevelGone = errors.New("core: target level no longer exists")
 
 // descendTo walks from the root to the node at stopLevel whose directly
 // contained space includes key, returning it latched in finalMode along
-// with the remembered path. Latch discipline follows the invariant in
-// force: CP couples (two latches held across each edge), CNS holds one
-// latch at a time. Side-pointer traversals below the root trigger lazy
-// completion scheduling when sched is true (§5.1).
+// with the remembered path. Interior levels are navigated optimistically
+// (version-validated snapshot reads, no latches, no pins held across
+// levels); after bounded validation failures the whole descent falls
+// back to the fully latched discipline. Side-pointer traversals below
+// the root trigger lazy completion scheduling when sched is true (§5.1).
 func (t *Tree) descendTo(o *opCtx, key keys.Key, stopLevel int, finalMode latch.Mode, sched bool, path *Path) (nref, error) {
+	if !t.opts.PessimisticDescent {
+		if r, err, ok := t.descendOptimistic(o, key, stopLevel, finalMode, sched, path); ok {
+			return r, err
+		}
+		t.Stats.OptimisticFallbacks.Add(1)
+	}
+	return t.descendLatched(o, key, stopLevel, finalMode, sched, path)
+}
+
+// descendLatched is the fully latched descent. Latch discipline follows
+// the invariant in force: CP couples (two latches held across each
+// edge), CNS holds one latch at a time.
+func (t *Tree) descendLatched(o *opCtx, key keys.Key, stopLevel int, finalMode latch.Mode, sched bool, path *Path) (nref, error) {
 	// The root is acquired in finalMode directly when it is the target;
 	// its level is only known once latched, so retry on mismatch.
 	cur, err := o.acquire(t.root, latch.S, maxLevel)
@@ -448,7 +540,14 @@ func (t *Tree) descendTo(o *opCtx, key keys.Key, stopLevel int, finalMode latch.
 			return nref{}, errRetry
 		}
 	}
+	return t.descendFrom(o, cur, key, stopLevel, finalMode, sched, path)
+}
 
+// descendFrom continues a latched descent from cur (already latched, at
+// or above stopLevel) down to the stopLevel node directly containing
+// key. The optimistic descent also lands here for the final level's side
+// traversal, which always runs latched.
+func (t *Tree) descendFrom(o *opCtx, cur nref, key keys.Key, stopLevel int, finalMode latch.Mode, sched bool, path *Path) (nref, error) {
 	for {
 		// Side traversal: the key has been delegated to a sibling.
 		for !cur.n.DirectlyContains(key) {
@@ -497,6 +596,257 @@ func (t *Tree) descendTo(o *opCtx, key keys.Key, stopLevel int, finalMode latch.
 		}
 		cur = next
 	}
+}
+
+// --- optimistic descent ------------------------------------------------------
+
+// optRetries bounds full-descent restarts after validation failures
+// before the operation falls back to the latched path. Restarting from
+// the root is cheap (a handful of atomic loads per level), so a small
+// budget absorbs transient SMO interference without risking livelock
+// against a write-heavy run.
+const optRetries = 3
+
+// navRef is an unlatched, pinned view of a node: an immutable snapshot n
+// proved current at latch version v. The pin keeps the frame (and its
+// version counter) from being recycled while the reference is live.
+type navRef struct {
+	f *storage.Frame
+	n *Node
+	v uint64
+}
+
+// optCounters accumulates a descent's snapshot-read outcomes locally so
+// the hot path touches the shared Stats words once per operation instead
+// of once per level (on a multicore run those are contended cache lines).
+type optCounters struct {
+	hits    int64
+	retries int64
+}
+
+// navLoad returns a validated snapshot of the pinned frame f. The fast
+// path is three atomic loads (published snapshot, version check); when
+// the published snapshot is missing or stale a brief S latch refreshes
+// it — the only latch traffic an optimistic descent ever generates, paid
+// once per node mutation rather than once per visit. ok is false when
+// the frame does not hold a node (the caller falls back to the latched
+// path, which surfaces the real error).
+func (t *Tree) navLoad(f *storage.Frame, c *optCounters) (navRef, bool) {
+	if data, pub, ok := f.NavSnapshot(); ok {
+		if v, quiet := f.Latch.OptimisticRead(); quiet && v == pub {
+			n, isNode := data.(*Node)
+			if !isNode {
+				return navRef{}, false
+			}
+			c.hits++
+			return navRef{f: f, n: n, v: v}, true
+		}
+		c.retries++
+	}
+	f.Latch.AcquireS()
+	n, isNode := f.Data.(*Node)
+	if !isNode {
+		f.Latch.ReleaseS()
+		return navRef{}, false
+	}
+	snap := n.clone()
+	v := f.Latch.Version()
+	f.PublishNav(snap, v)
+	f.Latch.ReleaseS()
+	return navRef{f: f, n: snap, v: v}, true
+}
+
+// descendOptimistic runs bounded optimistic passes from the root; ok is
+// false when the budget is exhausted (or a frame held a non-node) and
+// the caller must fall back to the latched descent.
+func (t *Tree) descendOptimistic(o *opCtx, key keys.Key, stopLevel int, finalMode latch.Mode, sched bool, path *Path) (nref, error, bool) {
+	var c optCounters
+	r, err, ok := nref{}, error(nil), false
+	for attempt := 0; attempt <= optRetries; attempt++ {
+		var done bool
+		r, err, done = t.optPass(o, &c, key, stopLevel, finalMode, sched, path)
+		if done {
+			ok = true
+			break
+		}
+	}
+	if c.hits > 0 {
+		t.Stats.OptimisticHits.Add(c.hits)
+	}
+	if c.retries > 0 {
+		t.Stats.OptimisticRetries.Add(c.retries)
+	}
+	return r, err, ok
+}
+
+// optPass is one optimistic descent from the root. done is false when a
+// validation failure (or non-node frame) aborted the pass; the caller
+// restarts or falls back. The protocol per edge, following Lomet &
+// Salzberg's well-formedness argument (§3-§4, see DESIGN.md):
+//
+//  1. read the source node through a validated snapshot (navLoad);
+//  2. pin the target frame named by the snapshot;
+//  3. load the target's own validated snapshot;
+//  4. re-validate the source's version, with the source still pinned.
+//
+// Step 4 closes the free/re-allocate window: every de-allocation of a
+// node is preceded — inside the same atomic action, under X latches — by
+// removing the last reference to it (the parent's index term, or the
+// left sibling's side pointer), so an unchanged source proves the target
+// was still live when step 3 read it. A target snapshot so validated is
+// exactly what a latched reader could have seen, and side pointers make
+// any such well-formed state navigable. Leaves are never read
+// optimistically: the final node is latched in finalMode (then the
+// source is re-validated), keeping the No-Wait rule, move locks, and
+// degree-3 locking untouched.
+func (t *Tree) optPass(o *opCtx, c *optCounters, key keys.Key, stopLevel int, finalMode latch.Mode, sched bool, path *Path) (nref, error, bool) {
+	pool := t.store.Pool
+	f, err := t.rootFrame()
+	if err != nil {
+		return nref{}, err, true
+	}
+	cur, ok := t.navLoad(f, c)
+	if !ok {
+		pool.Unpin(f)
+		return nref{}, nil, false
+	}
+	if cur.n.Level < stopLevel {
+		pool.Unpin(f)
+		return nref{}, errLevelGone, true
+	}
+	if cur.n.Level == stopLevel {
+		// The root is the target. It never moves and is never
+		// de-allocated, so no source validation is needed — just latch it
+		// and re-check the level like the latched path does.
+		lvl := cur.n.Level
+		pool.Unpin(f)
+		r, err := o.acquire(t.root, finalMode, lvl)
+		if err != nil {
+			return nref{}, err, true
+		}
+		if r.n.Level != stopLevel {
+			o.release(&r)
+			return nref{}, errRetry, true
+		}
+		r2, err := t.descendFrom(o, r, key, stopLevel, finalMode, sched, path)
+		return r2, err, true
+	}
+
+	for {
+		// Side traversal on validated snapshots.
+		if !cur.n.DirectlyContains(key) {
+			if cur.n.Low != nil && keys.Compare(key, cur.n.Low) < 0 {
+				pool.Unpin(cur.f)
+				return nref{}, errRetry, true
+			}
+			sib := cur.n.Right
+			if sib == storage.NilPage {
+				pool.Unpin(cur.f)
+				return nref{}, errRetry, true
+			}
+			t.Stats.SideTraversals.Add(1)
+			if sched {
+				t.noteIncomplete(o, cur.n, cur.f.ID, path)
+			}
+			next, err, done := t.optStep(cur, c, sib, cur.n.Level)
+			if !done {
+				return nref{}, nil, false
+			}
+			if err != nil {
+				return nref{}, err, true
+			}
+			cur = next
+			continue
+		}
+
+		e, ok := cur.n.childFor(key)
+		if !ok {
+			pool.Unpin(cur.f)
+			return nref{}, errRetry, true
+		}
+		childLevel := cur.n.Level - 1
+		if path != nil {
+			path.set(cur.n.Level, cur.f.ID, cur.f.PageLSN())
+		}
+		if childLevel == stopLevel {
+			// Final edge: latch the child in finalMode, then prove the
+			// parent still references it before trusting it.
+			r, err := o.acquire(e.Child, finalMode, childLevel)
+			if err != nil {
+				stale := !cur.f.Latch.Validate(cur.v)
+				pool.Unpin(cur.f)
+				if stale {
+					return nref{}, nil, false
+				}
+				return nref{}, err, true
+			}
+			if !cur.f.Latch.Validate(cur.v) {
+				o.release(&r)
+				pool.Unpin(cur.f)
+				return nref{}, nil, false
+			}
+			pool.Unpin(cur.f)
+			if r.n.Dead {
+				o.release(&r)
+				return nref{}, errRetry, true
+			}
+			if r.n.Level != stopLevel {
+				o.release(&r)
+				return nref{}, nil, false
+			}
+			r2, err := t.descendFrom(o, r, key, stopLevel, finalMode, sched, path)
+			return r2, err, true
+		}
+		next, err, done := t.optStep(cur, c, e.Child, childLevel)
+		if !done {
+			return nref{}, nil, false
+		}
+		if err != nil {
+			return nref{}, err, true
+		}
+		cur = next
+	}
+}
+
+// optStep follows one validated edge from cur to pid (expected at
+// level): pin the target, snapshot it, then re-validate the source (see
+// optPass steps 2-4). cur's pin is consumed. done=false aborts the pass
+// on validation failure; a non-nil error is terminal for the operation.
+func (t *Tree) optStep(cur navRef, c *optCounters, pid storage.PageID, level int) (navRef, error, bool) {
+	pool := t.store.Pool
+	nf, err := pool.Fetch(pid)
+	if err != nil {
+		// The pointer came from a validated snapshot, but the target may
+		// have been freed since; distinguish a stale pointer from a real
+		// I/O error by re-validating the source.
+		stale := !cur.f.Latch.Validate(cur.v)
+		pool.Unpin(cur.f)
+		if stale {
+			return navRef{}, nil, false
+		}
+		return navRef{}, err, true
+	}
+	next, ok := t.navLoad(nf, c)
+	if !ok || !cur.f.Latch.Validate(cur.v) {
+		pool.Unpin(nf)
+		pool.Unpin(cur.f)
+		return navRef{}, nil, false
+	}
+	pool.Unpin(cur.f)
+	if next.n.Dead {
+		// Strategy (b) leaves de-allocated nodes marked; a pointer read
+		// before the consolidation committed can still land here. Retry
+		// from the root, as the latched step does.
+		pool.Unpin(nf)
+		return navRef{}, errRetry, true
+	}
+	if next.n.Level != level {
+		// Defense in depth: a validated chain cannot produce a level
+		// mismatch (see optPass), so treat one as staleness.
+		pool.Unpin(nf)
+		return navRef{}, nil, false
+	}
+	return next, nil, true
 }
 
 // step moves from *cur to pid, applying the coupling discipline: under CP

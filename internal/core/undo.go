@@ -39,7 +39,7 @@ func (t *Tree) logicalUndoDelete(rec *wal.Record, k keys.Key) error {
 	}
 	return t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		leaf, err := t.descendTo(o, k, 0, latch.U, false, nil)
 		if err != nil {
 			return err
@@ -71,7 +71,7 @@ func (t *Tree) logicalUndoInsert(rec *wal.Record, k keys.Key, v []byte) error {
 	}
 	return t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		path := newPath()
 		leaf, err := t.descendTo(o, k, 0, latch.U, false, path)
 		if err != nil {
@@ -108,7 +108,7 @@ func (t *Tree) logicalUndoUpdate(rec *wal.Record, k keys.Key, oldVal []byte) err
 	}
 	return t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		leaf, err := t.descendTo(o, k, 0, latch.U, false, nil)
 		if err != nil {
 			return err

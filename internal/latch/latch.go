@@ -16,11 +16,38 @@
 // The package enforces rule 2 mechanically (promotion is only available
 // through the U handle) and offers an optional per-goroutine order checker
 // (see Tracker) that test builds use to assert rule 1.
+//
+// # Version counter and optimistic reads
+//
+// Every latch carries a monotonically increasing version counter with
+// seqlock parity semantics: the counter is bumped once when exclusive
+// access is granted (AcquireX, a successful TryAcquireX, or a U->X
+// Promote), making it odd, and once when exclusive access ends (ReleaseX
+// or an X->U Demote), making it even again. S and U transitions do not
+// touch it — only transitions that change whether the protected data may
+// be mutated do. The counter therefore encodes two facts at once:
+//
+//   - parity: an odd value means a writer holds X right now;
+//   - history: any change between two reads means a writer held X in
+//     between, so data derived from the first read may be stale.
+//
+// OptimisticRead returns the current version and whether it is even
+// (quiescent); Validate re-reads the counter and reports whether it still
+// equals an earlier observation. A reader that captures an immutable
+// snapshot of the protected data together with an even version v can
+// later prove the snapshot current by Validate(v): the counter is
+// monotonic, so an unchanged value means no exclusive grant — and hence
+// no mutation — happened in between. Version reads the counter for
+// holders of an S or U latch, under which it is stable and even (a
+// promotion cannot complete while readers are present, and an X acquire
+// cannot complete while any hold exists).
 package latch
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Mode is a latch mode.
@@ -64,7 +91,19 @@ type Latch struct {
 	// xWait counts goroutines waiting for X or promoting U->X; while
 	// non-zero, new S requests queue behind them.
 	xWait int
+
+	// version is the seqlock-style counter documented in the package
+	// comment: bumped to odd when X is granted, back to even when X ends.
+	// All bumps happen while holding mu, but it is read without mu by
+	// optimistic readers, hence atomic.
+	version atomic.Uint64
 }
+
+// sAcquireSpins bounds the AcquireS fast path: a few try-then-yield
+// rounds before falling into the blocking (writer-fair) slow path. Spins
+// may barge past a pending X while other readers still hold the latch
+// (see TryAcquireS); the bound keeps that from starving the writer.
+const sAcquireSpins = 3
 
 func (l *Latch) init() {
 	if l.cond == nil {
@@ -72,8 +111,18 @@ func (l *Latch) init() {
 	}
 }
 
-// AcquireS takes the latch in share mode.
+// AcquireS takes the latch in share mode. A bounded try-then-yield fast
+// path lets short S holds ride out a transient X (or a pending promoter
+// that other readers are already holding out) without the full queue
+// dance; after sAcquireSpins rounds it blocks in the writer-fair slow
+// path, so a pending X still cannot be starved.
 func (l *Latch) AcquireS() {
+	for i := 0; i < sAcquireSpins; i++ {
+		if l.TryAcquireS() {
+			return
+		}
+		runtime.Gosched()
+	}
 	l.mu.Lock()
 	l.init()
 	for l.xHeld || l.xWait > 0 {
@@ -84,11 +133,17 @@ func (l *Latch) AcquireS() {
 }
 
 // TryAcquireS takes the latch in share mode if that is possible without
-// waiting, and reports whether it did.
+// waiting, and reports whether it did. A pending X (xWait > 0) fails the
+// attempt only when it could actually be granted next (no readers
+// present): while other readers still hold the latch the writer's drain
+// condition is false anyway, so admitting one more S hold does not delay
+// the grant it is queued behind — but refusing it would turn one pending
+// promoter into a stampede of failed try-latches. Once the last reader
+// leaves, pending writers again win over new try-acquires.
 func (l *Latch) TryAcquireS() bool {
 	l.mu.Lock()
 	l.init()
-	ok := !l.xHeld && l.xWait == 0
+	ok := !l.xHeld && (l.xWait == 0 || l.readers > 0)
 	if ok {
 		l.readers++
 	}
@@ -168,6 +223,7 @@ func (l *Latch) Promote() {
 	l.xWait--
 	l.uHeld = false
 	l.xHeld = true
+	l.version.Add(1) // even -> odd: exclusive access granted
 	l.mu.Unlock()
 }
 
@@ -182,6 +238,7 @@ func (l *Latch) Demote() {
 	}
 	l.xHeld = false
 	l.uHeld = true
+	l.version.Add(1) // odd -> even: exclusive access over
 	l.cond.Broadcast()
 	l.mu.Unlock()
 }
@@ -196,6 +253,7 @@ func (l *Latch) AcquireX() {
 	}
 	l.xWait--
 	l.xHeld = true
+	l.version.Add(1) // even -> odd: exclusive access granted
 	l.mu.Unlock()
 }
 
@@ -207,6 +265,7 @@ func (l *Latch) TryAcquireX() bool {
 	ok := !l.xHeld && !l.uHeld && l.readers == 0
 	if ok {
 		l.xHeld = true
+		l.version.Add(1) // even -> odd: exclusive access granted
 	}
 	l.mu.Unlock()
 	return ok
@@ -221,6 +280,7 @@ func (l *Latch) ReleaseX() {
 		panic("latch: ReleaseX with no X holder")
 	}
 	l.xHeld = false
+	l.version.Add(1) // odd -> even: exclusive access over
 	l.cond.Broadcast()
 	l.mu.Unlock()
 }
@@ -251,6 +311,34 @@ func (l *Latch) Release(m Mode) {
 	default:
 		panic("latch: unknown mode")
 	}
+}
+
+// OptimisticRead returns the latch's current version and whether it is
+// even, i.e. no exclusive holder exists at this instant. A reader that
+// goes on to examine data protected by the latch must hold an immutable
+// snapshot of it (published by a past holder) and afterwards confirm the
+// snapshot with Validate; OptimisticRead itself takes no mutex and
+// establishes no exclusion.
+func (l *Latch) OptimisticRead() (version uint64, ok bool) {
+	v := l.version.Load()
+	return v, v&1 == 0
+}
+
+// Validate reports whether the latch's version still equals an earlier
+// OptimisticRead (or Version) observation. Because the counter is
+// monotonic and every exclusive grant bumps it, true means no writer held
+// X between the two reads — anything derived from state current at the
+// first read is still current.
+func (l *Latch) Validate(version uint64) bool {
+	return l.version.Load() == version
+}
+
+// Version returns the current version counter. Under an S or U hold the
+// value is stable and even: no X grant can complete while the hold
+// exists, so it identifies the protected data's current state — the
+// natural tag for a snapshot taken under that hold.
+func (l *Latch) Version() uint64 {
+	return l.version.Load()
 }
 
 // Held reports a snapshot of whether any holder exists, for diagnostics

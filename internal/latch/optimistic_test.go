@@ -1,0 +1,213 @@
+package latch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVersionParity(t *testing.T) {
+	var l Latch
+	v0, ok := l.OptimisticRead()
+	if !ok || v0 != 0 {
+		t.Fatalf("fresh latch: version=%d ok=%v, want 0 true", v0, ok)
+	}
+
+	l.AcquireX()
+	if v, ok := l.OptimisticRead(); ok || v&1 == 0 {
+		t.Fatalf("under X: version=%d ok=%v, want odd and false", v, ok)
+	}
+	l.ReleaseX()
+	v1, ok := l.OptimisticRead()
+	if !ok || v1 != v0+2 {
+		t.Fatalf("after X cycle: version=%d ok=%v, want %d true", v1, ok, v0+2)
+	}
+	if l.Validate(v0) {
+		t.Fatal("Validate accepted a pre-write version")
+	}
+	if !l.Validate(v1) {
+		t.Fatal("Validate rejected the current version")
+	}
+
+	// S and U holds do not move the counter.
+	l.AcquireS()
+	l.ReleaseS()
+	l.AcquireU()
+	l.ReleaseU()
+	if v, _ := l.OptimisticRead(); v != v1 {
+		t.Fatalf("S/U cycle moved version to %d, want %d", v, v1)
+	}
+
+	// Promote bumps to odd, Demote back to even; a full U->X->U->release
+	// cycle costs exactly one write generation.
+	l.AcquireU()
+	l.Promote()
+	if v, ok := l.OptimisticRead(); ok || v != v1+1 {
+		t.Fatalf("after promote: version=%d ok=%v, want %d false", v, ok, v1+1)
+	}
+	l.Demote()
+	if v, ok := l.OptimisticRead(); !ok || v != v1+2 {
+		t.Fatalf("after demote: version=%d ok=%v, want %d true", v, ok, v1+2)
+	}
+	l.ReleaseU()
+
+	if !l.TryAcquireX() {
+		t.Fatal("TryAcquireX failed on a free latch")
+	}
+	if v, _ := l.OptimisticRead(); v&1 == 0 {
+		t.Fatalf("TryAcquireX did not bump version to odd (got %d)", v)
+	}
+	l.ReleaseX()
+}
+
+// TestVersionUnderSIsStable pins the Version contract navigation relies
+// on: under an S hold the counter is even and cannot move.
+func TestVersionUnderSIsStable(t *testing.T) {
+	var l Latch
+	l.AcquireS()
+	v := l.Version()
+	if v&1 != 0 {
+		t.Fatalf("version %d odd under S hold", v)
+	}
+	done := make(chan struct{})
+	go func() {
+		l.AcquireX() // must block until the S hold drops
+		l.ReleaseX()
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if !l.Validate(v) {
+		t.Fatal("version moved while S was held")
+	}
+	l.ReleaseS()
+	<-done
+	if l.Validate(v) {
+		t.Fatal("version did not move across the writer's X cycle")
+	}
+}
+
+// TestOptimisticReadDetectsWriter runs a seqlock-style torture: a writer
+// flips a two-word value under X while readers snapshot it between
+// OptimisticRead/Validate pairs. A validated read must never observe a
+// torn pair.
+func TestOptimisticReadDetectsWriter(t *testing.T) {
+	var l Latch
+	var a, b atomic.Uint64 // stand-ins for latch-protected state
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.AcquireX()
+			a.Store(i)
+			b.Store(i)
+			l.ReleaseX()
+		}
+	}()
+	validated, torn := 0, 0
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		v, ok := l.OptimisticRead()
+		if !ok {
+			continue
+		}
+		x, y := a.Load(), b.Load()
+		if !l.Validate(v) {
+			continue
+		}
+		validated++
+		if x != y {
+			torn++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if torn != 0 {
+		t.Fatalf("%d torn reads slipped through validation (of %d validated)", torn, validated)
+	}
+	if validated == 0 {
+		t.Fatal("no read ever validated; optimistic path unusable under writes")
+	}
+}
+
+// TestNoLostWakeups storms a latch with S acquirers (blocking and try),
+// U promoters and X writers, and then checks the latch is fully free: a
+// lost wakeup would strand a goroutine and fail the final acquisition or
+// the WaitGroup join. The barging TryAcquireS path must not starve the
+// writers either — every writer must finish its quota.
+func TestNoLostWakeups(t *testing.T) {
+	var l Latch
+	const (
+		readers   = 8
+		writers   = 4
+		promoters = 2
+		rounds    = 500
+	)
+	var sGrants, xGrants atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if r%2 == 0 {
+					l.AcquireS()
+				} else if !l.TryAcquireS() {
+					continue
+				}
+				sGrants.Add(1)
+				l.ReleaseS()
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				l.AcquireX()
+				xGrants.Add(1)
+				l.ReleaseX()
+			}
+		}()
+	}
+	for i := 0; i < promoters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				l.AcquireU()
+				l.Promote()
+				xGrants.Add(1)
+				l.Demote()
+				l.ReleaseU()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("storm deadlocked: lost wakeup or starvation")
+	}
+	if got, want := xGrants.Load(), int64((writers+promoters)*rounds); got != want {
+		t.Fatalf("writers finished %d exclusive grants, want %d", got, want)
+	}
+	if v, ok := l.OptimisticRead(); !ok {
+		t.Fatalf("latch left with odd version %d after storm", v)
+	} else if want := 2 * uint64((writers+promoters)*rounds); v != want {
+		t.Fatalf("version %d after storm, want %d (2 per exclusive grant)", v, want)
+	}
+	if !l.TryAcquireX() {
+		t.Fatal("latch not free after storm")
+	}
+	l.ReleaseX()
+}

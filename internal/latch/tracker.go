@@ -91,6 +91,13 @@ func (t *Tracker) Released(l *Latch) {
 	panic("latch: Released on unheld latch")
 }
 
+// Reset prepares the tracker for reuse by a new operation, keeping the
+// held-slice capacity so pooled operation contexts stay allocation-free.
+func (t *Tracker) Reset(enabled bool) {
+	t.Enabled = enabled
+	t.held = t.held[:0]
+}
+
 // HeldCount returns the number of holds currently recorded.
 func (t *Tracker) HeldCount() int {
 	if t == nil {

@@ -241,7 +241,7 @@ func (t *Tree) splitNodeAction(o *opCtx, leaf *nref) error {
 func (t *Tree) postTerm(task postTask) {
 	_ = t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		corner := Point{X: task.rect.X0, Y: task.rect.Y0}
 		node, err := t.descend(o, corner, task.parentLevel, latch.U, false)
 		if err != nil {

@@ -3,6 +3,7 @@ package spatial
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/latch"
@@ -25,6 +26,10 @@ type Options struct {
 	NoCompletion      bool
 	// CheckLatchOrder enables per-operation latch order assertions.
 	CheckLatchOrder bool
+	// PessimisticDescent disables the optimistic (version-validated)
+	// interior navigation, forcing every descent through the latched
+	// path. For comparison runs and targeted tests.
+	PessimisticDescent bool
 }
 
 func (o Options) normalized() Options {
@@ -62,6 +67,14 @@ type Stats struct {
 	ClippedTerms   atomic.Int64
 	SoftOverflows  atomic.Int64
 	Restarts       atomic.Int64
+
+	// Optimistic descent counters: hits are interior-node visits served
+	// from a validated snapshot without latching; retries are snapshot
+	// refreshes or validation failures; fallbacks are whole descents
+	// abandoned to the latched path.
+	OptimisticHits      atomic.Int64
+	OptimisticRetries   atomic.Int64
+	OptimisticFallbacks atomic.Int64
 }
 
 // Tree is one multi-attribute Π-tree. Nodes are immortal (no
@@ -79,6 +92,12 @@ type Tree struct {
 	opts    Options
 	root    storage.PageID
 	comp    *completer
+	opPool  sync.Pool
+
+	// rootf caches the root's buffer frame with one permanent pin (the
+	// root page ID is fixed and the root is never de-allocated); see the
+	// core package's rootFrame.
+	rootf atomic.Pointer[storage.Frame]
 
 	Stats Stats
 }
@@ -157,8 +176,31 @@ func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, n
 	return t, nil
 }
 
-// Close stops completion workers.
-func (t *Tree) Close() { t.comp.stop() }
+// Close stops completion workers and drops the cached root pin.
+func (t *Tree) Close() {
+	t.comp.stop()
+	if f := t.rootf.Swap(nil); f != nil {
+		t.store.Pool.Unpin(f)
+	}
+}
+
+// rootFrame returns the root's frame pinned for the caller via the cache
+// in t.rootf; the first call keeps one extra permanent pin.
+func (t *Tree) rootFrame() (*storage.Frame, error) {
+	if f := t.rootf.Load(); f != nil {
+		f.Pin()
+		return f, nil
+	}
+	f, err := t.store.Pool.Fetch(t.root)
+	if err != nil {
+		return nil, err
+	}
+	if !t.rootf.CompareAndSwap(nil, f) {
+		return f, nil // lost the cache race; our fetch pin is the caller's
+	}
+	f.Pin()
+	return f, nil
+}
 
 // DrainCompletions blocks until scheduled completing actions ran.
 func (t *Tree) DrainCompletions() { t.comp.drain() }
@@ -179,8 +221,25 @@ type opCtx struct {
 	seq uint64
 }
 
+// newOp checks out a pooled operation context; done returns it. Pooling
+// keeps the tracker's hold slice (and the context itself) off the
+// per-operation allocation path.
 func (t *Tree) newOp(tx *txn.Txn) *opCtx {
-	return &opCtx{t: t, txn: tx, tr: latch.Tracker{Enabled: t.opts.CheckLatchOrder}}
+	o, _ := t.opPool.Get().(*opCtx)
+	if o == nil {
+		o = new(opCtx)
+	}
+	o.t = t
+	o.txn = tx
+	o.seq = 0
+	o.tr.Reset(t.opts.CheckLatchOrder)
+	return o
+}
+
+func (o *opCtx) done() {
+	o.tr.AssertNoneHeld()
+	o.txn = nil
+	o.t.opPool.Put(o)
 }
 
 const maxLevel = 63
@@ -241,8 +300,23 @@ var errLevelGone = errors.New("spatial: target level does not exist yet")
 
 // descend walks to the node at stopLevel whose directly contained region
 // includes p, latched in finalMode. Side traversals through sibling
-// terms schedule completing postings when sched is true.
+// terms schedule completing postings when sched is true. Interior levels
+// are navigated optimistically (version-validated snapshot reads, no
+// latches); after bounded validation failures the descent falls back to
+// the latched path.
 func (t *Tree) descend(o *opCtx, p Point, stopLevel int, finalMode latch.Mode, sched bool) (nref, error) {
+	if !t.opts.PessimisticDescent {
+		if r, err, ok := t.descendOptimistic(o, p, stopLevel, finalMode, sched); ok {
+			return r, err
+		}
+		t.Stats.OptimisticFallbacks.Add(1)
+	}
+	return t.descendLatched(o, p, stopLevel, finalMode, sched)
+}
+
+// descendLatched is the fully latched descent (CNS: one latch at a
+// time).
+func (t *Tree) descendLatched(o *opCtx, p Point, stopLevel int, finalMode latch.Mode, sched bool) (nref, error) {
 	cur, err := o.acquire(t.root, latch.S, maxLevel)
 	if err != nil {
 		return nref{}, err
@@ -263,6 +337,13 @@ func (t *Tree) descend(o *opCtx, p Point, stopLevel int, finalMode latch.Mode, s
 			return nref{}, errRetry
 		}
 	}
+	return t.descendFrom(o, cur, p, stopLevel, finalMode, sched)
+}
+
+// descendFrom continues a latched descent from cur (already latched, at
+// or above stopLevel). The optimistic descent also lands here for the
+// final level's side traversals, which always run latched.
+func (t *Tree) descendFrom(o *opCtx, cur nref, p Point, stopLevel int, finalMode latch.Mode, sched bool) (nref, error) {
 	for {
 		for !cur.n.Direct.Contains(p) {
 			sib, ok := cur.n.routeSib(p)
@@ -301,6 +382,196 @@ func (t *Tree) descend(o *opCtx, p Point, stopLevel int, finalMode latch.Mode, s
 	}
 }
 
+// --- optimistic descent ------------------------------------------------------
+
+// optRetries bounds full-descent restarts after validation failures
+// before the operation falls back to the latched path.
+const optRetries = 3
+
+// navRef is an unlatched, pinned view of a node: an immutable snapshot n
+// proved current at latch version v. The pin keeps the frame (and its
+// version counter) from being recycled while the reference is live.
+type navRef struct {
+	f *storage.Frame
+	n *Node
+	v uint64
+}
+
+// optCounters accumulates a descent's snapshot-read outcomes locally;
+// the shared Stats words are touched once per operation, not per level.
+type optCounters struct {
+	hits    int64
+	retries int64
+}
+
+// navLoad returns a validated snapshot of the pinned frame f; see the
+// core package's navLoad for the protocol. ok is false when the frame
+// does not hold a node (the caller falls back to the latched path).
+func (t *Tree) navLoad(f *storage.Frame, c *optCounters) (navRef, bool) {
+	if data, pub, ok := f.NavSnapshot(); ok {
+		if v, quiet := f.Latch.OptimisticRead(); quiet && v == pub {
+			n, isNode := data.(*Node)
+			if !isNode {
+				return navRef{}, false
+			}
+			c.hits++
+			return navRef{f: f, n: n, v: v}, true
+		}
+		c.retries++
+	}
+	f.Latch.AcquireS()
+	n, isNode := f.Data.(*Node)
+	if !isNode {
+		f.Latch.ReleaseS()
+		return navRef{}, false
+	}
+	snap := n.clone()
+	v := f.Latch.Version()
+	f.PublishNav(snap, v)
+	f.Latch.ReleaseS()
+	return navRef{f: f, n: snap, v: v}, true
+}
+
+// descendOptimistic runs bounded optimistic passes from the root; ok is
+// false when the budget is exhausted and the caller must fall back.
+func (t *Tree) descendOptimistic(o *opCtx, p Point, stopLevel int, finalMode latch.Mode, sched bool) (nref, error, bool) {
+	var c optCounters
+	r, err, ok := nref{}, error(nil), false
+	for attempt := 0; attempt <= optRetries; attempt++ {
+		var done bool
+		r, err, done = t.optPass(o, &c, p, stopLevel, finalMode, sched)
+		if done {
+			ok = true
+			break
+		}
+	}
+	if c.hits > 0 {
+		t.Stats.OptimisticHits.Add(c.hits)
+	}
+	if c.retries > 0 {
+		t.Stats.OptimisticRetries.Add(c.retries)
+	}
+	return r, err, ok
+}
+
+// optPass is one optimistic descent from the root. The spatial tree
+// obeys the CNS invariant — nodes never move and are never de-allocated
+// — so, as in the TSB tree, a pointer read from a validated snapshot
+// always names a live node and no source re-validation is needed after
+// following it; a stale snapshot routes like a slightly earlier latched
+// reader, and sibling terms make every well-formed state navigable. The
+// final node is latched in finalMode and its side traversals run latched
+// in descendFrom.
+func (t *Tree) optPass(o *opCtx, c *optCounters, p Point, stopLevel int, finalMode latch.Mode, sched bool) (nref, error, bool) {
+	pool := t.store.Pool
+	f, err := t.rootFrame()
+	if err != nil {
+		return nref{}, err, true
+	}
+	cur, ok := t.navLoad(f, c)
+	if !ok {
+		pool.Unpin(f)
+		return nref{}, nil, false
+	}
+	if cur.n.Level < stopLevel {
+		pool.Unpin(f)
+		return nref{}, errLevelGone, true
+	}
+	if cur.n.Level == stopLevel {
+		// The root is the target: latch it and re-check like the latched
+		// path does (the root never moves).
+		lvl := cur.n.Level
+		pool.Unpin(f)
+		r, err := o.acquire(t.root, finalMode, lvl)
+		if err != nil {
+			return nref{}, err, true
+		}
+		if r.n.Level != stopLevel {
+			o.release(&r)
+			return nref{}, errRetry, true
+		}
+		r2, err := t.descendFrom(o, r, p, stopLevel, finalMode, sched)
+		return r2, err, true
+	}
+
+	for {
+		// Side traversal on validated snapshots.
+		if !cur.n.Direct.Contains(p) {
+			sib, ok := cur.n.routeSib(p)
+			if !ok {
+				pool.Unpin(cur.f)
+				return nref{}, errRetry, true
+			}
+			t.Stats.SideTraversals.Add(1)
+			if sched {
+				t.notePendingSib(cur.n, sib)
+			}
+			next, err, done := t.optStep(cur, c, sib.Pid, cur.n.Level)
+			if !done {
+				return nref{}, nil, false
+			}
+			if err != nil {
+				return nref{}, err, true
+			}
+			cur = next
+			continue
+		}
+
+		e, ok := cur.n.chooseChild(p)
+		if !ok {
+			pool.Unpin(cur.f)
+			return nref{}, errRetry, true
+		}
+		childLevel := cur.n.Level - 1
+		if childLevel == stopLevel {
+			// Final edge: latch the child in finalMode. CNS: no source
+			// validation needed — the child is immortal.
+			pool.Unpin(cur.f)
+			r, err := o.acquire(e.Child, finalMode, childLevel)
+			if err != nil {
+				return nref{}, err, true
+			}
+			if r.n.Level != stopLevel {
+				o.release(&r)
+				return nref{}, nil, false
+			}
+			r2, err := t.descendFrom(o, r, p, stopLevel, finalMode, sched)
+			return r2, err, true
+		}
+		next, err, done := t.optStep(cur, c, e.Child, childLevel)
+		if !done {
+			return nref{}, nil, false
+		}
+		if err != nil {
+			return nref{}, err, true
+		}
+		cur = next
+	}
+}
+
+// optStep follows one edge from cur to pid (expected at level). cur's
+// pin is consumed. CNS: the target is immortal, so no source
+// re-validation is performed after loading it. done=false aborts the
+// pass (non-node frame or defensive level mismatch).
+func (t *Tree) optStep(cur navRef, c *optCounters, pid storage.PageID, level int) (navRef, error, bool) {
+	pool := t.store.Pool
+	pool.Unpin(cur.f)
+	nf, err := pool.Fetch(pid)
+	if err != nil {
+		return navRef{}, err, true
+	}
+	next, ok := t.navLoad(nf, c)
+	if !ok {
+		pool.Unpin(nf)
+		return navRef{}, nil, false
+	}
+	if next.n.Level != level {
+		pool.Unpin(nf)
+		return navRef{}, nil, false
+	}
+	return next, nil, true
+}
+
 func (t *Tree) retryLoop(fn func() error) error {
 	for {
 		err := fn()
@@ -320,7 +591,7 @@ func (t *Tree) Insert(tx *txn.Txn, p Point, value []byte) error {
 	t.Stats.Inserts.Add(1)
 	return t.retryLoop(func() error {
 		o := t.newOp(tx)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		leaf, err := t.descend(o, p, 0, latch.U, true)
 		if err != nil {
 			return err
@@ -369,7 +640,7 @@ func (t *Tree) Delete(tx *txn.Txn, p Point) error {
 	t.Stats.Deletes.Add(1)
 	return t.retryLoop(func() error {
 		o := t.newOp(tx)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		leaf, err := t.descend(o, p, 0, latch.U, true)
 		if err != nil {
 			return err
@@ -415,7 +686,7 @@ func (t *Tree) Search(tx *txn.Txn, p Point) ([]byte, bool, error) {
 	var found bool
 	err := t.retryLoop(func() error {
 		o := t.newOp(tx)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		leaf, err := t.descend(o, p, 0, latch.S, true)
 		if err != nil {
 			return err
@@ -445,7 +716,7 @@ func (t *Tree) Search(tx *txn.Txn, p Point) ([]byte, bool, error) {
 func (t *Tree) RegionQuery(q Rect, fn func(p Point, v []byte) bool) error {
 	t.Stats.RegionQueries.Add(1)
 	o := t.newOp(nil)
-	defer o.tr.AssertNoneHeld()
+	defer o.done()
 	seen := make(map[storage.PageID]bool)
 	var visit func(pid storage.PageID, level int) (bool, error)
 	visit = func(pid storage.PageID, level int) (bool, error) {
@@ -584,7 +855,7 @@ func (t *Tree) logicalUndoInsert(rec *wal.Record, e Entry) error {
 	}
 	return t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		leaf, err := t.descend(o, e.P, 0, latch.U, false)
 		if err != nil {
 			return err
@@ -611,7 +882,7 @@ func (t *Tree) logicalUndoRemove(rec *wal.Record, e Entry) error {
 	}
 	return t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		leaf, err := t.descend(o, e.P, 0, latch.U, false)
 		if err != nil {
 			return err

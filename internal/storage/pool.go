@@ -70,6 +70,63 @@ type Frame struct {
 	loading bool
 	loadCh  chan struct{}
 	loadErr error
+
+	// nav is the frame's published navigation snapshot: an immutable copy
+	// of Data paired with the latch version it was current at. Optimistic
+	// traversals read it without any latch and prove it current by
+	// re-checking the version (see latch.Latch's package comment); a
+	// holder of the latch publishes a fresh copy when the stored one has
+	// gone stale. It is advisory — clearing or losing it only costs the
+	// next reader a brief S-latched refresh.
+	nav atomic.Pointer[navSnap]
+}
+
+// navSnap pairs an immutable decoded snapshot of a frame's contents with
+// the latch version it was current at. data is never mutated after
+// publication.
+type navSnap struct {
+	version uint64
+	data    any
+}
+
+// NavSnapshot returns the published navigation snapshot and the latch
+// version it was taken at; ok is false when none is published. The
+// snapshot is only known to reflect the frame's current contents if
+// f.Latch.Validate(version) (or an OptimisticRead returning the same even
+// version) succeeds after the caller has finished deriving from it.
+func (f *Frame) NavSnapshot() (data any, version uint64, ok bool) {
+	s := f.nav.Load()
+	if s == nil {
+		return nil, 0, false
+	}
+	return s.data, s.version, true
+}
+
+// PublishNav publishes data as the frame's navigation snapshot current at
+// version. Call while holding the frame's latch (any mode) with data an
+// immutable deep copy of Data and version the latch's Version() under
+// that hold.
+func (f *Frame) PublishNav(data any, version uint64) {
+	f.nav.Store(&navSnap{version: version, data: data})
+}
+
+// ClearNav drops the published snapshot. The pool calls it when a frame
+// shell is recycled for a different page, where the old page's snapshot
+// paired with the surviving version counter could otherwise masquerade as
+// current for the new page.
+func (f *Frame) ClearNav() {
+	f.nav.Store(nil)
+}
+
+// Pin takes an additional pin on a frame the caller already holds pinned.
+// The precondition matters: bounded-pool pins are normally taken under the
+// owning shard's mu so eviction can trust a zero count, but incrementing a
+// count that is already non-zero cannot race an evictor (it only considers
+// frames with pins == 0). Release with Pool.Unpin as usual.
+func (f *Frame) Pin() {
+	if f.pins.Add(1) <= 1 {
+		panic(fmt.Sprintf("storage: Pin of unpinned page %d", f.ID))
+	}
 }
 
 // PageLSN returns the frame's current page LSN (its state identifier,
@@ -117,6 +174,118 @@ func (f *Frame) dirtySnapshot() (wal.LSN, bool) {
 	return wal.LSN(f.recLSN.Load()), true
 }
 
+// ftChunkBits sizes frameTable chunks: 512 slots (4KB of pointers) each.
+const ftChunkBits = 9
+const ftChunkSize = 1 << ftChunkBits
+
+// ftChunk is one fixed block of page-table slots. Chunks are allocated
+// once and never replaced, so a slot address is stable for the table's
+// lifetime regardless of spine growth.
+type ftChunk [ftChunkSize]atomic.Pointer[Frame]
+
+// frameTable is the unbounded regime's page table. Page IDs are dense
+// small integers (Meta allocates them sequentially from 1, reusing freed
+// IDs LIFO), so instead of a hash map the table is a spine of chunk
+// pointers indexed directly by page ID: a lookup is two atomic loads and
+// an index — no hashing, no interface boxing, no lock. This is the
+// hottest read in the system (every node visit of every descent fetches
+// its frame), which is why it gets a bespoke structure.
+//
+// The spine is copy-on-write: growth builds a longer []*ftChunk and
+// publishes it atomically; all mutations (install, delete, growth) happen
+// under mu. Because chunks are shared between spine generations, a reader
+// holding a stale spine sees current slot values for every chunk it can
+// reach — staleness can only make it miss a chunk added after it loaded
+// the spine, and the miss path re-checks under mu.
+type frameTable struct {
+	mu    sync.Mutex
+	spine atomic.Pointer[[]*ftChunk]
+}
+
+// get returns the frame for pid, or nil.
+func (t *frameTable) get(pid PageID) *Frame {
+	s := t.spine.Load()
+	if s == nil {
+		return nil
+	}
+	ci := uint64(pid) >> ftChunkBits
+	if ci >= uint64(len(*s)) {
+		return nil
+	}
+	return (*s)[ci][uint64(pid)&(ftChunkSize-1)].Load()
+}
+
+// getOrInstall returns the existing frame for pid, or installs f and
+// returns it; installed reports whether f won.
+func (t *frameTable) getOrInstall(pid PageID, f *Frame) (frame *Frame, installed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slot := t.slotLocked(pid)
+	if cur := slot.Load(); cur != nil {
+		return cur, false
+	}
+	slot.Store(f)
+	return f, true
+}
+
+// delete clears pid's slot.
+func (t *frameTable) delete(pid PageID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.spine.Load()
+	if s == nil {
+		return
+	}
+	ci := uint64(pid) >> ftChunkBits
+	if ci >= uint64(len(*s)) {
+		return
+	}
+	(*s)[ci][uint64(pid)&(ftChunkSize-1)].Store(nil)
+}
+
+// slotLocked returns pid's slot, growing the spine as needed. Caller
+// holds mu.
+func (t *frameTable) slotLocked(pid PageID) *atomic.Pointer[Frame] {
+	ci := uint64(pid) >> ftChunkBits
+	s := t.spine.Load()
+	var old []*ftChunk
+	if s != nil {
+		old = *s
+	}
+	if ci >= uint64(len(old)) {
+		n := uint64(len(old)) * 2
+		if n < 8 {
+			n = 8
+		}
+		for n <= ci {
+			n *= 2
+		}
+		grown := make([]*ftChunk, n)
+		copy(grown, old)
+		for i := len(old); i < len(grown); i++ {
+			grown[i] = new(ftChunk)
+		}
+		t.spine.Store(&grown)
+		old = grown
+	}
+	return &old[ci][uint64(pid)&(ftChunkSize-1)]
+}
+
+// forEach calls fn for every installed frame.
+func (t *frameTable) forEach(fn func(f *Frame)) {
+	s := t.spine.Load()
+	if s == nil {
+		return
+	}
+	for _, c := range *s {
+		for i := range c {
+			if f := c[i].Load(); f != nil {
+				fn(f)
+			}
+		}
+	}
+}
+
 // PoolStats are cumulative pool counters.
 type PoolStats struct {
 	Flushes   int64 // dirty pages written to the stable layer
@@ -153,7 +322,7 @@ type Pool struct {
 	inj     *fault.Injector // set once before concurrent use; may be nil
 
 	// Unbounded regime.
-	fmap sync.Map // PageID -> *Frame
+	ftab frameTable // PageID-indexed; see frameTable
 
 	// Bounded regime.
 	shards    []poolShard
@@ -235,6 +404,7 @@ func (sh *poolShard) takeFrame() *Frame {
 func (sh *poolShard) recycle(f *Frame) {
 	if len(sh.free) < maxFreeFrames {
 		f.Data = nil // release the page contents to the collector now
+		f.ClearNav() // the snapshot must not survive into the next page
 		sh.free = append(sh.free, f)
 	}
 }
@@ -300,8 +470,7 @@ func (p *Pool) Log() *wal.Log { return p.log }
 // Fetch returns the frame for pid, pinned. The caller must Unpin it.
 func (p *Pool) Fetch(pid PageID) (*Frame, error) {
 	if p.cap == 0 {
-		if v, ok := p.fmap.Load(pid); ok {
-			f := v.(*Frame)
+		if f := p.ftab.get(pid); f != nil {
 			f.pins.Add(1)
 			p.hitCount.Add(1)
 			return f, nil
@@ -312,8 +481,7 @@ func (p *Pool) Fetch(pid PageID) (*Frame, error) {
 		}
 		// Another goroutine may install first; both read the same stable
 		// image, so dropping ours is safe.
-		actual, _ := p.fmap.LoadOrStore(pid, f)
-		af := actual.(*Frame)
+		af, _ := p.ftab.getOrInstall(pid, f)
 		af.pins.Add(1)
 		return af, nil
 	}
@@ -449,8 +617,7 @@ func (p *Pool) loadFromDisk(pid PageID) (*Frame, error) {
 func (p *Pool) Create(pid PageID) (*Frame, error) {
 	if p.cap == 0 {
 		f := &Frame{ID: pid}
-		actual, _ := p.fmap.LoadOrStore(pid, f)
-		af := actual.(*Frame)
+		af, _ := p.ftab.getOrInstall(pid, f)
 		af.pins.Add(1)
 		return af, nil
 	}
@@ -695,11 +862,11 @@ func (p *Pool) Unpin(f *Frame) {
 // remains (recovery replays history over it).
 func (p *Pool) Drop(pid PageID) {
 	if p.cap == 0 {
-		if v, ok := p.fmap.Load(pid); ok {
-			if v.(*Frame).pins.Load() > 0 {
+		if f := p.ftab.get(pid); f != nil {
+			if f.pins.Load() > 0 {
 				panic(fmt.Sprintf("storage: drop of pinned page %d", pid))
 			}
-			p.fmap.Delete(pid)
+			p.ftab.delete(pid)
 		}
 		return
 	}
@@ -733,11 +900,10 @@ func (p *Pool) FlushPage(pid PageID) error {
 // lookupPinned returns the buffered frame for pid pinned, if present.
 func (p *Pool) lookupPinned(pid PageID) (*Frame, bool) {
 	if p.cap == 0 {
-		v, ok := p.fmap.Load(pid)
-		if !ok {
+		f := p.ftab.get(pid)
+		if f == nil {
 			return nil, false
 		}
-		f := v.(*Frame)
 		f.pins.Add(1)
 		return f, true
 	}
@@ -767,11 +933,9 @@ func (p *Pool) lookupPinned(pid PageID) (*Frame, bool) {
 func (p *Pool) snapshotFrames() []*Frame {
 	var out []*Frame
 	if p.cap == 0 {
-		p.fmap.Range(func(_, v any) bool {
-			f := v.(*Frame)
+		p.ftab.forEach(func(f *Frame) {
 			f.pins.Add(1)
 			out = append(out, f)
-			return true
 		})
 		return out
 	}

@@ -322,7 +322,7 @@ type logUpdater interface {
 func (t *Tree) postTerm(task postTask) {
 	_ = t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		node, err := t.descend(o, task.rect.KeyLow, NoEnd-1, task.parentLevel, latch.U, false)
 		if errors.Is(err, errLevelGone) {
 			t.Stats.PostsNoop.Add(1)

@@ -3,6 +3,7 @@ package tsb
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/keys"
@@ -31,6 +32,10 @@ type Options struct {
 	NoCompletion      bool
 	// CheckLatchOrder enables per-operation latch order assertions.
 	CheckLatchOrder bool
+	// PessimisticDescent disables the optimistic (version-validated)
+	// interior navigation, forcing every descent through the latched
+	// path. For comparison runs and targeted tests.
+	PessimisticDescent bool
 }
 
 func (o Options) normalized() Options {
@@ -73,6 +78,14 @@ type Stats struct {
 	ClippedTerms   atomic.Int64
 	SoftOverflows  atomic.Int64
 	Restarts       atomic.Int64
+
+	// Optimistic descent counters: hits are interior-node visits served
+	// from a validated snapshot without latching; retries are snapshot
+	// refreshes or validation failures; fallbacks are whole descents
+	// abandoned to the latched path.
+	OptimisticHits      atomic.Int64
+	OptimisticRetries   atomic.Int64
+	OptimisticFallbacks atomic.Int64
 }
 
 // Tree is one TSB tree. Because historical nodes never split and no node
@@ -92,6 +105,12 @@ type Tree struct {
 	root    storage.PageID
 	comp    *completer
 	clock   atomic.Uint64
+	opPool  sync.Pool
+
+	// rootf caches the root's buffer frame with one permanent pin (the
+	// root page ID is fixed and the root is never de-allocated); see the
+	// core package's rootFrame.
+	rootf atomic.Pointer[storage.Frame]
 
 	Stats Stats
 }
@@ -176,8 +195,31 @@ func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, n
 	return t, nil
 }
 
-// Close stops the completion workers.
-func (t *Tree) Close() { t.comp.stop() }
+// Close stops the completion workers and drops the cached root pin.
+func (t *Tree) Close() {
+	t.comp.stop()
+	if f := t.rootf.Swap(nil); f != nil {
+		t.store.Pool.Unpin(f)
+	}
+}
+
+// rootFrame returns the root's frame pinned for the caller via the cache
+// in t.rootf; the first call keeps one extra permanent pin.
+func (t *Tree) rootFrame() (*storage.Frame, error) {
+	if f := t.rootf.Load(); f != nil {
+		f.Pin()
+		return f, nil
+	}
+	f, err := t.store.Pool.Fetch(t.root)
+	if err != nil {
+		return nil, err
+	}
+	if !t.rootf.CompareAndSwap(nil, f) {
+		return f, nil // lost the cache race; our fetch pin is the caller's
+	}
+	f.Pin()
+	return f, nil
+}
 
 // DrainCompletions blocks until all scheduled completing actions ran.
 func (t *Tree) DrainCompletions() { t.comp.drain() }
@@ -203,8 +245,25 @@ type opCtx struct {
 	seq uint64
 }
 
+// newOp checks out a pooled operation context; done returns it. Pooling
+// keeps the tracker's hold slice (and the context itself) off the
+// per-operation allocation path.
 func (t *Tree) newOp(tx *txn.Txn) *opCtx {
-	return &opCtx{t: t, txn: tx, tr: latch.Tracker{Enabled: t.opts.CheckLatchOrder}}
+	o, _ := t.opPool.Get().(*opCtx)
+	if o == nil {
+		o = new(opCtx)
+	}
+	o.t = t
+	o.txn = tx
+	o.seq = 0
+	o.tr.Reset(t.opts.CheckLatchOrder)
+	return o
+}
+
+func (o *opCtx) done() {
+	o.tr.AssertNoneHeld()
+	o.txn = nil
+	o.t.opPool.Put(o)
 }
 
 const maxLevel = 63
@@ -266,8 +325,22 @@ func (t *Tree) step(o *opCtx, cur *nref, pid storage.PageID, mode latch.Mode, le
 // descend walks from the root to the node at stopLevel whose directly
 // contained rectangle includes (k, time), latched in finalMode. Sibling
 // traversals at any level schedule the corresponding completing posting
-// when sched is true.
+// when sched is true. Interior levels are navigated optimistically
+// (version-validated snapshot reads, no latches); after bounded
+// validation failures the descent falls back to the latched path.
 func (t *Tree) descend(o *opCtx, k keys.Key, time uint64, stopLevel int, finalMode latch.Mode, sched bool) (nref, error) {
+	if !t.opts.PessimisticDescent {
+		if r, err, ok := t.descendOptimistic(o, k, time, stopLevel, finalMode, sched); ok {
+			return r, err
+		}
+		t.Stats.OptimisticFallbacks.Add(1)
+	}
+	return t.descendLatched(o, k, time, stopLevel, finalMode, sched)
+}
+
+// descendLatched is the fully latched descent (CNS: one latch at a
+// time).
+func (t *Tree) descendLatched(o *opCtx, k keys.Key, time uint64, stopLevel int, finalMode latch.Mode, sched bool) (nref, error) {
 	cur, err := o.acquire(t.root, latch.S, maxLevel)
 	if err != nil {
 		return nref{}, err
@@ -288,6 +361,13 @@ func (t *Tree) descend(o *opCtx, k keys.Key, time uint64, stopLevel int, finalMo
 			return nref{}, errRetry
 		}
 	}
+	return t.descendFrom(o, cur, k, time, stopLevel, finalMode, sched)
+}
+
+// descendFrom continues a latched descent from cur (already latched, at
+// or above stopLevel). The optimistic descent also lands here for the
+// final level's sibling traversals, which always run latched.
+func (t *Tree) descendFrom(o *opCtx, cur nref, k keys.Key, time uint64, stopLevel int, finalMode latch.Mode, sched bool) (nref, error) {
 	for {
 		// Key-sibling traversal (any level).
 		for !cur.n.Rect.ContainsKey(k) {
@@ -362,6 +442,215 @@ func (t *Tree) descend(o *opCtx, k keys.Key, time uint64, stopLevel int, finalMo
 	}
 }
 
+// --- optimistic descent ------------------------------------------------------
+
+// optRetries bounds full-descent restarts after validation failures
+// before the operation falls back to the latched path.
+const optRetries = 3
+
+// navRef is an unlatched, pinned view of a node: an immutable snapshot n
+// proved current at latch version v. The pin keeps the frame (and its
+// version counter) from being recycled while the reference is live.
+type navRef struct {
+	f *storage.Frame
+	n *Node
+	v uint64
+}
+
+// optCounters accumulates a descent's snapshot-read outcomes locally;
+// the shared Stats words are touched once per operation, not per level.
+type optCounters struct {
+	hits    int64
+	retries int64
+}
+
+// navLoad returns a validated snapshot of the pinned frame f; see the
+// core package's navLoad for the protocol. ok is false when the frame
+// does not hold a node (the caller falls back to the latched path).
+func (t *Tree) navLoad(f *storage.Frame, c *optCounters) (navRef, bool) {
+	if data, pub, ok := f.NavSnapshot(); ok {
+		if v, quiet := f.Latch.OptimisticRead(); quiet && v == pub {
+			n, isNode := data.(*Node)
+			if !isNode {
+				return navRef{}, false
+			}
+			c.hits++
+			return navRef{f: f, n: n, v: v}, true
+		}
+		c.retries++
+	}
+	f.Latch.AcquireS()
+	n, isNode := f.Data.(*Node)
+	if !isNode {
+		f.Latch.ReleaseS()
+		return navRef{}, false
+	}
+	snap := n.clone()
+	v := f.Latch.Version()
+	f.PublishNav(snap, v)
+	f.Latch.ReleaseS()
+	return navRef{f: f, n: snap, v: v}, true
+}
+
+// descendOptimistic runs bounded optimistic passes from the root; ok is
+// false when the budget is exhausted and the caller must fall back.
+func (t *Tree) descendOptimistic(o *opCtx, k keys.Key, time uint64, stopLevel int, finalMode latch.Mode, sched bool) (nref, error, bool) {
+	var c optCounters
+	r, err, ok := nref{}, error(nil), false
+	for attempt := 0; attempt <= optRetries; attempt++ {
+		var done bool
+		r, err, done = t.optPass(o, &c, k, time, stopLevel, finalMode, sched)
+		if done {
+			ok = true
+			break
+		}
+	}
+	if c.hits > 0 {
+		t.Stats.OptimisticHits.Add(c.hits)
+	}
+	if c.retries > 0 {
+		t.Stats.OptimisticRetries.Add(c.retries)
+	}
+	return r, err, ok
+}
+
+// optPass is one optimistic descent from the root. The TSB tree obeys
+// the CNS invariant — nodes never move and are never de-allocated — so,
+// unlike the core (CP) tree, a pointer read from a validated snapshot
+// always names a live node and no source re-validation is needed after
+// following it: a stale snapshot routes exactly like a slightly earlier
+// latched reader, and sibling pointers make every well-formed state
+// navigable. Validation here only bounds staleness (navLoad refreshes a
+// snapshot whose version moved). The final node is latched in finalMode;
+// history-sibling walks happen only at the data level, which is the stop
+// level for every data access, so they always run latched in
+// descendFrom.
+func (t *Tree) optPass(o *opCtx, c *optCounters, k keys.Key, time uint64, stopLevel int, finalMode latch.Mode, sched bool) (nref, error, bool) {
+	pool := t.store.Pool
+	f, err := t.rootFrame()
+	if err != nil {
+		return nref{}, err, true
+	}
+	cur, ok := t.navLoad(f, c)
+	if !ok {
+		pool.Unpin(f)
+		return nref{}, nil, false
+	}
+	if cur.n.Level < stopLevel {
+		pool.Unpin(f)
+		return nref{}, errLevelGone, true
+	}
+	if cur.n.Level == stopLevel {
+		// The root is the target: latch it and re-check like the latched
+		// path does (the root never moves).
+		lvl := cur.n.Level
+		pool.Unpin(f)
+		r, err := o.acquire(t.root, finalMode, lvl)
+		if err != nil {
+			return nref{}, err, true
+		}
+		if r.n.Level != stopLevel {
+			o.release(&r)
+			return nref{}, errRetry, true
+		}
+		r2, err := t.descendFrom(o, r, k, time, stopLevel, finalMode, sched)
+		return r2, err, true
+	}
+
+	for {
+		// Key-sibling traversal on validated snapshots. (History-sibling
+		// walks never occur here: they exist only at the data level.)
+		if !cur.n.Rect.ContainsKey(k) {
+			if cur.n.Rect.KeyLow != nil && keys.Compare(k, cur.n.Rect.KeyLow) < 0 {
+				pool.Unpin(cur.f)
+				return nref{}, errRetry, true
+			}
+			sib := cur.n.KeySib
+			if sib == storage.NilPage {
+				pool.Unpin(cur.f)
+				return nref{}, errRetry, true
+			}
+			t.Stats.KeySibWalks.Add(1)
+			if sched {
+				t.noteKeySibling(cur.n, cur.f.ID)
+			}
+			next, err, done := t.optStep(cur, c, sib, cur.n.Level)
+			if !done {
+				return nref{}, nil, false
+			}
+			if err != nil {
+				return nref{}, err, true
+			}
+			cur = next
+			continue
+		}
+
+		var child storage.PageID
+		if cur.n.Level == 1 {
+			e, ok := cur.n.chooseTerm(k, time)
+			if !ok {
+				pool.Unpin(cur.f)
+				return nref{}, errRetry, true
+			}
+			child = e.Child
+		} else {
+			e, ok := cur.n.keyChildFor(k)
+			if !ok {
+				pool.Unpin(cur.f)
+				return nref{}, errRetry, true
+			}
+			child = e.Child
+		}
+		childLevel := cur.n.Level - 1
+		if childLevel == stopLevel {
+			// Final edge: latch the child in finalMode. CNS: no source
+			// validation needed — the child is immortal.
+			pool.Unpin(cur.f)
+			r, err := o.acquire(child, finalMode, childLevel)
+			if err != nil {
+				return nref{}, err, true
+			}
+			if r.n.Level != stopLevel {
+				o.release(&r)
+				return nref{}, nil, false
+			}
+			r2, err := t.descendFrom(o, r, k, time, stopLevel, finalMode, sched)
+			return r2, err, true
+		}
+		next, err, done := t.optStep(cur, c, child, childLevel)
+		if !done {
+			return nref{}, nil, false
+		}
+		if err != nil {
+			return nref{}, err, true
+		}
+		cur = next
+	}
+}
+
+// optStep follows one edge from cur to pid (expected at level). cur's
+// pin is consumed. CNS: the target is immortal, so no source
+// re-validation is performed after loading it. done=false aborts the
+// pass (non-node frame or defensive level mismatch).
+func (t *Tree) optStep(cur navRef, c *optCounters, pid storage.PageID, level int) (navRef, error, bool) {
+	pool := t.store.Pool
+	pool.Unpin(cur.f)
+	nf, err := pool.Fetch(pid)
+	if err != nil {
+		return navRef{}, err, true
+	}
+	next, ok := t.navLoad(nf, c)
+	if !ok {
+		pool.Unpin(nf)
+		return navRef{}, nil, false
+	}
+	if next.n.Level != level {
+		pool.Unpin(nf)
+		return navRef{}, nil, false
+	}
+	return next, nil, true
+}
+
 func (t *Tree) retryLoop(fn func() error) error {
 	for {
 		err := fn()
@@ -391,7 +680,7 @@ func (t *Tree) put(tx *txn.Txn, key keys.Key, value []byte, deleted bool) error 
 	t.Stats.Puts.Add(1)
 	return t.retryLoop(func() error {
 		o := t.newOp(tx)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		leaf, err := t.descend(o, key, NoEnd-1, 0, latch.U, true)
 		if err != nil {
 			return err
@@ -452,7 +741,7 @@ func (t *Tree) GetAsOf(tx *txn.Txn, key keys.Key, time uint64) ([]byte, bool, er
 	var found bool
 	err := t.retryLoop(func() error {
 		o := t.newOp(tx)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		leaf, err := t.descend(o, key, time, 0, latch.S, true)
 		if err != nil {
 			return err
@@ -493,7 +782,7 @@ func (t *Tree) ScanAsOf(time uint64, lo, hi keys.Key, fn func(k keys.Key, v []by
 		err := t.retryLoop(func() error {
 			batch = batch[:0]
 			o := t.newOp(nil)
-			defer o.tr.AssertNoneHeld()
+			defer o.done()
 			leaf, err := t.descend(o, cursor, time, 0, latch.S, true)
 			if err != nil {
 				return err
@@ -566,7 +855,7 @@ func (t *Tree) logicalUndoPut(rec *wal.Record, e Entry) error {
 	}
 	return t.retryLoop(func() error {
 		o := t.newOp(nil)
-		defer o.tr.AssertNoneHeld()
+		defer o.done()
 		cur, err := t.descend(o, e.Key, NoEnd-1, 0, latch.U, false)
 		if err != nil {
 			return err
