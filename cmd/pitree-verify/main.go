@@ -138,6 +138,7 @@ func runRound(rng *rand.Rand, txns int, pageOriented bool) error {
 	if err := pend.UndoLosers(e2.TM); err != nil {
 		return err
 	}
+	fmt.Printf("  recovery: %s\n", pend.Stats.Summary())
 	shape, err := tree2.Verify()
 	if err != nil {
 		return fmt.Errorf("ill-formed after restart: %w", err)

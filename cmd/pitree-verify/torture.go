@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -266,17 +267,22 @@ func runTorture(cfg tortureConfig) error {
 		kind := kinds[round%len(kinds)]
 		rng := rand.New(rand.NewSource(seed))
 		entry := menu[rng.Intn(len(menu))]
-		if err := tortureRound(seed, kind, entry, rng, cfg); err != nil {
-			return fmt.Errorf("round %d (tree=%s fault=%s seed=%d): %w\nreproduce with: pitree-verify -torture -seed %d -rounds %d",
-				round, kind.name, entry.name, seed, err, cfg.seed, round+1)
+		// The recovery worker count joins the fault menu: every fault is
+		// crossed with serial and parallel restart shapes.
+		recWorkers := 1 << rng.Intn(4)
+		restart, err := tortureRound(seed, kind, entry, recWorkers, rng, cfg)
+		if err != nil {
+			return fmt.Errorf("round %d (tree=%s fault=%s workers=%d seed=%d): %w\nreproduce with: pitree-verify -torture -seed %d -rounds %d",
+				round, kind.name, entry.name, recWorkers, seed, err, cfg.seed, round+1)
 		}
-		fmt.Printf("torture round %d ok (tree=%s fault=%s)\n", round, kind.name, entry.name)
+		fmt.Printf("torture round %d ok (tree=%s fault=%s workers=%d restart=%v)\n",
+			round, kind.name, entry.name, recWorkers, restart.Round(10*time.Microsecond))
 	}
 	fmt.Println("all torture rounds verified: committed data durable, no ghosts, trees well-formed")
 	return nil
 }
 
-func tortureRound(seed int64, kind treeKind, entry menuEntry, rng *rand.Rand, cfg tortureConfig) error {
+func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, rng *rand.Rand, cfg tortureConfig) (time.Duration, error) {
 	inj := fault.New(seed)
 	spec := entry.spec
 	spec.After = 1 + int64(rng.Intn(entry.spread))
@@ -290,9 +296,9 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, rng *rand.Rand, cf
 		// degenerates to "nothing ever committed", which recovery of an
 		// empty image trivially satisfies.
 		if errors.Is(err, fault.ErrInjected) || inj.Crashed() {
-			return nil
+			return 0, nil
 		}
-		return fmt.Errorf("create: %v", err)
+		return 0, fmt.Errorf("create: %v", err)
 	}
 
 	// Concurrent transactional workload. Workers own disjoint key sets,
@@ -389,8 +395,10 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, rng *rand.Rand, cf
 	tree.close()
 	img := e.Crash(nil)
 
-	// Restart clean: the injector died with the process.
-	e2 := engine.Restarted(img, engine.Options{PageOriented: cfg.pageOriented})
+	// Restart clean: the injector died with the process. The drawn worker
+	// count routes recovery through the serial or parallel pipeline.
+	restartStart := time.Now()
+	e2 := engine.Restarted(img, engine.Options{PageOriented: cfg.pageOriented, RecoveryWorkers: recWorkers})
 	var pend recoveryPending
 	tree2, err := kind.open(e2, img, &pend)
 	if err != nil {
@@ -399,37 +407,38 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, rng *rand.Rand, cf
 		for w := range oracle {
 			for k, v := range oracle[w] {
 				if v.present {
-					return fmt.Errorf("tree unopenable after crash (%v) but key %d was acked", err, k)
+					return 0, fmt.Errorf("tree unopenable after crash (%v) but key %d was acked", err, k)
 				}
 			}
 		}
-		return nil
+		return time.Since(restartStart), nil
 	}
 	defer tree2.close()
 	if pend.finish != nil {
 		if err := pend.finish(); err != nil {
-			return fmt.Errorf("undo losers: %v", err)
+			return 0, fmt.Errorf("undo losers: %v", err)
 		}
 	}
+	restart := time.Since(restartStart)
 
 	if err := tree2.verify(); err != nil {
-		return fmt.Errorf("tree ill-formed after recovery: %v\ntrips: %v", err, inj.Trips())
+		return 0, fmt.Errorf("tree ill-formed after recovery: %v\ntrips: %v", err, inj.Trips())
 	}
 	for w := range oracle {
 		for k, v := range oracle[w] {
 			got, ok, err := tree2.lookup(k)
 			if err != nil {
-				return fmt.Errorf("lookup %d: %v", k, err)
+				return 0, fmt.Errorf("lookup %d: %v", k, err)
 			}
 			if v.present {
 				if !ok {
-					return fmt.Errorf("durability violation: committed key %d lost (trips: %v)", k, inj.Trips())
+					return 0, fmt.Errorf("durability violation: committed key %d lost (trips: %v)", k, inj.Trips())
 				}
 				if string(got) != v.val {
-					return fmt.Errorf("durability violation: key %d = %q, committed %q", k, got, v.val)
+					return 0, fmt.Errorf("durability violation: key %d = %q, committed %q", k, got, v.val)
 				}
 			} else if ok {
-				return fmt.Errorf("ghost: deleted key %d present after recovery", k)
+				return 0, fmt.Errorf("ghost: deleted key %d present after recovery", k)
 			}
 		}
 		// No-ghost: keys attempted but never acked must be absent.
@@ -438,14 +447,14 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, rng *rand.Rand, cf
 				continue
 			}
 			if _, ok, _ := tree2.lookup(k); ok {
-				return fmt.Errorf("ghost: unacked key %d present after recovery (trips: %v)", k, inj.Trips())
+				return 0, fmt.Errorf("ghost: unacked key %d present after recovery (trips: %v)", k, inj.Trips())
 			}
 		}
 	}
 	// Lazy completion must converge the recovered tree.
 	tree2.drain()
 	if err := tree2.verify(); err != nil {
-		return fmt.Errorf("tree ill-formed after completion: %v", err)
+		return 0, fmt.Errorf("tree ill-formed after completion: %v", err)
 	}
-	return nil
+	return restart, nil
 }

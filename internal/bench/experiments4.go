@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/keys"
+	"repro/internal/recovery"
+)
+
+// T15ParallelRestart is experiment T15: restart wall time under the
+// parallel recovery pipeline across log length, dirty-page population and
+// worker count. Each configuration builds one crashed image (insert
+// workload, optional mid-run flush+checkpoint, a handful of uncommitted
+// losers forced into the log), then recovers fresh snapshots of that same
+// image under the serial two-scan restart and under the fused pipeline at
+// 1/2/4/8 workers. The fused pipeline wins even on one core: analysis and
+// redo planning share a single zero-copy log scan, and each page is
+// fetched, pinned and latched once for its whole record batch instead of
+// once per record; extra workers then overlap independent pages.
+func T15ParallelRestart(w io.Writer, p Params) {
+	inserts := 15_000
+	long := 40_000
+	if p.OpsPerThread > 50_000 { // -full
+		inserts, long = 40_000, 100_000
+	}
+
+	type config struct {
+		name     string
+		inserts  int
+		flushAt  int // FlushAll+Checkpoint after this many inserts (0 = never)
+		stealers int // extra FlushAll sweeps spread over the run
+	}
+	configs := []config{
+		{"short log, all pages dirty", inserts, 0, 0},
+		{"long log, all pages dirty", long, 0, 0},
+		{"long log, half flushed + ckpt", long, long / 2, 0},
+		{"long log, steal-heavy (fetch-skip)", long, long / 2, 6},
+	}
+
+	fmt.Fprintf(w, "\nT15: parallel restart — log length x dirty pages x workers\n")
+	for _, cfg := range configs {
+		img := buildRestartImage(cfg.inserts, cfg.flushAt, cfg.stealers)
+
+		fmt.Fprintf(w, "\n%s (%d inserts):\n", cfg.name, cfg.inserts)
+		fmt.Fprintf(w, "%-12s%10s%10s%12s%12s%12s%12s%12s\n",
+			"variant", "restart", "speedup", "analysis", "redo", "undo", "redo Mrec/s", "skip pages")
+
+		var serialT time.Duration
+		for _, v := range []struct {
+			name string
+			opts engine.Options
+		}{
+			{"serial", engine.Options{SerialRestart: true}},
+			{"workers=1", engine.Options{RecoveryWorkers: 1}},
+			{"workers=2", engine.Options{RecoveryWorkers: 2}},
+			{"workers=4", engine.Options{RecoveryWorkers: 4}},
+			{"workers=8", engine.Options{RecoveryWorkers: 8}},
+		} {
+			st, elapsed := recoverImage(img, v.opts)
+			if v.name == "serial" {
+				serialT = elapsed
+			}
+			speedup := serialT.Seconds() / elapsed.Seconds()
+			fmt.Fprintf(w, "%-12s%10v%9.2fx%12v%12v%12v%12.2f%12d\n",
+				v.name, elapsed.Round(10*time.Microsecond), speedup,
+				st.AnalysisTime.Round(10*time.Microsecond),
+				st.RedoTime.Round(10*time.Microsecond),
+				st.UndoTime.Round(10*time.Microsecond),
+				st.RedoRate()/1e6, st.FetchSkippedPages)
+			tag := fmt.Sprintf("%s/%s", cfg.name, v.name)
+			p.Report.Add("T15", tag+"/restart-ms", elapsed.Seconds()*1000, "ms")
+			p.Report.Add("T15", tag+"/speedup", speedup, "x")
+		}
+	}
+}
+
+// buildRestartImage runs an insert workload with cfg's flush/checkpoint
+// pattern, leaves three uncommitted user transactions in the forced log,
+// and crashes.
+func buildRestartImage(inserts, flushAt, stealers int) *engine.CrashImage {
+	e := engine.New(engine.Options{})
+	b := core.Register(e.Reg, false)
+	st := e.AddStore(1, core.Codec{})
+	tree, err := core.Create(st, e.TM, e.Locks, b, "t15",
+		core.Options{LeafCapacity: 32, IndexCapacity: 32, Consolidation: true, SyncCompletion: true})
+	if err != nil {
+		panic(err)
+	}
+	stealEvery := 0
+	if stealers > 0 {
+		stealEvery = inserts / (stealers + 1)
+	}
+	for i := 0; i < inserts; i++ {
+		if err := tree.Insert(nil, keys.Uint64(uint64(i)), []byte("v")); err != nil {
+			panic(err)
+		}
+		if flushAt > 0 && i == flushAt {
+			tree.DrainCompletions()
+			if _, err := e.FlushAll(); err != nil {
+				panic(err)
+			}
+			if _, err := e.Checkpoint(); err != nil {
+				panic(err)
+			}
+		}
+		if stealEvery > 0 && i%stealEvery == stealEvery-1 {
+			if _, err := e.FlushAll(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	tree.DrainCompletions()
+	// Losers: user transactions whose updates are forced but never
+	// committed, so restart's undo phase has real work.
+	for t := 0; t < 3; t++ {
+		tx := e.TM.Begin()
+		for j := 0; j < 40; j++ {
+			_ = tree.Insert(tx, keys.Uint64(uint64(inserts+t*1000+j)), []byte("loser"))
+		}
+	}
+	if err := e.Log.ForceAll(); err != nil {
+		panic(err)
+	}
+	tree.Close()
+	return e.Crash(nil)
+}
+
+// recoverImage restarts a fresh snapshot of img under opts and reports
+// the recovery stats and restart wall time (best of three runs). It
+// follows the full restart protocol — analysis+redo, tree open, loser
+// undo — since logical record undo needs the tree bound.
+func recoverImage(img *engine.CrashImage, opts engine.Options) (recovery.Stats, time.Duration) {
+	var best time.Duration
+	var stats recovery.Stats
+	for run := 0; run < 5; run++ {
+		e2 := engine.Restarted(img, opts)
+		b := core.Register(e2.Reg, false)
+		st := e2.AttachStore(1, core.Codec{}, img.Disks[1].Snapshot())
+		runtime.GC() // GC debt from prior runs must not bill this one
+		start := time.Now()
+		pend, err := e2.AnalyzeAndRedo()
+		if err != nil {
+			panic(err)
+		}
+		tree, err := core.Open(st, e2.TM, e2.Locks, b, "t15",
+			core.Options{LeafCapacity: 32, IndexCapacity: 32, Consolidation: true, SyncCompletion: true})
+		if err != nil {
+			panic(err)
+		}
+		if err := pend.UndoLosers(e2.TM); err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start)
+		tree.Close()
+		if run == 0 || elapsed < best {
+			best, stats = elapsed, pend.Stats
+		}
+	}
+	return stats, best
+}

@@ -38,6 +38,14 @@ type Options struct {
 	// and commits probe the txn crash points. A nil injector costs
 	// nothing on any of those paths.
 	Injector *fault.Injector
+	// RecoveryWorkers is the restart parallelism: the number of
+	// page-partitioned redo workers and concurrent loser-undo workers
+	// recovery runs with. 0 means GOMAXPROCS.
+	RecoveryWorkers int
+	// SerialRestart selects the classic two-scan serial restart instead of
+	// the parallel pipeline — the oracle path equivalence tests and the
+	// T15 experiment compare against.
+	SerialRestart bool
 }
 
 // ErrDegraded is the typed error returned for writes once the log
@@ -190,9 +198,14 @@ func Restarted(img *CrashImage, opts Options) *Engine {
 	return newEngine(opts, wal.NewFromImage(img.LogImage))
 }
 
+// recoveryOpts translates the engine options into restart options.
+func (e *Engine) recoveryOpts() recovery.Opts {
+	return recovery.Opts{Workers: e.Opts.RecoveryWorkers, Serial: e.Opts.SerialRestart}
+}
+
 // AnalyzeAndRedo runs restart analysis and redo.
 func (e *Engine) AnalyzeAndRedo() (*recovery.Pending, error) {
-	return recovery.AnalyzeAndRedo(e.Log, e.Reg)
+	return recovery.AnalyzeAndRedoOpts(e.Log, e.Reg, e.recoveryOpts())
 }
 
 // FinishRecovery runs the undo pass.
@@ -202,5 +215,5 @@ func (e *Engine) FinishRecovery(p *recovery.Pending) error {
 
 // Recover runs the complete restart (analysis, redo, undo) in one call.
 func (e *Engine) Recover() (recovery.Stats, error) {
-	return recovery.Restart(e.Log, e.Reg, e.TM)
+	return recovery.RestartOpts(e.Log, e.Reg, e.TM, e.recoveryOpts())
 }

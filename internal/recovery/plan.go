@@ -1,0 +1,218 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// pageKey identifies one page across stores.
+type pageKey struct {
+	store uint32
+	page  uint64
+}
+
+// hash spreads pages across redo workers; the multiply-shift mix keeps
+// sequentially allocated page IDs off the same worker.
+func (k pageKey) hash() uint64 {
+	h := k.page ^ uint64(k.store)<<32 ^ uint64(k.store)
+	return (h * 0x9E3779B97F4A7C15) >> 17
+}
+
+// pagePlan is one page's slice of the redo plan: the ascending offsets of
+// the update/CLR records at or past the page's recLSN — exactly the
+// records the serial redo scan would apply to it.
+type pagePlan struct {
+	key  pageKey
+	offs []wal.LSN
+}
+
+// redoPlan is the fused analysis scan's product. Memory is bounded: if
+// the plan would exceed its budget it spills — planning stops, the pages
+// are released, and restart falls back to the serial redo scan over the
+// already-built dirty page table.
+type redoPlan struct {
+	pages   map[pageKey]*pagePlan
+	records int
+	bytes   int
+	budget  int
+	spilled bool
+}
+
+// pagePlanBytes approximates the fixed cost of one planned page (map
+// entry, struct, slice header) for budget accounting.
+const pagePlanBytes = 96
+
+func newRedoPlan(budget int) *redoPlan {
+	return &redoPlan{pages: make(map[pageKey]*pagePlan), budget: budget}
+}
+
+// add plans one record. A no-op after a spill.
+func (pl *redoPlan) add(store uint32, page uint64, lsn wal.LSN) {
+	pl.appendTo(pl.page(store, page), lsn)
+}
+
+// page returns (store,page)'s plan entry, creating it on first sight.
+// Nil after a spill. Callers caching the pointer must drop it once
+// pl.spilled flips: the pages map is released but a cached entry would
+// keep accumulating invisibly.
+func (pl *redoPlan) page(store uint32, page uint64) *pagePlan {
+	if pl.spilled {
+		return nil
+	}
+	k := pageKey{store: store, page: page}
+	pp := pl.pages[k]
+	if pp == nil {
+		pp = &pagePlan{key: k}
+		pl.pages[k] = pp
+		pl.bytes += pagePlanBytes
+	}
+	return pp
+}
+
+// appendTo plans lsn on pp (from page). A no-op after a spill.
+func (pl *redoPlan) appendTo(pp *pagePlan, lsn wal.LSN) {
+	if pl.spilled || pp == nil {
+		return
+	}
+	pp.offs = append(pp.offs, lsn)
+	pl.records++
+	pl.bytes += 8
+	if pl.bytes > pl.budget {
+		pl.spilled = true
+		pl.pages = nil // release; the serial fallback re-derives everything
+	}
+}
+
+// execute applies the plan: pages are hashed onto workers, each worker
+// pins its page once and applies that page's records in LSN order through
+// the batched registry path, prefetching upcoming pages through the pool.
+// Page-oriented redo needs no cross-page order — repeating history is
+// per-page (§4.3) — so workers never coordinate.
+func (pl *redoPlan) execute(img *wal.Reader, reg *storage.Registry, workers int, st *Stats) error {
+	if len(pl.pages) == 0 {
+		return nil
+	}
+	if workers > len(pl.pages) {
+		workers = len(pl.pages)
+	}
+	buckets := make([][]*pagePlan, workers)
+	for k, pp := range pl.pages {
+		w := int(k.hash() % uint64(workers))
+		buckets[w] = append(buckets[w], pp)
+	}
+	var (
+		wg           sync.WaitGroup
+		mu           sync.Mutex
+		firstErr     error
+		skippedPages atomic.Int64
+		skippedRecs  atomic.Int64
+	)
+	for _, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue // hashing can leave a worker with no pages
+		}
+		// Deterministic per-worker order (and page-ID locality for the
+		// prefetcher): map iteration order must not leak into fetch order.
+		sort.Slice(bucket, func(i, j int) bool {
+			a, b := bucket[i].key, bucket[j].key
+			if a.store != b.store {
+				return a.store < b.store
+			}
+			return a.page < b.page
+		})
+		wg.Add(1)
+		go func(pages []*pagePlan) {
+			defer wg.Done()
+			sp, sr, err := redoWorker(img, reg, pages)
+			skippedPages.Add(int64(sp))
+			skippedRecs.Add(int64(sr))
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(bucket)
+	}
+	wg.Wait()
+	st.FetchSkippedPages = int(skippedPages.Load())
+	st.FetchSkippedRecords = int(skippedRecs.Load())
+	return firstErr
+}
+
+// prefetchAhead bounds how many pages a worker's prefetcher may run in
+// front of the batch applier — enough to hide the read+decode, small
+// enough not to thrash a bounded pool.
+const prefetchAhead = 2
+
+// coveredByDisk reports whether pid's stable image already reflects every
+// planned record. Buffered frames only ever run ahead of the stable image
+// (flushes write buffered state), so a covering stable image proves any
+// buffered frame is covered too, and the page can be dropped from the
+// plan without fetching it: the redo fetch-skip.
+func coveredByDisk(pool *storage.Pool, pp *pagePlan) bool {
+	lsn, ok := pool.StablePageLSN(storage.PageID(pp.key.page))
+	return ok && lsn >= pp.offs[len(pp.offs)-1]
+}
+
+// redoWorker drains one worker's share of the plan: per page, one
+// fetch-skip probe, then one batched apply of the page's records in LSN
+// order. A companion goroutine prefetches upcoming pages through the pool
+// so the apply path finds them buffered.
+func redoWorker(img *wal.Reader, reg *storage.Registry, pages []*pagePlan) (skippedPages, skippedRecs int, err error) {
+	tickets := make(chan struct{}, prefetchAhead)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for _, pp := range pages[1:] { // the worker fetches pages[0] itself immediately
+			select {
+			case tickets <- struct{}{}:
+			case <-stop:
+				return
+			}
+			if pool, perr := reg.Pool(pp.key.store); perr == nil && !coveredByDisk(pool, pp) {
+				pool.Prefetch(storage.PageID(pp.key.page))
+			}
+		}
+	}()
+
+	var recs []wal.Record
+	for i, pp := range pages {
+		pool, perr := reg.Pool(pp.key.store)
+		if perr != nil {
+			return skippedPages, skippedRecs, perr
+		}
+		if coveredByDisk(pool, pp) {
+			skippedPages++
+			skippedRecs += len(pp.offs)
+		} else {
+			if cap(recs) < len(pp.offs) {
+				recs = make([]wal.Record, len(pp.offs))
+			}
+			recs = recs[:len(pp.offs)]
+			for j, off := range pp.offs {
+				if rerr := img.RecordAtInto(off, &recs[j]); rerr != nil {
+					return skippedPages, skippedRecs, fmt.Errorf("redo plan read at %d: %w", off, rerr)
+				}
+			}
+			if _, aerr := reg.ApplyRedoBatch(pp.key.store, storage.PageID(pp.key.page), recs); aerr != nil {
+				return skippedPages, skippedRecs, aerr
+			}
+		}
+		if i < len(pages)-1 {
+			// Release one prefetch ticket per processed page, keeping the
+			// prefetcher at most prefetchAhead pages in front.
+			select {
+			case <-tickets:
+			default:
+			}
+		}
+	}
+	return skippedPages, skippedRecs, nil
+}

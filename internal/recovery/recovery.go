@@ -9,13 +9,31 @@
 // atomic action simply leaves the committed split in place — a well-formed
 // intermediate state — and rolls back only actions that had not committed.
 // The tree completes the change lazily during normal processing.
+//
+// Restart itself is parallel (DESIGN.md §7). The analysis scan doubles as
+// a redo planner — it records, per dirty page, the offsets of the
+// update/CLR records past that page's recLSN — so the log image is decoded
+// once instead of twice, with zero payload copies. The plan is then
+// executed by page-partitioned workers: redo is page-oriented, so LSN
+// order matters only within a page and workers never coordinate. Losers
+// are likewise independent (their surviving updates were protected by
+// locks at the crash, and atomic-action compensations commute, §4.3), so
+// undo drains them from a work queue, preserving backward order only
+// within each transaction. The classic two-scan serial restart is kept
+// behind Opts.Serial as the oracle the pipeline is equivalence-tested
+// against and as the fallback when the redo plan outgrows its memory
+// budget.
 package recovery
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -89,6 +107,41 @@ func TakeCheckpoint(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.
 	return lsn, nil
 }
 
+// Opts configures a restart.
+type Opts struct {
+	// Workers is the restart parallelism: the redo plan is partitioned
+	// across this many workers by (store,page) hash, and the undo pass
+	// rolls losers back from a queue drained by this many workers.
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Serial selects the classic two-scan restart: separate analysis and
+	// redo passes over the log, records applied one at a time, losers
+	// undone one after another in descending last-LSN order. It is the
+	// oracle the parallel pipeline is equivalence-tested against, and the
+	// path the spill fallback reuses.
+	Serial bool
+	// PlanBudget bounds the fused scan's in-memory redo plan in bytes
+	// (~8 per planned record plus a per-page overhead). If the plan would
+	// exceed it, planning stops and redo falls back to the serial scan
+	// over the already-built dirty page table. 0 means 256 MiB.
+	PlanBudget int
+}
+
+const defaultPlanBudget = 256 << 20
+
+func (o Opts) withDefaults() Opts {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Serial {
+		o.Workers = 1
+	}
+	if o.PlanBudget <= 0 {
+		o.PlanBudget = defaultPlanBudget
+	}
+	return o
+}
+
 // Stats summarizes one restart.
 type Stats struct {
 	// AnalyzedRecords is the number of records scanned in analysis.
@@ -105,8 +158,63 @@ type Stats struct {
 	// WinnerTxns is the number of committed-but-unended transactions that
 	// only needed their end records.
 	WinnerTxns int
-	// RedoStartLSN is where the redo scan began.
+	// RedoStartLSN is where the serial redo scan begins (the earliest
+	// recLSN in the final dirty page table); the fused path reports the
+	// same value for comparability even though its plan already carries
+	// exact per-page offsets.
 	RedoStartLSN wal.LSN
+
+	// Workers is the parallelism redo and undo ran with.
+	Workers int
+	// PlannedPages / PlannedRecords describe the fused scan's redo plan
+	// (zero on the serial path and after a spill).
+	PlannedPages   int
+	PlannedRecords int
+	// PlanSpilled reports that the plan exceeded Opts.PlanBudget and redo
+	// fell back to the serial scan.
+	PlanSpilled bool
+	// FetchSkippedPages / FetchSkippedRecords count planned pages whose
+	// stable image already covered every planned record and were dropped
+	// from the plan without being fetched through the pool. Their records
+	// still count as RedoneRecords — they were conditionally reapplied
+	// with the condition false — keeping the counter comparable with the
+	// serial path, where the pageLSN guard makes the same records no-ops.
+	FetchSkippedPages   int
+	FetchSkippedRecords int
+	// AnalysisTime, RedoTime, UndoTime are per-phase wall times.
+	AnalysisTime time.Duration
+	RedoTime     time.Duration
+	UndoTime     time.Duration
+}
+
+// recsPerSec returns n/d in records per second.
+func recsPerSec(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// AnalysisRate and RedoRate are records/s for the two forward phases.
+func (s Stats) AnalysisRate() float64 { return recsPerSec(s.AnalyzedRecords, s.AnalysisTime) }
+func (s Stats) RedoRate() float64     { return recsPerSec(s.RedoneRecords, s.RedoTime) }
+
+// Summary renders the restart's per-phase breakdown on one line for
+// operational logs (pitree-verify prints it after every recovery).
+func (s Stats) Summary() string {
+	redo := fmt.Sprintf("redo %v (%d rec, %.2fM rec/s, %d workers",
+		s.RedoTime.Round(time.Microsecond), s.RedoneRecords, s.RedoRate()/1e6, s.Workers)
+	switch {
+	case s.PlanSpilled:
+		redo += ", plan spilled"
+	case s.FetchSkippedPages > 0:
+		redo += fmt.Sprintf(", %d pages fetch-skipped", s.FetchSkippedPages)
+	}
+	redo += ")"
+	return fmt.Sprintf("analysis %v (%d rec, %.2fM rec/s) | %s | undo %v (%d losers, %d actions, %d winners)",
+		s.AnalysisTime.Round(time.Microsecond), s.AnalyzedRecords, s.AnalysisRate()/1e6,
+		redo,
+		s.UndoTime.Round(time.Microsecond), s.LoserTxns, s.LoserActions, s.WinnerTxns)
 }
 
 type attState struct {
@@ -121,8 +229,9 @@ type attState struct {
 // bound when record undo is logical).
 type Pending struct {
 	// Stats accumulates across both phases.
-	Stats  Stats
-	losers []pendingTxn
+	Stats   Stats
+	losers  []pendingTxn
+	workers int
 }
 
 type pendingTxn struct {
@@ -139,7 +248,12 @@ type pendingTxn struct {
 // (exactly as during normal operation), and tm must be a fresh
 // transaction manager over log, reg, and a fresh lock manager.
 func Restart(log *wal.Log, reg *storage.Registry, tm *txn.Manager) (Stats, error) {
-	p, err := AnalyzeAndRedo(log, reg)
+	return RestartOpts(log, reg, tm, Opts{})
+}
+
+// RestartOpts is Restart with explicit restart options.
+func RestartOpts(log *wal.Log, reg *storage.Registry, tm *txn.Manager, o Opts) (Stats, error) {
+	p, err := AnalyzeAndRedoOpts(log, reg, o)
 	if err != nil {
 		return p.Stats, err
 	}
@@ -149,81 +263,249 @@ func Restart(log *wal.Log, reg *storage.Registry, tm *txn.Manager) (Stats, error
 	return p.Stats, nil
 }
 
-// AnalyzeAndRedo runs the analysis and redo passes: it rebuilds the
-// transaction and dirty page tables from the last stable checkpoint and
-// repeats history so every page reflects exactly the stable log. The
-// returned Pending carries the losers for UndoLosers.
+// AnalyzeAndRedo runs the analysis and redo passes with default options:
+// it rebuilds the transaction and dirty page tables from the last stable
+// checkpoint and repeats history so every page reflects exactly the
+// stable log. The returned Pending carries the losers for UndoLosers.
 func AnalyzeAndRedo(log *wal.Log, reg *storage.Registry) (*Pending, error) {
-	p := &Pending{}
+	return AnalyzeAndRedoOpts(log, reg, Opts{})
+}
+
+// AnalyzeAndRedoOpts is AnalyzeAndRedo with explicit restart options.
+func AnalyzeAndRedoOpts(log *wal.Log, reg *storage.Registry, o Opts) (*Pending, error) {
+	o = o.withDefaults()
+	p := &Pending{workers: o.Workers}
 	st := &p.Stats
+	st.Workers = o.Workers
 	img := log.FullImage()
 
-	// --- Analysis ---------------------------------------------------
+	// --- Analysis (fused with redo planning unless Serial) ------------
+	began := time.Now()
 	att := make(map[wal.TxnID]*attState)
 	dpt := make(map[uint32]map[uint64]wal.LSN) // store -> page -> recLSN
-	scanFrom := wal.NilLSN
+	scanFrom, err := loadCheckpoint(img, att, dpt)
+	if err != nil {
+		return p, err
+	}
+	var plan *redoPlan
+	if !o.Serial {
+		plan = newRedoPlan(o.PlanBudget)
+	}
+	analyze(img, att, dpt, scanFrom, plan, st)
+	st.AnalysisTime = time.Since(began)
 
-	if ckpt := img.CheckpointLSN(); ckpt != wal.NilLSN {
-		rec, err := img.Read(ckpt)
-		if err != nil || rec.Type != wal.RecCheckpoint {
-			return p, fmt.Errorf("recovery: bad checkpoint anchor at %d: %v", ckpt, err)
+	// --- Redo: repeat history -----------------------------------------
+	began = time.Now()
+	st.RedoStartLSN = redoStart(img, dpt)
+	if plan != nil && plan.spilled {
+		// The plan outgrew its budget mid-scan. Analysis is complete, so
+		// fall back to the classic redo scan over the final DPT; its skip
+		// counting replaces the partial plan's.
+		st.PlanSpilled = true
+		st.RedoSkipped = 0
+		plan = nil
+	}
+	var rerr error
+	if plan != nil {
+		st.PlannedPages = len(plan.pages)
+		st.PlannedRecords = plan.records
+		// Planned records are exactly those the serial redo scan would
+		// apply; record the count up front — fetch-skipped pages still
+		// count as conditionally reapplied (see Stats).
+		st.RedoneRecords = plan.records
+		rerr = plan.execute(img, reg, o.Workers, st)
+	} else {
+		rerr = redoScan(img, reg, dpt, st)
+	}
+	st.RedoTime = time.Since(began)
+	if rerr != nil {
+		return p, fmt.Errorf("recovery redo: %w", rerr)
+	}
+
+	// Collect losers sorted by descending last LSN, matching the single
+	// backward scan of ARIES (our per-page compensations commute, but the
+	// order keeps the log tidy and the behaviour canonical).
+	ids := make([]wal.TxnID, 0, len(att))
+	for id := range att {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return att[ids[i]].lastLSN > att[ids[j]].lastLSN })
+	for _, id := range ids {
+		e := att[id]
+		p.losers = append(p.losers, pendingTxn{id: id, lastLSN: e.lastLSN, system: e.system, committed: e.committed})
+	}
+	return p, nil
+}
+
+// loadCheckpoint decodes the image's checkpoint anchor (if any) into att
+// and dpt and returns where the analysis scan must begin.
+func loadCheckpoint(img *wal.Reader, att map[wal.TxnID]*attState, dpt map[uint32]map[uint64]wal.LSN) (wal.LSN, error) {
+	ckpt := img.CheckpointLSN()
+	if ckpt == wal.NilLSN {
+		return wal.NilLSN, nil
+	}
+	rec, err := img.Read(ckpt)
+	if err != nil || rec.Type != wal.RecCheckpoint {
+		return wal.NilLSN, fmt.Errorf("recovery: bad checkpoint anchor at %d: %v", ckpt, err)
+	}
+	c, err := decodeCheckpoint(rec.Payload)
+	if err != nil {
+		return wal.NilLSN, fmt.Errorf("recovery: decode checkpoint: %w", err)
+	}
+	for _, e := range c.ATT {
+		att[e.ID] = &attState{lastLSN: e.LastLSN, system: e.System, committed: e.Committed}
+	}
+	for store, pages := range c.DPT {
+		dpt[store] = make(map[uint64]wal.LSN, len(pages))
+		for pid, rec := range pages {
+			dpt[store][pid] = rec
 		}
-		c, err := decodeCheckpoint(rec.Payload)
-		if err != nil {
-			return p, fmt.Errorf("recovery: decode checkpoint: %w", err)
-		}
-		for _, e := range c.ATT {
-			att[e.ID] = &attState{lastLSN: e.LastLSN, system: e.System, committed: e.Committed}
-		}
-		for store, pages := range c.DPT {
-			dpt[store] = make(map[uint64]wal.LSN, len(pages))
-			for pid, rec := range pages {
-				dpt[store][pid] = rec
+	}
+	scanFrom := ckpt
+	if c.StartLSN != wal.NilLSN && c.StartLSN < scanFrom {
+		// The checkpoint is fuzzy: its tables were snapshotted some time
+		// before the record itself was appended. Re-scan that window so
+		// updates racing the snapshot still reach the ATT/DPT. Replaying
+		// pre-snapshot records over the snapshot is harmless: it can only
+		// add conservative DPT entries (redo is pageLSN-guarded) and the
+		// ATT converges to the same rows.
+		scanFrom = c.StartLSN
+	}
+	return scanFrom, nil
+}
+
+// analyze runs the analysis scan from scanFrom, mutating att and dpt in
+// place. With plan non-nil it is the fused pass: every update/CLR at or
+// past its page's recLSN is planned inline (the ones the serial redo scan
+// would apply) and skips are counted exactly as the serial scan would
+// count them, so the two paths report identical stats. The fused pass
+// reads the image through the zero-copy scan; analysis retains no
+// payloads.
+func analyze(img *wal.Reader, att map[wal.TxnID]*attState, dpt map[uint32]map[uint64]wal.LSN,
+	scanFrom wal.LSN, plan *redoPlan, st *Stats) {
+
+	// minCkpt is the earliest recLSN carried in from the checkpoint DPT
+	// (max LSN when it is empty). The serial redo scan starts at the
+	// earliest recLSN of the *final* DPT, which is below scanFrom exactly
+	// when a checkpoint-DPT page was dirtied before the checkpoint began.
+	minCkpt := ^wal.LSN(0)
+	for _, pages := range dpt {
+		for _, rec := range pages {
+			if rec < minCkpt {
+				minCkpt = rec
 			}
 		}
-		scanFrom = ckpt
-		if c.StartLSN != wal.NilLSN && c.StartLSN < scanFrom {
-			// The checkpoint is fuzzy: its tables were snapshotted some time
-			// before the record itself was appended. Re-scan that window so
-			// updates racing the snapshot still reach the ATT/DPT. Replaying
-			// pre-snapshot records over the snapshot is harmless: it can only
-			// add conservative DPT entries (redo is pageLSN-guarded) and the
-			// ATT converges to the same rows.
-			scanFrom = c.StartLSN
-		}
 	}
 
-	noteDirty := func(store uint32, page uint64, lsn wal.LSN) {
-		if page == uint64(storage.NilPage) {
-			return
-		}
-		m := dpt[store]
-		if m == nil {
-			m = make(map[uint64]wal.LSN)
-			dpt[store] = m
-		}
-		if _, ok := m[page]; !ok {
-			m[page] = lsn
-		}
+	if plan != nil && minCkpt < scanFrom {
+		// Planning pre-scan over [minCkpt, scanFrom): the serial path's
+		// redo scan re-reads this window for checkpoint-DPT pages; the
+		// fused path reads it here, planning records at or past their
+		// page's recLSN and counting the rest as skipped, exactly as the
+		// serial scan would. Analysis stays off: the checkpoint tables
+		// already summarize this prefix.
+		img.ScanShared(minCkpt, func(rec *wal.Record) bool {
+			if rec.LSN >= scanFrom {
+				return false
+			}
+			if (rec.Type != wal.RecUpdate && rec.Type != wal.RecCLR) || rec.PageID == uint64(storage.NilPage) {
+				return true
+			}
+			if recLSN, ok := dpt[rec.StoreID][rec.PageID]; ok && rec.LSN >= recLSN {
+				plan.add(rec.StoreID, rec.PageID, rec.LSN)
+			} else {
+				st.RedoSkipped++
+			}
+			return true
+		})
 	}
 
-	img.Scan(scanFrom, func(rec wal.Record) bool {
+	// newState recycles attState structs freed by RecEnd: short
+	// transactions (every atomic action) are born and ended inside one
+	// scan, and without the freelist each costs a heap allocation on a
+	// path that runs once per logged transaction.
+	var free []*attState
+	newState := func(s attState) *attState {
+		if n := len(free); n > 0 {
+			e := free[n-1]
+			free = free[:n-1]
+			*e = s
+			return e
+		}
+		e := new(attState)
+		*e = s
+		return e
+	}
+
+	// anyAdded flips once analysis inserts a new DPT entry; from then on
+	// (the scan is in ascending LSN order) the final redo start is at or
+	// below the current position, so the serial redo scan would see — and
+	// count — every subsequent filtered record.
+	anyAdded := false
+	// One-entry cache of the last planned page: updates arrive in long
+	// same-page runs (consecutive inserts hit one leaf until it splits),
+	// and a hit bypasses both the DPT lookup and the plan's map lookup.
+	var (
+		cValid  bool
+		cStore  uint32
+		cPage   uint64
+		cRecLSN wal.LSN
+		cPlan   *pagePlan
+	)
+	fn := func(rec *wal.Record) bool {
 		st.AnalyzedRecords++
 		switch rec.Type {
 		case wal.RecBegin:
-			att[rec.TxnID] = &attState{lastLSN: rec.LSN, system: rec.IsSystem()}
+			att[rec.TxnID] = newState(attState{lastLSN: rec.LSN, system: rec.IsSystem()})
 		case wal.RecUpdate, wal.RecCLR:
 			e := att[rec.TxnID]
 			if e == nil {
-				e = &attState{system: rec.IsSystem()}
+				e = newState(attState{system: rec.IsSystem()})
 				att[rec.TxnID] = e
 			}
 			e.lastLSN = rec.LSN
-			noteDirty(rec.StoreID, rec.PageID, rec.LSN)
+			if rec.PageID == uint64(storage.NilPage) {
+				break
+			}
+			var recLSN wal.LSN
+			if cValid && rec.StoreID == cStore && rec.PageID == cPage {
+				recLSN = cRecLSN
+			} else {
+				m := dpt[rec.StoreID]
+				if m == nil {
+					m = make(map[uint64]wal.LSN)
+					dpt[rec.StoreID] = m
+				}
+				var ok bool
+				recLSN, ok = m[rec.PageID]
+				if !ok {
+					recLSN = rec.LSN
+					m[rec.PageID] = recLSN
+					anyAdded = true
+				}
+				cValid, cStore, cPage, cRecLSN, cPlan = true, rec.StoreID, rec.PageID, recLSN, nil
+			}
+			if plan == nil {
+				break
+			}
+			if rec.LSN >= recLSN {
+				if cPlan == nil {
+					cPlan = plan.page(rec.StoreID, rec.PageID)
+				}
+				plan.appendTo(cPlan, rec.LSN)
+				if plan.spilled {
+					cValid, cPlan = false, nil
+				}
+			} else if rec.LSN >= minCkpt || anyAdded {
+				// Count the skip only if the serial redo scan (starting
+				// at the final DPT's earliest recLSN) would reach this
+				// record and filter it.
+				st.RedoSkipped++
+			}
 		case wal.RecDummyCLR, wal.RecAbort:
 			e := att[rec.TxnID]
 			if e == nil {
-				e = &attState{system: rec.IsSystem()}
+				e = newState(attState{system: rec.IsSystem()})
 				att[rec.TxnID] = e
 			}
 			e.lastLSN = rec.LSN
@@ -232,33 +514,47 @@ func AnalyzeAndRedo(log *wal.Log, reg *storage.Registry) (*Pending, error) {
 				e.committed = true
 				e.lastLSN = rec.LSN
 			} else {
-				att[rec.TxnID] = &attState{lastLSN: rec.LSN, system: rec.IsSystem(), committed: true}
+				att[rec.TxnID] = newState(attState{lastLSN: rec.LSN, system: rec.IsSystem(), committed: true})
 			}
 		case wal.RecEnd:
-			delete(att, rec.TxnID)
+			if e := att[rec.TxnID]; e != nil {
+				free = append(free, e)
+				delete(att, rec.TxnID)
+			}
 		case wal.RecCheckpoint:
 			// Snapshot already loaded if this was the anchor; a non-anchor
 			// checkpoint record adds nothing.
 		}
 		return true
-	})
+	}
+	if plan != nil {
+		img.ScanShared(scanFrom, fn)
+	} else {
+		img.Scan(scanFrom, func(rec wal.Record) bool { return fn(&rec) })
+	}
+}
 
-	// --- Redo: repeat history from the earliest recLSN ----------------
-	redoStart := img.EndLSN()
+// redoStart returns where the serial redo scan begins: the earliest
+// recLSN in the final dirty page table, or the image end when nothing is
+// dirty.
+func redoStart(img *wal.Reader, dpt map[uint32]map[uint64]wal.LSN) wal.LSN {
+	start := img.EndLSN()
 	for _, pages := range dpt {
 		for _, rec := range pages {
-			if rec < redoStart {
-				redoStart = rec
+			if rec < start {
+				start = rec
 			}
 		}
 	}
-	if len(dpt) == 0 {
-		redoStart = img.EndLSN() // nothing dirty: no redo needed
-	}
-	st.RedoStartLSN = redoStart
+	return start
+}
 
+// redoScan is the classic second pass: scan forward from the earliest
+// recLSN, applying every update/CLR the dirty page table admits, one
+// record at a time. The serial oracle and the spill fallback run it.
+func redoScan(img *wal.Reader, reg *storage.Registry, dpt map[uint32]map[uint64]wal.LSN, st *Stats) error {
 	var redoErr error
-	img.Scan(redoStart, func(rec wal.Record) bool {
+	img.Scan(st.RedoStartLSN, func(rec wal.Record) bool {
 		if rec.Type != wal.RecUpdate && rec.Type != wal.RecCLR {
 			return true
 		}
@@ -278,47 +574,104 @@ func AnalyzeAndRedo(log *wal.Log, reg *storage.Registry) (*Pending, error) {
 		st.RedoneRecords++
 		return true
 	})
-	if redoErr != nil {
-		return p, fmt.Errorf("recovery redo: %w", redoErr)
-	}
+	return redoErr
+}
 
-	// Collect losers sorted by descending last LSN, matching the single
-	// backward scan of ARIES (our per-page compensations commute, but the
-	// order keeps the log tidy and the behaviour canonical).
-	ids := make([]wal.TxnID, 0, len(att))
-	for id := range att {
-		ids = append(ids, id)
+// undoCounters accumulate the undo pass's outcomes; atomics so the
+// parallel path folds them in without a lock.
+type undoCounters struct {
+	winners atomic.Int64
+	txns    atomic.Int64
+	actions atomic.Int64
+}
+
+// settleOne adopts one surviving transaction and settles it: winners get
+// their end records, losers roll back with CLRs.
+func settleOne(tm *txn.Manager, e pendingTxn, c *undoCounters) error {
+	t := tm.Adopt(e.id, e.system, e.lastLSN)
+	if e.committed {
+		t.FinishRecovered()
+		c.winners.Add(1)
+		return nil
 	}
-	sort.Slice(ids, func(i, j int) bool { return att[ids[i]].lastLSN > att[ids[j]].lastLSN })
-	for _, id := range ids {
-		e := att[id]
-		p.losers = append(p.losers, pendingTxn{id: id, lastLSN: e.lastLSN, system: e.system, committed: e.committed})
+	if err := t.RollbackLoser(); err != nil {
+		return fmt.Errorf("recovery undo of txn %d: %w", e.id, err)
 	}
-	return p, nil
+	if e.system {
+		c.actions.Add(1)
+	} else {
+		c.txns.Add(1)
+	}
+	return nil
 }
 
 // UndoLosers is the undo pass: committed-but-unended transactions get
 // their end records; every other surviving transaction — user or atomic
 // action — is rolled back with CLRs, which is exactly the all-or-nothing
 // guarantee the paper's atomic actions rely on (§4.3).
+//
+// With restart parallelism above one, losers are settled by a pool of
+// workers draining a queue. They are independent: each loser's surviving
+// updates were protected by the locks it held at the crash (user
+// transactions) or are structure changes whose compensations commute
+// (atomic actions, §4.3), logical undo takes tree latches only, and CLRs
+// interleave safely through the concurrent WAL. Backward order is
+// preserved within each transaction — the only order undo requires.
 func (p *Pending) UndoLosers(tm *txn.Manager) error {
+	began := time.Now()
 	st := &p.Stats
-	for _, e := range p.losers {
-		t := tm.Adopt(e.id, e.system, e.lastLSN)
-		if e.committed {
-			t.FinishRecovered()
-			st.WinnerTxns++
-			continue
-		}
-		if err := t.RollbackLoser(); err != nil {
-			return fmt.Errorf("recovery undo of txn %d: %w", e.id, err)
-		}
-		if e.system {
-			st.LoserActions++
-		} else {
-			st.LoserTxns++
-		}
+	var c undoCounters
+	defer func() {
+		st.WinnerTxns += int(c.winners.Load())
+		st.LoserTxns += int(c.txns.Load())
+		st.LoserActions += int(c.actions.Load())
+		st.UndoTime += time.Since(began)
+		p.losers = nil
+	}()
+
+	workers := p.workers
+	if workers > len(p.losers) {
+		workers = len(p.losers)
 	}
-	p.losers = nil
-	return nil
+	if workers <= 1 {
+		// Serial oracle path (and the trivial sizes): one backward pass
+		// in descending last-LSN order, stopping at the first failure.
+		for _, e := range p.losers {
+			if err := settleOne(tm, e, &c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	queue := make(chan pendingTxn)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range queue {
+				if err := settleOne(tm, e, &c); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	// Feed in descending last-LSN order so the drain approximates the
+	// canonical backward pass even though strict cross-loser order is not
+	// required.
+	for _, e := range p.losers {
+		queue <- e
+	}
+	close(queue)
+	wg.Wait()
+	return firstErr
 }

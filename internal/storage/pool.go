@@ -850,6 +850,37 @@ func (p *Pool) writeImage(pid PageID, img []byte) error {
 	}
 }
 
+// Prefetch warms pid into the pool without retaining a pin: a best-effort
+// read-ahead hook for restart's redo workers, whose companion prefetcher
+// decodes upcoming pages while the worker applies the current one. Misses
+// and errors are ignored — the worker's own fetch repeats the read and
+// reports them.
+func (p *Pool) Prefetch(pid PageID) {
+	if f, err := p.Fetch(pid); err == nil {
+		p.Unpin(f)
+	}
+}
+
+// StablePageLSN returns the pageLSN recorded in pid's stable image without
+// buffering or decoding the page, or ok=false if the page was never
+// flushed (or the read failed — conservative; the caller's fetch will
+// surface a persistent error). Restart redo uses it to drop pages whose
+// stable image already covers every planned record: flushes only ever
+// write buffered state, so a buffered frame can never be behind the stable
+// image, and a covering stable pageLSN proves the planned records are
+// reflected wherever the page currently lives.
+func (p *Pool) StablePageLSN(pid PageID) (wal.LSN, bool) {
+	img, ok, err := p.disk.Read(pid)
+	if err != nil || !ok {
+		return wal.NilLSN, false
+	}
+	lsn, _, _, err := unframeImage(img)
+	if err != nil {
+		return wal.NilLSN, false
+	}
+	return wal.LSN(lsn), true
+}
+
 // Unpin releases one pin on f.
 func (p *Pool) Unpin(f *Frame) {
 	if f.pins.Add(-1) < 0 {

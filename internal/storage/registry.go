@@ -124,3 +124,67 @@ func (r *Registry) ApplyRedo(rec *wal.Record) error {
 	f.SetPageLSN(rec.LSN)
 	return nil
 }
+
+// ApplyRedoFrame applies rec to an already-pinned, already-X-latched
+// frame with the same pageLSN guard as ApplyRedo. Rollback uses it to
+// append a CLR and apply it under one latch hold: per-page append order
+// then equals apply order, so the guard can never mistake a concurrent
+// transaction's later CLR for "rec already applied" and drop a
+// compensation from the buffered page.
+func (r *Registry) ApplyRedoFrame(f *Frame, rec *wal.Record) error {
+	h, err := r.Handler(rec.Kind)
+	if err != nil {
+		return err
+	}
+	if f.PageLSN() >= rec.LSN {
+		return nil // already reflected
+	}
+	if err := h.Redo(f, rec); err != nil {
+		return fmt.Errorf("redo kind %d page %d at LSN %d: %w", rec.Kind, rec.PageID, rec.LSN, err)
+	}
+	f.SetPageLSN(rec.LSN)
+	return nil
+}
+
+// ApplyRedoBatch applies one page's planned redo records — ascending LSN,
+// all addressed to (storeID, pid) — fetching, pinning and X-latching the
+// frame once for the whole batch instead of once per record. Every record
+// still takes the pageLSN test individually and advances pageLSN as it
+// applies, so the resulting page state is byte-identical with a loop of
+// ApplyRedo calls. Restart's page-partitioned redo workers drive it;
+// rec.Payload may alias the log image (Redo handlers treat payloads as
+// read-only). It returns how many records actually applied.
+func (r *Registry) ApplyRedoBatch(storeID uint32, pid PageID, recs []wal.Record) (int, error) {
+	p, err := r.Pool(storeID)
+	if err != nil {
+		return 0, err
+	}
+	f, err := p.FetchOrCreate(pid)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Unpin(f)
+	f.Latch.AcquireX()
+	defer f.Latch.ReleaseX()
+	// One handler-table lock for the batch; Redo handlers never call back
+	// into the registry, and registration is complete before restart runs.
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	applied := 0
+	for i := range recs {
+		rec := &recs[i]
+		if f.PageLSN() >= rec.LSN {
+			continue // already reflected
+		}
+		h, ok := r.handlers[rec.Kind]
+		if !ok {
+			return applied, fmt.Errorf("storage: no handler for kind %d", rec.Kind)
+		}
+		if err := h.Redo(f, rec); err != nil {
+			return applied, fmt.Errorf("redo kind %d page %d at LSN %d: %w", rec.Kind, rec.PageID, rec.LSN, err)
+		}
+		f.SetPageLSN(rec.LSN)
+		applied++
+	}
+	return applied, nil
+}

@@ -496,6 +496,24 @@ func (t *Txn) undoOne(rec *wal.Record) error {
 	if err != nil {
 		return err
 	}
+	pool, err := t.mgr.Reg.Pool(comp.StoreID)
+	if err != nil {
+		return err
+	}
+	f, err := pool.FetchOrCreate(comp.PageID)
+	if err != nil {
+		return err
+	}
+	defer pool.Unpin(f)
+	// Latch the page before appending the CLR and hold the latch across
+	// the apply — the same protocol as forward updates. Appending first
+	// and latching inside ApplyRedo would let two transactions undoing on
+	// the same page append in one order and apply in the other, and the
+	// pageLSN guard would then drop the lower-LSN compensation from the
+	// buffered page. Restart's concurrent loser-undo workers hit exactly
+	// that interleaving.
+	f.Latch.AcquireX()
+	defer f.Latch.ReleaseX()
 	t.mu.Lock()
 	clr := &wal.Record{
 		Type:     wal.RecCLR,
@@ -511,7 +529,7 @@ func (t *Txn) undoOne(rec *wal.Record) error {
 	t.mgr.Log.Append(clr)
 	t.lastLSN = clr.LSN
 	t.mu.Unlock()
-	return t.mgr.Reg.ApplyRedo(clr)
+	return t.mgr.Reg.ApplyRedoFrame(f, clr)
 }
 
 // RollbackLoser drives restart undo for an adopted loser: it rolls back

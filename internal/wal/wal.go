@@ -175,21 +175,34 @@ const FPSync = "wal.sync"
 // maxSyncRetries bounds in-sync retries of an injected transient fault.
 const maxSyncRetries = 4
 
-// decode parses one record starting at b[0]. It returns the record and its
-// encoded length.
-func decode(b []byte) (Record, int, error) {
+// decodeShared parses one record starting at b[0]. It returns the record
+// and its encoded length. The record's Payload aliases b instead of
+// copying it, so callers must treat it as read-only for as long as b is
+// shared; restart's planner and redo workers rely on this to read a log
+// image without one allocation per record (images are immutable
+// snapshots, so the alias can never observe a mutation).
+func decodeShared(b []byte) (Record, int, error) {
+	var r Record
+	total, err := decodeSharedInto(b, &r)
+	return r, total, err
+}
+
+// decodeSharedInto is decodeShared writing into a caller-provided record,
+// so a scan can reuse one Record across the whole log instead of copying
+// a fresh struct per record.
+func decodeSharedInto(b []byte, r *Record) (int, error) {
 	if len(b) < headerSize {
-		return Record{}, 0, ErrBadRecord
+		return 0, ErrBadRecord
 	}
 	total := int(binary.LittleEndian.Uint32(b[0:]))
 	if total < headerSize || total > len(b) {
-		return Record{}, 0, ErrBadRecord
+		return 0, ErrBadRecord
 	}
 	crc := binary.LittleEndian.Uint32(b[4:])
 	if crc32.Checksum(b[8:total], crcTable) != crc {
-		return Record{}, 0, ErrBadRecord
+		return 0, ErrBadRecord
 	}
-	r := Record{
+	*r = Record{
 		Type:     RecType(binary.LittleEndian.Uint16(b[8:])),
 		Flags:    Flags(binary.LittleEndian.Uint16(b[10:])),
 		Kind:     Kind(binary.LittleEndian.Uint16(b[12:])),
@@ -200,10 +213,19 @@ func decode(b []byte) (Record, int, error) {
 		PageID:   binary.LittleEndian.Uint64(b[42:]),
 	}
 	if total > headerSize {
-		r.Payload = make([]byte, total-headerSize)
-		copy(r.Payload, b[headerSize:total])
+		r.Payload = b[headerSize:total]
 	}
-	return r, total, nil
+	return total, nil
+}
+
+// decode parses one record starting at b[0]. It returns the record and its
+// encoded length. The payload is an independent copy.
+func decode(b []byte) (Record, int, error) {
+	r, total, err := decodeShared(b)
+	if err == nil && len(r.Payload) > 0 {
+		r.Payload = append([]byte(nil), r.Payload...)
+	}
+	return r, total, err
 }
 
 // Log buffer geometry. The log lives in fixed-size segments so that the
@@ -819,6 +841,56 @@ func (r *Reader) Scan(lsn LSN, fn func(Record) bool) {
 		}
 		pos += n
 	}
+}
+
+// ScanShared is Scan without the per-record payload copy: records are
+// passed by pointer and their payloads alias the image buffer, so a
+// full-image pass costs no allocations. fn must treat the payload as
+// read-only and must not retain the record past the callback without
+// copying it. Restart's fused analysis+planning scan runs through this.
+func (r *Reader) ScanShared(lsn LSN, fn func(*Record) bool) {
+	pos := int(lsn)
+	if pos == 0 {
+		pos = 1
+	}
+	var rec Record
+	for pos < len(r.buf) {
+		n, err := decodeSharedInto(r.buf[pos:], &rec)
+		if err != nil {
+			return
+		}
+		rec.LSN = LSN(pos)
+		if !fn(&rec) {
+			return
+		}
+		pos += n
+	}
+}
+
+// RecordAt returns the record starting at lsn with its payload aliasing
+// the image buffer (read-only) — the record-offset read surface restart's
+// redo workers replay their per-page plans through without re-scanning or
+// copying.
+func (r *Reader) RecordAt(lsn LSN) (Record, error) {
+	var rec Record
+	if err := r.RecordAtInto(lsn, &rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// RecordAtInto is RecordAt decoding into a caller-provided record, so a
+// redo worker can materialize a page's whole batch without a struct copy
+// per record.
+func (r *Reader) RecordAtInto(lsn LSN, rec *Record) error {
+	if lsn == NilLSN || int(lsn) >= len(r.buf) {
+		return fmt.Errorf("wal: image read at invalid LSN %d", lsn)
+	}
+	if _, err := decodeSharedInto(r.buf[lsn:], rec); err != nil {
+		return err
+	}
+	rec.LSN = lsn
+	return nil
 }
 
 // Read returns the record at lsn within the image.
