@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -88,8 +89,11 @@ func (a tsbTort) close()        { a.t.Close() }
 func (a tsbTort) verify() error { _, err := a.t.Verify(); return err }
 
 func tsbTortOpts(pessimistic bool) tsb.Options {
+	// GC is on: version garbage collection runs off committed time splits
+	// while the snapshot readers race it, so reclamation is under torture
+	// too.
 	return tsb.Options{DataCapacity: 6, IndexCapacity: 6, CompletionWorkers: 2,
-		PessimisticDescent: pessimistic}
+		PessimisticDescent: pessimistic, GC: true}
 }
 
 // --- spatial hB-tree adapter -------------------------------------------
@@ -259,6 +263,130 @@ type tortureConfig struct {
 	pageOriented         bool
 }
 
+// --- snapshot-isolation oracle (TSB rounds only) ------------------------
+//
+// One writer commits rounds over a key space disjoint from the torture
+// workers: each round rewrites every snap key with the round number, and
+// an acked commit records it as the newest durable round. Readers race it
+// (and version GC) with lock-free snapshots and assert, per snapshot:
+// every key shows the SAME round (no torn snapshot), the round was never
+// aborted (no ghosts), it is at least the newest round acked before
+// capture (captured-after-commit monotonicity), and a repeated read does
+// not move. After the crash, the keys must hold exactly the last acked
+// round.
+
+const (
+	snapKeyBase = uint64(1) << 40 // far above any worker key
+	snapKeys    = 8
+)
+
+type snapOracle struct {
+	last    atomic.Int64 // newest acked round; -1 before any commit
+	aborted sync.Map     // round -> true: commit failed or was aborted
+
+	mu        sync.Mutex
+	violation error // first consistency violation
+}
+
+func (s *snapOracle) fail(err error) {
+	s.mu.Lock()
+	if s.violation == nil {
+		s.violation = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *snapOracle) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.violation
+}
+
+// runSnapWriter commits rounds until the armed fault stops the world or
+// the round's bounded workers finish (stop).
+func runSnapWriter(e *engine.Engine, inj *fault.Injector, tree tortTree, s *snapOracle, seed int64, stop *atomic.Bool) {
+	wrng := rand.New(rand.NewSource(seed * 104729))
+	for round := int64(0); !stop.Load() && !inj.Crashed() && !e.Degraded(); round++ {
+		tx := e.TM.Begin()
+		ok := true
+		for i := uint64(0); i < snapKeys; i++ {
+			if err := tree.insert(tx, snapKeyBase+i, []byte(fmt.Sprintf("s%d", round))); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok || wrng.Intn(6) == 0 {
+			s.aborted.Store(round, true)
+			_ = tx.Abort()
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			s.aborted.Store(round, true)
+			continue
+		}
+		s.last.Store(round)
+	}
+}
+
+// runSnapReader takes snapshots and checks each one is a consistent
+// committed prefix. Read errors (injected faults) abort the iteration;
+// only consistency violations count.
+func runSnapReader(e *engine.Engine, inj *fault.Injector, t *tsb.Tree, s *snapOracle, stop *atomic.Bool) {
+	var buf []byte
+	for !stop.Load() && !inj.Crashed() && !e.Degraded() {
+		r0 := s.last.Load()
+		snap := e.TM.BeginSnapshot(nil)
+		round, torn := int64(-1), false
+		failed := false
+		for i := uint64(0); i < snapKeys; i++ {
+			v, ok, err := t.SnapshotGet(snap, keys.Uint64(snapKeyBase+i), buf)
+			if err != nil {
+				failed = true
+				break
+			}
+			buf = v[:0]
+			r := int64(-1)
+			if ok {
+				if _, err := fmt.Sscanf(string(v), "s%d", &r); err != nil {
+					s.fail(fmt.Errorf("snap key %d: unparsable value %q", i, v))
+					snap.Release()
+					return
+				}
+			}
+			if i == 0 {
+				round = r
+			} else if r != round {
+				torn = true
+			}
+		}
+		if failed {
+			snap.Release()
+			continue
+		}
+		switch {
+		case torn:
+			s.fail(fmt.Errorf("torn snapshot at ts %d: keys show mixed rounds (first %d)", snap.TS(), round))
+		case round < r0:
+			s.fail(fmt.Errorf("snapshot at ts %d went back in time: sees round %d, round %d was acked before capture", snap.TS(), round, r0))
+		case round >= 0:
+			if _, bad := s.aborted.Load(round); bad {
+				s.fail(fmt.Errorf("snapshot at ts %d sees aborted round %d", snap.TS(), round))
+			}
+		}
+		// Repeated read must not move.
+		if round >= 0 {
+			v, ok, err := t.SnapshotGet(snap, keys.Uint64(snapKeyBase), buf)
+			if err == nil && (!ok || string(v) != fmt.Sprintf("s%d", round)) {
+				s.fail(fmt.Errorf("repeat read moved inside snapshot ts %d: %q ok=%v, expected round %d", snap.TS(), v, ok, round))
+			}
+			if err == nil {
+				buf = v[:0]
+			}
+		}
+		snap.Release()
+	}
+}
+
 func runTorture(cfg tortureConfig) error {
 	kinds := tortureKinds()
 	menu := tortureMenu()
@@ -356,6 +484,25 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, rn
 		}(w)
 	}
 
+	// On TSB rounds, a snapshot writer and lock-free snapshot readers join
+	// the mix on their own key space, racing the workers, the chaos below,
+	// and background version GC. They run until the workers finish their
+	// bounded op counts (or the armed fault crashes the world first — many
+	// menu entries never trip): snapStop is their off switch, flipped
+	// after wg drains so they cannot outlive the round.
+	var snapO *snapOracle
+	var snapWG sync.WaitGroup
+	var snapStop atomic.Bool
+	if tt, isTSB := tree.(tsbTort); isTSB {
+		snapO = &snapOracle{}
+		snapO.last.Store(-1)
+		snapWG.Add(3)
+		go func() { defer snapWG.Done(); runSnapWriter(e, inj, tree, snapO, seed, &snapStop) }()
+		for r := 0; r < 2; r++ {
+			go func() { defer snapWG.Done(); runSnapReader(e, inj, tt.t, snapO, &snapStop) }()
+		}
+	}
+
 	// Background chaos: flushes, checkpoints, drains — all failable.
 	stop := make(chan struct{})
 	var chaosWG sync.WaitGroup
@@ -384,8 +531,16 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, rn
 	}()
 
 	wg.Wait()
+	snapStop.Store(true)
+	snapWG.Wait()
 	close(stop)
 	chaosWG.Wait()
+
+	if snapO != nil {
+		if err := snapO.err(); err != nil {
+			return 0, fmt.Errorf("snapshot oracle: %w (trips: %v)", err, inj.Trips())
+		}
+	}
 
 	// Freeze the world if the armed fault never crashed it (permanent /
 	// transient entries, or an After past the workload's hit count).
@@ -451,6 +606,25 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, rn
 			}
 		}
 	}
+	// The snapshot writer's last acked round must have survived intact:
+	// every snap key holds exactly that round (later rounds either acked —
+	// making them the last — or failed their commit and rolled back).
+	if snapO != nil {
+		if last := snapO.last.Load(); last >= 0 {
+			want := fmt.Sprintf("s%d", last)
+			for i := uint64(0); i < snapKeys; i++ {
+				got, ok, err := tree2.lookup(snapKeyBase + i)
+				if err != nil {
+					return 0, fmt.Errorf("snap key %d: %v", i, err)
+				}
+				if !ok || string(got) != want {
+					return 0, fmt.Errorf("snapshot durability violation: snap key %d = %q ok=%v, committed %q (trips: %v)",
+						i, got, ok, want, inj.Trips())
+				}
+			}
+		}
+	}
+
 	// Lazy completion must converge the recovered tree.
 	tree2.drain()
 	if err := tree2.verify(); err != nil {

@@ -141,6 +141,12 @@ func (e *Engine) Pools() []*storage.Pool {
 	return out
 }
 
+// BeginSnapshot captures a consistent read snapshot: a point in version
+// time plus the set of transactions in flight at capture. Reads through
+// it (tsb.SnapshotGet / SnapshotScan) take no locks and never block
+// writers; the caller must Release it so version GC can advance.
+func (e *Engine) BeginSnapshot() *txn.Snapshot { return e.TM.BeginSnapshot(nil) }
+
 // Checkpoint takes a fuzzy checkpoint over all stores.
 func (e *Engine) Checkpoint() (wal.LSN, error) {
 	return recovery.TakeCheckpoint(e.Log, e.TM, e.Pools()...)
@@ -203,9 +209,16 @@ func (e *Engine) recoveryOpts() recovery.Opts {
 	return recovery.Opts{Workers: e.Opts.RecoveryWorkers, Serial: e.Opts.SerialRestart}
 }
 
-// AnalyzeAndRedo runs restart analysis and redo.
+// AnalyzeAndRedo runs restart analysis and redo. The transaction manager
+// is seeded with the recovered transaction-ID and version-clock high
+// waters here — before the caller re-opens its trees, which read the
+// clock high water to reseed their version clocks.
 func (e *Engine) AnalyzeAndRedo() (*recovery.Pending, error) {
-	return recovery.AnalyzeAndRedoOpts(e.Log, e.Reg, e.recoveryOpts())
+	p, err := recovery.AnalyzeAndRedoOpts(e.Log, e.Reg, e.recoveryOpts())
+	if p != nil {
+		e.TM.SeedRecovered(p.Stats.MaxTxnID, p.Stats.ClockHW)
+	}
+	return p, err
 }
 
 // FinishRecovery runs the undo pass.

@@ -666,6 +666,10 @@ func (m *Manager) Stats() (waits, deadlocks int64) {
 	return st.Waits, st.Deadlocks
 }
 
+// Grants returns the total number of lock grants so far; deltas around a
+// workload demonstrate whether a code path locks at all.
+func (m *Manager) Grants() int64 { return m.StatsSnapshot().Grants }
+
 // StripeStats is one stripe's counters.
 type StripeStats struct {
 	Locks  int // live lock-table entries at snapshot time

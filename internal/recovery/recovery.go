@@ -27,6 +27,7 @@ package recovery
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"runtime"
@@ -59,6 +60,14 @@ type Checkpoint struct {
 	StartLSN wal.LSN
 	ATT      []AttEntry
 	DPT      map[uint32]map[uint64]wal.LSN
+	// MaxTxnID and ClockHW are the transaction-ID and version-clock high
+	// waters at checkpoint time. Analysis raises them with what the scan
+	// finds past StartLSN; together they let restart reseed ID allocation
+	// and the trees' version clocks without replaying the whole log.
+	// (Zero in images from before the fields existed — gob tolerates
+	// missing fields — in which case the scan alone decides.)
+	MaxTxnID wal.TxnID
+	ClockHW  uint64
 }
 
 func encodeCheckpoint(c *Checkpoint) ([]byte, error) {
@@ -82,6 +91,7 @@ func decodeCheckpoint(b []byte) (*Checkpoint, error) {
 // log's checkpoint anchor. It returns the checkpoint's LSN.
 func TakeCheckpoint(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.LSN, error) {
 	c := Checkpoint{StartLSN: log.EndLSN(), DPT: make(map[uint32]map[uint64]wal.LSN)}
+	c.MaxTxnID, c.ClockHW = tm.RecoveryBounds()
 	for _, e := range tm.SnapshotATT() {
 		c.ATT = append(c.ATT, AttEntry{ID: e.ID, LastLSN: e.LastLSN, System: e.System, Committed: e.Committed})
 	}
@@ -185,6 +195,14 @@ type Stats struct {
 	AnalysisTime time.Duration
 	RedoTime     time.Duration
 	UndoTime     time.Duration
+
+	// MaxTxnID is the largest transaction ID seen anywhere in the stable
+	// log (checkpoint high water included); ClockHW is the largest version
+	// timestamp any committer stamped into its commit record. Restart
+	// seeds the transaction manager with both so new IDs and version
+	// timestamps never collide with survivors.
+	MaxTxnID wal.TxnID
+	ClockHW  uint64
 }
 
 // recsPerSec returns n/d in records per second.
@@ -283,7 +301,7 @@ func AnalyzeAndRedoOpts(log *wal.Log, reg *storage.Registry, o Opts) (*Pending, 
 	began := time.Now()
 	att := make(map[wal.TxnID]*attState)
 	dpt := make(map[uint32]map[uint64]wal.LSN) // store -> page -> recLSN
-	scanFrom, err := loadCheckpoint(img, att, dpt)
+	scanFrom, err := loadCheckpoint(img, att, dpt, st)
 	if err != nil {
 		return p, err
 	}
@@ -339,7 +357,7 @@ func AnalyzeAndRedoOpts(log *wal.Log, reg *storage.Registry, o Opts) (*Pending, 
 
 // loadCheckpoint decodes the image's checkpoint anchor (if any) into att
 // and dpt and returns where the analysis scan must begin.
-func loadCheckpoint(img *wal.Reader, att map[wal.TxnID]*attState, dpt map[uint32]map[uint64]wal.LSN) (wal.LSN, error) {
+func loadCheckpoint(img *wal.Reader, att map[wal.TxnID]*attState, dpt map[uint32]map[uint64]wal.LSN, st *Stats) (wal.LSN, error) {
 	ckpt := img.CheckpointLSN()
 	if ckpt == wal.NilLSN {
 		return wal.NilLSN, nil
@@ -352,6 +370,8 @@ func loadCheckpoint(img *wal.Reader, att map[wal.TxnID]*attState, dpt map[uint32
 	if err != nil {
 		return wal.NilLSN, fmt.Errorf("recovery: decode checkpoint: %w", err)
 	}
+	st.MaxTxnID = c.MaxTxnID
+	st.ClockHW = c.ClockHW
 	for _, e := range c.ATT {
 		att[e.ID] = &attState{lastLSN: e.LastLSN, system: e.System, committed: e.Committed}
 	}
@@ -454,6 +474,9 @@ func analyze(img *wal.Reader, att map[wal.TxnID]*attState, dpt map[uint32]map[ui
 	)
 	fn := func(rec *wal.Record) bool {
 		st.AnalyzedRecords++
+		if rec.TxnID > st.MaxTxnID {
+			st.MaxTxnID = rec.TxnID
+		}
 		switch rec.Type {
 		case wal.RecBegin:
 			att[rec.TxnID] = newState(attState{lastLSN: rec.LSN, system: rec.IsSystem()})
@@ -510,6 +533,14 @@ func analyze(img *wal.Reader, att map[wal.TxnID]*attState, dpt map[uint32]map[ui
 			}
 			e.lastLSN = rec.LSN
 		case wal.RecCommit:
+			// Committers stamp their version timestamp into the commit
+			// record; the running max reconstructs the clock high water
+			// (records from before the stamp existed carry no payload).
+			if len(rec.Payload) >= 8 {
+				if cts := binary.LittleEndian.Uint64(rec.Payload); cts > st.ClockHW {
+					st.ClockHW = cts
+				}
+			}
 			if e := att[rec.TxnID]; e != nil {
 				e.committed = true
 				e.lastLSN = rec.LSN
@@ -620,6 +651,10 @@ func settleOne(tm *txn.Manager, e pendingTxn, c *undoCounters) error {
 func (p *Pending) UndoLosers(tm *txn.Manager) error {
 	began := time.Now()
 	st := &p.Stats
+	// Seed ID allocation and the recovered clock high water (idempotent;
+	// engine restarts seed earlier, before trees re-open) so adoption and
+	// post-restart work never reuse a surviving ID or timestamp.
+	tm.SeedRecovered(st.MaxTxnID, st.ClockHW)
 	var c undoCounters
 	defer func() {
 		st.WinnerTxns += int(c.winners.Load())

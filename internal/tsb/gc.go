@@ -1,0 +1,240 @@
+package tsb
+
+// Watermark-driven version garbage collection.
+//
+// Historical nodes whose entire time range lies below the transaction
+// manager's visibility horizon (the oldest timestamp any live snapshot or
+// active transaction can still read) hold versions nobody can ever see
+// again. GC retires them IN PLACE: entries are cleared and the node is
+// marked Retired, but the page is never freed and its rectangle and
+// sibling pointers survive, so a stale traversal mid-flight through the
+// chain still lands on well-formed (empty) nodes — the CNS invariant is
+// preserved. The newest node of each reclaimed suffix also clears its own
+// history pointer, cutting the older retired nodes out of the chain; at
+// most one retired node stays linked per chain between passes.
+//
+// Pin safety: a victim has TimeHigh <= horizon. A snapshot reader only
+// descends past a node when the newest sub-TimeLow version it carries is
+// invisible to the snapshot: either it starts after the snapshot's read
+// timestamp, or its writer was in flight at capture — and in-flight
+// writers' versions start above their begin clocks, which the snapshot's
+// pin folds in (txn.Snapshot.pin; the writer may well have committed and
+// left the active set by the time GC runs, so the active set alone is
+// not enough). Either way the invisible version starts strictly above
+// the snapshot's pin, and the horizon is at most every live snapshot's
+// pin. The reader enters a node N only when such an invisible version
+// sits above N's time range, so N.TimeHigh > Start > pin >= horizon:
+// a victim (TimeHigh <= horizon) is never entered by a live snapshot.
+//
+// Each victim is one atomic action: remove its level-1 index terms (all
+// of them — clipping can spread terms over several parents), then clear
+// the node, holding every latch to commit. Redo replays the retirement;
+// undo restores the pre-image and re-posts the terms.
+
+import (
+	"repro/internal/keys"
+	"repro/internal/latch"
+	"repro/internal/storage"
+)
+
+// gcVictim is a chain node selected for retirement, captured under latch.
+type gcVictim struct {
+	pid     storage.PageID
+	rect    Rect
+	retired bool
+	entries int
+}
+
+// RunGC sweeps every history chain in the tree once, retiring all nodes
+// below the current visibility horizon. It returns the number of nodes
+// retired. Background GC (Options.GC) runs the same per-chain pass off
+// committed time splits; RunGC is the on-demand whole-tree form.
+func (t *Tree) RunGC() (int, error) {
+	retired := 0
+	var cursor keys.Key
+	for {
+		var head storage.PageID
+		var next keys.Key
+		done := false
+		err := t.retryLoop(func() error {
+			o := t.newOp(nil)
+			defer o.done()
+			leaf, err := t.descend(o, cursor, NoEnd-1, 0, latch.S, false)
+			if err != nil {
+				return err
+			}
+			head = leaf.pid()
+			if leaf.n.Rect.KeyHigh.Unbounded {
+				done = true
+			} else {
+				next = keys.Clone(leaf.n.Rect.KeyHigh.Key)
+			}
+			o.release(&leaf)
+			return nil
+		})
+		if err != nil {
+			return retired, err
+		}
+		n, err := t.gcChain(head)
+		retired += n
+		if err != nil {
+			return retired, err
+		}
+		if done {
+			return retired, nil
+		}
+		cursor = next
+	}
+}
+
+// gcChain retires the reclaimable suffix of the history chain hanging off
+// the current node head. Serialized per tree: concurrent passes would
+// race to retire the same victim and the loser's abort would re-post
+// index terms the winner removed.
+func (t *Tree) gcChain(head storage.PageID) (int, error) {
+	t.gcMu.Lock()
+	defer t.gcMu.Unlock()
+	t.Stats.GCPasses.Add(1)
+
+	horizon := t.tm.VisibilityHorizon()
+	if horizon == 0 {
+		return 0, nil
+	}
+
+	// Phase 1: walk the chain newest-to-oldest (one S latch at a time;
+	// CNS makes the saved HistSib trustworthy) and collect the suffix of
+	// nodes whose whole time range is below the horizon. The current node
+	// (TimeHigh = NoEnd) is never a victim.
+	var victims []gcVictim
+	o := t.newOp(nil)
+	cur, err := o.acquire(head, latch.S, 0)
+	if err != nil {
+		o.done()
+		return 0, err
+	}
+	for {
+		n := cur.n
+		if n.Rect.TimeHigh <= horizon {
+			victims = append(victims, gcVictim{
+				pid:     cur.pid(),
+				rect:    cloneRect(n.Rect),
+				retired: n.Retired,
+				entries: len(n.Entries),
+			})
+		}
+		sib := n.HistSib
+		if sib == storage.NilPage {
+			break
+		}
+		next, err := t.step(o, &cur, sib, latch.S, 0)
+		if err != nil {
+			o.done()
+			return 0, err
+		}
+		cur = next
+	}
+	o.release(&cur)
+	o.done()
+
+	// Phase 2: retire oldest-first so a crash mid-pass leaves a chain
+	// whose reclaimed tail is contiguous. Only the newest victim (index
+	// 0) unlinks: it is the one that stays reachable, and dropping its
+	// history pointer cuts the rest loose. Already-retired nodes (kept
+	// linked by an earlier pass) need no new action.
+	retired := 0
+	for i := len(victims) - 1; i >= 0; i-- {
+		v := victims[i]
+		if v.retired {
+			continue
+		}
+		if err := t.retireNode(v, i == 0); err != nil {
+			return retired, err
+		}
+		retired++
+		t.Stats.GCRetiredNodes.Add(1)
+		t.Stats.GCReclaimedVersions.Add(int64(v.entries))
+	}
+	return retired, nil
+}
+
+// retireNode removes the victim's level-1 index terms and clears it, as
+// one atomic action holding all latches to commit (the postTerm idiom).
+// Clipped terms mean several level-1 parents can reference the victim, so
+// the removal walks the key-sibling chain across the victim's key range.
+func (t *Tree) retireNode(v gcVictim, unlink bool) error {
+	return t.retryLoop(func() error {
+		o := t.newOp(nil)
+		defer o.done()
+		node, err := t.descend(o, v.rect.KeyLow, NoEnd-1, 1, latch.U, false)
+		if err != nil {
+			return err
+		}
+		aa := t.tm.BeginAtomicAction()
+		var held []nref
+		releaseAll := func() {
+			o.release(&node)
+			for i := len(held) - 1; i >= 0; i-- {
+				o.release(&held[i])
+			}
+			held = nil
+		}
+		fail := func(err error) error {
+			releaseAll()
+			_ = aa.Abort()
+			return err
+		}
+		for {
+			if i, ok := node.n.termFor(v.pid); ok && len(node.n.Entries) > 1 {
+				// Never remove a level-1 node's last term: an empty index
+				// node is unnavigable (and fails verification). One stale
+				// term to a retired node is harmless — it still routes to
+				// a well-formed empty page.
+				if node.mode != latch.X {
+					o.promote(&node)
+				}
+				e := node.n.Entries[i]
+				lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(node.pid()), KindRemoveTerm, encTerm(e))
+				node.n.Entries = append(node.n.Entries[:i], node.n.Entries[i+1:]...)
+				node.f.MarkDirty(lsn)
+				t.Stats.GCRemovedTerms.Add(1)
+			}
+			if node.n.Rect.KeyHigh.Unbounded {
+				break
+			}
+			if !v.rect.KeyHigh.Unbounded && keys.Compare(node.n.Rect.KeyHigh.Key, v.rect.KeyHigh.Key) >= 0 {
+				break
+			}
+			sib := node.n.KeySib
+			if sib == storage.NilPage {
+				break
+			}
+			next, err := o.acquire(sib, latch.U, 1)
+			if err != nil {
+				return fail(err)
+			}
+			held = append(held, node)
+			node = next
+		}
+
+		vic, err := o.acquire(v.pid, latch.X, 0)
+		if err != nil {
+			return fail(err)
+		}
+		if vic.n.Retired {
+			// Lost a race we thought gcMu excluded (defensive): keep the
+			// term removals, skip the retire.
+			held = append(held, vic)
+			err := aa.Commit()
+			releaseAll()
+			return err
+		}
+		pre := vic.n.clone()
+		lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(vic.pid()), KindRetireNode, encRetire(unlink, pre))
+		applyRetire(vic.n, unlink)
+		vic.f.MarkDirty(lsn)
+		held = append(held, vic)
+		err = aa.Commit()
+		releaseAll()
+		return err
+	})
+}

@@ -41,6 +41,12 @@ const (
 	KindIndexKeySplit wal.Kind = 50
 	// KindRootGrow turns the root into an index node one level up.
 	KindRootGrow wal.Kind = 51
+	// KindRetireNode garbage-collects a historical node whose whole time
+	// range fell below the visibility horizon: entries are cleared and the
+	// node is marked Retired (the page is never freed — CNS). The payload
+	// optionally also clears the history side pointer, cutting the chain
+	// of already-retired older nodes loose when the suffix head retires.
+	KindRetireNode wal.Kind = 52
 )
 
 // --- payload codecs --------------------------------------------------------
@@ -83,6 +89,7 @@ func encPut(e Entry) []byte {
 	w.U64(e.Start)
 	w.Bytes32(e.Value)
 	w.Bool(e.Deleted)
+	w.U64(uint64(e.Txn))
 	return w.Bytes()
 }
 
@@ -93,6 +100,7 @@ func decPut(b []byte) (Entry, error) {
 	e.Start = r.U64()
 	e.Value = r.Bytes32()
 	e.Deleted = r.Bool()
+	e.Txn = wal.TxnID(r.U64())
 	return e, r.Err()
 }
 
@@ -139,6 +147,33 @@ func decKeyTerm(b []byte) (keys.Key, storage.PageID, error) {
 	k := r.Bytes32()
 	c := storage.PageID(r.U64())
 	return k, c, r.Err()
+}
+
+func encRetire(unlink bool, pre *Node) []byte {
+	var w enc.Writer
+	w.Bool(unlink)
+	encodeNode(&w, pre)
+	return w.Bytes()
+}
+
+func decRetire(b []byte) (unlink bool, pre *Node, err error) {
+	r := enc.NewReader(b)
+	unlink = r.Bool()
+	pre, err = decodeNode(r)
+	return
+}
+
+// applyRetire garbage-collects a historical node in place: versions go,
+// the rectangle and sibling pointers stay so stale traversals still
+// navigate through it. unlink additionally drops the history pointer (the
+// retiring node is the newest of the reclaimed suffix; everything behind
+// it is already retired).
+func applyRetire(n *Node, unlink bool) {
+	n.Entries = nil
+	n.Retired = true
+	if unlink {
+		n.HistSib = storage.NilPage
+	}
 }
 
 func encRootGrow(termA, termB Entry, pre *Node) []byte {
@@ -498,6 +533,27 @@ func Register(reg *storage.Registry) *Binding {
 		},
 		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
 			return storage.Compensation{Kind: KindPostKeyTerm, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: rec.Payload}, nil
+		},
+	})
+	reg.Register(KindRetireNode, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			unlink, _, err := decRetire(rec.Payload)
+			if err != nil {
+				return err
+			}
+			applyRetire(n, unlink)
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			_, pre, err := decRetire(rec.Payload)
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return restore(rec, pre)
 		},
 	})
 	reg.Register(KindRootGrow, storage.Handler{

@@ -30,6 +30,7 @@ import (
 	"repro/internal/enc"
 	"repro/internal/keys"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // NoEnd is the open upper time bound of current nodes and live versions.
@@ -103,10 +104,15 @@ func (r Rect) String() string {
 //   - Index nodes (level 1): an index term — ChildRect and Child.
 //   - Index nodes (level >= 2): a key-only term — Key (low bound), Child.
 type Entry struct {
-	Key       keys.Key
-	Start     uint64
-	Value     []byte
-	Deleted   bool
+	Key     keys.Key
+	Start   uint64
+	Value   []byte
+	Deleted bool
+	// Txn is the writing transaction's ID for versions written inside a
+	// user transaction; 0 for versions written by atomic actions (which
+	// commit under the page latch, so they are atomically visible).
+	// Snapshot reads resolve it against the in-flight-at-capture set.
+	Txn       wal.TxnID
 	Child     storage.PageID
 	ChildRect Rect
 	// Clipped marks a term installed under clipping: its child may have
@@ -129,6 +135,13 @@ type Node struct {
 	// HistSib is the side pointer to the historical node responsible for
 	// the node's key range at times before TimeLow.
 	HistSib storage.PageID
+	// Retired marks a historical node whose versions were garbage
+	// collected: the node's entire time range fell below the visibility
+	// horizon. The page is never freed or reused (CNS: nodes are
+	// immortal, stale traversals may still arrive), but its entries are
+	// cleared; the rectangle and sibling pointers stay so the node
+	// remains navigable.
+	Retired bool
 	// Entries are sorted by (Key, Start) in data nodes, by
 	// (KeyLow=Key of rect, TimeLow) in level-1 nodes, and by Key in
 	// higher index nodes.
@@ -234,45 +247,43 @@ func (n *Node) insertTerm(e Entry) {
 // node never exhibits for points in its directly contained space.
 func (n *Node) chooseTerm(k keys.Key, t uint64) (Entry, bool) {
 	// containing: rect contains (k,t) exactly — prefer the largest
-	// TimeLow (tightest). current: rect covers k with an open time end —
-	// always a safe landing (its history chain reaches all older times),
+	// KeyLow (closest key group), then the largest TimeLow (tightest
+	// time). current: rect covers k with an open time end — always a
+	// safe landing (its history chain reaches all older times),
 	// preferred with the largest KeyLow (closest current node). belowKey:
 	// last resort when no rect covers k (only lower key groups posted):
 	// prefer open-ended time so the landing has key siblings to follow.
-	containing, current, belowKey := -1, -1, -1
-	for i := range n.Entries {
-		r := n.Entries[i].ChildRect
-		if r.KeyLow != nil && keys.Compare(k, r.KeyLow) < 0 {
-			continue
-		}
+	//
+	// Terms are sorted by (KeyLow, TimeLow) with nil KeyLow first
+	// (insertTerm; Verify asserts it), so the candidates — every term
+	// with KeyLow <= k — are exactly the prefix [0, hi), and iterating
+	// it BACKWARD enumerates them in preference order: largest KeyLow
+	// first, largest TimeLow within a key group. The first containing
+	// term found is therefore the most specific one, which makes the
+	// common current-time lookup a binary search plus a handful of
+	// entries instead of a full scan of a node that soft overflow may
+	// have grown far past its nominal capacity.
+	hi := sort.Search(len(n.Entries), func(i int) bool {
+		return keys.Compare(n.Entries[i].ChildRect.KeyLow, k) > 0
+	})
+	current, belowKey := -1, -1
+	for j := hi - 1; j >= 0; j-- {
+		r := n.Entries[j].ChildRect
 		if belowKey == -1 ||
-			(r.TimeHigh == NoEnd && n.Entries[belowKey].ChildRect.TimeHigh != NoEnd) ||
-			(r.TimeHigh == NoEnd) == (n.Entries[belowKey].ChildRect.TimeHigh == NoEnd) &&
-				keys.Compare(r.KeyLow, n.Entries[belowKey].ChildRect.KeyLow) > 0 {
-			belowKey = i
+			(r.TimeHigh == NoEnd && n.Entries[belowKey].ChildRect.TimeHigh != NoEnd) {
+			belowKey = j
 		}
 		if !r.ContainsKey(k) {
 			continue
 		}
 		if r.Contains(k, t) {
-			// Prefer the most specific containing term: largest KeyLow
-			// (closest key group), then largest TimeLow (tightest time).
-			if containing == -1 {
-				containing = i
-			} else {
-				cur := n.Entries[containing].ChildRect
-				if c := keys.Compare(r.KeyLow, cur.KeyLow); c > 0 || (c == 0 && r.TimeLow > cur.TimeLow) {
-					containing = i
-				}
-			}
+			return n.Entries[j], true
 		}
-		if r.TimeHigh == NoEnd && (current == -1 || keys.Compare(r.KeyLow, n.Entries[current].ChildRect.KeyLow) > 0) {
-			current = i
+		if r.TimeHigh == NoEnd && current == -1 {
+			current = j
 		}
 	}
 	switch {
-	case containing >= 0:
-		return n.Entries[containing], true
 	case current >= 0:
 		return n.Entries[current], true
 	case belowKey >= 0:
@@ -308,7 +319,7 @@ func (n *Node) insertKeyTerm(e Entry) bool {
 
 // clone returns a deep copy.
 func (n *Node) clone() *Node {
-	c := &Node{Level: n.Level, Rect: cloneRect(n.Rect), KeySib: n.KeySib, HistSib: n.HistSib}
+	c := &Node{Level: n.Level, Rect: cloneRect(n.Rect), KeySib: n.KeySib, HistSib: n.HistSib, Retired: n.Retired}
 	c.Entries = make([]Entry, len(n.Entries))
 	for i, e := range n.Entries {
 		c.Entries[i] = cloneEntry(e)
@@ -357,6 +368,7 @@ func encodeEntry(w *enc.Writer, e Entry) {
 	w.U64(e.Start)
 	w.Bytes32(e.Value)
 	w.Bool(e.Deleted)
+	w.U64(uint64(e.Txn))
 	w.U64(uint64(e.Child))
 	encodeRect(w, e.ChildRect)
 	w.Bool(e.Clipped)
@@ -368,6 +380,7 @@ func decodeEntry(r *enc.Reader) Entry {
 	e.Start = r.U64()
 	e.Value = r.Bytes32()
 	e.Deleted = r.Bool()
+	e.Txn = wal.TxnID(r.U64())
 	e.Child = storage.PageID(r.U64())
 	e.ChildRect = decodeRect(r)
 	e.Clipped = r.Bool()
@@ -379,6 +392,7 @@ func encodeNode(w *enc.Writer, n *Node) {
 	encodeRect(w, n.Rect)
 	w.U64(uint64(n.KeySib))
 	w.U64(uint64(n.HistSib))
+	w.Bool(n.Retired)
 	w.U32(uint32(len(n.Entries)))
 	for _, e := range n.Entries {
 		encodeEntry(w, e)
@@ -391,6 +405,7 @@ func decodeNode(r *enc.Reader) (*Node, error) {
 	n.Rect = decodeRect(r)
 	n.KeySib = storage.PageID(r.U64())
 	n.HistSib = storage.PageID(r.U64())
+	n.Retired = r.Bool()
 	cnt := int(r.U32())
 	if r.Err() != nil {
 		return nil, r.Err()

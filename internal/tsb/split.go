@@ -13,14 +13,21 @@ import (
 
 // postTask asks for the index term describing a committed split to be
 // posted at parentLevel: a rectangle term when the parent is level 1, a
-// key-only term higher up.
+// key-only term higher up. When gcHead is set the task is instead a GC
+// sweep of the history chain hanging off that current node.
 type postTask struct {
 	parentLevel int
 	child       storage.PageID
 	rect        Rect
+	gcHead      storage.PageID
 }
 
-func (t postTask) key() string { return fmt.Sprintf("%d:%d", t.parentLevel, t.child) }
+func (t postTask) key() string {
+	if t.gcHead != storage.NilPage {
+		return fmt.Sprintf("gc:%d", t.gcHead)
+	}
+	return fmt.Sprintf("%d:%d", t.parentLevel, t.child)
+}
 
 // completer mirrors internal/core's: schedule is non-blocking and safe
 // under latches; execution re-tests state, so duplicates are no-ops.
@@ -97,7 +104,7 @@ func (c *completer) worker() {
 		if !ok {
 			return
 		}
-		c.t.postTerm(task)
+		c.t.run(task)
 		c.done()
 	}
 }
@@ -109,7 +116,7 @@ func (c *completer) drain() {
 			if !ok {
 				return
 			}
-			c.t.postTerm(task)
+			c.t.run(task)
 			c.done()
 		}
 	}
@@ -127,6 +134,15 @@ func (c *completer) stop() {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.wg.Wait()
+}
+
+// run dispatches one completing task: a GC chain sweep or a term posting.
+func (t *Tree) run(task postTask) {
+	if task.gcHead != storage.NilPage {
+		_, _ = t.gcChain(task.gcHead)
+		return
+	}
+	t.postTerm(task)
 }
 
 // noteKeySibling schedules posting for a key sibling discovered by a side
@@ -265,12 +281,18 @@ func (t *Tree) splitData(o *opCtx, leaf *nref) error {
 
 	// Commit before unlatching, then schedule the separate posting
 	// action (§3.2.1 step 6).
+	leafPid := leaf.pid()
 	cerr := aa.Commit()
 	o.release(leaf)
 	if cerr != nil {
 		return cerr
 	}
 	t.comp.schedule(postTask{parentLevel: 1, child: newPid, rect: taskRect})
+	if timeSplit && t.opts.GC {
+		// The split just grew this leaf's history chain; sweep it for
+		// nodes that fell below the visibility horizon.
+		t.comp.schedule(postTask{gcHead: leafPid})
+	}
 	return nil
 }
 
@@ -336,6 +358,23 @@ func (t *Tree) postTerm(task postTask) {
 			t.Stats.PostsNoop.Add(1)
 			o.release(&node)
 			return nil
+		}
+
+		if task.parentLevel == 1 {
+			// A side traversal may re-schedule posting for a node GC has
+			// since retired; don't resurrect its term.
+			child, err := o.acquire(task.child, latch.S, 0)
+			if err != nil {
+				o.release(&node)
+				return err
+			}
+			retired := child.n.Retired
+			o.release(&child)
+			if retired {
+				t.Stats.PostsNoop.Add(1)
+				o.release(&node)
+				return nil
+			}
 		}
 
 		aa := t.tm.BeginAtomicAction()

@@ -36,6 +36,12 @@ type Options struct {
 	// interior navigation, forcing every descent through the latched
 	// path. For comparison runs and targeted tests.
 	PessimisticDescent bool
+	// GC enables background version garbage collection: every committed
+	// time split schedules a sweep of that leaf's history chain through
+	// the completion machinery, retiring nodes whose whole time range
+	// lies below the transaction manager's visibility horizon. RunGC
+	// sweeps the whole tree on demand regardless of this flag.
+	GC bool
 }
 
 func (o Options) normalized() Options {
@@ -86,6 +92,18 @@ type Stats struct {
 	OptimisticHits      atomic.Int64
 	OptimisticRetries   atomic.Int64
 	OptimisticFallbacks atomic.Int64
+
+	// Snapshot-read and version-GC counters. GCReclaimedVersions counts
+	// version slots dropped from retired nodes; GCRetiredNodes counts the
+	// nodes. SnapshotHistWalks counts history-sibling steps taken by
+	// snapshot point reads chasing invisible versions.
+	SnapshotGets     atomic.Int64
+	SnapshotScans    atomic.Int64
+	SnapshotHistWalks atomic.Int64
+	GCPasses           atomic.Int64
+	GCRetiredNodes     atomic.Int64
+	GCReclaimedVersions atomic.Int64
+	GCRemovedTerms      atomic.Int64
 }
 
 // Tree is one TSB tree. Because historical nodes never split and no node
@@ -106,6 +124,10 @@ type Tree struct {
 	comp    *completer
 	clock   atomic.Uint64
 	opPool  sync.Pool
+	// gcMu serializes GC passes: two concurrent passes over one chain
+	// would race to retire the same victim, and the loser's atomic-action
+	// abort would re-post index terms the winner removed.
+	gcMu sync.Mutex
 
 	// rootf caches the root's buffer frame with one permanent pin (the
 	// root page ID is fixed and the root is never de-allocated); see the
@@ -177,21 +199,30 @@ func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding,
 	t.root = rootPid
 	t.comp = newCompleter(t)
 	b.Bind(t)
+	tm.SetVersionClock(t.Now, t.tick)
 	return t, nil
 }
 
 // Open attaches to an existing TSB tree after a restart. The version
-// clock reseeds from the log's end LSN, which is always at or above any
-// previously assigned timestamp (every Put appended at least one record).
+// clock reseeds from the clock high water restart analysis reconstructed
+// (the larger of the last checkpoint's persisted clock and the largest
+// commit timestamp in the stable log) — NOT from the log's end LSN, which
+// lives in a different space entirely: byte-offset LSNs run far ahead of
+// version ticks, so seeding from EndLSN inflated post-restart timestamps
+// by orders of magnitude. The analysis high water is exact: every
+// surviving version's writer has a stamped commit record in the stable
+// prefix (losers' versions are removed by undo before new work runs), so
+// no timestamp can be reissued.
 func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, name string, opts Options) (*Tree, error) {
 	rootPid, err := store.Root(name)
 	if err != nil {
 		return nil, err
 	}
 	t := &Tree{Name: name, lockSpace: lock.SpaceID("tsb", name), store: store, tm: tm, lm: lm, binding: b, opts: opts.normalized(), root: rootPid}
-	t.clock.Store(uint64(tm.Log.EndLSN()))
+	t.clock.Store(tm.RecoveredClockHW())
 	t.comp = newCompleter(t)
 	b.Bind(t)
+	tm.SetVersionClock(t.Now, t.tick)
 	return t, nil
 }
 
@@ -712,7 +743,11 @@ func (t *Tree) put(tx *txn.Txn, key keys.Key, value []byte, deleted bool) error 
 		}
 		o.promote(&leaf)
 		ts := t.tick()
-		e := Entry{Key: keys.Clone(key), Start: ts, Value: append([]byte(nil), value...), Deleted: deleted}
+		var writer wal.TxnID
+		if tx != nil {
+			writer = tx.ID // snapshot visibility resolves it; AA puts (0) are atomic under the latch
+		}
+		e := Entry{Key: keys.Clone(key), Start: ts, Value: append([]byte(nil), value...), Deleted: deleted, Txn: writer}
 		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindPut, encPut(e))
 		leaf.n.insertVersion(e)
 		leaf.f.MarkDirty(lsn)
@@ -848,6 +883,19 @@ func (t *Tree) ScanAsOf(time uint64, lo, hi keys.Key, fn func(k keys.Key, v []by
 // both nodes), so the undo walks the history chain from the current node
 // back past Start, removing every copy; each removal is its own CLR with
 // the same UndoNext, keeping restart idempotent.
+//
+// Each removal must also preserve the carryover invariant snapshot reads
+// depend on: a node holds, per key it knows, the newest version older
+// than its TimeLow, so "key group empty / oldest entry at or above
+// TimeLow" proves no older version exists anywhere. If the version being
+// undone is a node's only below-TimeLow copy of the key (a time split
+// carried the doomed version), plain removal would leave the node
+// asserting that older versions don't exist while a committed
+// predecessor still lives in the history chain — a lock-free snapshot
+// reader would then return not-found for a key it should see. The undo
+// therefore fetches the predecessor from the chain first and re-carries
+// it in the same X-latched mutation as the removal, so no reader ever
+// observes a carry-broken node.
 func (t *Tree) logicalUndoPut(rec *wal.Record, e Entry) error {
 	tx, ok := t.tm.Lookup(rec.TxnID)
 	if !ok {
@@ -865,9 +913,21 @@ func (t *Tree) logicalUndoPut(rec *wal.Record, e Entry) error {
 		// idempotent. Only the terminal CLR advances past rec.
 		for {
 			if _, ok := cur.n.versionPos(e.Key, e.Start); ok {
+				// Fetch the carryover repair before mutating anything:
+				// the chain walk can fail with errRetry, and the whole
+				// undo must be restartable with the node still intact.
+				repair, repaired, err := t.carryRepair(o, &cur, e)
+				if err != nil {
+					o.release(&cur)
+					return err
+				}
 				o.promote(&cur)
 				lsn := tx.LogCLR(t.store.Pool.StoreID, uint64(cur.pid()), KindRemoveVersion, encVersionRef(e.Key, e.Start), rec.LSN)
 				cur.n.removeVersion(e.Key, e.Start)
+				if repaired {
+					lsn = tx.LogCLR(t.store.Pool.StoreID, uint64(cur.pid()), KindPut, encPut(repair), rec.LSN)
+					cur.n.insertVersion(repair)
+				}
 				cur.f.MarkDirty(lsn)
 			}
 			if cur.n.Rect.TimeLow <= e.Start || cur.n.HistSib == storage.NilPage {
@@ -884,4 +944,49 @@ func (t *Tree) logicalUndoPut(rec *wal.Record, e Entry) error {
 		tx.LogCLR(0, 0, 0, nil, rec.PrevLSN)
 		return nil
 	})
+}
+
+// carryRepair decides whether removing version e from cur would break
+// the carryover invariant, and if so returns a clone of the predecessor
+// to re-carry: the newest surviving version of e.Key older than e.Start.
+// The predecessor is found by walking the history chain from cur with
+// the same stop rules snapshot reads use; chain nodes are latched S one
+// at a time while cur stays held — the newer→older acquisition order
+// every chain walker follows, so ranks ascend and no cycle can form. An
+// empty group or an all-at-or-above-TimeLow group in a chain node ends
+// the walk: by induction that node's carryover proves nothing older
+// exists (a retired node reads as empty, which is sound — retirement
+// required every newer live node to carry the survivors' newest copies,
+// so the predecessor would have been found before reaching it).
+func (t *Tree) carryRepair(o *opCtx, cur *nref, e Entry) (Entry, bool, error) {
+	if e.Start >= cur.n.Rect.TimeLow || cur.n.HistSib == storage.NilPage {
+		return Entry{}, false, nil
+	}
+	lo, hi := keyGroup(cur.n, e.Key)
+	for i := lo; i < hi; i++ {
+		if cur.n.Entries[i].Start < cur.n.Rect.TimeLow && cur.n.Entries[i].Start != e.Start {
+			return Entry{}, false, nil // another below-TimeLow copy remains
+		}
+	}
+	for pid := cur.n.HistSib; pid != storage.NilPage; {
+		h, err := o.acquire(pid, latch.S, 0)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		lo, hi := keyGroup(h.n, e.Key)
+		for i := hi - 1; i >= lo; i-- {
+			if h.n.Entries[i].Start < e.Start {
+				out := cloneEntry(h.n.Entries[i])
+				o.release(&h)
+				return out, true, nil
+			}
+		}
+		if hi == lo || h.n.Entries[lo].Start >= h.n.Rect.TimeLow {
+			o.release(&h)
+			return Entry{}, false, nil
+		}
+		pid = h.n.HistSib
+		o.release(&h)
+	}
+	return Entry{}, false, nil
 }

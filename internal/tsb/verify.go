@@ -81,6 +81,14 @@ func (t *Tree) Verify() (Shape, error) {
 				return shape, fmt.Errorf("tsb verify: empty index node %d", pid)
 			}
 			for i, e := range n.Entries {
+				// chooseTerm binary-searches level-1 terms, so the
+				// (KeyLow, TimeLow) sort order is load-bearing.
+				if level == 1 && i > 0 {
+					prev := n.Entries[i-1].ChildRect
+					if c := keys.Compare(prev.KeyLow, e.ChildRect.KeyLow); c > 0 || (c == 0 && prev.TimeLow > e.ChildRect.TimeLow) {
+						return shape, fmt.Errorf("tsb verify: node %d terms out of (KeyLow, TimeLow) order at %d", pid, i)
+					}
+				}
 				if alloc, err := t.store.IsAllocated(e.Child); err != nil || !alloc {
 					return shape, fmt.Errorf("tsb verify: term %d of node %d references unallocated page %d", i, pid, e.Child)
 				}

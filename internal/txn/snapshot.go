@@ -1,0 +1,243 @@
+// Snapshot isolation over transaction time. A snapshot captures, in one
+// critical section, the version clock's current value and the set of user
+// transactions in flight at that instant. Reads through the snapshot then
+// need no locks, ever: every version carries its writer's transaction ID
+// and start time, and the visibility predicate — newest version with
+// Start <= ts whose writer was not in flight at capture — is stable
+// against everything concurrent writers do afterwards. Writers that were
+// active at capture are invisible wholesale (even if they commit a tick
+// later); writers that finished before capture are visible wholesale
+// (their commit tick, and hence all their version starts, precede the
+// captured ts). A transaction that has appended its commit record but not
+// yet released its locks is treated as in flight, which is safe: strict
+// two-phase locking means no transaction that finished before capture can
+// depend on its writes, so the snapshot still observes a transaction-
+// consistent committed prefix.
+package txn
+
+import (
+	"math"
+
+	"repro/internal/wal"
+)
+
+// Snapshot is a stable read view over transaction time. It is free of
+// locks and latches; Release it when done so version garbage collection
+// can advance past it.
+type Snapshot struct {
+	mgr *Manager
+	id  uint64
+	ts  uint64
+	// self is the reading transaction's ID (0 for a pure reader): its own
+	// writes are visible regardless of their start times.
+	self wal.TxnID
+	// inflight holds the user transactions active at capture; their
+	// versions are invisible. nil when nothing was in flight.
+	inflight map[wal.TxnID]struct{}
+	// pin is the version-time bound this snapshot holds against garbage
+	// collection: min(ts, the smallest begin clock among the in-flight
+	// set). ts alone is NOT enough. Every version this snapshot skips is
+	// either newer than ts or written by an in-flight transaction (whose
+	// starts exceed its begin clock), so every skipped version starts
+	// strictly above pin — and the version the snapshot needs instead is
+	// only ever the newest one below a skipped one. An in-flight writer
+	// may commit right after capture and leave the active set; without
+	// folding its begin clock in here, the horizon would jump to ts and
+	// GC could reclaim the predecessor versions the snapshot still reads
+	// around the committed-but-invisible writer.
+	pin uint64
+}
+
+// SetVersionClock attaches the version clock the manager stamps commit
+// records with and captures snapshots against. now reads the clock, tick
+// advances it. Must be called before the manager is used concurrently
+// (the tree's Create/Open does so); with no clock attached, commit
+// records carry no timestamp and snapshots capture ts 0.
+func (m *Manager) SetVersionClock(now, tick func() uint64) {
+	m.mu.Lock()
+	m.clockNow = now
+	m.clockTick = tick
+	m.mu.Unlock()
+}
+
+// clockNowLocked reads the version clock; callers hold m.mu.
+func (m *Manager) clockNowLocked() uint64 {
+	if m.clockNow == nil {
+		return 0
+	}
+	return m.clockNow()
+}
+
+// BeginSnapshot captures a snapshot: the read timestamp and the in-flight
+// set are taken inside one critical section, so no commit can land
+// between them and the set is exact for the captured instant. self may be
+// nil (a pure reader) or the transaction that will read through the
+// snapshot (its own writes become visible to it).
+func (m *Manager) BeginSnapshot(self *Txn) *Snapshot {
+	s := &Snapshot{mgr: m}
+	if self != nil {
+		s.self = self.ID
+	}
+	m.mu.Lock()
+	s.ts = m.clockNowLocked()
+	s.pin = s.ts
+	for id, t := range m.active {
+		if t.System {
+			continue // atomic actions commit under the page latch; their versions carry txn ID 0
+		}
+		if s.inflight == nil {
+			s.inflight = make(map[wal.TxnID]struct{}, len(m.active))
+		}
+		s.inflight[id] = struct{}{}
+		if t.beginClock < s.pin {
+			s.pin = t.beginClock
+		}
+	}
+	m.snapSeq++
+	s.id = m.snapSeq
+	if m.snaps == nil {
+		m.snaps = make(map[uint64]*Snapshot)
+	}
+	m.snaps[s.id] = s
+	m.updateOldestLocked()
+	m.mu.Unlock()
+	return s
+}
+
+// Release drops the snapshot from the live set, letting the garbage
+// collection horizon advance past it. Safe to call more than once.
+func (s *Snapshot) Release() {
+	m := s.mgr
+	m.mu.Lock()
+	if _, live := m.snaps[s.id]; live {
+		delete(m.snaps, s.id)
+		m.updateOldestLocked()
+	}
+	m.mu.Unlock()
+}
+
+// TS returns the snapshot's read timestamp.
+func (s *Snapshot) TS() uint64 { return s.ts }
+
+// Visible reports whether a version written by txnID with the given start
+// time is visible to the snapshot. Zero-allocation; safe for concurrent
+// use (the snapshot is immutable after capture).
+func (s *Snapshot) Visible(txnID wal.TxnID, start uint64) bool {
+	if txnID != 0 && txnID == s.self {
+		return true // own write
+	}
+	if start > s.ts {
+		return false
+	}
+	if txnID == 0 {
+		return true // atomic-action write, committed under the page latch
+	}
+	_, in := s.inflight[txnID]
+	return !in
+}
+
+// updateOldestLocked recomputes the oldest live snapshot timestamp;
+// callers hold m.mu. Zero means no snapshot is live.
+func (m *Manager) updateOldestLocked() {
+	oldest := uint64(0)
+	for _, s := range m.snaps {
+		if oldest == 0 || s.ts < oldest {
+			oldest = s.ts
+		}
+	}
+	m.oldestTS.Store(oldest)
+}
+
+// Watermarks returns the atomic pair the snapshot machinery maintains:
+// the oldest live snapshot's read timestamp (0 when none is live) and the
+// newest user-commit timestamp known stable (forced to the log).
+func (m *Manager) Watermarks() (oldestSnapshot, newestStable uint64) {
+	return m.oldestTS.Load(), m.stableTS.Load()
+}
+
+// advanceStable lifts the stable-commit watermark to ts.
+func (m *Manager) advanceStable(ts uint64) {
+	for {
+		cur := m.stableTS.Load()
+		if ts <= cur || m.stableTS.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// VisibilityHorizon returns the version-time bound below which no live
+// snapshot and no active user transaction can ever need a version: the
+// minimum over live snapshots' pins (see Snapshot.pin — a snapshot can
+// chase versions older than its read timestamp when in-flight writers'
+// versions mask them, so its pin folds in the in-flight set's begin
+// clocks) and active user transactions' begin clocks (a transaction
+// begun at clock c writes versions with starts strictly above c, and a
+// snapshot it might open pins at or below c). With nothing live the
+// horizon is the clock's current value. Version garbage collection may
+// reclaim any version chain whose entire time range lies at or below the
+// horizon; the horizon is monotone because both snapshot capture and
+// transaction begin happen under the same mutex this reads under.
+func (m *Manager) VisibilityHorizon() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := uint64(math.MaxUint64)
+	for _, s := range m.snaps {
+		if s.pin < h {
+			h = s.pin
+		}
+	}
+	for _, t := range m.active {
+		if !t.System && t.beginClock < h {
+			h = t.beginClock
+		}
+	}
+	if h == math.MaxUint64 {
+		return m.clockNowLocked()
+	}
+	return h
+}
+
+// SeedRecovered installs restart-analysis results: the largest
+// transaction ID seen anywhere in the log and the version-clock high
+// water (the larger of the last checkpoint's clock and the largest commit
+// timestamp in the stable log). Both keep post-restart allocation
+// monotone: reissued transaction IDs would collide with the IDs stamped
+// on surviving versions, and reissued timestamps would interleave new
+// versions below existing ones. Idempotent; engine restart calls it after
+// analysis, before trees re-open.
+func (m *Manager) SeedRecovered(maxID wal.TxnID, clockHW uint64) {
+	m.mu.Lock()
+	if maxID >= m.nextID {
+		m.nextID = maxID + 1
+	}
+	if clockHW > m.recoveredHW {
+		m.recoveredHW = clockHW
+	}
+	m.mu.Unlock()
+}
+
+// RecoveredClockHW returns the version-clock high water installed by
+// SeedRecovered; trees re-opening after restart seed their clocks from
+// it.
+func (m *Manager) RecoveredClockHW() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recoveredHW
+}
+
+// RecoveryBounds returns the values a fuzzy checkpoint persists so that
+// analysis need not scan the whole log to rebuild them: the largest
+// transaction ID issued and the version clock's current value (which is
+// at or above every commit timestamp ever stamped).
+func (m *Manager) RecoveryBounds() (maxID wal.TxnID, clockHW uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextID - 1, maxUint64(m.recoveredHW, m.clockNowLocked())
+}
+
+func maxUint64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -22,10 +22,12 @@
 package txn
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/lock"
@@ -79,6 +81,18 @@ type Manager struct {
 	mu     sync.Mutex
 	nextID wal.TxnID
 	active map[wal.TxnID]*Txn
+
+	// Version-clock hooks and snapshot state (snapshot.go). clockNow and
+	// clockTick are set by SetVersionClock before concurrent use; snaps is
+	// the live-snapshot registry; recoveredHW is the clock high water
+	// installed by restart analysis.
+	clockNow    func() uint64
+	clockTick   func() uint64
+	snapSeq     uint64
+	snaps       map[uint64]*Snapshot
+	recoveredHW uint64
+	oldestTS    atomic.Uint64 // oldest live snapshot ts; 0 = none
+	stableTS    atomic.Uint64 // newest forced user-commit ts
 }
 
 // SetInjector attaches a fault injector whose txn.aacommit and
@@ -104,10 +118,16 @@ type Txn struct {
 	ID     wal.TxnID
 	System bool // true for atomic actions
 
-	mgr      *Manager
-	mu       sync.Mutex
-	lastLSN  wal.LSN
-	state    State
+	mgr     *Manager
+	mu      sync.Mutex
+	lastLSN wal.LSN
+	state   State
+	// beginClock is the version clock observed when the transaction began
+	// (under m.mu, so it orders against snapshot capture); every version
+	// the transaction writes has a strictly larger start time. Adopted
+	// losers keep 0, conservatively pinning the GC horizon during
+	// restart undo.
+	beginClock uint64
 	// committing is set while the commit record is being appended outside
 	// t.mu; SnapshotATT waits it out so a checkpoint's ATT entry never
 	// misses a commit record that landed below the checkpoint's StartLSN.
@@ -131,7 +151,7 @@ func (m *Manager) begin(system bool) *Txn {
 	m.mu.Lock()
 	id := m.nextID
 	m.nextID++
-	t := &Txn{ID: id, System: system, mgr: m}
+	t := &Txn{ID: id, System: system, mgr: m, beginClock: m.clockNowLocked()}
 	m.active[id] = t
 	m.mu.Unlock()
 
@@ -320,6 +340,26 @@ func (t *Txn) Commit() error {
 		t.mu.Unlock()
 		return ErrNotActive
 	}
+	// Read-only fast path: a transaction that logged nothing has nothing
+	// to make durable and nothing for restart to see — committing it is
+	// just releasing its locks. Skipping the commit record and the group
+	// force matters beyond the transaction itself: read-only 2PL
+	// transactions would otherwise ride (and subsidize) the writers'
+	// group-commit rounds.
+	if t.lastLSN == wal.NilLSN {
+		t.state = Committed
+		hooks := t.onCommit
+		t.onCommit = nil
+		t.mu.Unlock()
+		t.mgr.Locks.ReleaseAll(t.ID)
+		t.mgr.mu.Lock()
+		delete(t.mgr.active, t.ID)
+		t.mgr.mu.Unlock()
+		for _, fn := range hooks {
+			fn()
+		}
+		return nil
+	}
 	// Crash-trigger probes: a crash here leaves every update logged but
 	// no commit record, the state recovery must roll back.
 	if t.System {
@@ -335,7 +375,22 @@ func (t *Txn) Commit() error {
 	prev := t.lastLSN
 	t.mu.Unlock()
 
-	lsn := t.mgr.Log.Append(&wal.Record{Type: wal.RecCommit, Flags: t.flags(), TxnID: t.ID, PrevLSN: prev})
+	// Stamp the commit record with a fresh version-clock tick: the commit
+	// timestamp. It is strictly above every version start this transaction
+	// wrote (version starts are also ticks, taken earlier), so restart
+	// analysis can reconstruct the clock high water from commit records
+	// alone — every surviving version belongs to a stamped committer, and
+	// losers' versions are removed by undo. Atomic actions are stamped too:
+	// their commits cover the time-split boundaries they cut.
+	var cts uint64
+	var payload []byte
+	if tick := t.mgr.clockTick; tick != nil {
+		cts = tick()
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, cts)
+		payload = b
+	}
+	lsn := t.mgr.Log.Append(&wal.Record{Type: wal.RecCommit, Flags: t.flags(), TxnID: t.ID, PrevLSN: prev, Payload: payload})
 	t.mu.Lock()
 	t.lastLSN = lsn
 	t.state = Committed
@@ -357,6 +412,7 @@ func (t *Txn) Commit() error {
 			}
 			return fmt.Errorf("txn %d: commit not durable, rolled back: %w", t.ID, err)
 		}
+		t.mgr.advanceStable(cts)
 	}
 	t.finish(wal.RecEnd)
 	t.mu.Lock()
