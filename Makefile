@@ -3,13 +3,14 @@ BENCH_COUNT ?= 1
 TORTURE_ROUNDS ?= 24
 TORTURE_SEED ?= 7
 
-.PHONY: check vet build test race benchbuild bench torture
+.PHONY: check vet build test race benchbuild bench torture churn
 
 ## check: everything CI runs — vet, build, tests, the race detector over
 ## the concurrency-critical packages, a compile+link of every benchmark
 ## binary (run with zero iterations) so bench-only code can't rot
-## between bench runs, and a short seeded fault-injection torture run.
-check: vet build test race benchbuild torture
+## between bench runs, a short seeded fault-injection torture run, and
+## the sustained-churn steady-state gate.
+check: vet build test race benchbuild torture churn
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/storage ./internal/wal ./internal/latch ./internal/core ./internal/lock ./internal/txn ./internal/tsb ./internal/spatial ./internal/recovery ./internal/engine
+	$(GO) test -race ./internal/storage ./internal/wal ./internal/latch ./internal/core ./internal/lock ./internal/txn ./internal/tsb ./internal/spatial ./internal/recovery ./internal/engine ./internal/maint
 
 benchbuild:
 	$(GO) test -run '^$$' -bench '^$$' ./... >/dev/null
@@ -30,6 +31,11 @@ benchbuild:
 ## access methods. Failures print the reproducing seed and failpoint.
 torture:
 	$(GO) run ./cmd/pitree-verify -torture -rounds $(TORTURE_ROUNDS) -seed $(TORTURE_SEED)
+
+## churn: sustained-churn steady-state gate — a rolling key window turned
+## over repeatedly must leave the store size flat with pages recycled.
+churn:
+	$(GO) run ./cmd/pitree-verify -churn
 
 ## bench: all microbenchmarks with allocation stats (root experiment
 ## benchmarks plus the lock/txn/wal substrate benchmarks). Set

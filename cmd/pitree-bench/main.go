@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (T1..T16, F1, F2) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (T1..T17, F1, F2) or 'all'")
 	full := flag.Bool("full", false, "larger workload sizes (slower, stabler numbers)")
 	jsonPath := flag.String("json", "", "also write machine-readable metrics to this file")
 	flag.Parse()
@@ -56,6 +56,7 @@ func main() {
 		{"T13", func() { bench.T13GroupCommit(os.Stdout, p) }, "group commit: forces per commit"},
 		{"T15", func() { bench.T15ParallelRestart(os.Stdout, p) }, "parallel restart: log x dirty pages x workers"},
 		{"T16", func() { bench.T16SnapshotReads(os.Stdout, p) }, "snapshot reads: lock-free MVCC vs locked reads"},
+		{"T17", func() { bench.T17Churn(os.Stdout, p) }, "sustained churn: consolidation + free-space recycling"},
 	}
 
 	want := map[string]bool{}

@@ -33,9 +33,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	pageOriented := flag.Bool("page-undo", false, "use page-oriented record undo")
 	torture := flag.Bool("torture", false, "fault-injection torture mode (seeded failpoint per round)")
+	churn := flag.Bool("churn", false, "sustained-churn gate: bounded store size + page recycling")
 	workers := flag.Int("workers", 4, "torture: concurrent workload goroutines")
 	ops := flag.Int("ops", 120, "torture: operations per worker per round")
 	flag.Parse()
+
+	if *churn {
+		if err := runChurn(); err != nil {
+			fmt.Fprintf(os.Stderr, "churn gate FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *torture {
 		cfg := tortureConfig{

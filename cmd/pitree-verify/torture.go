@@ -20,7 +20,10 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/keys"
+	"repro/internal/maint"
+	"repro/internal/recovery"
 	"repro/internal/spatial"
+	"repro/internal/storage"
 	"repro/internal/tsb"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -38,11 +41,34 @@ type tortTree interface {
 	verify() error
 }
 
+// tortDraws is the per-round maintenance configuration: each round rolls
+// whether background consolidation and page reclamation are on and how
+// hard the governor throttles them, so every fault in the menu is
+// eventually crossed with every maintenance posture.
+type tortDraws struct {
+	consolidation bool // core: utilization-triggered merges
+	reclaim       bool // tsb + spatial: free retired/empty pages
+	govBudget     int  // pages/sec for background maintenance; 0 = unpaced
+}
+
+// governor builds a fresh pacing governor for one tree instance (create
+// and reopen each get their own token bucket).
+func (d tortDraws) governor() *maint.Governor {
+	if d.govBudget == 0 {
+		return nil
+	}
+	return maint.New(d.govBudget, 8, nil)
+}
+
+func (d tortDraws) String() string {
+	return fmt.Sprintf("consol=%v reclaim=%v budget=%d", d.consolidation, d.reclaim, d.govBudget)
+}
+
 // treeKind builds and reopens one access method over an engine.
 type treeKind struct {
 	name   string
-	create func(e *engine.Engine) (tortTree, error)
-	open   func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error)
+	create func(e *engine.Engine, d tortDraws) (tortTree, error)
+	open   func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending, d tortDraws) (tortTree, error)
 }
 
 // recoveryPending defers the undo pass until the tree is open (logical
@@ -68,9 +94,9 @@ func (a coreTort) drain()        { a.t.DrainCompletions() }
 func (a coreTort) close()        { a.t.Close() }
 func (a coreTort) verify() error { _, err := a.t.Verify(); return err }
 
-func coreTortOpts(pessimistic bool) core.Options {
-	return core.Options{LeafCapacity: 6, IndexCapacity: 6, Consolidation: true, CompletionWorkers: 2,
-		PessimisticDescent: pessimistic}
+func coreTortOpts(pessimistic bool, d tortDraws) core.Options {
+	return core.Options{LeafCapacity: 6, IndexCapacity: 6, Consolidation: d.consolidation,
+		CompletionWorkers: 2, PessimisticDescent: pessimistic, Governor: d.governor()}
 }
 
 // --- TSB-tree adapter ---------------------------------------------------
@@ -88,12 +114,12 @@ func (a tsbTort) drain()        { a.t.DrainCompletions() }
 func (a tsbTort) close()        { a.t.Close() }
 func (a tsbTort) verify() error { _, err := a.t.Verify(); return err }
 
-func tsbTortOpts(pessimistic bool) tsb.Options {
+func tsbTortOpts(pessimistic bool, d tortDraws) tsb.Options {
 	// GC is on: version garbage collection runs off committed time splits
 	// while the snapshot readers race it, so reclamation is under torture
 	// too.
 	return tsb.Options{DataCapacity: 6, IndexCapacity: 6, CompletionWorkers: 2,
-		PessimisticDescent: pessimistic, GC: true}
+		PessimisticDescent: pessimistic, GC: true, Reclaim: d.reclaim, Governor: d.governor()}
 }
 
 // --- spatial hB-tree adapter -------------------------------------------
@@ -121,9 +147,9 @@ func (a spatialTort) drain()        { a.t.DrainCompletions() }
 func (a spatialTort) close()        { a.t.Close() }
 func (a spatialTort) verify() error { _, err := a.t.Verify(); return err }
 
-func spatialTortOpts(pessimistic bool) spatial.Options {
+func spatialTortOpts(pessimistic bool, d tortDraws) spatial.Options {
 	return spatial.Options{DataCapacity: 6, IndexCapacity: 6, CompletionWorkers: 2,
-		PessimisticDescent: pessimistic}
+		PessimisticDescent: pessimistic, Reclaim: d.reclaim, Governor: d.governor()}
 }
 
 // tortureKinds lists each access method twice: with the default
@@ -140,16 +166,16 @@ func tortureKinds() []treeKind {
 		kinds = append(kinds,
 			treeKind{
 				name: "core" + m.suffix,
-				create: func(e *engine.Engine) (tortTree, error) {
+				create: func(e *engine.Engine, d tortDraws) (tortTree, error) {
 					b := core.Register(e.Reg, e.Opts.PageOriented)
 					st := e.AddStore(tortureStoreID, core.Codec{})
-					t, err := core.Create(st, e.TM, e.Locks, b, "tort", coreTortOpts(pess))
+					t, err := core.Create(st, e.TM, e.Locks, b, "tort", coreTortOpts(pess, d))
 					if err != nil {
 						return nil, err
 					}
 					return coreTort{t}, nil
 				},
-				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
+				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending, d tortDraws) (tortTree, error) {
 					b := core.Register(e.Reg, e.Opts.PageOriented)
 					st := e.AttachStore(tortureStoreID, core.Codec{}, img.Disks[tortureStoreID])
 					p, err := e.AnalyzeAndRedo()
@@ -157,7 +183,7 @@ func tortureKinds() []treeKind {
 						return nil, err
 					}
 					pend.finish = func() error { return e.FinishRecovery(p) }
-					t, err := core.Open(st, e.TM, e.Locks, b, "tort", coreTortOpts(pess))
+					t, err := core.Open(st, e.TM, e.Locks, b, "tort", coreTortOpts(pess, d))
 					if err != nil {
 						return nil, err
 					}
@@ -166,16 +192,16 @@ func tortureKinds() []treeKind {
 			},
 			treeKind{
 				name: "tsb" + m.suffix,
-				create: func(e *engine.Engine) (tortTree, error) {
+				create: func(e *engine.Engine, d tortDraws) (tortTree, error) {
 					b := tsb.Register(e.Reg)
 					st := e.AddStore(tortureStoreID, tsb.Codec{})
-					t, err := tsb.Create(st, e.TM, e.Locks, b, "tort", tsbTortOpts(pess))
+					t, err := tsb.Create(st, e.TM, e.Locks, b, "tort", tsbTortOpts(pess, d))
 					if err != nil {
 						return nil, err
 					}
 					return tsbTort{t}, nil
 				},
-				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
+				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending, d tortDraws) (tortTree, error) {
 					b := tsb.Register(e.Reg)
 					st := e.AttachStore(tortureStoreID, tsb.Codec{}, img.Disks[tortureStoreID])
 					p, err := e.AnalyzeAndRedo()
@@ -183,7 +209,7 @@ func tortureKinds() []treeKind {
 						return nil, err
 					}
 					pend.finish = func() error { return e.FinishRecovery(p) }
-					t, err := tsb.Open(st, e.TM, e.Locks, b, "tort", tsbTortOpts(pess))
+					t, err := tsb.Open(st, e.TM, e.Locks, b, "tort", tsbTortOpts(pess, d))
 					if err != nil {
 						return nil, err
 					}
@@ -192,16 +218,16 @@ func tortureKinds() []treeKind {
 			},
 			treeKind{
 				name: "spatial" + m.suffix,
-				create: func(e *engine.Engine) (tortTree, error) {
+				create: func(e *engine.Engine, d tortDraws) (tortTree, error) {
 					b := spatial.Register(e.Reg)
 					st := e.AddStore(tortureStoreID, spatial.Codec{})
-					t, err := spatial.Create(st, e.TM, e.Locks, b, "tort", spatialTortOpts(pess))
+					t, err := spatial.Create(st, e.TM, e.Locks, b, "tort", spatialTortOpts(pess, d))
 					if err != nil {
 						return nil, err
 					}
 					return spatialTort{t}, nil
 				},
-				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending) (tortTree, error) {
+				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending, d tortDraws) (tortTree, error) {
 					b := spatial.Register(e.Reg)
 					st := e.AttachStore(tortureStoreID, spatial.Codec{}, img.Disks[tortureStoreID])
 					p, err := e.AnalyzeAndRedo()
@@ -209,7 +235,7 @@ func tortureKinds() []treeKind {
 						return nil, err
 					}
 					pend.finish = func() error { return e.FinishRecovery(p) }
-					t, err := spatial.Open(st, e.TM, e.Locks, b, "tort", spatialTortOpts(pess))
+					t, err := spatial.Open(st, e.TM, e.Locks, b, "tort", spatialTortOpts(pess, d))
 					if err != nil {
 						return nil, err
 					}
@@ -244,6 +270,13 @@ func tortureMenu() []menuEntry {
 		{"crash-mid-eviction", "pool.evict", fault.Spec{Kind: fault.None, Crash: true}, 20},
 		{"crash-mid-smo-commit", txn.FPAACommit, fault.Spec{Kind: fault.None, Crash: true}, 30},
 		{"crash-mid-user-commit", txn.FPUserCommit, fault.Spec{Kind: fault.None, Crash: true}, 40},
+		// Maintenance crash points: mid-consolidation (between the merge's
+		// page free and its commit) and mid-free (before the free-space map
+		// meta write). They only fire on rounds whose draws turn the
+		// relevant maintenance on — otherwise the round degenerates to a
+		// clean end-of-round freeze, which is itself a valid case.
+		{"crash-mid-consolidate", storage.FPConsolidate, fault.Spec{Kind: fault.None, Crash: true}, 8},
+		{"crash-mid-free", storage.FPStoreFree, fault.Spec{Kind: fault.None, Crash: true}, 8},
 	}
 }
 
@@ -396,21 +429,27 @@ func runTorture(cfg tortureConfig) error {
 		rng := rand.New(rand.NewSource(seed))
 		entry := menu[rng.Intn(len(menu))]
 		// The recovery worker count joins the fault menu: every fault is
-		// crossed with serial and parallel restart shapes.
+		// crossed with serial and parallel restart shapes. The maintenance
+		// draws cross it again with consolidation/reclaim postures.
 		recWorkers := 1 << rng.Intn(4)
-		restart, err := tortureRound(seed, kind, entry, recWorkers, rng, cfg)
-		if err != nil {
-			return fmt.Errorf("round %d (tree=%s fault=%s workers=%d seed=%d): %w\nreproduce with: pitree-verify -torture -seed %d -rounds %d",
-				round, kind.name, entry.name, recWorkers, seed, err, cfg.seed, round+1)
+		draws := tortDraws{
+			consolidation: rng.Intn(2) == 0,
+			reclaim:       rng.Intn(2) == 0,
+			govBudget:     []int{0, 64, 256}[rng.Intn(3)],
 		}
-		fmt.Printf("torture round %d ok (tree=%s fault=%s workers=%d restart=%v)\n",
-			round, kind.name, entry.name, recWorkers, restart.Round(10*time.Microsecond))
+		restart, err := tortureRound(seed, kind, entry, recWorkers, draws, rng, cfg)
+		if err != nil {
+			return fmt.Errorf("round %d (tree=%s fault=%s workers=%d %v seed=%d): %w\nreproduce with: pitree-verify -torture -seed %d -rounds %d",
+				round, kind.name, entry.name, recWorkers, draws, seed, err, cfg.seed, round+1)
+		}
+		fmt.Printf("torture round %d ok (tree=%s fault=%s workers=%d %v restart=%v)\n",
+			round, kind.name, entry.name, recWorkers, draws, restart.Round(10*time.Microsecond))
 	}
 	fmt.Println("all torture rounds verified: committed data durable, no ghosts, trees well-formed")
 	return nil
 }
 
-func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, rng *rand.Rand, cfg tortureConfig) (time.Duration, error) {
+func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, draws tortDraws, rng *rand.Rand, cfg tortureConfig) (time.Duration, error) {
 	inj := fault.New(seed)
 	spec := entry.spec
 	spec.After = 1 + int64(rng.Intn(entry.spread))
@@ -418,7 +457,7 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, rn
 
 	eopts := engine.Options{Injector: inj, PoolCapacity: 40, PageOriented: cfg.pageOriented}
 	e := engine.New(eopts)
-	tree, err := kind.create(e)
+	tree, err := kind.create(e, draws)
 	if err != nil {
 		// Creation can only fail if the fault fired this early; the round
 		// degenerates to "nothing ever committed", which recovery of an
@@ -555,7 +594,7 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, rn
 	restartStart := time.Now()
 	e2 := engine.Restarted(img, engine.Options{PageOriented: cfg.pageOriented, RecoveryWorkers: recWorkers})
 	var pend recoveryPending
-	tree2, err := kind.open(e2, img, &pend)
+	tree2, err := kind.open(e2, img, &pend, draws)
 	if err != nil {
 		// The crash may predate the tree creation becoming stable; then
 		// nothing can have committed.
@@ -575,6 +614,17 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, rn
 		}
 	}
 	restart := time.Since(restartStart)
+
+	// Space audit: replay the full log's alloc/free history (including this
+	// restart's CLRs) through the alternation oracle and cross-check the
+	// recovered free-space map against it.
+	shadow, err := recovery.AuditSpace(e2.Log.FullImage())
+	if err != nil {
+		return 0, fmt.Errorf("space audit: %v\ntrips: %v", err, inj.Trips())
+	}
+	if err := recovery.CheckSpace(shadow, e2.Pools()...); err != nil {
+		return 0, fmt.Errorf("space audit: %v\ntrips: %v", err, inj.Trips())
+	}
 
 	if err := tree2.verify(); err != nil {
 		return 0, fmt.Errorf("tree ill-formed after recovery: %v\ntrips: %v", err, inj.Trips())

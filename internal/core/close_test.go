@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/keys"
+	"repro/internal/maint"
+)
+
+// TestEngineCloseDrainsScheduledConsolidations guts a tree so dozens of
+// consolidations are queued behind a slow governor, then closes the
+// engine. Close must run every scheduled completion to commit (bypassing
+// the pacer), force the log, and flush the pools — so a reopen from the
+// stable image redoes nothing and finds no half-merged structure.
+func TestEngineCloseDrainsScheduledConsolidations(t *testing.T) {
+	e := engine.New(engine.Options{})
+	b := Register(e.Reg, false)
+	st := e.AddStore(testStoreID, Codec{})
+	opts := Options{
+		LeafCapacity:    8,
+		IndexCapacity:   8,
+		Consolidation:   true,
+		CheckLatchOrder: true,
+		// One admission per second: without the drain bypass the backlog
+		// below would take (bounded-pause) ages; with it, Close is quick.
+		Governor: maint.New(1, 1<<30, nil),
+	}
+	tree, err := Create(st, e.TM, e.Locks, b, "test", opts)
+	if err != nil {
+		t.Fatalf("create tree: %v", err)
+	}
+	e.RegisterCloser(tree.Close)
+
+	const n, keep = 400, 20
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(nil, keys.Uint64(uint64(i)), val(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := keep; i < n; i++ {
+		if err := tree.Delete(nil, keys.Uint64(uint64(i))); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+
+	start := time.Now()
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("close took %v; drain did not bypass the governor", el)
+	}
+	if tree.Stats.Consolidations.Load() == 0 {
+		t.Fatal("close dropped every scheduled consolidation")
+	}
+
+	// Checkpoint the quiesced engine so the reopen's redo scan is bounded
+	// by the flushed state Close produced.
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	img := e.Crash(nil)
+	e2 := engine.Restarted(img, e.Opts)
+	b2 := Register(e2.Reg, false)
+	st2 := e2.AttachStore(testStoreID, Codec{}, img.Disks[testStoreID])
+	p, err := e2.AnalyzeAndRedo()
+	if err != nil {
+		t.Fatalf("analyze+redo: %v", err)
+	}
+	if p.Stats.RedoneRecords != 0 {
+		t.Fatalf("reopen after Close redid %d records, want 0", p.Stats.RedoneRecords)
+	}
+	tree2, err := Open(st2, e2.TM, e2.Locks, b2, "test", opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer tree2.Close()
+	if err := e2.FinishRecovery(p); err != nil {
+		t.Fatalf("undo losers: %v", err)
+	}
+	shape, err := tree2.Verify()
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if shape.Records != keep {
+		t.Fatalf("records = %d, want %d", shape.Records, keep)
+	}
+	for i := 0; i < keep; i++ {
+		if _, ok, err := tree2.Search(nil, keys.Uint64(uint64(i))); err != nil || !ok {
+			t.Fatalf("key %d lost across close-reopen: ok=%v err=%v", i, ok, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/keys"
 	"repro/internal/storage"
@@ -85,6 +86,15 @@ type completer struct {
 	active  int
 	stopped bool
 	wg      sync.WaitGroup
+	// draining suspends governor pacing so shutdown drains at full speed.
+	draining atomic.Bool
+}
+
+// depth reports the current queue depth (scheduled, unpopped tasks).
+func (c *completer) depth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tasks)
 }
 
 func newCompleter(t *Tree) *completer {
@@ -178,6 +188,16 @@ func (c *completer) worker() {
 		if task == nil {
 			return
 		}
+		// Consolidation work is paced by the maintenance governor so
+		// merges never convoy foreground mutators; index-term posts run
+		// unpaced (they complete structure changes the foreground is
+		// already navigating around). Draining bypasses the pacer.
+		switch task.(type) {
+		case consolidateTask, rootShrinkTask:
+			if !c.draining.Load() {
+				c.t.opts.Governor.Admit(c.depth())
+			}
+		}
 		c.run(task)
 	}
 }
@@ -209,4 +229,14 @@ func (c *completer) stop() {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.wg.Wait()
+}
+
+// closeDrain is the orderly shutdown: work off every pending completion
+// (including consolidations they escalate into), then stop the workers.
+// Unlike stop alone, nothing pending is discarded, so a close-then-reopen
+// never finds structure changes that were scheduled but silently dropped.
+func (c *completer) closeDrain() {
+	c.draining.Store(true)
+	c.drain()
+	c.stop()
 }

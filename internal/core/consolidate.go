@@ -37,34 +37,77 @@ func (t *Tree) consolidate(task consolidateTask) {
 			return err
 		}
 
-		// Locate the pair of adjacent index terms to merge. Prefer using
-		// task.pid as the contained node (absorb it leftwards); fall back
-		// to treating it as the container (absorb its sibling).
+		// Locate the task's index term; its node is the merge seed.
 		i, exact := parent.n.search(task.low)
 		if !exact || parent.n.Entries[i].Child != task.pid {
 			o.release(&parent)
 			return nil // already consolidated or never posted: obsolete
 		}
 		// Promote the parent before latching any child (§4.1.1 promotion
-		// rule); both pairings below run under the same X hold.
+		// rule); the whole batched sweep below runs under this one X hold,
+		// which is what amortizes the parent pin+latch over several merges.
 		o.promote(&parent)
-		if i > 0 {
-			done, err := t.tryMerge(o, &parent, i-1, i)
-			if done || err != nil {
+
+		// Batched sweep: starting one term left of the seed, try adjacent
+		// pairs under the single parent hold. A committed merge keeps the
+		// index in place (the removed term shifted its successor in); a
+		// skipped pair moves right. Both the merge count and the probe
+		// count are bounded so one sweep cannot monopolize the parent.
+		budget := t.opts.MergeBatch
+		merges, probes := 0, 0
+		idx := i - 1
+		if idx < 0 {
+			idx = 0
+		}
+		for idx+1 < len(parent.n.Entries) && merges < budget && probes < 2*budget {
+			probes++
+			merged, stop, err := t.tryMerge(o, &parent, idx, idx+1)
+			if err != nil {
+				o.release(&parent)
 				return err
 			}
-		}
-		if parent.valid() {
-			i, exact = parent.n.search(task.low)
-			if exact && parent.n.Entries[i].Child == task.pid && i+1 < len(parent.n.Entries) {
-				_, err := t.tryMerge(o, &parent, i, i+1)
-				if err != nil {
-					return err
-				}
+			if stop {
+				break
+			}
+			if merged {
+				merges++
+			} else {
+				idx++
 			}
 		}
-		if parent.valid() {
-			o.release(&parent)
+
+		parentEntries := len(parent.n.Entries)
+		parentIsRoot := parent.pid() == t.root
+		parentPid := parent.pid()
+		parentLow := keys.Clone(parent.n.Low)
+		parentLevel := parent.n.Level
+		// A sweep cut short — batch budget, probe cap, or move-lock
+		// contention — may leave qualifying pairs behind, and nothing
+		// re-triggers them: the drained leaves' deletes are done, so without
+		// a continuation the remainder is stranded until the next structure
+		// change happens to land under this parent (under churn: never).
+		// Re-seed a task at the stopping position; a task only reschedules
+		// after freeing at least one node, so the chain terminates.
+		if merges > 0 && idx+1 < len(parent.n.Entries) {
+			e := parent.n.Entries[idx]
+			t.comp.scheduleConsolidate(consolidateTask{level: task.level, low: keys.Clone(e.Key), pid: e.Child})
+		}
+		o.release(&parent)
+
+		if merges == 0 {
+			return nil
+		}
+		if merges > 1 {
+			t.Stats.MergeBatches.Add(1)
+		}
+		// Escalate (§5: "Consolidation of index terms can lead to further
+		// node consolidation, escalating tree changes to the next level").
+		if parentIsRoot {
+			if parentEntries == 1 {
+				t.comp.scheduleRootShrink()
+			}
+		} else if parentEntries < int(float64(t.opts.IndexCapacity)*t.opts.MinUtilization) {
+			t.comp.scheduleConsolidate(consolidateTask{level: parentLevel, low: parentLow, pid: parentPid})
 		}
 		return nil
 	})
@@ -72,10 +115,12 @@ func (t *Tree) consolidate(task consolidateTask) {
 
 // tryMerge merges parent's children at term positions bIdx (container)
 // and cIdx (contained) if every §3.3 precondition still holds. It reports
-// whether a merge was committed. The parent reference is consumed (its
-// latch released) when true is returned or on error; on a false return it
-// is left latched for the caller to try another pairing.
-func (t *Tree) tryMerge(o *opCtx, parent *nref, bIdx, cIdx int) (bool, error) {
+// whether a merge was committed and whether the caller's sweep should
+// stop (move-lock contention: the action's pages are busy and further
+// pairs under this parent will likely hit the same transactions). The
+// parent stays latched in every case — the caller owns its release — so
+// one parent visit can try several pairs.
+func (t *Tree) tryMerge(o *opCtx, parent *nref, bIdx, cIdx int) (merged, stop bool, err error) {
 	bEntry := parent.n.Entries[bIdx]
 	cEntry := parent.n.Entries[cIdx]
 	level := parent.n.Level - 1
@@ -93,21 +138,19 @@ func (t *Tree) tryMerge(o *opCtx, parent *nref, bIdx, cIdx int) (bool, error) {
 	// cycle the rule exists to prevent.) The caller promoted the parent.
 	b, err := o.acquire(bEntry.Child, latch.U, level)
 	if err != nil {
-		o.release(parent)
-		return false, err
+		return false, true, err
 	}
 	structOK := !b.n.Dead && b.n.Right == cEntry.Child &&
 		!b.n.High.Unbounded && keys.Equal(b.n.High.Key, cEntry.Key)
 	if !structOK {
 		o.release(&b)
-		return false, nil
+		return false, false, nil
 	}
 	o.promote(&b)
 	c, err := o.acquire(cEntry.Child, latch.U, level)
 	if err != nil {
 		o.release(&b)
-		o.release(parent)
-		return false, err
+		return false, true, err
 	}
 	threshold := int(float64(capacity) * t.opts.MinUtilization)
 	ok := !c.n.Dead && keys.Equal(c.n.Low, cEntry.Key) &&
@@ -116,7 +159,7 @@ func (t *Tree) tryMerge(o *opCtx, parent *nref, bIdx, cIdx int) (bool, error) {
 	if !ok {
 		o.release(&c)
 		o.release(&b)
-		return false, nil
+		return false, false, nil
 	}
 	o.promote(&c)
 
@@ -131,11 +174,11 @@ func (t *Tree) tryMerge(o *opCtx, parent *nref, bIdx, cIdx int) (bool, error) {
 			_ = aa.Abort()
 			o.release(&c)
 			o.release(&b)
-			o.release(parent)
-			return true, nil
+			return false, true, nil
 		}
 	}
 
+	bLen, cLen := len(b.n.Entries), len(c.n.Entries)
 	absorbed := c.n.clone()
 	preB := b.n.clone()
 	lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(b.pid()), KindConsolidateMove, encConsolidateMove(absorbed, preB))
@@ -163,38 +206,40 @@ func (t *Tree) tryMerge(o *opCtx, parent *nref, bIdx, cIdx int) (bool, error) {
 		// the move and term removal too.
 		o.release(&c)
 		o.release(&b)
-		o.release(parent)
 		_ = aa.Abort()
-		return true, err
+		return false, true, err
 	}
-
-	parentEntries := len(parent.n.Entries)
-	parentIsRoot := parent.pid() == t.root
-	parentPid := parent.pid()
-	parentLow := keys.Clone(parent.n.Low)
-	parentLevel := parent.n.Level
+	if err := t.store.Pool.Probe(storage.FPConsolidate); err != nil {
+		o.release(&c)
+		o.release(&b)
+		_ = aa.Abort()
+		return false, true, err
+	}
 
 	// Commit before unlatching: nothing may observe the consolidated
 	// state until the action's commit record is in the log.
 	cerr := aa.Commit()
 	o.release(&c)
 	o.release(&b)
-	o.release(parent)
 	if cerr != nil {
-		return true, cerr
+		return false, true, cerr
 	}
 	t.Stats.Consolidations.Add(1)
-
-	// Escalate (§5: "Consolidation of index terms can lead to further
-	// node consolidation, escalating tree changes to the next level").
-	if parentIsRoot {
-		if parentEntries == 1 {
-			t.comp.scheduleRootShrink()
-		}
-	} else if parentEntries < int(float64(t.opts.IndexCapacity)*t.opts.MinUtilization) {
-		t.comp.scheduleConsolidate(consolidateTask{level: parentLevel, low: parentLow, pid: parentPid})
+	if level == 0 {
+		t.Stats.NoteLeafUtil(bLen, bLen+cLen, capacity)
+		t.Stats.NoteLeafUtil(cLen, -1, capacity)
+	} else {
+		// Downward cascade, the counterpart of the upward escalation: the
+		// absorbing index node now holds the absorbed node's child terms
+		// adjacent to its own, so children separated by the old node
+		// boundary can pair up for the first time. Nothing else re-triggers
+		// them — their deletes are long done — so under sustained churn
+		// each index merge would otherwise strand one under-filled child
+		// per junction. Seed a task at the junction's left term.
+		j := preB.Entries[len(preB.Entries)-1]
+		t.comp.scheduleConsolidate(consolidateTask{level: level - 1, low: keys.Clone(j.Key), pid: j.Child})
 	}
-	return true, nil
+	return true, false, nil
 }
 
 // shrinkRoot reduces tree height by absorbing the root's single remaining
@@ -277,6 +322,12 @@ func (t *Tree) shrinkRoot() {
 			child.f.MarkDirty(lsn)
 		}
 		if err := t.store.Free(aa, &o.tr, childPid); err != nil {
+			o.release(&child)
+			o.release(&root)
+			_ = aa.Abort()
+			return err
+		}
+		if err := t.store.Pool.Probe(storage.FPConsolidate); err != nil {
 			o.release(&child)
 			o.release(&root)
 			_ = aa.Abort()

@@ -90,6 +90,7 @@ func (t *Tree) Insert(tx *txn.Txn, key keys.Key, value []byte) error {
 		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindInsertRecord, encKV(key, value))
 		leaf.n.insertEntry(Entry{Key: keys.Clone(key), Value: append([]byte(nil), value...)})
 		leaf.f.MarkDirty(lsn)
+		t.Stats.NoteLeafUtil(len(leaf.n.Entries)-1, len(leaf.n.Entries), t.opts.LeafCapacity)
 		return nil
 	})
 }
@@ -125,6 +126,7 @@ func (t *Tree) Delete(tx *txn.Txn, key keys.Key) error {
 		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindDeleteRecord, encKV(key, old))
 		leaf.n.deleteEntry(key)
 		leaf.f.MarkDirty(lsn)
+		t.Stats.NoteLeafUtil(len(leaf.n.Entries)+1, len(leaf.n.Entries), t.opts.LeafCapacity)
 		t.maybeScheduleConsolidation(leaf)
 		return nil
 	})
@@ -433,6 +435,8 @@ func (t *Tree) splitNode(o *opCtx, r *nref, act *txn.Txn) (keys.Key, storage.Pag
 
 	if n.Level == 0 {
 		t.Stats.LeafSplits.Add(1)
+		t.Stats.NoteLeafUtil(len(pre.Entries), mid, t.opts.LeafCapacity)
+		t.Stats.NoteLeafUtil(-1, len(pre.Entries)-mid, t.opts.LeafCapacity)
 	} else {
 		t.Stats.IndexSplits.Add(1)
 	}
@@ -507,6 +511,12 @@ func (t *Tree) growRoot(o *opCtx, r *nref, act *txn.Txn, pre *Node, sep keys.Key
 	r.f.MarkDirty(lsn)
 
 	t.Stats.RootGrowths.Add(1)
+	if pre.Level == 0 {
+		// The root leaf's entries moved into two new leaves.
+		t.Stats.NoteLeafUtil(len(pre.Entries), -1, t.opts.LeafCapacity)
+		t.Stats.NoteLeafUtil(-1, mid, t.opts.LeafCapacity)
+		t.Stats.NoteLeafUtil(-1, len(pre.Entries)-mid, t.opts.LeafCapacity)
+	}
 	return nil, storage.NilPage, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/latch"
 	"repro/internal/lock"
+	"repro/internal/maint"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -66,6 +67,15 @@ type Options struct {
 	// path. Comparison benchmarks and targeted tests use it; leave false
 	// for normal operation.
 	PessimisticDescent bool
+	// Governor paces background consolidation work against foreground
+	// load. Nil means unpaced (every scheduled merge runs immediately).
+	// Several trees may share one governor: the budget is then a global
+	// maintenance budget for the engine.
+	Governor *maint.Governor
+	// MergeBatch bounds how many adjacent-pair merges one consolidation
+	// task may commit under a single parent X hold, amortizing the parent
+	// latch and descent over several merges. Default 4.
+	MergeBatch int
 }
 
 func (o Options) normalized() Options {
@@ -86,6 +96,9 @@ func (o Options) normalized() Options {
 	}
 	if o.CompletionWorkers <= 0 {
 		o.CompletionWorkers = 2
+	}
+	if o.MergeBatch <= 0 {
+		o.MergeBatch = 4
 	}
 	return o
 }
@@ -123,6 +136,44 @@ type Stats struct {
 	OptimisticHits      atomic.Int64
 	OptimisticRetries   atomic.Int64
 	OptimisticFallbacks atomic.Int64
+	// MergeBatches counts consolidation tasks that committed more than one
+	// merge under a single parent hold.
+	MergeBatches atomic.Int64
+	// UtilHist is a leaf-utilization histogram: bucket i counts leaves
+	// whose live-entry fraction is in [i/8, (i+1)/8), with bucket 8 for
+	// exactly-full. Maintained incrementally at every mutation that
+	// changes a leaf's entry count — this is the utilization signal the
+	// consolidation scheduler reads without sweeping the tree. Counts are
+	// relative to the tree state at Open (a freshly created tree starts
+	// exact), so an opened tree's buckets are deltas, not absolutes.
+	UtilHist [9]atomic.Int64
+}
+
+// utilBucket maps an entry count to its histogram bucket.
+func utilBucket(n, capacity int) int {
+	if capacity <= 0 {
+		return 0
+	}
+	b := n * 8 / capacity
+	if b < 0 {
+		b = 0
+	}
+	if b > 8 {
+		b = 8
+	}
+	return b
+}
+
+// NoteLeafUtil moves one leaf between utilization buckets: old and new
+// are entry counts, with a negative value meaning the leaf does not
+// exist on that side (created when old < 0, dropped when new < 0).
+func (s *Stats) NoteLeafUtil(old, newCount, capacity int) {
+	if old >= 0 {
+		s.UtilHist[utilBucket(old, capacity)].Add(-1)
+	}
+	if newCount >= 0 {
+		s.UtilHist[utilBucket(newCount, capacity)].Add(1)
+	}
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -137,11 +188,18 @@ type StatsSnapshot struct {
 	Restarts, InTxnSplits, MoveLockWaits               int64
 	OptimisticHits, OptimisticRetries                  int64
 	OptimisticFallbacks                                int64
+	MergeBatches                                       int64
+	UtilHist                                           [9]int64
 }
 
 // Snapshot returns a copy of all counters.
 func (s *Stats) Snapshot() StatsSnapshot {
+	var hist [9]int64
+	for i := range s.UtilHist {
+		hist[i] = s.UtilHist[i].Load()
+	}
 	return StatsSnapshot{
+		MergeBatches: s.MergeBatches.Load(), UtilHist: hist,
 		Searches: s.Searches.Load(), Inserts: s.Inserts.Load(), Deletes: s.Deletes.Load(), Updates: s.Updates.Load(),
 		LeafSplits: s.LeafSplits.Load(), IndexSplits: s.IndexSplits.Load(), RootGrowths: s.RootGrowths.Load(),
 		SideTraversals: s.SideTraversals.Load(),
@@ -250,6 +308,7 @@ func Create(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding,
 	}
 	t.root = rootPid
 	t.comp = newCompleter(t)
+	t.Stats.NoteLeafUtil(-1, 0, t.opts.LeafCapacity)
 	b.Bind(t)
 	return t, nil
 }
@@ -276,12 +335,14 @@ func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, n
 	return t, nil
 }
 
-// Close stops the tree's background completion workers and waits for
-// in-flight completing actions to finish. It also drops the cached root
-// pin (a straggling operation may briefly re-cache it; the pin is
-// process-local bookkeeping, so that is harmless).
+// Close drains every pending completing action (no scheduled structure
+// change is silently dropped — a close-then-reopen must never replay
+// against half-merged nodes), stops the background workers, and waits
+// for in-flight actions to finish. It also drops the cached root pin (a
+// straggling operation may briefly re-cache it; the pin is process-local
+// bookkeeping, so that is harmless).
 func (t *Tree) Close() {
-	t.comp.stop()
+	t.comp.closeDrain()
 	if f := t.rootf.Swap(nil); f != nil {
 		t.store.Pool.Unpin(f)
 	}

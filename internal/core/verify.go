@@ -37,6 +37,9 @@ func (t *Tree) Verify() (TreeShape, error) {
 	var shape TreeShape
 	pool := t.store.Pool
 
+	// Every page the walk touches is reachable; the set feeds the store's
+	// free-space cross-check at the end (no page both free and reachable).
+	reachable := make(map[storage.PageID]bool)
 	getNode := func(pid storage.PageID) (*Node, error) {
 		f, err := pool.Fetch(pid)
 		if err != nil {
@@ -47,6 +50,7 @@ func (t *Tree) Verify() (TreeShape, error) {
 		if !ok {
 			return nil, fmt.Errorf("page %d holds %T, not a node", pid, f.Data)
 		}
+		reachable[pid] = true
 		return n, nil
 	}
 
@@ -188,6 +192,9 @@ func (t *Tree) Verify() (TreeShape, error) {
 			}
 			leftmost = first.Entries[0].Child
 		}
+	}
+	if err := t.store.SpaceCheck(reachable); err != nil {
+		return shape, fmt.Errorf("core verify: %w", err)
 	}
 	return shape, nil
 }

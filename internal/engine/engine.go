@@ -62,8 +62,9 @@ type Engine struct {
 	Reg   *storage.Registry
 	TM    *txn.Manager
 
-	mu     sync.Mutex
-	stores map[uint32]*storage.Store
+	mu      sync.Mutex
+	stores  map[uint32]*storage.Store
+	closers []func()
 }
 
 func newEngine(opts Options, log *wal.Log) *Engine {
@@ -167,6 +168,42 @@ func (e *Engine) FlushAll() (int, error) {
 		}
 	}
 	return n, first
+}
+
+// RegisterCloser registers fn to run during Close, before the final log
+// force and pool flush. Access methods register their shutdown (which
+// must drain lazy-completion queues) here; closers run in registration
+// order, so a tree layered on another store shuts down after it.
+func (e *Engine) RegisterCloser(fn func()) {
+	e.mu.Lock()
+	e.closers = append(e.closers, fn)
+	e.mu.Unlock()
+}
+
+// Close shuts the environment down in dependency order: first every
+// registered access-method closer — each drains its lazy-completion
+// queue to empty, running every scheduled posting and consolidation to
+// commit, and only then stops its workers — then one log force, then a
+// full pool flush. The ordering is the point: queues are volatile, so a
+// completion that was scheduled but not yet run would simply vanish at
+// shutdown, and a close-then-reopen would come up with intermediate
+// states (unposted siblings, half-merged parents) that nothing is left
+// to repair until a traversal stumbles over them. Draining first means
+// the stable state a reopen recovers from contains no structure change
+// that was promised but dropped.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	closers := append([]func(){}, e.closers...)
+	e.closers = nil
+	e.mu.Unlock()
+	for _, fn := range closers {
+		fn()
+	}
+	if err := e.Log.ForceAll(); err != nil {
+		return err
+	}
+	_, err := e.FlushAll()
+	return err
 }
 
 // CrashImage is the stable state surviving a simulated crash.

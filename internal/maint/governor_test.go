@@ -1,0 +1,64 @@
+package maint
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilAndUnpacedAdmitImmediately(t *testing.T) {
+	var g *Governor
+	g.Admit(10) // must not panic
+	g2 := New(0, 0, nil)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		g2.Admit(i)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("unpaced governor slept: %v", el)
+	}
+	if s := g2.Stats(); s.Admits != 1000 || s.Throttled != 0 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+	if s := g2.Stats(); s.MaxDepth != 999 {
+		t.Fatalf("max depth gauge = %d, want 999", s.MaxDepth)
+	}
+}
+
+func TestBudgetThrottles(t *testing.T) {
+	g := New(100, 1<<30, nil) // 100/s, high water unreachable
+	start := time.Now()
+	// Drain the initial burst plus a few paced admissions.
+	for i := 0; i < 110; i++ {
+		g.Admit(0)
+	}
+	el := time.Since(start)
+	s := g.Stats()
+	if s.Throttled == 0 {
+		t.Fatalf("expected throttling past the burst; stats %+v after %v", s, el)
+	}
+}
+
+func TestHighWaterBypassesPacing(t *testing.T) {
+	g := New(1, 4, nil) // 1/s: pacing would be obvious
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		g.Admit(10) // depth above high water
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("high-water admissions paced anyway: %v", el)
+	}
+	if s := g.Stats(); s.Bypasses == 0 {
+		t.Fatalf("expected bypasses, stats %+v", s)
+	}
+}
+
+func TestPressureStretchesPacing(t *testing.T) {
+	calls := 0
+	g := New(1000, 1<<30, func() float64 { calls++; return 1 })
+	for i := 0; i < 10; i++ {
+		g.Admit(0)
+	}
+	if calls == 0 {
+		t.Fatal("pressure fn never consulted")
+	}
+}

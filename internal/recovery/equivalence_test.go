@@ -20,9 +20,20 @@ import (
 // concurrent Adopt/RollbackLoser and the redo workers' pool traffic.
 
 // buildWorkload drives a random mix of transactions, atomic actions,
-// aborts, steals (FlushAll) and fuzzy checkpoints against e.
+// aborts, steals (FlushAll) and fuzzy checkpoints against e. Atomic
+// actions mix counter updates with free-space-map traffic (page
+// alloc/free), so every restart path replays KindMetaAlloc/Free records
+// and their compensations — the records the space audit oracle checks.
 func buildWorkload(rng *rand.Rand, e *env) {
+	boot := e.tm.BeginAtomicAction()
+	if err := e.store.Bootstrap(boot); err != nil {
+		panic(err)
+	}
+	if err := boot.Commit(); err != nil {
+		panic(err)
+	}
 	var active []*txn.Txn
+	var owned []storage.PageID // pages durably allocated by committed AAs
 	ops := 300 + rng.Intn(400)
 	for i := 0; i < ops; i++ {
 		switch r := rng.Intn(100); {
@@ -32,11 +43,27 @@ func buildWorkload(rng *rand.Rand, e *env) {
 			}
 		case r < 18: // atomic action, committed or abandoned mid-flight
 			aa := e.tm.BeginAtomicAction()
-			for j := 0; j <= rng.Intn(2); j++ {
-				e.add(aa, storage.PageID(2+rng.Intn(40)), int64(1+rng.Intn(99)))
+			var got []storage.PageID
+			var gave []int
+			if rng.Intn(3) == 0 { // space op instead of counter updates
+				if len(owned) > 0 && rng.Intn(2) == 0 {
+					k := rng.Intn(len(owned))
+					if e.store.Free(aa, nil, owned[k]) == nil {
+						gave = append(gave, k)
+					}
+				} else if pid, err := e.store.Alloc(aa, nil); err == nil {
+					got = append(got, pid)
+				}
+			} else {
+				for j := 0; j <= rng.Intn(2); j++ {
+					e.add(aa, storage.PageID(2+rng.Intn(40)), int64(1+rng.Intn(99)))
+				}
 			}
-			if rng.Intn(4) > 0 {
-				_ = aa.Commit()
+			if rng.Intn(4) > 0 && aa.Commit() == nil {
+				owned = append(owned, got...)
+				for _, k := range gave {
+					owned = append(owned[:k], owned[k+1:]...)
+				}
 			}
 		case r < 70: // update under a random active transaction
 			if len(active) > 0 {
@@ -90,6 +117,7 @@ type restartResult struct {
 	stats    Stats
 	redoDisk *storage.MemDisk // flushed right after AnalyzeAndRedo
 	undoDisk *storage.MemDisk // flushed after UndoLosers
+	space    SpaceImage       // audited space state of store 1
 }
 
 // runRestart recovers e's stable state truncated at cut with o, flushing
@@ -111,7 +139,17 @@ func runRestart(t *testing.T, e *env, cut wal.LSN, o Opts) restartResult {
 	if _, err := e2.pool.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	return restartResult{stats: p.Stats, redoDisk: redoDisk, undoDisk: e2.pool.Disk().Snapshot()}
+	// Space audit: replay alloc/free traffic (including the undo pass's
+	// CLRs) against the shadow alternation model, then cross-check the
+	// shadow's final state with the free-space map recovery rebuilt.
+	shadow, err := AuditSpace(e2.log.FullImage())
+	if err != nil {
+		t.Fatalf("space audit (%+v): %v", o, err)
+	}
+	if err := CheckSpace(shadow, e2.pool); err != nil {
+		t.Fatalf("space check (%+v): %v", o, err)
+	}
+	return restartResult{stats: p.Stats, redoDisk: redoDisk, undoDisk: e2.pool.Disk().Snapshot(), space: shadow[1]}
 }
 
 func imageMap(d *storage.MemDisk) map[storage.PageID][]byte {
@@ -175,6 +213,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		seeds = 4
 	}
 	sawSpill, sawLosers, sawSkip := false, false, false
+	sawAlloc, sawFree := false, false
 	for seed := 0; seed < seeds; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(seed)*7919 + 3))
@@ -184,6 +223,8 @@ func TestSerialParallelEquivalence(t *testing.T) {
 
 			serial := runRestart(t, e, cut, Opts{Serial: true})
 			sawLosers = sawLosers || serial.stats.LoserTxns+serial.stats.LoserActions > 1
+			sawAlloc = sawAlloc || serial.space.Next > uint64(storage.MetaPage)+1
+			sawFree = sawFree || len(serial.space.Free) > 0
 			for _, o := range []Opts{
 				{Workers: 1},                  // fused scan, inline apply
 				{Workers: 4},                  // page-partitioned workers + concurrent undo
@@ -207,5 +248,8 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	}
 	if !sawSkip {
 		t.Error("no seed exercised the redo fetch-skip")
+	}
+	if !sawAlloc || !sawFree {
+		t.Errorf("space traffic too tame to trust the audit: alloc=%v free=%v", sawAlloc, sawFree)
 	}
 }

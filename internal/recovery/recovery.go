@@ -68,6 +68,20 @@ type Checkpoint struct {
 	// missing fields — in which case the scan alone decides.)
 	MaxTxnID wal.TxnID
 	ClockHW  uint64
+	// Space is the per-store free-space snapshot (high-water mark plus
+	// free list) at checkpoint time. Like the DPT it is fuzzy: alloc/free
+	// records appended between StartLSN and the checkpoint record may
+	// already be reflected in it, so the space audit replays that window
+	// idempotently and asserts ordering only past the checkpoint. (Nil in
+	// images from before the field existed; the audit then replays from
+	// the log's start.)
+	Space map[uint32]SpaceImage
+}
+
+// SpaceImage is one store's space state inside a checkpoint.
+type SpaceImage struct {
+	Next uint64
+	Free []uint64
 }
 
 func encodeCheckpoint(c *Checkpoint) ([]byte, error) {
@@ -101,6 +115,16 @@ func TakeCheckpoint(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.
 			dpt[uint64(pid)] = rec
 		}
 		c.DPT[p.StoreID] = dpt
+		if next, free, ok := p.SpaceSnapshot(); ok {
+			img := SpaceImage{Next: uint64(next), Free: make([]uint64, len(free))}
+			for i, pid := range free {
+				img.Free[i] = uint64(pid)
+			}
+			if c.Space == nil {
+				c.Space = make(map[uint32]SpaceImage)
+			}
+			c.Space[p.StoreID] = img
+		}
 	}
 	payload, err := encodeCheckpoint(&c)
 	if err != nil {

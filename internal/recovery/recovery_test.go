@@ -51,19 +51,21 @@ func registerCounter(reg *storage.Registry) {
 }
 
 type env struct {
-	log  *wal.Log
-	reg  *storage.Registry
-	tm   *txn.Manager
-	pool *storage.Pool
+	log   *wal.Log
+	reg   *storage.Registry
+	tm    *txn.Manager
+	pool  *storage.Pool
+	store *storage.Store
 }
 
 func newEnv(disk storage.Disk, log *wal.Log) *env {
 	reg := storage.NewRegistry()
 	registerCounter(reg)
+	storage.RegisterMetaHandlers(reg)
 	tm := txn.NewManager(log, lock.NewManager(), reg, txn.Options{})
 	pool := storage.NewPool(1, disk, log, counterCodec{}, 0)
 	reg.AddPool(pool)
-	return &env{log: log, reg: reg, tm: tm, pool: pool}
+	return &env{log: log, reg: reg, tm: tm, pool: pool, store: &storage.Store{Pool: pool}}
 }
 
 func (e *env) add(t *txn.Txn, pid storage.PageID, d int64) {

@@ -1,0 +1,333 @@
+package spatial
+
+// Consolidation of empty data nodes (Options.Reclaim).
+//
+// A data node whose points are all deleted is pure overhead: descents
+// route through it, its parent carries a term for it, and its page stays
+// allocated forever under pure CNS. The absorber reverses the split that
+// created it: the delegator (the node whose sibling term references the
+// victim) takes the victim's region back into its direct region, the
+// victim's index term is removed from its parent, and the page goes to
+// the store's free-space map — one atomic action, pre-image undo.
+//
+// Safety conditions, each re-verified under latches before the cut:
+//
+//  1. NEWEST DELEGATION: the victim is its delegator's LAST sibling term.
+//     Delegations nest LIFO — each split halves the then-current direct
+//     region — so only the newest term's rect unions with the direct
+//     region to a rectangle (the exact pre-split region). Older victims
+//     become absorbable as the ones delegated after them go first.
+//  2. EMPTY: the victim has no points and no delegations of its own (a
+//     sibling term in the victim would be stranded by the free).
+//  3. SINGLE PARENT (§3.3): the victim's index term is not Clipped. A
+//     clipped term marks a possibly multi-parent child, and the mark is
+//     sticky, so an unclipped term seen under the parent's latch proves
+//     exactly one parent references the victim. CanConsolidate is the
+//     quiescent census form of the same test, used to pre-screen.
+//  4. ROUTING SURVIVOR: some other term in the parent contains the
+//     victim's rect, so points in the re-absorbed region keep a search
+//     path (the delegator's own term qualifies: the victim's region was
+//     split out of it, and term rects are never shrunk). The parent also
+//     keeps at least one term — index nodes never go empty.
+//  5. NO PENDING TASK: no completion task names the victim (tasks stay
+//     in the pending set until done), and none can be newly scheduled:
+//     scheduling requires reading the delegator's sibling term, which
+//     the cut holds X until commit. A task scheduled from a stale
+//     optimistic snapshot after the free is screened out by deadPages in
+//     postTerm.
+//
+// Readers cannot be stranded on the victim: under Reclaim every latched
+// traversal couples (Tree.step, RegionQuery's held-parent DFS) and the
+// optimistic descent re-validates the source of its final edge, so a
+// reader either holds the victim's latch — which the absorber's X
+// acquisition waits out — or arrives after the cut and never sees the
+// edge. The victim's own region is empty of data, so no reader loses
+// results; it just routes through the delegator afterwards.
+//
+// Crash consistency: the three edits (absorb, term removal, free) are
+// one atomic action — redo replays all, an incomplete action undoes all,
+// so the page is free if and only if it is unlinked from both the
+// sibling chain and the index.
+
+import (
+	"repro/internal/latch"
+	"repro/internal/storage"
+)
+
+// absorbCand is one (delegator, victim) pair found by the scan.
+type absorbCand struct {
+	deleg, victim storage.PageID
+}
+
+// RunConsolidation sweeps the tree absorbing every reclaimable empty
+// data node, repeating until a pass makes no progress (absorbing a
+// victim exposes the delegation before it). Returns pages freed.
+func (t *Tree) RunConsolidation() (int, error) {
+	if !t.opts.Reclaim {
+		return 0, nil
+	}
+	total := 0
+	for {
+		n, err := t.absorbPass()
+		total += n
+		if n == 0 || err != nil {
+			return total, err
+		}
+	}
+}
+
+// absorbPass scans once for empty newest-delegated data nodes and tries
+// to absorb each. Serialized by absorbMu: concurrent passes would race
+// to absorb the same victim, and the loser's abort would restore state
+// the winner already changed.
+func (t *Tree) absorbPass() (int, error) {
+	t.absorbMu.Lock()
+	defer t.absorbMu.Unlock()
+
+	cands, err := t.scanAbsorbCandidates()
+	if err != nil {
+		return 0, err
+	}
+	freed := 0
+	for _, c := range cands {
+		// §3.3 census pre-screen; the authoritative test is the Clipped
+		// mark on the term, checked under the parent's latch.
+		if ok, err := t.CanConsolidate(c.victim); err != nil {
+			return freed, err
+		} else if !ok {
+			t.Stats.AbsorbMultiParent.Add(1)
+			continue
+		}
+		n, err := t.absorbAction(c.deleg, c.victim)
+		freed += n
+		if err != nil {
+			return freed, err
+		}
+	}
+	return freed, nil
+}
+
+// scanAbsorbCandidates walks every reachable node (one S latch at a
+// time, cloning under it — CNS reading, same as the tsb GC scan) and
+// collects delegators whose newest sibling is an empty data node.
+// Everything is re-verified under latches before any cut, so a stale
+// observation costs only a wasted attempt.
+func (t *Tree) scanAbsorbCandidates() ([]absorbCand, error) {
+	pool := t.store.Pool
+	snap := func(pid storage.PageID) (*Node, error) {
+		f, err := pool.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		defer pool.Unpin(f)
+		f.Latch.AcquireS()
+		defer f.Latch.ReleaseS()
+		n, ok := f.Data.(*Node)
+		if !ok {
+			return nil, nil
+		}
+		return n.clone(), nil
+	}
+	var cands []absorbCand
+	seen := make(map[storage.PageID]bool)
+	isEmptyData := func(pid storage.PageID) (bool, error) {
+		n, err := snap(pid)
+		if err != nil {
+			return false, err
+		}
+		return n != nil && n.IsData() && len(n.Entries) == 0 && len(n.Sibs) == 0, nil
+	}
+	var visit func(pid storage.PageID) error
+	visit = func(pid storage.PageID) error {
+		if seen[pid] {
+			return nil
+		}
+		seen[pid] = true
+		cp, err := snap(pid)
+		if err != nil {
+			return err
+		}
+		if cp == nil {
+			return nil
+		}
+		if ns := len(cp.Sibs); ns > 0 && cp.IsData() {
+			newest := cp.Sibs[ns-1]
+			if empty, err := isEmptyData(newest.Pid); err != nil {
+				return err
+			} else if empty {
+				cands = append(cands, absorbCand{deleg: pid, victim: newest.Pid})
+			}
+		}
+		for _, s := range cp.Sibs {
+			if err := visit(s.Pid); err != nil {
+				return err
+			}
+		}
+		if !cp.IsData() {
+			for _, e := range cp.Entries {
+				if err := visit(e.Child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := visit(t.root); err != nil {
+		return nil, err
+	}
+	return cands, nil
+}
+
+// absorbAction performs one absorb as an atomic action, re-verifying
+// every condition under latches (parent U→X at level 1, then delegator
+// U→X, then victim X — descending rank order; promotions happen before
+// any lower latch is taken, §4.1.1, so coupled readers drain downward).
+// Returns 1 if the victim's page was freed, 0 if any screen failed.
+func (t *Tree) absorbAction(delegPid, victimPid storage.PageID) (int, error) {
+	freed := 0
+	err := t.retryLoop(func() error {
+		freed = 0
+		o := t.newOp(nil)
+		defer o.done()
+
+		// The victim's sole parent lies on the search path of its term's
+		// low corner: an unclipped term was never cut by its holder's
+		// splits, so the rect sits inside the holder's direct region.
+		// First read the rect from the delegator (unlatched screen).
+		rect, ok, err := t.newestSibRect(delegPid, victimPid)
+		if err != nil || !ok {
+			return err
+		}
+		corner := Point{X: rect.X0, Y: rect.Y0}
+		parent, err := t.descend(o, corner, 1, latch.U, false)
+		if err != nil {
+			return err
+		}
+		i, ok := parent.n.termFor(victimPid)
+		if !ok {
+			// Unposted (completion pending) or already elsewhere: defer.
+			o.release(&parent)
+			t.Stats.AbsorbDeferred.Add(1)
+			return nil
+		}
+		term := parent.n.Entries[i]
+		if term.Clipped {
+			o.release(&parent)
+			t.Stats.AbsorbMultiParent.Add(1)
+			return nil
+		}
+		if len(parent.n.Entries) <= 1 {
+			o.release(&parent)
+			return nil
+		}
+		survivor := false
+		for j, e := range parent.n.Entries {
+			if j != i && e.Rect.ContainsRect(term.Rect) {
+				survivor = true
+				break
+			}
+		}
+		if !survivor {
+			o.release(&parent)
+			t.Stats.AbsorbDeferred.Add(1)
+			return nil
+		}
+		o.promote(&parent)
+
+		deleg, err := o.acquire(delegPid, latch.U, 0)
+		if err != nil {
+			o.release(&parent)
+			return err
+		}
+		ns := len(deleg.n.Sibs)
+		if ns == 0 || deleg.n.Sibs[ns-1].Pid != victimPid || deleg.n.Sibs[ns-1].Rect != term.Rect || !deleg.n.IsData() {
+			o.release(&deleg)
+			o.release(&parent)
+			return nil
+		}
+		// With the delegator still only U-latched no new task can commit a
+		// read of its sibling term after this test... promotion to X comes
+		// first, and scheduling from latched traversals needs the S latch
+		// the X excludes. Tasks already scheduled (or running) are visible
+		// in the pending set; stale-snapshot schedules after the free are
+		// postTerm's deadPages problem.
+		if t.comp.refsChild(victimPid) {
+			o.release(&deleg)
+			o.release(&parent)
+			t.Stats.AbsorbDeferred.Add(1)
+			return nil
+		}
+		o.promote(&deleg)
+
+		victim, err := o.acquire(victimPid, latch.X, 0)
+		if err != nil {
+			o.release(&deleg)
+			o.release(&parent)
+			return err
+		}
+		if !victim.n.IsData() || len(victim.n.Entries) != 0 || len(victim.n.Sibs) != 0 {
+			o.release(&victim)
+			o.release(&deleg)
+			o.release(&parent)
+			return nil
+		}
+
+		aa := t.tm.BeginAtomicAction()
+		fail := func(err error) error {
+			o.release(&victim)
+			o.release(&deleg)
+			o.release(&parent)
+			_ = aa.Abort()
+			return err
+		}
+		pre := deleg.n.clone()
+		lsn := aa.LogUpdate(t.store.Pool.StoreID, uint64(deleg.pid()), KindAbsorbSib, encAbsorbSib(pre))
+		applyAbsorbSib(deleg.n)
+		deleg.f.MarkDirty(lsn)
+		lsn = aa.LogUpdate(t.store.Pool.StoreID, uint64(parent.pid()), KindRemoveTerm, encTerm(term))
+		parent.n.Entries = append(parent.n.Entries[:i], parent.n.Entries[i+1:]...)
+		parent.f.MarkDirty(lsn)
+		if err := t.store.Free(aa, &o.tr, victimPid); err != nil {
+			return fail(err)
+		}
+		if err := t.store.Pool.Probe(storage.FPConsolidate); err != nil {
+			return fail(err)
+		}
+		cerr := aa.Commit()
+		if cerr == nil {
+			t.deadPages.Store(victimPid, struct{}{})
+		}
+		o.release(&victim)
+		o.release(&deleg)
+		o.release(&parent)
+		if cerr != nil {
+			return cerr
+		}
+		t.Stats.Absorbs.Add(1)
+		freed = 1
+		return nil
+	})
+	return freed, err
+}
+
+// newestSibRect reads (under a momentary S latch) the rect of deleg's
+// newest sibling term, confirming it still references victim.
+func (t *Tree) newestSibRect(delegPid, victimPid storage.PageID) (Rect, bool, error) {
+	pool := t.store.Pool
+	f, err := pool.Fetch(delegPid)
+	if err != nil {
+		return Rect{}, false, err
+	}
+	defer pool.Unpin(f)
+	f.Latch.AcquireS()
+	defer f.Latch.ReleaseS()
+	n, ok := f.Data.(*Node)
+	if !ok || len(n.Sibs) == 0 {
+		return Rect{}, false, nil
+	}
+	s := n.Sibs[len(n.Sibs)-1]
+	if s.Pid != victimPid {
+		return Rect{}, false, nil
+	}
+	return s.Rect, true, nil
+}

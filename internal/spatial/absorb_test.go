@@ -1,0 +1,250 @@
+package spatial
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/maint"
+	"repro/internal/storage"
+)
+
+// fillPoints inserts count distinct random points, returning them in
+// insertion order (deterministic given the seed).
+func fillPoints(t testing.TB, fx *fixture, rng *rand.Rand, count int) []Point {
+	t.Helper()
+	seen := make(map[Point]bool, count)
+	pts := make([]Point, 0, count)
+	for len(pts) < count {
+		p := randPoint(rng)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if err := fx.tree.Insert(nil, p, []byte(fmt.Sprintf("v%d", len(pts)))); err != nil {
+			t.Fatalf("insert %v: %v", p, err)
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// TestAbsorbReclaimsEmptyNodes: deleting most points empties data nodes;
+// with Reclaim on, consolidation absorbs them back into their delegators
+// and frees their pages, later inserts recycle those pages, and searches
+// through the shrunken tree stay correct.
+func TestAbsorbReclaimsEmptyNodes(t *testing.T) {
+	opts := smallOpts()
+	opts.Reclaim = true
+	fx := newFixture(t, opts)
+	rng := rand.New(rand.NewSource(17))
+	pts := fillPoints(t, fx, rng, 300)
+	if fx.mustVerify(t).DataNodes < 4 {
+		t.Fatal("too few splits to exercise absorption")
+	}
+
+	const keep = 10
+	for _, p := range pts[keep:] {
+		if err := fx.tree.Delete(nil, p); err != nil {
+			t.Fatalf("delete %v: %v", p, err)
+		}
+	}
+	fx.tree.DrainCompletions()
+	if _, err := fx.tree.RunConsolidation(); err != nil {
+		t.Fatalf("consolidation: %v", err)
+	}
+	if fx.tree.Stats.Absorbs.Load() == 0 {
+		t.Fatal("no empty nodes were absorbed")
+	}
+	st, err := fx.tree.store.SpaceStats()
+	if err != nil {
+		t.Fatalf("space stats: %v", err)
+	}
+	if st.Freed == 0 || st.FreeLen == 0 {
+		t.Fatalf("absorption freed no pages: %+v", st)
+	}
+	fx.mustVerify(t) // partition + free-vs-reachable cross-checks
+	for i, p := range pts[:keep] {
+		v, ok, err := fx.tree.Search(nil, p)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("survivor %v: %q ok=%v err=%v", p, v, ok, err)
+		}
+	}
+	for _, p := range pts[keep:] {
+		if _, ok, err := fx.tree.Search(nil, p); err != nil || ok {
+			t.Fatalf("deleted point %v resurfaced: ok=%v err=%v", p, ok, err)
+		}
+	}
+
+	// Refilling must split into recycled pages before extending the store.
+	fillPoints(t, fx, rng, 300)
+	st2, err := fx.tree.store.SpaceStats()
+	if err != nil {
+		t.Fatalf("space stats: %v", err)
+	}
+	if st2.Recycled == 0 {
+		t.Fatal("refill splits did not recycle freed pages")
+	}
+	fx.mustVerify(t)
+}
+
+// TestAbsorbBoundsStoreGrowth: repeated fill/drain cycles allocate fewer
+// pages with Reclaim on than off.
+func TestAbsorbBoundsStoreGrowth(t *testing.T) {
+	alloc := func(reclaim bool) int64 {
+		opts := smallOpts()
+		opts.Reclaim = reclaim
+		fx := newFixture(t, opts)
+		rng := rand.New(rand.NewSource(23))
+		for cycle := 0; cycle < 4; cycle++ {
+			pts := fillPoints(t, fx, rng, 200)
+			for _, p := range pts {
+				if err := fx.tree.Delete(nil, p); err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+			}
+			fx.tree.DrainCompletions()
+			if _, err := fx.tree.RunConsolidation(); err != nil {
+				t.Fatalf("consolidation: %v", err)
+			}
+		}
+		fx.mustVerify(t)
+		pages, err := fx.tree.store.AllocatedPages()
+		if err != nil {
+			t.Fatalf("allocated pages: %v", err)
+		}
+		return pages
+	}
+	with, without := alloc(true), alloc(false)
+	if with >= without {
+		t.Fatalf("reclaim did not bound growth: %d pages with, %d without", with, without)
+	}
+}
+
+// TestAbsorbCrashMidAction: a crash between the page free and the commit
+// of an absorb action must undo the whole action — region restored to the
+// delegator, term restored to the parent, page back in the allocated set
+// — so recovery verifies and consolidation finishes the job afterwards.
+func TestAbsorbCrashMidAction(t *testing.T) {
+	inj := fault.New(0xA5B)
+	opts := smallOpts()
+	opts.Reclaim = true
+	e := engine.New(engine.Options{Injector: inj})
+	b := Register(e.Reg)
+	st := e.AddStore(testStoreID, Codec{})
+	tree, err := Create(st, e.TM, e.Locks, b, "points", opts)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	fx := &fixture{e: e, b: b, tree: tree}
+
+	rng := rand.New(rand.NewSource(31))
+	pts := fillPoints(t, fx, rng, 300)
+	fx.mustVerify(t)
+	const keep = 5
+	for _, p := range pts[keep:] {
+		if err := fx.tree.Delete(nil, p); err != nil {
+			t.Fatalf("delete %v: %v", p, err)
+		}
+	}
+	if err := fx.e.Log.ForceAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The third page free inside the consolidation sweep crashes.
+	inj.Arm(storage.FPConsolidate, fault.Spec{Kind: fault.Transient, After: 2, Crash: true})
+	if _, err := fx.tree.RunConsolidation(); err == nil {
+		t.Fatal("armed consolidation failpoint never fired")
+	}
+	if !inj.Crashed() {
+		t.Fatal("crash latch not tripped")
+	}
+
+	fx.e.Opts.Injector = nil
+	fx2 := fx.crashRestart(t)
+	fx2.mustVerify(t)
+	for i, p := range pts {
+		v, ok, err := fx2.tree.Search(nil, p)
+		if err != nil {
+			t.Fatalf("search %v after recovery: %v", p, err)
+		}
+		if i >= keep {
+			if ok {
+				t.Fatalf("deleted point %v resurfaced after recovery", p)
+			}
+		} else if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("surviving point %v after recovery: %q ok=%v", p, v, ok)
+		}
+	}
+
+	// The victim whose absorb was interrupted is still empty and still
+	// linked; consolidation resumes and reclaims it now.
+	if _, err := fx2.tree.RunConsolidation(); err != nil {
+		t.Fatalf("consolidation after recovery: %v", err)
+	}
+	if fx2.tree.Stats.Absorbs.Load() == 0 {
+		t.Fatal("no absorption after recovery")
+	}
+	st2, err := fx2.tree.store.SpaceStats()
+	if err != nil {
+		t.Fatalf("space stats: %v", err)
+	}
+	if st2.Freed == 0 {
+		t.Fatal("no pages freed after recovery")
+	}
+	fx2.mustVerify(t)
+}
+
+// TestAbsorbConcurrentChurn: async completion, a pacing governor, and two
+// writer goroutines inserting and deleting disjoint point sets while
+// background absorption runs. The §3.3 screens (clipped terms, pending
+// tasks) must keep the tree verifiable throughout.
+func TestAbsorbConcurrentChurn(t *testing.T) {
+	opts := smallOpts()
+	opts.Reclaim = true
+	opts.SyncCompletion = false
+	opts.Governor = maint.New(100000, 4, nil)
+	fx := newFixture(t, opts)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(41 + w)))
+			for cycle := 0; cycle < 3; cycle++ {
+				var mine []Point
+				for len(mine) < 150 {
+					p := randPoint(rng)
+					err := fx.tree.Insert(nil, p, []byte{byte(w)})
+					if err == ErrPointExists {
+						continue
+					}
+					if err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+					mine = append(mine, p)
+				}
+				for _, p := range mine {
+					if err := fx.tree.Delete(nil, p); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fx.tree.DrainCompletions()
+	if _, err := fx.tree.RunConsolidation(); err != nil {
+		t.Fatalf("final consolidation: %v", err)
+	}
+	if fx.tree.Stats.Absorbs.Load() == 0 {
+		t.Fatal("churn absorbed nothing")
+	}
+	fx.mustVerify(t)
+}

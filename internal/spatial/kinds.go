@@ -30,6 +30,15 @@ const (
 	KindRemoveTerm wal.Kind = 66
 	// KindRootGrow turns the root into an index node one level up.
 	KindRootGrow wal.Kind = 67
+	// KindAbsorbSib re-absorbs the node's NEWEST delegated sibling region
+	// (Options.Reclaim): the last sibling term is removed and the direct
+	// region grows back to their union — which is exactly the node's
+	// pre-split direct region, and therefore rectangular, only for the
+	// newest term (delegations nest LIFO). Payload: the node's pre-image
+	// (for undo); redo derives the cut from the node's own state. The
+	// freed victim's page is returned to the store in the same atomic
+	// action, alongside the removal of its parent index term.
+	KindAbsorbSib wal.Kind = 68
 )
 
 // --- payloads ----------------------------------------------------------------
@@ -167,6 +176,26 @@ func splitOffContents(pre *Node, alongX bool, coord uint64) (entries []Entry, of
 		}
 	}
 	return entries, off, clipped
+}
+
+// encAbsorbSib carries the delegator's pre-image for compensation.
+func encAbsorbSib(pre *Node) []byte { return encNodeImage(pre) }
+
+// applyAbsorbSib is the shared runtime/redo semantics of KindAbsorbSib:
+// pop the newest sibling term and grow the direct region back over it.
+func applyAbsorbSib(n *Node) {
+	s := n.Sibs[len(n.Sibs)-1]
+	n.Sibs = n.Sibs[:len(n.Sibs)-1]
+	n.Direct = rectUnion(n.Direct, s.Rect)
+}
+
+// rectUnion returns the bounding rectangle of a and b; the absorber only
+// unions halves of one split, for which the bound IS the exact union.
+func rectUnion(a, b Rect) Rect {
+	return Rect{
+		X0: minU(a.X0, b.X0), Y0: minU(a.Y0, b.Y0),
+		X1: maxU(a.X1, b.X1), Y1: maxU(a.Y1, b.Y1),
+	}
 }
 
 // splitHelps reports whether cutting pre at the plane actually shrinks
@@ -372,6 +401,23 @@ func Register(reg *storage.Registry) *Binding {
 		},
 		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
 			return storage.Compensation{Kind: KindPostTerm, StoreID: rec.StoreID, PageID: storage.PageID(rec.PageID), Payload: rec.Payload}, nil
+		},
+	})
+	reg.Register(KindAbsorbSib, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			applyAbsorbSib(n)
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			pre, err := decodeNode(enc.NewReader(rec.Payload))
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return restore(rec, pre)
 		},
 	})
 	reg.Register(KindRootGrow, storage.Handler{

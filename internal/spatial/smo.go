@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/latch"
 	"repro/internal/storage"
@@ -14,23 +15,34 @@ import (
 // rect) to be posted at parentLevel, in the parent on the search path of
 // rect's low corner. Other parents of a clipped child are updated when
 // their own search paths traverse the sibling pointer (§3.2.2).
+//
+// A task with absorb set instead requests one background consolidation
+// pass (Options.Reclaim): all such requests collapse into a single
+// pending task, since a pass sweeps every candidate anyway.
 type postTask struct {
 	parentLevel int
 	child       storage.PageID
 	rect        Rect
+	absorb      bool
 }
 
-func (t postTask) key() string { return fmt.Sprintf("%d:%d", t.parentLevel, t.child) }
+func (t postTask) key() string {
+	if t.absorb {
+		return "absorb"
+	}
+	return fmt.Sprintf("%d:%d", t.parentLevel, t.child)
+}
 
 type completer struct {
-	t       *Tree
-	mu      sync.Mutex
-	cond    *sync.Cond
-	tasks   []postTask
-	pending map[string]struct{}
-	active  int
-	stopped bool
-	wg      sync.WaitGroup
+	t        *Tree
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tasks    []postTask
+	pending  map[string]struct{}
+	active   int
+	stopped  bool
+	draining atomic.Bool
+	wg       sync.WaitGroup
 }
 
 func newCompleter(t *Tree) *completer {
@@ -65,6 +77,9 @@ func (c *completer) schedule(task postTask) {
 	c.mu.Unlock()
 }
 
+// pop hands out a task. The pending key stays set until done(task): a
+// popped-but-running task must still be visible to refsChild, which the
+// absorber consults before freeing a page a running postTerm may name.
 func (c *completer) pop(block bool) (postTask, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -76,16 +91,33 @@ func (c *completer) pop(block bool) (postTask, bool) {
 	}
 	task := c.tasks[0]
 	c.tasks = c.tasks[1:]
-	delete(c.pending, task.key())
 	c.active++
 	return task, true
 }
 
-func (c *completer) done() {
+func (c *completer) done(task postTask) {
 	c.mu.Lock()
+	delete(c.pending, task.key())
 	c.active--
 	c.cond.Broadcast()
 	c.mu.Unlock()
+}
+
+// depth reports the current queue depth (scheduled, unpopped tasks).
+func (c *completer) depth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tasks)
+}
+
+// refsChild reports whether a level-1 posting task referencing pid is
+// pending or running. Data-node postings are the only tasks that can name
+// a reclaimable page; the absorber defers freeing while one is live.
+func (c *completer) refsChild(pid storage.PageID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.pending[fmt.Sprintf("%d:%d", 1, pid)]
+	return ok
 }
 
 func (c *completer) worker() {
@@ -95,8 +127,15 @@ func (c *completer) worker() {
 		if !ok {
 			return
 		}
-		c.t.postTerm(task)
-		c.done()
+		// Absorb passes are maintenance: pace them with the governor so
+		// background consolidation never convoys foreground writers. Term
+		// postings run unpaced (the foreground is already navigating
+		// around the unposted structure). Draining bypasses the pacer.
+		if task.absorb && !c.draining.Load() {
+			c.t.opts.Governor.Admit(c.depth())
+		}
+		c.t.run(task)
+		c.done(task)
 	}
 }
 
@@ -107,8 +146,8 @@ func (c *completer) drain() {
 			if !ok {
 				return
 			}
-			c.t.postTerm(task)
-			c.done()
+			c.t.run(task)
+			c.done(task)
 		}
 	}
 	c.mu.Lock()
@@ -125,6 +164,24 @@ func (c *completer) stop() {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.wg.Wait()
+}
+
+// closeDrain is the orderly shutdown: work off every pending completion,
+// then stop the workers. Nothing pending is discarded, so a close-then-
+// reopen never finds a scheduled posting or absorb silently dropped.
+func (c *completer) closeDrain() {
+	c.draining.Store(true)
+	c.drain()
+	c.stop()
+}
+
+// run dispatches one completing task: an absorb pass or a term posting.
+func (t *Tree) run(task postTask) {
+	if task.absorb {
+		_, _ = t.absorbPass()
+		return
+	}
+	t.postTerm(task)
 }
 
 // notePendingSib schedules the posting for a sibling term crossed during
@@ -240,6 +297,13 @@ func (t *Tree) splitNodeAction(o *opCtx, leaf *nref) error {
 // retained until the action commits.
 func (t *Tree) postTerm(task postTask) {
 	_ = t.retryLoop(func() error {
+		// A task scheduled from a stale optimistic snapshot can name a
+		// page the absorber already freed; posting a term for it (or for
+		// whatever the recycled page now holds) would corrupt the index.
+		if _, dead := t.deadPages.Load(task.child); dead {
+			t.Stats.PostsNoop.Add(1)
+			return nil
+		}
 		o := t.newOp(nil)
 		defer o.done()
 		corner := Point{X: task.rect.X0, Y: task.rect.Y0}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/latch"
 	"repro/internal/lock"
+	"repro/internal/maint"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -30,6 +31,15 @@ type Options struct {
 	// interior navigation, forcing every descent through the latched
 	// path. For comparison runs and targeted tests.
 	PessimisticDescent bool
+	// Reclaim makes empty data nodes mortal: a data node whose points are
+	// all gone is re-absorbed by the sibling that delegated it and its
+	// page returned to the store's free-space map (see absorb.go). The
+	// pure-CNS one-latch-at-a-time discipline is selectively upgraded to
+	// latch coupling on the edges a free can cut.
+	Reclaim bool
+	// Governor, if set, paces background absorb passes so maintenance
+	// never convoys foreground writers. Nil means unpaced.
+	Governor *maint.Governor
 }
 
 func (o Options) normalized() Options {
@@ -75,10 +85,21 @@ type Stats struct {
 	OptimisticHits      atomic.Int64
 	OptimisticRetries   atomic.Int64
 	OptimisticFallbacks atomic.Int64
+
+	// Consolidation (Options.Reclaim) counters: Absorbs counts freed
+	// empty data nodes; AbsorbMultiParent counts absorbs refused by the
+	// §3.3 constraint (a clipped term marks a possibly multi-parent
+	// child); AbsorbDeferred counts absorbs put off because the victim's
+	// term is unposted or a completion task still names it.
+	Absorbs           atomic.Int64
+	AbsorbMultiParent atomic.Int64
+	AbsorbDeferred    atomic.Int64
 }
 
-// Tree is one multi-attribute Π-tree. Nodes are immortal (no
-// consolidation is performed), so the CNS invariant governs traversals.
+// Tree is one multi-attribute Π-tree. Nodes are immortal by default (no
+// consolidation is performed), so the CNS invariant governs traversals;
+// under Options.Reclaim, empty data nodes are absorbed and freed, and the
+// edges that can be cut are traversed with latch coupling instead.
 type Tree struct {
 	Name string
 
@@ -93,6 +114,17 @@ type Tree struct {
 	root    storage.PageID
 	comp    *completer
 	opPool  sync.Pool
+
+	// absorbMu serializes absorb passes (background task vs on-demand
+	// RunConsolidation): concurrent passes would race to absorb the same
+	// victim and the loser's abort would re-post terms the winner removed.
+	absorbMu sync.Mutex
+	// deadPages is the volatile set of freed page IDs, consulted by
+	// postTerm so a stale completion task (scheduled from an optimistic
+	// snapshot read before the cut) never posts a term for — or recycled
+	// impostor of — a freed page. Volatile like the completion queue; the
+	// two die together in a crash.
+	deadPages sync.Map
 
 	// rootf caches the root's buffer frame with one permanent pin (the
 	// root page ID is fixed and the root is never de-allocated); see the
@@ -176,9 +208,11 @@ func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, n
 	return t, nil
 }
 
-// Close stops completion workers and drops the cached root pin.
+// Close drains pending completions (nothing scheduled is discarded, so a
+// close-then-reopen never finds a posting or absorb silently dropped),
+// stops the workers, and drops the cached root pin.
 func (t *Tree) Close() {
-	t.comp.stop()
+	t.comp.closeDrain()
 	if f := t.rootf.Swap(nil); f != nil {
 		t.store.Pool.Unpin(f)
 	}
@@ -291,7 +325,20 @@ func (o *opCtx) promote(r *nref) {
 	r.mode = latch.X
 }
 
+// step follows one edge from cur to pid. Under pure CNS the source latch
+// drops before the target is acquired (one latch at a time; the target is
+// immortal). Under Reclaim, traversals latch-couple: the target is
+// acquired while the source latch is still held, so the absorber — which
+// holds the edge's source X while it frees the target — cannot free a
+// page between a reader's pointer load and its latch acquisition. Ranks
+// ascend source-to-target (same level: seq order; child level: higher
+// rank), so coupling respects the latch order.
 func (t *Tree) step(o *opCtx, cur *nref, pid storage.PageID, mode latch.Mode, level int) (nref, error) {
+	if t.opts.Reclaim {
+		next, err := o.acquire(pid, mode, level)
+		o.release(cur)
+		return next, err
+	}
 	o.release(cur)
 	return o.acquire(pid, mode, level)
 }
@@ -455,13 +502,16 @@ func (t *Tree) descendOptimistic(o *opCtx, p Point, stopLevel int, finalMode lat
 }
 
 // optPass is one optimistic descent from the root. The spatial tree
-// obeys the CNS invariant — nodes never move and are never de-allocated
-// — so, as in the TSB tree, a pointer read from a validated snapshot
-// always names a live node and no source re-validation is needed after
-// following it; a stale snapshot routes like a slightly earlier latched
-// reader, and sibling terms make every well-formed state navigable. The
-// final node is latched in finalMode and its side traversals run latched
-// in descendFrom.
+// obeys the CNS invariant on interior nodes — they never move and are
+// never de-allocated — so, as in the TSB tree, an interior pointer read
+// from a validated snapshot always names a live node and no source
+// re-validation is needed after following it; a stale snapshot routes
+// like a slightly earlier latched reader, and sibling terms make every
+// well-formed state navigable. Under Options.Reclaim, DATA nodes are the
+// exception (empty ones are absorbed and freed), so the final
+// interior-to-data edge re-validates the source after latching the
+// child. The final node is latched in finalMode and its side traversals
+// run latched in descendFrom.
 func (t *Tree) optPass(o *opCtx, c *optCounters, p Point, stopLevel int, finalMode latch.Mode, sched bool) (nref, error, bool) {
 	pool := t.store.Pool
 	f, err := t.rootFrame()
@@ -524,10 +574,32 @@ func (t *Tree) optPass(o *opCtx, c *optCounters, p Point, stopLevel int, finalMo
 		}
 		childLevel := cur.n.Level - 1
 		if childLevel == stopLevel {
-			// Final edge: latch the child in finalMode. CNS: no source
-			// validation needed — the child is immortal.
-			pool.Unpin(cur.f)
+			// Final edge: latch the child in finalMode. Pure CNS needs no
+			// source validation — the child is immortal. Under Reclaim,
+			// data nodes can be freed, so the source snapshot must still
+			// be current once the child latch is held: a validated source
+			// proves the edge existed at acquisition time, and from then
+			// on the absorber (which holds the source X to commit) cannot
+			// have freed the latched child. A stale source aborts the
+			// pass; so does a fetch error on a stale source (the pointer
+			// may name a freed, dropped page).
 			r, err := o.acquire(e.Child, finalMode, childLevel)
+			if t.opts.Reclaim {
+				if err != nil {
+					stale := !cur.f.Latch.Validate(cur.v)
+					pool.Unpin(cur.f)
+					if stale {
+						return nref{}, nil, false
+					}
+					return nref{}, err, true
+				}
+				if !cur.f.Latch.Validate(cur.v) {
+					o.release(&r)
+					pool.Unpin(cur.f)
+					return nref{}, nil, false
+				}
+			}
+			pool.Unpin(cur.f)
 			if err != nil {
 				return nref{}, err, true
 			}
@@ -668,6 +740,7 @@ func (t *Tree) Delete(tx *txn.Txn, p Point) error {
 		lsn := lg.LogUpdate(t.store.Pool.StoreID, uint64(leaf.pid()), KindRemovePoint, encPoint(old))
 		leaf.n.removePoint(p)
 		leaf.f.MarkDirty(lsn)
+		emptied := len(leaf.n.Entries) == 0 && len(leaf.n.Sibs) == 0
 		if tx == nil {
 			if cerr := lg.Commit(); cerr != nil {
 				o.release(&leaf)
@@ -675,6 +748,13 @@ func (t *Tree) Delete(tx *txn.Txn, p Point) error {
 			}
 		}
 		o.release(&leaf)
+		if emptied && t.opts.Reclaim {
+			// The leaf may now be absorbable; schedule a background pass.
+			// If this delete belongs to a transaction that later aborts,
+			// logical undo re-inserts the point through a fresh descent,
+			// so absorbing under an uncommitted delete is safe.
+			t.comp.schedule(postTask{absorb: true})
+		}
 		return nil
 	})
 }
@@ -712,7 +792,10 @@ func (t *Tree) Search(tx *txn.Txn, p Point) ([]byte, bool, error) {
 
 // RegionQuery calls fn for every point in q. Visits are latch-consistent
 // per node; nodes reachable through multiple (clipped) parents are
-// visited once.
+// visited once. Under Options.Reclaim the holder of each edge stays
+// S-latched while its children are visited (DFS latch coupling), so a
+// collected data-node pid cannot be freed before its visit; pure CNS
+// releases each node before recursing.
 func (t *Tree) RegionQuery(q Rect, fn func(p Point, v []byte) bool) error {
 	t.Stats.RegionQueries.Add(1)
 	o := t.newOp(nil)
@@ -758,7 +841,11 @@ func (t *Tree) RegionQuery(q Rect, fn func(p Point, v []byte) bool) error {
 				}
 			}
 		}
-		o.release(&r)
+		if !t.opts.Reclaim {
+			o.release(&r)
+		} else {
+			defer o.release(&r)
+		}
 		for _, h := range hits {
 			if !fn(h.p, h.v) {
 				return false, nil
@@ -816,16 +903,23 @@ func (t *Tree) walkIndex(fn func(n *Node) bool) error {
 		if err != nil {
 			return false, err
 		}
+		// Momentary S latch for the clone: the walk also backs the §3.3
+		// census taken by background consolidation, which runs against
+		// live writers.
+		f.Latch.AcquireS()
 		n, ok := f.Data.(*Node)
 		if !ok {
+			f.Latch.ReleaseS()
 			pool.Unpin(f)
 			return false, fmt.Errorf("spatial: page %d holds %T", pid, f.Data)
 		}
 		if n.IsData() {
+			f.Latch.ReleaseS()
 			pool.Unpin(f)
 			return true, nil
 		}
 		cp := n.clone()
+		f.Latch.ReleaseS()
 		pool.Unpin(f)
 		if !fn(cp) {
 			return false, nil

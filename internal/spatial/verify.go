@@ -140,6 +140,11 @@ func (t *Tree) Verify() (Shape, error) {
 	if sumHi != 1 || sumLo != 0 {
 		return shape, fmt.Errorf("spatial verify: data regions cover area (%d,%d), want the full space", sumHi, sumLo)
 	}
+	// The BFS seen-set is exactly the reachable set; cross-check it
+	// against the store's free-space map.
+	if err := t.store.SpaceCheck(seen); err != nil {
+		return shape, fmt.Errorf("spatial verify: %w", err)
+	}
 	return shape, nil
 }
 

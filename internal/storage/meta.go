@@ -17,7 +17,12 @@ import (
 type Meta struct {
 	// Next is the next never-allocated page ID.
 	Next PageID
-	// Free holds de-allocated page IDs available for reuse, in LIFO order.
+	// Free holds de-allocated page IDs available for reuse, kept sorted
+	// ascending. The sorted order is canonical: it makes the encoded meta
+	// page a pure function of the free SET, so restarts that replay
+	// de-allocation compensations in different worker interleavings
+	// (parallel undo) still converge to byte-identical meta images — the
+	// property the serial-vs-parallel equivalence oracle asserts.
 	Free []PageID
 	// Roots maps index names to their root page IDs. Roots never move and
 	// are never de-allocated (§5.2.2 strategy (a) relies on this).
@@ -32,7 +37,8 @@ func NewMeta() *Meta {
 
 // AllocLocal takes a page ID from the free list or the never-allocated
 // range. The caller must hold the meta frame's X latch and must log the
-// operation (KindMetaAlloc) itself.
+// operation (KindMetaAlloc) itself. The pop takes the largest free ID —
+// O(1), and deterministic given the free set.
 func (m *Meta) AllocLocal() PageID {
 	if n := len(m.Free); n > 0 {
 		pid := m.Free[n-1]
@@ -44,31 +50,39 @@ func (m *Meta) AllocLocal() PageID {
 	return pid
 }
 
-// FreeLocal returns pid to the free list. Caller holds the X latch and
-// logs the operation (KindMetaFree).
+// freePos returns the sorted-insert position of pid and whether it is
+// already present.
+func (m *Meta) freePos(pid PageID) (int, bool) {
+	i := sort.Search(len(m.Free), func(j int) bool { return m.Free[j] >= pid })
+	return i, i < len(m.Free) && m.Free[i] == pid
+}
+
+// FreeLocal returns pid to the free list at its sorted position. Caller
+// holds the X latch and logs the operation (KindMetaFree).
 func (m *Meta) FreeLocal(pid PageID) {
-	m.Free = append(m.Free, pid)
+	i, present := m.freePos(pid)
+	if present {
+		return
+	}
+	m.Free = append(m.Free, 0)
+	copy(m.Free[i+1:], m.Free[i:])
+	m.Free[i] = pid
 }
 
 // RemoveFree withdraws pid from the free list if present, used by redo and
 // undo to keep replay idempotent.
 func (m *Meta) RemoveFree(pid PageID) {
-	for i, f := range m.Free {
-		if f == pid {
-			m.Free = append(m.Free[:i], m.Free[i+1:]...)
-			return
-		}
+	i, present := m.freePos(pid)
+	if !present {
+		return
 	}
+	m.Free = append(m.Free[:i], m.Free[i+1:]...)
 }
 
 // IsFree reports whether pid is on the free list.
 func (m *Meta) IsFree(pid PageID) bool {
-	for _, f := range m.Free {
-		if f == pid {
-			return true
-		}
-	}
-	return false
+	_, present := m.freePos(pid)
+	return present
 }
 
 // encode serializes the meta page.
@@ -123,7 +137,7 @@ func decodeMeta(b []byte) (*Meta, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.Free = append(m.Free, PageID(f))
+		m.FreeLocal(PageID(f))
 	}
 	nroots, err := get64()
 	if err != nil {

@@ -464,6 +464,12 @@ func (p *Pool) Disk() Disk { return p.disk }
 // used concurrently.
 func (p *Pool) SetInjector(inj *fault.Injector) { p.inj = inj }
 
+// Probe checks the named failpoint against the pool's injector (if any).
+// Trees use it for failpoints that live above the storage layer proper
+// (consolidation commits, space management) without carrying their own
+// injector reference.
+func (p *Pool) Probe(name string) error { return p.inj.Check(name) }
+
 // Log returns the pool's write-ahead log.
 func (p *Pool) Log() *wal.Log { return p.log }
 

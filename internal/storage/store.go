@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/latch"
 	"repro/internal/wal"
@@ -25,6 +26,17 @@ const (
 // per §4.1.1 ("space management information can be ordered last").
 const MetaRank latch.Rank = 1<<63 - 1
 
+// FPStoreFree is the failpoint probed at the top of Store.Free, before
+// the meta page is touched: arming it with Crash simulates dying in the
+// middle of a consolidation's de-allocation step.
+const FPStoreFree = "store.free"
+
+// FPConsolidate is the failpoint trees probe immediately before
+// committing a consolidation/reclamation atomic action (core merge, TSB
+// history reap, spatial absorb). Arming it with Crash exercises recovery
+// against a half-done merge.
+const FPConsolidate = "tree.consolidate"
+
 // UpdateLogger is the slice of a transaction (or atomic action) that
 // logged page operations need: append an update record to the caller's
 // undo chain. *txn.Txn implements it.
@@ -39,6 +51,132 @@ type UpdateLogger interface {
 // that restart recovery reconstructs them exactly.
 type Store struct {
 	Pool *Pool
+	// Space counts allocation traffic since open (in-memory observability;
+	// the durable truth is the meta page).
+	Space SpaceCounters
+
+	// barred holds free-list entries that are not yet allocatable because
+	// the action that freed them has not committed. Handing such a page to
+	// a new owner would be a double allocation if the freeing action then
+	// aborts (its compensation re-allocates the page). The free-list insert
+	// itself stays immediate — page state must match the logged state or a
+	// steal could flush a meta image ahead of its pageLSN — so only the
+	// recycling side is gated. Guarded by the meta frame's latch, and
+	// deliberately in-memory: a crash discards it, which is safe because
+	// restart resolves every action (commit or undo) before new allocation
+	// traffic exists. A bar whose action aborts goes stale and is
+	// overwritten when the page is freed again; until then the page merely
+	// sits out of the recycling pool.
+	barred map[PageID]bool
+}
+
+// SpaceCounters tracks the free-space map's runtime behaviour.
+type SpaceCounters struct {
+	// Recycled counts allocations served from the free list; Extended
+	// counts allocations that grew the store's high-water mark.
+	Recycled atomic.Int64
+	Extended atomic.Int64
+	// Freed counts pages returned to the free list.
+	Freed atomic.Int64
+}
+
+// SpaceStats is a point-in-time snapshot of the store's space state.
+type SpaceStats struct {
+	Next     PageID
+	FreeLen  int
+	Recycled int64
+	Extended int64
+	Freed    int64
+}
+
+// SpaceStats snapshots the meta page (briefly S-latched) and the counters.
+func (s *Store) SpaceStats() (SpaceStats, error) {
+	var st SpaceStats
+	f, err := s.Pool.Fetch(MetaPage)
+	if err != nil {
+		return st, err
+	}
+	f.Latch.AcquireS()
+	if m, ok := f.Data.(*Meta); ok {
+		st.Next = m.Next
+		st.FreeLen = len(m.Free)
+	}
+	f.Latch.ReleaseS()
+	s.Pool.Unpin(f)
+	st.Recycled = s.Space.Recycled.Load()
+	st.Extended = s.Space.Extended.Load()
+	st.Freed = s.Space.Freed.Load()
+	return st, nil
+}
+
+// AllocatedPages reports how many pages are currently allocated (excluding
+// the meta page): the high-water mark minus the free list. This is the
+// quantity the churn experiments assert stays bounded.
+func (s *Store) AllocatedPages() (int64, error) {
+	st, err := s.SpaceStats()
+	if err != nil {
+		return 0, err
+	}
+	return int64(st.Next) - 1 - int64(st.FreeLen), nil
+}
+
+// SpaceCheck verifies the free-space map invariants against the set of
+// pages a tree walk found reachable: no free page is reachable, every
+// free page is below the high-water mark and appears exactly once, and
+// every reachable page is allocated. Tree Verify implementations call it
+// with their visited-page set.
+func (s *Store) SpaceCheck(reachable map[PageID]bool) error {
+	f, err := s.Pool.Fetch(MetaPage)
+	if err != nil {
+		return err
+	}
+	defer s.Pool.Unpin(f)
+	f.Latch.AcquireS()
+	defer f.Latch.ReleaseS()
+	m, ok := f.Data.(*Meta)
+	if !ok {
+		return fmt.Errorf("storage: meta page of store %d has wrong type %T", s.Pool.StoreID, f.Data)
+	}
+	seen := make(map[PageID]bool, len(m.Free))
+	for _, pid := range m.Free {
+		if pid == MetaPage || pid >= m.Next {
+			return fmt.Errorf("storage: store %d free list holds out-of-range page %d (next %d)", s.Pool.StoreID, pid, m.Next)
+		}
+		if seen[pid] {
+			return fmt.Errorf("storage: store %d free list holds page %d twice", s.Pool.StoreID, pid)
+		}
+		seen[pid] = true
+		if reachable[pid] {
+			return fmt.Errorf("storage: store %d page %d is both free and reachable", s.Pool.StoreID, pid)
+		}
+	}
+	for pid := range reachable {
+		if pid >= m.Next {
+			return fmt.Errorf("storage: store %d reachable page %d above high-water mark %d", s.Pool.StoreID, pid, m.Next)
+		}
+	}
+	return nil
+}
+
+// SpaceSnapshot reads the pool's space state — high-water mark and a copy
+// of the free list — under a momentary S latch on the meta page. ok is
+// false when the pool has no formatted meta page (a store that never
+// bootstrapped); callers treat that as "nothing to snapshot". The recovery
+// checkpoint embeds the snapshot so restart's space audit can seed its
+// shadow model without replaying the whole log prefix.
+func (p *Pool) SpaceSnapshot() (next PageID, free []PageID, ok bool) {
+	f, err := p.Fetch(MetaPage)
+	if err != nil {
+		return 0, nil, false
+	}
+	defer p.Unpin(f)
+	f.Latch.AcquireS()
+	defer f.Latch.ReleaseS()
+	m, isMeta := f.Data.(*Meta)
+	if !isMeta {
+		return 0, nil, false
+	}
+	return m.Next, append([]PageID(nil), m.Free...), true
 }
 
 // NewStore creates a store over the pool and registers the pool with reg.
@@ -88,27 +226,78 @@ func (s *Store) withMeta(t *latch.Tracker, fn func(f *Frame, m *Meta) error) err
 
 // Alloc allocates a page ID, logging the allocation in lg's chain. The
 // meta latch is acquired and released inside, honoring the "space
-// management last" order; t, if enabled, asserts it.
+// management last" order; t, if enabled, asserts it. Recycling takes the
+// largest unbarred free entry; barred entries (freed by uncommitted
+// actions) are passed over.
 func (s *Store) Alloc(lg UpdateLogger, t *latch.Tracker) (PageID, error) {
 	var pid PageID
 	err := s.withMeta(t, func(f *Frame, m *Meta) error {
-		pid = m.AllocLocal()
+		pid = NilPage
+		for i := len(m.Free) - 1; i >= 0; i-- {
+			if !s.barred[m.Free[i]] {
+				pid = m.Free[i]
+				m.Free = append(m.Free[:i], m.Free[i+1:]...)
+				break
+			}
+		}
+		recycled := pid != NilPage
+		if !recycled {
+			pid = m.Next
+			m.Next++
+		}
 		lsn := lg.LogUpdate(s.Pool.StoreID, uint64(MetaPage), KindMetaAlloc, encodePID(pid))
 		f.MarkDirty(lsn)
+		if recycled {
+			s.Space.Recycled.Add(1)
+		} else {
+			s.Space.Extended.Add(1)
+		}
 		return nil
 	})
 	return pid, err
 }
 
-// Free returns pid to the free list, logging the de-allocation.
+// committer is the optional slice of UpdateLogger that Free uses to lift
+// a page's re-allocation bar once the freeing action commits. *txn.Txn
+// implements it; loggers without it (bare test harnesses) get the page
+// recyclable immediately.
+type committer interface {
+	OnCommit(func())
+}
+
+// Free returns pid to the free list, logging the de-allocation. The page
+// enters the list immediately (so the meta image always matches its
+// pageLSN) but stays barred from recycling until lg commits — see
+// Store.barred. The fault.FPStoreFree probe fires before the meta page
+// changes, so a crash armed there tests recovery racing a de-allocation.
 func (s *Store) Free(lg UpdateLogger, t *latch.Tracker, pid PageID) error {
+	if err := s.Pool.Probe(FPStoreFree); err != nil {
+		return err
+	}
 	return s.withMeta(t, func(f *Frame, m *Meta) error {
 		if m.IsFree(pid) || pid >= m.Next || pid == MetaPage {
 			return fmt.Errorf("storage: free of invalid page %d", pid)
 		}
 		m.FreeLocal(pid)
+		s.Space.Freed.Add(1)
 		lsn := lg.LogUpdate(s.Pool.StoreID, uint64(MetaPage), KindMetaFree, encodePID(pid))
 		f.MarkDirty(lsn)
+		if c, ok := lg.(committer); ok {
+			if s.barred == nil {
+				s.barred = make(map[PageID]bool)
+			}
+			s.barred[pid] = true
+			c.OnCommit(func() { s.unbar(pid) })
+		}
+		return nil
+	})
+}
+
+// unbar makes pid recyclable again; runs from the freeing action's commit
+// hook, after its locks are released.
+func (s *Store) unbar(pid PageID) {
+	_ = s.withMeta(nil, func(f *Frame, m *Meta) error {
+		delete(s.barred, pid)
 		return nil
 	})
 }
@@ -173,6 +362,10 @@ func decodePID(b []byte) (PageID, error) {
 	}
 	return PageID(binary.LittleEndian.Uint64(b)), nil
 }
+
+// DecodePID parses a KindMetaAlloc/KindMetaFree payload. The recovery
+// space audit uses it to replay alloc/free traffic against its shadow.
+func DecodePID(b []byte) (PageID, error) { return decodePID(b) }
 
 func encodeSetRoot(name string, pid PageID) []byte {
 	b := make([]byte, 8+len(name))

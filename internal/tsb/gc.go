@@ -80,6 +80,11 @@ func (t *Tree) RunGC() (int, error) {
 		if err != nil {
 			return retired, err
 		}
+		if t.opts.Reclaim {
+			if _, err := t.reclaimChain(head); err != nil {
+				return retired, err
+			}
+		}
 		if done {
 			return retired, nil
 		}
@@ -140,14 +145,17 @@ func (t *Tree) gcChain(head storage.PageID) (int, error) {
 	// whose reclaimed tail is contiguous. Only the newest victim (index
 	// 0) unlinks: it is the one that stays reachable, and dropping its
 	// history pointer cuts the rest loose. Already-retired nodes (kept
-	// linked by an earlier pass) need no new action.
+	// linked by an earlier pass) need no new action. Under Reclaim
+	// nothing unlinks here — retired nodes must stay reachable so the
+	// page reaper can walk to the tail and free it (the cut happens
+	// there, one tail at a time, with the page returned to the store).
 	retired := 0
 	for i := len(victims) - 1; i >= 0; i-- {
 		v := victims[i]
 		if v.retired {
 			continue
 		}
-		if err := t.retireNode(v, i == 0); err != nil {
+		if err := t.retireNode(v, i == 0 && !t.opts.Reclaim); err != nil {
 			return retired, err
 		}
 		retired++

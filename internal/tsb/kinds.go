@@ -47,6 +47,13 @@ const (
 	// optionally also clears the history side pointer, cutting the chain
 	// of already-retired older nodes loose when the suffix head retires.
 	KindRetireNode wal.Kind = 52
+	// KindCutHist unlinks a fully-retired history-chain tail from its sole
+	// referencer so the tail's page can be freed and recycled
+	// (Options.Reclaim): the logged node drops its history pointer and its
+	// shared-edge mark. The tail's de-allocation is meta-logged by the
+	// store's free record inside the same atomic action; undo restores the
+	// pre-image (and the meta undo un-frees the page).
+	KindCutHist wal.Kind = 53
 )
 
 // --- payload codecs --------------------------------------------------------
@@ -176,6 +183,15 @@ func applyRetire(n *Node, unlink bool) {
 	}
 }
 
+func encCutHist(pre *Node) []byte { return encNodeImage(pre) }
+
+// applyCutHist drops a node's history edge: the tail behind it is about
+// to be (or was, on redo) de-allocated. The edge mark goes with the edge.
+func applyCutHist(n *Node) {
+	n.HistSib = storage.NilPage
+	n.HistShared = false
+}
+
 func encRootGrow(termA, termB Entry, pre *Node) []byte {
 	var w enc.Writer
 	encodeEntry(&w, termA)
@@ -197,7 +213,9 @@ func decRootGrow(b []byte) (termA, termB Entry, pre *Node, err error) {
 // applyTimeSplit keeps, in the current node, every version alive at ts
 // (the latest version of each key with Start < ts stays, copied semantics)
 // plus every version with Start >= ts, then advances TimeLow and installs
-// the history sibling.
+// the history sibling. The old history edge — pointer AND shared mark —
+// moved to the new history node (splitData builds its image that way), so
+// the current node's new edge to it is fresh and single-referenced.
 func applyTimeSplit(n *Node, ts uint64, hist storage.PageID) {
 	kept := n.Entries[:0:0]
 	for i, e := range n.Entries {
@@ -218,6 +236,7 @@ func applyTimeSplit(n *Node, ts uint64, hist storage.PageID) {
 	n.Entries = kept
 	n.Rect.TimeLow = ts
 	n.HistSib = hist
+	n.HistShared = false
 }
 
 // historyContents returns the versions the new history node receives:
@@ -232,7 +251,11 @@ func historyContents(pre *Node, ts uint64) []Entry {
 	return out
 }
 
-// applyKeySplit trims a data node to keys below k.
+// applyKeySplit trims a data node to keys below k. The new sibling copies
+// the history pointer, so if one exists the edge is now reached from two
+// current nodes: mark it shared on this side (the sibling's image carries
+// its own mark) so reclamation never frees the chain's tail out from
+// under the other referencer.
 func applyKeySplit(n *Node, k keys.Key, sib storage.PageID) {
 	kept := n.Entries[:0:0]
 	for _, e := range n.Entries {
@@ -243,6 +266,9 @@ func applyKeySplit(n *Node, k keys.Key, sib storage.PageID) {
 	n.Entries = kept
 	n.Rect.KeyHigh = keys.At(k)
 	n.KeySib = sib
+	if n.HistSib != storage.NilPage {
+		n.HistShared = true
+	}
 }
 
 // applyIndexKeySplit trims an index node to keys below k, RETAINING
@@ -550,6 +576,23 @@ func Register(reg *storage.Registry) *Binding {
 		},
 		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
 			_, pre, err := decRetire(rec.Payload)
+			if err != nil {
+				return storage.Compensation{}, err
+			}
+			return restore(rec, pre)
+		},
+	})
+	reg.Register(KindCutHist, storage.Handler{
+		Redo: func(f *storage.Frame, rec *wal.Record) error {
+			n, err := nodeOf(f)
+			if err != nil {
+				return err
+			}
+			applyCutHist(n)
+			return nil
+		},
+		MakeUndo: func(rec *wal.Record) (storage.Compensation, error) {
+			pre, err := decodeNode(enc.NewReader(rec.Payload))
 			if err != nil {
 				return storage.Compensation{}, err
 			}

@@ -140,8 +140,18 @@ type Node struct {
 	// horizon. The page is never freed or reused (CNS: nodes are
 	// immortal, stale traversals may still arrive), but its entries are
 	// cleared; the rectangle and sibling pointers stay so the node
-	// remains navigable.
+	// remains navigable. Under Options.Reclaim, fully-unreferenced
+	// retired chain tails ARE eventually freed; see reclaim.go.
 	Retired bool
+	// HistShared marks this node's history edge as possibly multi-
+	// referenced: a key split copies the history pointer into the new
+	// current node ("the new node will contain a copy of the history
+	// sibling pointer"), after which two nodes reach the same chain. The
+	// mark rides the edge forward — a time split transfers it to the new
+	// history node along with the old pointer — and page reclamation
+	// (Options.Reclaim) refuses to free a tail whose incoming edge
+	// carries it, since a second referencer may exist.
+	HistShared bool
 	// Entries are sorted by (Key, Start) in data nodes, by
 	// (KeyLow=Key of rect, TimeLow) in level-1 nodes, and by Key in
 	// higher index nodes.
@@ -319,7 +329,7 @@ func (n *Node) insertKeyTerm(e Entry) bool {
 
 // clone returns a deep copy.
 func (n *Node) clone() *Node {
-	c := &Node{Level: n.Level, Rect: cloneRect(n.Rect), KeySib: n.KeySib, HistSib: n.HistSib, Retired: n.Retired}
+	c := &Node{Level: n.Level, Rect: cloneRect(n.Rect), KeySib: n.KeySib, HistSib: n.HistSib, Retired: n.Retired, HistShared: n.HistShared}
 	c.Entries = make([]Entry, len(n.Entries))
 	for i, e := range n.Entries {
 		c.Entries[i] = cloneEntry(e)
@@ -393,6 +403,7 @@ func encodeNode(w *enc.Writer, n *Node) {
 	w.U64(uint64(n.KeySib))
 	w.U64(uint64(n.HistSib))
 	w.Bool(n.Retired)
+	w.Bool(n.HistShared)
 	w.U32(uint32(len(n.Entries)))
 	for _, e := range n.Entries {
 		encodeEntry(w, e)
@@ -406,6 +417,7 @@ func decodeNode(r *enc.Reader) (*Node, error) {
 	n.KeySib = storage.PageID(r.U64())
 	n.HistSib = storage.PageID(r.U64())
 	n.Retired = r.Bool()
+	n.HistShared = r.Bool()
 	cnt := int(r.U32())
 	if r.Err() != nil {
 		return nil, r.Err()

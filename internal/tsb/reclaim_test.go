@@ -1,0 +1,277 @@
+package tsb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/keys"
+	"repro/internal/storage"
+)
+
+// churn overwrites the same n keys for the given rounds, forcing time
+// splits that build history chains.
+func churn(t testing.TB, fx *fixture, n, from, to int) {
+	t.Helper()
+	for round := from; round < to; round++ {
+		for i := 0; i < n; i++ {
+			if err := fx.tree.Put(nil, keys.Uint64(uint64(i)), []byte(fmt.Sprintf("r%d", round))); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+	}
+}
+
+// TestReclaimFreesRetiredTails: with Reclaim on, a GC pass over churned
+// chains returns retired tail pages to the store's free-space map, and
+// later splits recycle them instead of growing the file.
+func TestReclaimFreesRetiredTails(t *testing.T) {
+	opts := smallOpts()
+	opts.Reclaim = true
+	fx := newFixture(t, opts)
+	const n = 8
+	churn(t, fx, n, 0, 60)
+	fx.tree.DrainCompletions()
+	if fx.tree.Stats.TimeSplits.Load() == 0 {
+		t.Fatal("churn produced no time splits; nothing to reclaim")
+	}
+
+	if _, err := fx.tree.RunGC(); err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	freed := fx.tree.Stats.GCFreedPages.Load()
+	if freed == 0 {
+		t.Fatal("reclaim freed no pages")
+	}
+	st, err := fx.tree.store.SpaceStats()
+	if err != nil {
+		t.Fatalf("space stats: %v", err)
+	}
+	if st.Freed != freed {
+		t.Fatalf("store counted %d frees, tree counted %d", st.Freed, freed)
+	}
+	if st.FreeLen == 0 {
+		t.Fatal("free list empty despite frees and no reallocation")
+	}
+	fx.mustVerify(t) // includes the free-vs-reachable cross-check
+	for i := 0; i < n; i++ {
+		v, ok, err := fx.tree.Get(nil, keys.Uint64(uint64(i)))
+		if err != nil || !ok || string(v) != "r59" {
+			t.Fatalf("current read after reclaim: key %d %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+
+	// New splits must draw from the free list before extending the store.
+	churn(t, fx, n, 60, 90)
+	fx.tree.DrainCompletions()
+	st2, err := fx.tree.store.SpaceStats()
+	if err != nil {
+		t.Fatalf("space stats: %v", err)
+	}
+	if st2.Recycled == 0 {
+		t.Fatal("post-reclaim splits did not recycle freed pages")
+	}
+	fx.mustVerify(t)
+}
+
+// TestReclaimBoundsStoreGrowth: the same sustained churn, GC'd each
+// cycle, allocates strictly fewer pages with Reclaim on than off — the
+// point of the whole mechanism.
+func TestReclaimBoundsStoreGrowth(t *testing.T) {
+	alloc := func(reclaim bool) int64 {
+		opts := smallOpts()
+		opts.Reclaim = reclaim
+		fx := newFixture(t, opts)
+		const n = 8
+		for cycle := 0; cycle < 5; cycle++ {
+			churn(t, fx, n, cycle*40, (cycle+1)*40)
+			fx.tree.DrainCompletions()
+			if _, err := fx.tree.RunGC(); err != nil {
+				t.Fatalf("gc (reclaim=%v): %v", reclaim, err)
+			}
+		}
+		fx.mustVerify(t)
+		pages, err := fx.tree.store.AllocatedPages()
+		if err != nil {
+			t.Fatalf("allocated pages: %v", err)
+		}
+		return pages
+	}
+	with, without := alloc(true), alloc(false)
+	if with >= without {
+		t.Fatalf("reclaim did not bound growth: %d pages with, %d without", with, without)
+	}
+}
+
+// TestReclaimRespectsSnapshotPin is the PR 6 interaction regression: a
+// long-running snapshot races GC+reclaim passes. The snapshot's pin holds
+// the visibility horizon down, so no node the snapshot can read is
+// retired — and therefore none is freed — while it lives; releasing it
+// opens the floodgate.
+func TestReclaimRespectsSnapshotPin(t *testing.T) {
+	opts := smallOpts()
+	opts.Reclaim = true
+	fx := newFixture(t, opts)
+	const n = 8
+	churn(t, fx, n, 0, 1)
+	snap := fx.e.BeginSnapshot() // pins version time at round 0
+	churn(t, fx, n, 1, 60)
+	fx.tree.DrainCompletions()
+
+	// Hammer the pinned snapshot from a reader while reclaim passes run:
+	// the reader must never see a wrong value, an error, or a miss.
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := uint64(i % n)
+			v, ok, err := fx.tree.SnapshotGet(snap, keys.Uint64(k), nil)
+			if err != nil || !ok || string(v) != "r0" {
+				select {
+				case errc <- fmt.Errorf("pinned read key %d: %q ok=%v err=%v", k, v, ok, err):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	for pass := 0; pass < 4; pass++ {
+		if _, err := fx.tree.RunGC(); err != nil {
+			t.Fatalf("gc under pin: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	pinned := fx.tree.Stats.GCFreedPages.Load()
+	fx.mustVerify(t)
+
+	snap.Release()
+	if _, err := fx.tree.RunGC(); err != nil {
+		t.Fatalf("gc after release: %v", err)
+	}
+	if got := fx.tree.Stats.GCFreedPages.Load(); got <= pinned {
+		t.Fatalf("releasing the snapshot freed nothing: %d then %d", pinned, got)
+	}
+	fx.mustVerify(t)
+	for i := 0; i < n; i++ {
+		v, ok, err := fx.tree.Get(nil, keys.Uint64(uint64(i)))
+		if err != nil || !ok || string(v) != "r59" {
+			t.Fatalf("current read after reclaim: key %d %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+}
+
+// TestReclaimCrashDuringCut: crash in the middle of a cut+free atomic
+// action (the failpoint fires between the free and the commit). Restart
+// must undo both halves together — the chain edge restored if and only
+// if the page is allocated — so verification's free-vs-reachable
+// cross-check holds and reclamation can resume.
+func TestReclaimCrashDuringCut(t *testing.T) {
+	inj := fault.New(0xC07)
+	opts := smallOpts()
+	opts.Reclaim = true
+	e := engine.New(engine.Options{Injector: inj})
+	b := Register(e.Reg)
+	st := e.AddStore(testStoreID, Codec{})
+	tree, err := Create(st, e.TM, e.Locks, b, "versions", opts)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	fx := &fixture{e: e, b: b, tree: tree}
+
+	const n = 8
+	churn(t, fx, n, 0, 60)
+	fx.tree.DrainCompletions()
+	if err := fx.e.Log.ForceAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Arm(storage.FPConsolidate, fault.Spec{Kind: fault.Transient, After: 3, Crash: true})
+	if _, err := fx.tree.RunGC(); err == nil {
+		t.Fatal("armed cut failpoint never fired")
+	}
+	if !inj.Crashed() {
+		t.Fatal("crash latch not tripped")
+	}
+
+	fx.e.Opts.Injector = nil
+	fx2 := fx.crashRestart(t)
+	fx2.mustVerify(t)
+	for i := 0; i < n; i++ {
+		v, ok, err := fx2.tree.Get(nil, keys.Uint64(uint64(i)))
+		if err != nil || !ok || string(v) != "r59" {
+			t.Fatalf("key %d after crash recovery: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+
+	// Reclamation resumes where the crash interrupted it.
+	if _, err := fx2.tree.RunGC(); err != nil {
+		t.Fatalf("gc after recovery: %v", err)
+	}
+	if fx2.tree.Stats.GCFreedPages.Load() == 0 {
+		t.Fatal("no pages freed after recovery")
+	}
+	fx2.mustVerify(t)
+	churn(t, fx2, n, 60, 75)
+	fx2.mustVerify(t)
+}
+
+// TestReclaimBackgroundGC: with GC and Reclaim both on, the completion
+// machinery frees pages with no RunGC call, under concurrent writers.
+func TestReclaimBackgroundGC(t *testing.T) {
+	opts := smallOpts()
+	opts.GC = true
+	opts.Reclaim = true
+	opts.SyncCompletion = false
+	fx := newFixture(t, opts)
+	const n = 8
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 60; round++ {
+				for i := 0; i < n; i++ {
+					k := uint64(w*n + i)
+					if err := fx.tree.Put(nil, keys.Uint64(k), []byte(fmt.Sprintf("w%dr%d", w, round))); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fx.tree.DrainCompletions()
+	if _, err := fx.tree.RunGC(); err != nil {
+		t.Fatalf("final gc: %v", err)
+	}
+	if fx.tree.Stats.GCFreedPages.Load() == 0 {
+		t.Fatal("background gc+reclaim freed nothing")
+	}
+	fx.mustVerify(t)
+	for w := 0; w < 2; w++ {
+		for i := 0; i < n; i++ {
+			k := uint64(w*n + i)
+			v, ok, err := fx.tree.Get(nil, keys.Uint64(k))
+			if err != nil || !ok || string(v) != fmt.Sprintf("w%dr59", w) {
+				t.Fatalf("key %d: %q ok=%v err=%v", k, v, ok, err)
+			}
+		}
+	}
+}

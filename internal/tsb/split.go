@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/keys"
 	"repro/internal/latch"
@@ -30,7 +31,10 @@ func (t postTask) key() string {
 }
 
 // completer mirrors internal/core's: schedule is non-blocking and safe
-// under latches; execution re-tests state, so duplicates are no-ops.
+// under latches; execution re-tests state, so duplicates are no-ops. A
+// task stays in the pending set until done — not merely until popped —
+// so refsChild covers in-flight tasks too: the page reaper must not free
+// a page a running postTerm is still about to latch.
 type completer struct {
 	t       *Tree
 	mu      sync.Mutex
@@ -40,6 +44,8 @@ type completer struct {
 	active  int
 	stopped bool
 	wg      sync.WaitGroup
+	// draining suspends governor pacing so shutdown drains at full speed.
+	draining atomic.Bool
 }
 
 func newCompleter(t *Tree) *completer {
@@ -74,6 +80,24 @@ func (c *completer) schedule(task postTask) {
 	c.mu.Unlock()
 }
 
+// depth reports the current queue depth (scheduled, unpopped tasks).
+func (c *completer) depth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tasks)
+}
+
+// refsChild reports whether a level-1 posting task referencing pid is
+// pending or running. History-chain postings are the only tasks that can
+// name a reclaimable page; the reaper defers freeing while one is live,
+// because a running postTerm may be about to latch the page.
+func (c *completer) refsChild(pid storage.PageID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.pending[fmt.Sprintf("%d:%d", 1, pid)]
+	return ok
+}
+
 func (c *completer) pop(block bool) (postTask, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -85,13 +109,13 @@ func (c *completer) pop(block bool) (postTask, bool) {
 	}
 	task := c.tasks[0]
 	c.tasks = c.tasks[1:]
-	delete(c.pending, task.key())
 	c.active++
 	return task, true
 }
 
-func (c *completer) done() {
+func (c *completer) done(task postTask) {
 	c.mu.Lock()
+	delete(c.pending, task.key())
 	c.active--
 	c.cond.Broadcast()
 	c.mu.Unlock()
@@ -104,8 +128,15 @@ func (c *completer) worker() {
 		if !ok {
 			return
 		}
+		// Chain maintenance (GC + reclamation) is paced by the governor so
+		// background sweeps never convoy foreground writers; term postings
+		// run unpaced (the foreground is already navigating around the
+		// unposted structure). Draining bypasses the pacer.
+		if task.gcHead != storage.NilPage && !c.draining.Load() {
+			c.t.opts.Governor.Admit(c.depth())
+		}
 		c.t.run(task)
-		c.done()
+		c.done(task)
 	}
 }
 
@@ -117,7 +148,7 @@ func (c *completer) drain() {
 				return
 			}
 			c.t.run(task)
-			c.done()
+			c.done(task)
 		}
 	}
 	c.mu.Lock()
@@ -136,10 +167,23 @@ func (c *completer) stop() {
 	c.wg.Wait()
 }
 
-// run dispatches one completing task: a GC chain sweep or a term posting.
+// closeDrain is the orderly shutdown: work off every pending completion,
+// then stop the workers. Nothing pending is discarded, so a close-then-
+// reopen never finds a scheduled posting or GC pass silently dropped.
+func (c *completer) closeDrain() {
+	c.draining.Store(true)
+	c.drain()
+	c.stop()
+}
+
+// run dispatches one completing task: a GC chain sweep (plus page
+// reclamation when enabled) or a term posting.
 func (t *Tree) run(task postTask) {
 	if task.gcHead != storage.NilPage {
 		_, _ = t.gcChain(task.gcHead)
+		if t.opts.Reclaim {
+			_, _ = t.reclaimChain(task.gcHead)
+		}
 		return
 	}
 	t.postTerm(task)
@@ -230,9 +274,12 @@ func (t *Tree) splitData(o *opCtx, leaf *nref) error {
 				TimeHigh: ts,
 			},
 			// "New historic nodes contain copies of old history
-			// pointers" (Figure 1).
-			HistSib: n.HistSib,
-			Entries: historyContents(pre, ts),
+			// pointers" (Figure 1). The edge's shared mark transfers with
+			// it; the current node's replacement edge is fresh
+			// (applyTimeSplit clears its mark).
+			HistSib:    n.HistSib,
+			HistShared: n.HistShared,
+			Entries:    historyContents(pre, ts),
 		}
 		newNode.Rect.KeyHigh.Key = keys.Clone(newNode.Rect.KeyHigh.Key)
 		taskRect = cloneRect(newNode.Rect)
@@ -258,8 +305,11 @@ func (t *Tree) splitData(o *opCtx, leaf *nref) error {
 			KeySib: n.KeySib,
 			// "The new node will contain a copy of the history sibling
 			// pointer": the new current node is responsible for the
-			// entire history of its key space.
-			HistSib: n.HistSib,
+			// entire history of its key space. Both halves now reach the
+			// same chain, so both edges are marked shared (applyKeySplit
+			// marks the trimmed half).
+			HistSib:    n.HistSib,
+			HistShared: n.HistSib != storage.NilPage,
 		}
 		newNode.Rect.KeyHigh.Key = keys.Clone(newNode.Rect.KeyHigh.Key)
 		for _, e := range pre.Entries {
@@ -342,6 +392,14 @@ type logUpdater interface {
 // clipping, or root growth), Update — with all latches retained until the
 // action commits.
 func (t *Tree) postTerm(task postTask) {
+	if _, dead := t.deadPages.Load(task.child); dead {
+		// The child was reclaimed (and its page possibly recycled as an
+		// unrelated node) after this task was scheduled; latching it to
+		// re-test would read the impostor. The reaper only frees a page
+		// with no remaining terms and no pending task, so nothing is owed.
+		t.Stats.PostsNoop.Add(1)
+		return
+	}
 	_ = t.retryLoop(func() error {
 		o := t.newOp(nil)
 		defer o.done()

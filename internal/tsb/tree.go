@@ -9,6 +9,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/latch"
 	"repro/internal/lock"
+	"repro/internal/maint"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -42,6 +43,18 @@ type Options struct {
 	// lies below the transaction manager's visibility horizon. RunGC
 	// sweeps the whole tree on demand regardless of this flag.
 	GC bool
+	// Reclaim additionally frees the pages of fully-retired history-chain
+	// tails so sustained churn reaches a steady-state store size instead
+	// of growing without bound. It trades away part of the CNS latching
+	// economy: history-edge traversals (and the optimistic descent's final
+	// edge) latch-couple, because a saved pointer may now name a freed
+	// page. Retired non-tail nodes stay linked (gcChain stops unlinking)
+	// so the reaper can reach them; see reclaim.go for the full protocol.
+	Reclaim bool
+	// Governor, when non-nil, paces background chain maintenance (GC
+	// sweeps and page reclamation) through the shared maintenance budget;
+	// a nil governor admits immediately.
+	Governor *maint.Governor
 }
 
 func (o Options) normalized() Options {
@@ -104,6 +117,17 @@ type Stats struct {
 	GCRetiredNodes     atomic.Int64
 	GCReclaimedVersions atomic.Int64
 	GCRemovedTerms      atomic.Int64
+
+	// Page-reclamation counters (Options.Reclaim). GCFreedPages counts
+	// chain tails whose pages were returned to the free-space map;
+	// GCSharedSkips, tails kept because their incoming edge is (possibly)
+	// multi-referenced; GCTermSkips, tails kept because a level-1 term
+	// still references them; GCDeferredFrees, frees deferred because a
+	// pending completion task still names the page.
+	GCFreedPages    atomic.Int64
+	GCSharedSkips   atomic.Int64
+	GCTermSkips     atomic.Int64
+	GCDeferredFrees atomic.Int64
 }
 
 // Tree is one TSB tree. Because historical nodes never split and no node
@@ -126,8 +150,15 @@ type Tree struct {
 	opPool  sync.Pool
 	// gcMu serializes GC passes: two concurrent passes over one chain
 	// would race to retire the same victim, and the loser's atomic-action
-	// abort would re-post index terms the winner removed.
+	// abort would re-post index terms the winner removed. Page reclamation
+	// runs under it too, so while a reaper walks a chain the only possible
+	// structure change is a split of the chain's current head.
 	gcMu sync.Mutex
+	// deadPages records pages freed by reclamation (volatile, like the
+	// completion queue): a completing task scheduled before the free must
+	// not latch the page afterwards — it may have been recycled as an
+	// unrelated node — so postTerm consults this set first.
+	deadPages sync.Map
 
 	// rootf caches the root's buffer frame with one permanent pin (the
 	// root page ID is fixed and the root is never de-allocated); see the
@@ -226,9 +257,12 @@ func Open(store *storage.Store, tm *txn.Manager, lm *lock.Manager, b *Binding, n
 	return t, nil
 }
 
-// Close stops the completion workers and drops the cached root pin.
+// Close drains every scheduled completion to commit (postings, GC
+// sweeps, reclamation), stops the workers, and drops the cached root pin.
+// Draining first means a close-then-reopen never recovers against a
+// structure change that was scheduled but silently dropped.
 func (t *Tree) Close() {
-	t.comp.stop()
+	t.comp.closeDrain()
 	if f := t.rootf.Swap(nil); f != nil {
 		t.store.Pool.Unpin(f)
 	}
@@ -346,9 +380,20 @@ func (o *opCtx) promote(r *nref) {
 	r.mode = latch.X
 }
 
-// step releases cur and acquires pid (CNS: nodes are immortal, so no
-// coupling is needed).
+// step releases cur and acquires pid. Without reclamation no coupling is
+// needed (CNS: nodes are immortal, a saved pointer always names a live
+// node). With Options.Reclaim the target of a saved pointer may have been
+// freed — and its page recycled — between the release and the acquire, so
+// the step latch-couples: the reaper removes a page's last reference
+// under the referencer's X latch before freeing, so a reader holding the
+// source while acquiring the target either passes before the cut or
+// finds the edge already gone.
 func (t *Tree) step(o *opCtx, cur *nref, pid storage.PageID, mode latch.Mode, level int) (nref, error) {
+	if t.opts.Reclaim {
+		next, err := o.acquire(pid, mode, level)
+		o.release(cur)
+		return next, err
+	}
 	o.release(cur)
 	return o.acquire(pid, mode, level)
 }
@@ -546,16 +591,20 @@ func (t *Tree) descendOptimistic(o *opCtx, k keys.Key, time uint64, stopLevel in
 }
 
 // optPass is one optimistic descent from the root. The TSB tree obeys
-// the CNS invariant — nodes never move and are never de-allocated — so,
-// unlike the core (CP) tree, a pointer read from a validated snapshot
-// always names a live node and no source re-validation is needed after
+// the CNS invariant — nodes never move and index nodes are never
+// de-allocated — so a pointer read from a validated snapshot always
+// names a live node and no source re-validation is needed after
 // following it: a stale snapshot routes exactly like a slightly earlier
 // latched reader, and sibling pointers make every well-formed state
 // navigable. Validation here only bounds staleness (navLoad refreshes a
-// snapshot whose version moved). The final node is latched in finalMode;
-// history-sibling walks happen only at the data level, which is the stop
-// level for every data access, so they always run latched in
-// descendFrom.
+// snapshot whose version moved). The one exception is the final
+// level-1→data edge under Options.Reclaim: data pages CAN then be freed
+// and recycled, so after latching the child the source snapshot is
+// re-validated, exactly like the core (CP) tree's final edge — a stale
+// term in an old snapshot must not hand back a recycled page. The final
+// node is latched in finalMode; history-sibling walks happen only at the
+// data level, which is the stop level for every data access, so they
+// always run latched in descendFrom.
 func (t *Tree) optPass(o *opCtx, c *optCounters, k keys.Key, time uint64, stopLevel int, finalMode latch.Mode, sched bool) (nref, error, bool) {
 	pool := t.store.Pool
 	f, err := t.rootFrame()
@@ -634,10 +683,29 @@ func (t *Tree) optPass(o *opCtx, c *optCounters, k keys.Key, time uint64, stopLe
 		}
 		childLevel := cur.n.Level - 1
 		if childLevel == stopLevel {
-			// Final edge: latch the child in finalMode. CNS: no source
-			// validation needed — the child is immortal.
-			pool.Unpin(cur.f)
+			// Final edge: latch the child in finalMode. Without Reclaim no
+			// source validation is needed — the child is immortal. With it,
+			// the term may be stale and the page freed or recycled: prove
+			// the source snapshot still current after the acquire (and
+			// blame staleness, not I/O, for a failed fetch) before
+			// trusting the child.
 			r, err := o.acquire(child, finalMode, childLevel)
+			if t.opts.Reclaim {
+				if err != nil {
+					stale := !cur.f.Latch.Validate(cur.v)
+					pool.Unpin(cur.f)
+					if stale {
+						return nref{}, nil, false
+					}
+					return nref{}, err, true
+				}
+				if !cur.f.Latch.Validate(cur.v) {
+					o.release(&r)
+					pool.Unpin(cur.f)
+					return nref{}, nil, false
+				}
+			}
+			pool.Unpin(cur.f)
 			if err != nil {
 				return nref{}, err, true
 			}
@@ -950,9 +1018,12 @@ func (t *Tree) logicalUndoPut(rec *wal.Record, e Entry) error {
 // the carryover invariant, and if so returns a clone of the predecessor
 // to re-carry: the newest surviving version of e.Key older than e.Start.
 // The predecessor is found by walking the history chain from cur with
-// the same stop rules snapshot reads use; chain nodes are latched S one
-// at a time while cur stays held — the newer→older acquisition order
-// every chain walker follows, so ranks ascend and no cycle can form. An
+// the same stop rules snapshot reads use; chain nodes are latched S in
+// newer→older order while cur stays held — the acquisition order every
+// chain walker follows, so ranks ascend and no cycle can form. The walk
+// latch-couples (each node held until its successor is latched): under
+// Options.Reclaim a saved chain pointer may name a freed page, and the
+// coupling is what serializes against the reaper's edge cut. An
 // empty group or an all-at-or-above-TimeLow group in a chain node ends
 // the walk: by induction that node's carryover proves nothing older
 // exists (a retired node reads as empty, which is sound — retirement
@@ -968,8 +1039,10 @@ func (t *Tree) carryRepair(o *opCtx, cur *nref, e Entry) (Entry, bool, error) {
 			return Entry{}, false, nil // another below-TimeLow copy remains
 		}
 	}
+	var prev nref
 	for pid := cur.n.HistSib; pid != storage.NilPage; {
 		h, err := o.acquire(pid, latch.S, 0)
+		o.release(&prev) // no-op on the first edge: cur itself stays held
 		if err != nil {
 			return Entry{}, false, err
 		}
@@ -986,7 +1059,8 @@ func (t *Tree) carryRepair(o *opCtx, cur *nref, e Entry) (Entry, bool, error) {
 			return Entry{}, false, nil
 		}
 		pid = h.n.HistSib
-		o.release(&h)
+		prev = h
 	}
+	o.release(&prev)
 	return Entry{}, false, nil
 }

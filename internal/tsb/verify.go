@@ -34,6 +34,9 @@ func (t *Tree) Verify() (Shape, error) {
 	var shape Shape
 	pool := t.store.Pool
 
+	// Every page the walk touches is reachable; the set feeds the store's
+	// free-space cross-check at the end (no page both free and reachable).
+	reachable := make(map[storage.PageID]bool)
 	getNode := func(pid storage.PageID) (*Node, error) {
 		f, err := pool.Fetch(pid)
 		if err != nil {
@@ -44,6 +47,7 @@ func (t *Tree) Verify() (Shape, error) {
 		if !ok {
 			return nil, fmt.Errorf("page %d holds %T", pid, f.Data)
 		}
+		reachable[pid] = true
 		return n, nil
 	}
 
@@ -199,7 +203,9 @@ func (t *Tree) Verify() (Shape, error) {
 			}
 			hpid = h.HistSib
 		}
-		if expectHigh != 0 && n.HistSib == storage.NilPage && n.Rect.TimeLow != 0 {
+		// Reclamation frees fully-retired chain tails, so under it a
+		// truncated (even empty) history chain is legitimate.
+		if expectHigh != 0 && n.HistSib == storage.NilPage && n.Rect.TimeLow != 0 && !t.opts.Reclaim {
 			return shape, fmt.Errorf("tsb verify: current node %d has time low %d but no history", pid, n.Rect.TimeLow)
 		}
 
@@ -209,6 +215,9 @@ func (t *Tree) Verify() (Shape, error) {
 	}
 	if !prevHigh.Unbounded {
 		return shape, fmt.Errorf("tsb verify: current chain ends bounded")
+	}
+	if err := t.store.SpaceCheck(reachable); err != nil {
+		return shape, fmt.Errorf("tsb verify: %w", err)
 	}
 	return shape, nil
 }
