@@ -2,15 +2,17 @@ GO ?= go
 BENCH_COUNT ?= 1
 TORTURE_ROUNDS ?= 24
 TORTURE_SEED ?= 7
+REAL_ROUNDS ?= 20
 
-.PHONY: check vet build test race benchbuild bench torture churn
+.PHONY: check vet build test race benchbuild bench torture realcrash churn
 
 ## check: everything CI runs — vet, build, tests, the race detector over
 ## the concurrency-critical packages, a compile+link of every benchmark
 ## binary (run with zero iterations) so bench-only code can't rot
-## between bench runs, a short seeded fault-injection torture run, and
-## the sustained-churn steady-state gate.
-check: vet build test race benchbuild torture churn
+## between bench runs, a short seeded fault-injection torture run, the
+## real-crash (SIGKILL) recovery gate over real files, and the
+## sustained-churn steady-state gate.
+check: vet build test race benchbuild torture realcrash churn
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +33,13 @@ benchbuild:
 ## access methods. Failures print the reproducing seed and failpoint.
 torture:
 	$(GO) run ./cmd/pitree-verify -torture -rounds $(TORTURE_ROUNDS) -seed $(TORTURE_SEED)
+
+## realcrash: each round runs a seeded workload in a forked child
+## against real WAL segments and page files, SIGKILLs it at a seeded
+## moment, then recovers in the parent and audits the streamed ack
+## oracle: acked commits durable, no ghosts, space map exact.
+realcrash:
+	$(GO) run ./cmd/pitree-verify -torture -real -rounds $(REAL_ROUNDS) -seed $(TORTURE_SEED)
 
 ## churn: sustained-churn steady-state gate — a rolling key window turned
 ## over repeatedly must leave the store size flat with pages recycled.

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (T1..T17, F1, F2) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (T1..T18, F1, F2) or 'all'")
 	full := flag.Bool("full", false, "larger workload sizes (slower, stabler numbers)")
 	jsonPath := flag.String("json", "", "also write machine-readable metrics to this file")
 	flag.Parse()
@@ -57,6 +57,7 @@ func main() {
 		{"T15", func() { bench.T15ParallelRestart(os.Stdout, p) }, "parallel restart: log x dirty pages x workers"},
 		{"T16", func() { bench.T16SnapshotReads(os.Stdout, p) }, "snapshot reads: lock-free MVCC vs locked reads"},
 		{"T17", func() { bench.T17Churn(os.Stdout, p) }, "sustained churn: consolidation + free-space recycling"},
+		{"T18", func() { bench.T18FileStorage(os.Stdout, p) }, "durable file-backed storage: fsync tax + group commit"},
 	}
 
 	want := map[string]bool{}

@@ -36,7 +36,20 @@ func main() {
 	churn := flag.Bool("churn", false, "sustained-churn gate: bounded store size + page recycling")
 	workers := flag.Int("workers", 4, "torture: concurrent workload goroutines")
 	ops := flag.Int("ops", 120, "torture: operations per worker per round")
+	real := flag.Bool("real", false, "with -torture: real-crash mode — run each round's workload in a forked file-backed child and SIGKILL it")
+	realChild := flag.Bool("real-child", false, "internal: run as a real-crash workload child")
+	childDir := flag.String("dir", "", "internal: real-crash child data directory")
+	childTree := flag.String("tree", "", "internal: real-crash child tree kind")
+	childSync := flag.String("sync", "always", "internal: real-crash child WAL sync policy (always|never)")
 	flag.Parse()
+
+	if *realChild {
+		if err := runRealChild(*childDir, *childTree, *childSync, *seed, *workers, *ops, *pageOriented); err != nil {
+			fmt.Fprintf(os.Stderr, "real-crash child FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *churn {
 		if err := runChurn(); err != nil {
@@ -50,6 +63,13 @@ func main() {
 		cfg := tortureConfig{
 			rounds: *rounds, workers: *workers, ops: *ops,
 			seed: *seed, pageOriented: *pageOriented,
+		}
+		if *real {
+			if err := runRealCrash(cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "real-crash torture FAILED: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
 		if err := runTorture(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "torture FAILED: %v\n", err)

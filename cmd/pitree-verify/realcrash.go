@@ -1,0 +1,479 @@
+// Real-crash torture mode: instead of simulating a crash by freezing an
+// in-memory stable image, each round forks a CHILD PROCESS running a
+// seeded transactional workload against real files — segmented WAL plus
+// checksummed page files — and SIGKILLs it at a seeded moment. The
+// parent then recovers from whatever bytes actually reached the page
+// cache and audits the exact durability oracle the child streamed over
+// its stdout pipe.
+//
+// The ack protocol makes the oracle exact despite the asynchronous
+// kill. Each worker is sequential and writes one line per event, every
+// line a single write(2) (atomic for pipes):
+//
+//	try <w> <k> <op> <val>   immediately before Commit
+//	ack <w> <k>              Commit returned nil — durable, must survive
+//	nak <w> <k>              Commit failed — rolled back, must be absent
+//	abt <w> <k> <val>        deliberate abort — must be absent
+//	done                     workload finished; engine closed cleanly
+//
+// A try is printed before Commit starts, so any value that reaches the
+// tree has its try on the pipe; an ack is printed after Commit returns,
+// so at most one try per worker is unresolved at the kill — exactly the
+// commit that may have been in flight. Recovery must show, per touched
+// key, either the last acked state or (for the unresolved try's key
+// only) the in-flight state. Everything else is a ghost or a loss.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/recovery"
+	"repro/internal/wal"
+)
+
+// realDraws derives the round's maintenance posture from the seed alone
+// so parent and child agree without plumbing more flags.
+func realDraws(seed int64) tortDraws {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eedc0de))
+	return tortDraws{
+		consolidation: rng.Intn(2) == 0,
+		reclaim:       rng.Intn(2) == 0,
+		govBudget:     []int{0, 64, 256}[rng.Intn(3)],
+	}
+}
+
+func findTreeKind(name string) (treeKind, bool) {
+	for _, k := range tortureKinds() {
+		if k.name == name {
+			return k, true
+		}
+	}
+	return treeKind{}, false
+}
+
+// --- child ---------------------------------------------------------------
+
+// runRealChild is the forked workload process. It opens a file-backed
+// engine in dir, runs the seeded concurrent workload streaming the ack
+// protocol to stdout, and — if the parent's SIGKILL never arrives —
+// closes cleanly and prints done.
+func runRealChild(dir, treeName, syncPol string, seed int64, workers, ops int, pageOriented bool) error {
+	kind, ok := findTreeKind(treeName)
+	if !ok {
+		return fmt.Errorf("unknown tree kind %q", treeName)
+	}
+	pol := wal.SyncAlways
+	if syncPol == "never" {
+		pol = wal.SyncNever
+	}
+	e, recovered, err := engine.Open(engine.Options{
+		DataDir:           dir,
+		SegmentSize:       1 << 15,
+		SlotSize:          4096,
+		Sync:              pol,
+		PoolCapacity:      40,
+		PageOriented:      pageOriented,
+		WriteBackInterval: time.Millisecond,
+		WriteBackBatch:    16,
+	})
+	if err != nil {
+		return err
+	}
+	if recovered {
+		return fmt.Errorf("fresh round dir claims a prior incarnation")
+	}
+	draws := realDraws(seed)
+	tree, err := kind.create(e, draws)
+	if err != nil {
+		return fmt.Errorf("create: %v", err)
+	}
+
+	var outMu sync.Mutex
+	emit := func(format string, args ...any) {
+		outMu.Lock()
+		fmt.Fprintf(os.Stdout, format+"\n", args...)
+		outMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed ^ int64(w+1)*7919))
+			present := map[uint64]bool{}
+			seq := 0
+			for i := 0; i < ops; i++ {
+				if e.Degraded() {
+					return
+				}
+				k := uint64(w + workers*wrng.Intn(ops/2+1))
+				tx := e.TM.Begin()
+				del := present[k] && wrng.Intn(2) == 0
+				val := "-"
+				var opErr error
+				if del {
+					opErr = tree.remove(tx, k)
+				} else {
+					seq++
+					val = fmt.Sprintf("v%d.%d.%d", w, k, seq)
+					opErr = tree.insert(tx, k, []byte(val))
+				}
+				if opErr != nil {
+					_ = tx.Abort()
+					continue
+				}
+				if wrng.Intn(8) == 0 {
+					_ = tx.Abort()
+					emit("abt %d %d %s", w, k, val)
+					continue
+				}
+				op := "put"
+				if del {
+					op = "del"
+				}
+				emit("try %d %d %s %s", w, k, op, val)
+				if err := tx.Commit(); err != nil {
+					emit("nak %d %d", w, k)
+					continue
+				}
+				emit("ack %d %d", w, k)
+				present[k] = !del
+			}
+		}(w)
+	}
+
+	// Background chaos: real flushes and checkpoints, which on this
+	// engine also fsync page files and recycle WAL segments under fire.
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		crng := rand.New(rand.NewSource(seed * 31))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch crng.Intn(3) {
+			case 0:
+				_, _ = e.FlushAll()
+			case 1:
+				_, _ = e.Checkpoint()
+			case 2:
+				tree.drain()
+			}
+			time.Sleep(time.Duration(200+crng.Intn(1800)) * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	chaosWG.Wait()
+	tree.drain()
+	tree.close()
+	if err := e.Close(); err != nil {
+		return fmt.Errorf("close: %v", err)
+	}
+	emit("done")
+	return nil
+}
+
+// --- parent --------------------------------------------------------------
+
+// realTry is one in-flight-capable commit attempt.
+type realTry struct {
+	k   uint64
+	del bool
+	val string
+}
+
+// realOracle is the durability contract parsed from one child's pipe.
+type realOracle struct {
+	acked   []map[uint64]oracleVal // per worker: last acked state per key
+	tried   []map[uint64]bool      // per worker: keys with any resolved-or-not attempt
+	pending []*realTry             // per worker: the unresolved try, if any
+	clean   bool                   // child printed done (clean close, no kill)
+}
+
+func parseRealAcks(out []byte, workers int) (*realOracle, error) {
+	o := &realOracle{
+		acked:   make([]map[uint64]oracleVal, workers),
+		tried:   make([]map[uint64]bool, workers),
+		pending: make([]*realTry, workers),
+	}
+	for w := 0; w < workers; w++ {
+		o.acked[w] = map[uint64]oracleVal{}
+		o.tried[w] = map[uint64]bool{}
+	}
+	lines := strings.Split(string(out), "\n")
+	// SIGKILL can only cut the stream between lines (each line is one
+	// write), but guard against a torn last line anyway.
+	if n := len(lines); n > 0 && lines[n-1] != "" {
+		lines = lines[:n-1]
+	}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		var w int
+		var k uint64
+		if len(f) >= 3 {
+			wi, err1 := strconv.Atoi(f[1])
+			kv, err2 := strconv.ParseUint(f[2], 10, 64)
+			if err1 != nil || err2 != nil || wi < 0 || wi >= workers {
+				return nil, fmt.Errorf("bad ack line %q", line)
+			}
+			w, k = wi, kv
+		}
+		switch f[0] {
+		case "try":
+			if len(f) != 5 || o.pending[w] != nil {
+				return nil, fmt.Errorf("protocol violation at %q (pending=%v)", line, o.pending[w])
+			}
+			o.pending[w] = &realTry{k: k, del: f[3] == "del", val: f[4]}
+			o.tried[w][k] = true
+		case "ack":
+			p := o.pending[w]
+			if p == nil || p.k != k {
+				return nil, fmt.Errorf("ack without matching try: %q", line)
+			}
+			if p.del {
+				o.acked[w][k] = oracleVal{}
+			} else {
+				o.acked[w][k] = oracleVal{present: true, val: p.val}
+			}
+			o.pending[w] = nil
+		case "nak":
+			p := o.pending[w]
+			if p == nil || p.k != k {
+				return nil, fmt.Errorf("nak without matching try: %q", line)
+			}
+			o.pending[w] = nil
+		case "abt":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("bad abt line %q", line)
+			}
+			o.tried[w][k] = true
+		case "done":
+			o.clean = true
+		default:
+			return nil, fmt.Errorf("unknown ack line %q", line)
+		}
+	}
+	return o, nil
+}
+
+// anyAcked reports whether any commit was ever acknowledged.
+func (o *realOracle) anyAcked() bool {
+	for _, m := range o.acked {
+		if len(m) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// auditRecovered checks the recovered tree against the ack oracle: every
+// key any worker touched must show its last acked state — or, for the
+// single per-worker commit that was in flight at the kill, that commit's
+// state. Anything else is a lost commit or a ghost.
+func (o *realOracle) auditRecovered(tree tortTree) error {
+	for w := range o.tried {
+		p := o.pending[w]
+		for k := range o.tried[w] {
+			got, ok, err := tree.lookup(k)
+			if err != nil {
+				return fmt.Errorf("lookup %d: %v", k, err)
+			}
+			entry, acked := o.acked[w][k]
+			match := false
+			if acked && entry.present {
+				match = ok && string(got) == entry.val
+			} else {
+				// Acked-deleted or never acked: must be absent.
+				match = !ok
+			}
+			if !match && p != nil && p.k == k {
+				// The in-flight commit may have made it down before the
+				// kill; its exact outcome is the only other legal state.
+				if p.del {
+					match = !ok
+				} else {
+					match = ok && string(got) == p.val
+				}
+			}
+			if match {
+				continue
+			}
+			if acked && entry.present {
+				return fmt.Errorf("durability violation: acked key %d = %q ok=%v, committed %q", k, got, ok, entry.val)
+			}
+			return fmt.Errorf("ghost: key %d = %q present after recovery, last acked state was absent", k, got)
+		}
+	}
+	return nil
+}
+
+func runRealCrash(cfg tortureConfig) error {
+	bin, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("self path: %v", err)
+	}
+	kinds := tortureKinds()
+	for round := 0; round < cfg.rounds; round++ {
+		seed := cfg.seed + int64(round)*999983
+		kind := kinds[round%len(kinds)]
+		rng := rand.New(rand.NewSource(seed))
+		syncPol := []string{"always", "never"}[rng.Intn(2)]
+		killAfter := time.Duration(2+rng.Intn(150)) * time.Millisecond
+		recWorkers := 1 << rng.Intn(4)
+		clean, err := realCrashRound(bin, seed, kind, syncPol, killAfter, recWorkers, cfg)
+		if err != nil {
+			return fmt.Errorf("real round %d (tree=%s sync=%s kill=%v workers=%d seed=%d): %w\nreproduce with: pitree-verify -torture -real -seed %d -rounds %d",
+				round, kind.name, syncPol, killAfter, recWorkers, seed, err, cfg.seed, round+1)
+		}
+		outcome := "killed"
+		if clean {
+			outcome = "finished"
+		}
+		fmt.Printf("real round %d ok (tree=%s sync=%s kill=%v recovery-workers=%d child=%s)\n",
+			round, kind.name, syncPol, killAfter, recWorkers, outcome)
+	}
+	fmt.Println("all real-crash rounds verified: acked commits durable, no ghosts, trees well-formed")
+	return nil
+}
+
+func realCrashRound(bin string, seed int64, kind treeKind, syncPol string, killAfter time.Duration, recWorkers int, cfg tortureConfig) (clean bool, err error) {
+	dir, err := os.MkdirTemp("", "pitree-real-*")
+	if err != nil {
+		return false, err
+	}
+	defer os.RemoveAll(dir)
+
+	args := []string{
+		"-real-child", "-dir", dir, "-tree", kind.name, "-sync", syncPol,
+		"-seed", strconv.FormatInt(seed, 10),
+		"-workers", strconv.Itoa(cfg.workers), "-ops", strconv.Itoa(cfg.ops),
+	}
+	if cfg.pageOriented {
+		args = append(args, "-page-undo")
+	}
+	cmd := exec.Command(bin, args...)
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	if err := cmd.Start(); err != nil {
+		return false, fmt.Errorf("fork child: %v", err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	killed := false
+	select {
+	case <-time.After(killAfter):
+		killed = true
+		_ = cmd.Process.Kill()
+		<-waitErr
+	case werr := <-waitErr:
+		// Child finished before the kill: it must have exited clean.
+		if werr != nil {
+			return false, fmt.Errorf("child failed before kill: %v\nchild stderr:\n%s", werr, errOut.String())
+		}
+	}
+
+	oracle, err := parseRealAcks(out.Bytes(), cfg.workers)
+	if err != nil {
+		return false, err
+	}
+	if killed && oracle.clean {
+		// Raced: the child printed done just as the kill landed. Treat
+		// as a clean finish.
+		killed = false
+	}
+	if !killed && !oracle.clean {
+		return false, fmt.Errorf("child exited without done\nchild stderr:\n%s", errOut.String())
+	}
+
+	// Recover in-process from the real files the child left behind.
+	e2, recovered, err := engine.Open(engine.Options{
+		DataDir:         dir,
+		PageOriented:    cfg.pageOriented,
+		RecoveryWorkers: recWorkers,
+	})
+	if err != nil {
+		return false, fmt.Errorf("reopen: %v", err)
+	}
+	defer e2.Close()
+	if !recovered {
+		// No log survived at all: legal only if nothing was ever acked.
+		if oracle.anyAcked() || oracle.clean {
+			return false, fmt.Errorf("no WAL found but commits were acked")
+		}
+		return !killed, nil
+	}
+	draws := realDraws(seed)
+	var pend recoveryPending
+	tree2, err := openRealTree(kind, e2, &pend, draws)
+	if err != nil {
+		// The kill may predate the tree's creation becoming stable; then
+		// nothing can have been acked.
+		if oracle.anyAcked() {
+			return false, fmt.Errorf("tree unopenable after crash (%v) but commits were acked", err)
+		}
+		return !killed, nil
+	}
+	defer tree2.close()
+	if pend.finish != nil {
+		if err := pend.finish(); err != nil {
+			return false, fmt.Errorf("undo losers: %v", err)
+		}
+	}
+
+	// Space audit over the replayed log (the shadow seeds itself from
+	// the checkpoint's space image, so segment recycling is fine).
+	shadow, err := recovery.AuditSpace(e2.Log.FullImage())
+	if err != nil {
+		return false, fmt.Errorf("space audit: %v", err)
+	}
+	if err := recovery.CheckSpace(shadow, e2.Pools()...); err != nil {
+		return false, fmt.Errorf("space audit: %v", err)
+	}
+
+	if err := tree2.verify(); err != nil {
+		return false, fmt.Errorf("tree ill-formed after recovery: %v", err)
+	}
+	if err := oracle.auditRecovered(tree2); err != nil {
+		return false, err
+	}
+	// Lazy completion must converge whatever structure changes the kill
+	// left half-done.
+	tree2.drain()
+	if err := tree2.verify(); err != nil {
+		return false, fmt.Errorf("tree ill-formed after completion: %v", err)
+	}
+	return !killed, nil
+}
+
+// openRealTree runs the restart protocol against the child's files,
+// converting the engine's open-time panics (a store file whose header
+// write itself was cut by the kill) into ordinary errors.
+func openRealTree(kind treeKind, e *engine.Engine, pend *recoveryPending, draws tortDraws) (tree tortTree, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tree, err = nil, fmt.Errorf("restart panic: %v", r)
+		}
+	}()
+	return kind.open(e, nil, pend, draws)
+}

@@ -79,6 +79,17 @@ type recoveryPending struct {
 
 const tortureStoreID = 1
 
+// tortStore binds the torture store for a restart: over a crash image's
+// disk snapshot (simulated-crash rounds) or, when img is nil, over the
+// engine's own backing — which on a file-backed engine is the store's
+// real page file, re-read from disk (real-crash rounds).
+func tortStore(e *engine.Engine, img *engine.CrashImage, codec storage.Codec) *storage.Store {
+	if img != nil {
+		return e.AttachStore(tortureStoreID, codec, img.Disks[tortureStoreID])
+	}
+	return e.AddStore(tortureStoreID, codec)
+}
+
 // --- core Π-tree adapter ------------------------------------------------
 
 type coreTort struct{ t *core.Tree }
@@ -177,7 +188,7 @@ func tortureKinds() []treeKind {
 				},
 				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending, d tortDraws) (tortTree, error) {
 					b := core.Register(e.Reg, e.Opts.PageOriented)
-					st := e.AttachStore(tortureStoreID, core.Codec{}, img.Disks[tortureStoreID])
+					st := tortStore(e, img, core.Codec{})
 					p, err := e.AnalyzeAndRedo()
 					if err != nil {
 						return nil, err
@@ -203,7 +214,7 @@ func tortureKinds() []treeKind {
 				},
 				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending, d tortDraws) (tortTree, error) {
 					b := tsb.Register(e.Reg)
-					st := e.AttachStore(tortureStoreID, tsb.Codec{}, img.Disks[tortureStoreID])
+					st := tortStore(e, img, tsb.Codec{})
 					p, err := e.AnalyzeAndRedo()
 					if err != nil {
 						return nil, err
@@ -229,7 +240,7 @@ func tortureKinds() []treeKind {
 				},
 				open: func(e *engine.Engine, img *engine.CrashImage, pend *recoveryPending, d tortDraws) (tortTree, error) {
 					b := spatial.Register(e.Reg)
-					st := e.AttachStore(tortureStoreID, spatial.Codec{}, img.Disks[tortureStoreID])
+					st := tortStore(e, img, spatial.Codec{})
 					p, err := e.AnalyzeAndRedo()
 					if err != nil {
 						return nil, err

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// bgWriter paces dirty-page write-back in the background so the dirty
+// page table a checkpoint captures — and with it restart's redo window
+// and the WAL segments that must be kept live — stays short. Each tick
+// it flushes the pages with the OLDEST recLSNs first: those are exactly
+// the pages pinning the recycle horizon down. After a checkpoint it
+// targets every page whose recLSN predates that checkpoint, so by the
+// next checkpoint the horizon has moved past it and the segments in
+// between are recyclable.
+type bgWriter struct {
+	e        *Engine
+	interval time.Duration
+	batch    int
+	target   atomic.Uint64 // flush everything with recLSN below this
+	flushed  atomic.Int64
+	ticks    atomic.Int64
+	done     chan struct{}
+	stopped  chan struct{}
+}
+
+func startBgWriter(e *Engine, interval time.Duration, batch int) *bgWriter {
+	if batch <= 0 {
+		batch = 32
+	}
+	w := &bgWriter{e: e, interval: interval, batch: batch,
+		done: make(chan struct{}), stopped: make(chan struct{})}
+	go w.run()
+	return w
+}
+
+// noteCheckpoint records the latest checkpoint LSN: pages dirtied before
+// it become the writer's priority set.
+func (w *bgWriter) noteCheckpoint(lsn wal.LSN) { w.target.Store(uint64(lsn)) }
+
+func (w *bgWriter) stop() {
+	close(w.done)
+	<-w.stopped
+}
+
+// Stats returns pages flushed by the writer and ticks run.
+func (w *bgWriter) stats() (flushed, ticks int64) {
+	return w.flushed.Load(), w.ticks.Load()
+}
+
+func (w *bgWriter) run() {
+	defer close(w.stopped)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-t.C:
+			w.tick()
+		}
+	}
+}
+
+type dirtyRef struct {
+	pool *storage.Pool
+	pid  storage.PageID
+	rec  wal.LSN
+}
+
+func (w *bgWriter) tick() {
+	w.ticks.Add(1)
+	if w.e.Degraded() {
+		return
+	}
+	var dirty []dirtyRef
+	for _, p := range w.e.Pools() {
+		for pid, rec := range p.DirtyPages() {
+			dirty = append(dirty, dirtyRef{pool: p, pid: pid, rec: rec})
+		}
+	}
+	if len(dirty) == 0 {
+		return
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].rec < dirty[j].rec })
+	n := w.batch
+	// Everything below the last checkpoint is overdue: clearing it is
+	// what lets the next checkpoint advance the horizon, so allow a
+	// deeper sweep than the steady-state batch.
+	if tgt := wal.LSN(w.target.Load()); tgt != wal.NilLSN {
+		overdue := sort.Search(len(dirty), func(i int) bool { return dirty[i].rec >= tgt })
+		if overdue > n {
+			n = overdue
+			if max := 4 * w.batch; n > max {
+				n = max
+			}
+		}
+	}
+	if n > len(dirty) {
+		n = len(dirty)
+	}
+	for _, d := range dirty[:n] {
+		select {
+		case <-w.done:
+			return
+		default:
+		}
+		// A failed flush leaves the page dirty; it is retried next tick
+		// (or gives up for good once the engine is degraded).
+		_ = d.pool.FlushPage(d.pid)
+		w.flushed.Add(1)
+	}
+}
+
+// WriteBackStats returns the background writer's pages-flushed and tick
+// counters (zero when the writer is disabled).
+func (e *Engine) WriteBackStats() (flushed, ticks int64) {
+	if e.bg == nil {
+		return 0, 0
+	}
+	return e.bg.stats()
+}

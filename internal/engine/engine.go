@@ -8,7 +8,9 @@ package engine
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/lock"
@@ -46,6 +48,26 @@ type Options struct {
 	// the parallel pipeline — the oracle path equivalence tests and the
 	// T15 experiment compare against.
 	SerialRestart bool
+	// DataDir, when non-empty, makes the engine file-backed: the WAL
+	// lives in segment files under DataDir and every store's pages in a
+	// checksummed dual-slot page file. Use Open (not New) to construct a
+	// file-backed engine so a previous incarnation's state is replayed.
+	DataDir string
+	// SegmentSize is the WAL segment data capacity in bytes (0 =
+	// wal.DefaultSegmentSize).
+	SegmentSize int
+	// SlotSize is the per-page slot size of file-backed stores (0 =
+	// storage.DefaultSlotSize). Each page owns two slots.
+	SlotSize int
+	// Sync selects the fsync policy of the file-backed WAL.
+	Sync wal.SyncPolicy
+	// WriteBackInterval enables the background writer: every interval it
+	// flushes the dirtiest-oldest pages so checkpoints find a short DPT
+	// and restart's redo window stays small. Zero disables it.
+	WriteBackInterval time.Duration
+	// WriteBackBatch bounds pages flushed per background-writer tick
+	// (0 = 32).
+	WriteBackBatch int
 }
 
 // ErrDegraded is the typed error returned for writes once the log
@@ -65,6 +87,10 @@ type Engine struct {
 	mu      sync.Mutex
 	stores  map[uint32]*storage.Store
 	closers []func()
+
+	fileWAL   *wal.FileWAL
+	fileDisks map[uint32]*storage.FileDisk
+	bg        *bgWriter
 }
 
 func newEngine(opts Options, log *wal.Log) *Engine {
@@ -96,10 +122,56 @@ func New(opts Options) *Engine {
 	return newEngine(opts, wal.New())
 }
 
-// AddStore creates a store over a fresh disk. Each access-method instance
-// gets its own store ID and codec.
+// Open creates a file-backed environment rooted at opts.DataDir,
+// replaying any previous incarnation's WAL segments. recovered reports
+// whether a prior log was found; if so the caller must run the usual
+// restart sequence (register kinds, AddStore, AnalyzeAndRedo, re-open
+// trees, FinishRecovery) before using the engine — exactly the protocol
+// Restarted callers follow, with the crash image coming from real files.
+func Open(opts Options) (e *Engine, recovered bool, err error) {
+	if opts.DataDir == "" {
+		return nil, false, fmt.Errorf("engine: Open requires DataDir")
+	}
+	fw, rd, err := wal.OpenFileWAL(filepath.Join(opts.DataDir, "wal"), opts.SegmentSize, opts.Sync)
+	if err != nil {
+		return nil, false, err
+	}
+	var l *wal.Log
+	if rd != nil {
+		l = wal.NewFromImage(rd)
+		recovered = true
+	} else {
+		l = wal.New()
+	}
+	l.SetSink(fw)
+	e = newEngine(opts, l)
+	e.fileWAL = fw
+	if opts.WriteBackInterval > 0 {
+		e.bg = startBgWriter(e, opts.WriteBackInterval, opts.WriteBackBatch)
+	}
+	return e, recovered, nil
+}
+
+// AddStore creates a store over a fresh disk — or, on a file-backed
+// engine, over the store's page file (which restart reads its stable
+// images from). Each access-method instance gets its own store ID and
+// codec.
 func (e *Engine) AddStore(storeID uint32, codec storage.Codec) *storage.Store {
-	return e.AttachStore(storeID, codec, storage.NewDisk())
+	if e.Opts.DataDir == "" {
+		return e.AttachStore(storeID, codec, storage.NewDisk())
+	}
+	path := filepath.Join(e.Opts.DataDir, fmt.Sprintf("store-%d.pages", storeID))
+	fd, err := storage.OpenFileDisk(path, e.Opts.SlotSize)
+	if err != nil {
+		panic(fmt.Sprintf("engine: open page file %s: %v", path, err))
+	}
+	e.mu.Lock()
+	if e.fileDisks == nil {
+		e.fileDisks = make(map[uint32]*storage.FileDisk)
+	}
+	e.fileDisks[storeID] = fd
+	e.mu.Unlock()
+	return e.AttachStore(storeID, codec, fd)
 }
 
 // AttachStore creates a store over an existing disk image (restart
@@ -148,9 +220,63 @@ func (e *Engine) Pools() []*storage.Pool {
 // writers; the caller must Release it so version GC can advance.
 func (e *Engine) BeginSnapshot() *txn.Snapshot { return e.TM.BeginSnapshot(nil) }
 
-// Checkpoint takes a fuzzy checkpoint over all stores.
+// Checkpoint takes a fuzzy checkpoint over all stores. On a file-backed
+// engine it then syncs every page file and recycles WAL segments below
+// the checkpoint's horizon — in that order: redo below the horizon is
+// only impossible once the page images that replace it are durable.
 func (e *Engine) Checkpoint() (wal.LSN, error) {
-	return recovery.TakeCheckpoint(e.Log, e.TM, e.Pools()...)
+	lsn, horizon, err := recovery.TakeCheckpointHorizon(e.Log, e.TM, e.Pools()...)
+	if err != nil {
+		return lsn, err
+	}
+	if e.fileWAL != nil && horizon != wal.NilLSN {
+		if err := e.syncFileDisks(); err != nil {
+			return lsn, err
+		}
+		if err := e.Log.Recycle(horizon); err != nil {
+			return lsn, err
+		}
+	}
+	if e.bg != nil {
+		e.bg.noteCheckpoint(lsn)
+	}
+	return lsn, nil
+}
+
+// syncFileDisks fsyncs every file-backed store's page file.
+func (e *Engine) syncFileDisks() error {
+	e.mu.Lock()
+	disks := make([]*storage.FileDisk, 0, len(e.fileDisks))
+	for _, d := range e.fileDisks {
+		disks = append(disks, d)
+	}
+	e.mu.Unlock()
+	for _, d := range disks {
+		if err := d.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FileStats returns the file-backed layer's physical-work counters:
+// the WAL sink's and each store's page-file stats. Zero values on a
+// memory-backed engine.
+func (e *Engine) FileStats() (wal.FileWALStats, map[uint32]storage.FileDiskStats) {
+	var ws wal.FileWALStats
+	if e.fileWAL != nil {
+		ws = e.fileWAL.Stats()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.fileDisks) == 0 {
+		return ws, nil
+	}
+	ds := make(map[uint32]storage.FileDiskStats, len(e.fileDisks))
+	for id, d := range e.fileDisks {
+		ds[id] = d.Stats()
+	}
+	return ws, ds
 }
 
 // FlushAll flushes every pool (forcing the log first per page, WAL
@@ -192,6 +318,9 @@ func (e *Engine) RegisterCloser(fn func()) {
 // the stable state a reopen recovers from contains no structure change
 // that was promised but dropped.
 func (e *Engine) Close() error {
+	if e.bg != nil {
+		e.bg.stop()
+	}
 	e.mu.Lock()
 	closers := append([]func(){}, e.closers...)
 	e.closers = nil
@@ -203,6 +332,23 @@ func (e *Engine) Close() error {
 		return err
 	}
 	_, err := e.FlushAll()
+	if e.fileWAL != nil {
+		if serr := e.syncFileDisks(); err == nil {
+			err = serr
+		}
+		e.mu.Lock()
+		disks := e.fileDisks
+		e.fileDisks = nil
+		e.mu.Unlock()
+		for _, d := range disks {
+			if cerr := d.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if cerr := e.fileWAL.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 

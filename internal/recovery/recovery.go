@@ -45,6 +45,7 @@ import (
 type AttEntry struct {
 	ID        wal.TxnID
 	LastLSN   wal.LSN
+	FirstLSN  wal.LSN // begin record; zero in images from before the field existed
 	System    bool
 	Committed bool
 }
@@ -104,15 +105,36 @@ func decodeCheckpoint(b []byte) (*Checkpoint, error) {
 // the transaction manager's live table, forces it, and records it as the
 // log's checkpoint anchor. It returns the checkpoint's LSN.
 func TakeCheckpoint(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.LSN, error) {
+	lsn, _, err := TakeCheckpointHorizon(log, tm, pools...)
+	return lsn, err
+}
+
+// TakeCheckpointHorizon is TakeCheckpoint also returning the WAL recycle
+// horizon this checkpoint establishes: the lowest LSN any future restart
+// could need, min(StartLSN, every DPT recLSN, every active transaction's
+// FirstLSN). Segments wholly below it are dead — analysis scans from
+// StartLSN at the earliest, redo from the oldest recLSN, and undo walks
+// no loser chain below its begin record. A zero FirstLSN (adopted loser
+// of unknown origin) pins the horizon at NilLSN: no recycling.
+func TakeCheckpointHorizon(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.LSN, wal.LSN, error) {
 	c := Checkpoint{StartLSN: log.EndLSN(), DPT: make(map[uint32]map[uint64]wal.LSN)}
 	c.MaxTxnID, c.ClockHW = tm.RecoveryBounds()
+	horizon := c.StartLSN
 	for _, e := range tm.SnapshotATT() {
-		c.ATT = append(c.ATT, AttEntry{ID: e.ID, LastLSN: e.LastLSN, System: e.System, Committed: e.Committed})
+		c.ATT = append(c.ATT, AttEntry{ID: e.ID, LastLSN: e.LastLSN, FirstLSN: e.FirstLSN, System: e.System, Committed: e.Committed})
+		if e.FirstLSN == wal.NilLSN {
+			horizon = wal.NilLSN
+		} else if horizon != wal.NilLSN && e.FirstLSN < horizon {
+			horizon = e.FirstLSN
+		}
 	}
 	for _, p := range pools {
 		dpt := make(map[uint64]wal.LSN)
 		for pid, rec := range p.DirtyPages() {
 			dpt[uint64(pid)] = rec
+			if horizon != wal.NilLSN && rec != wal.NilLSN && rec < horizon {
+				horizon = rec
+			}
 		}
 		c.DPT[p.StoreID] = dpt
 		if next, free, ok := p.SpaceSnapshot(); ok {
@@ -128,17 +150,17 @@ func TakeCheckpoint(log *wal.Log, tm *txn.Manager, pools ...*storage.Pool) (wal.
 	}
 	payload, err := encodeCheckpoint(&c)
 	if err != nil {
-		return wal.NilLSN, err
+		return wal.NilLSN, wal.NilLSN, err
 	}
 	lsn := log.Append(&wal.Record{Type: wal.RecCheckpoint, Payload: payload})
 	// The anchor is advanced only after the checkpoint record is stable;
 	// an unforced anchor would point restart at a record that did not
 	// survive.
 	if err := log.Force(lsn); err != nil {
-		return wal.NilLSN, fmt.Errorf("recovery: checkpoint not stable: %w", err)
+		return wal.NilLSN, wal.NilLSN, fmt.Errorf("recovery: checkpoint not stable: %w", err)
 	}
 	log.NoteCheckpoint(lsn)
-	return lsn, nil
+	return lsn, horizon, nil
 }
 
 // Opts configures a restart.

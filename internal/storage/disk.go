@@ -136,6 +136,22 @@ const (
 // crash-frozen FaultyDisk returns.
 var ErrDiskFailed = errors.New("storage: stable device failed")
 
+// ErrTornPage reports a page whose stable image failed its checksum — a
+// torn or corrupt on-disk page with no intact prior version to fall back
+// to. errors.Is(err, ErrTornPage) classifies it; recovery treats it as
+// fatal because redo needs some intact base image to start from.
+var ErrTornPage = errors.New("storage: torn or corrupt page")
+
+// PartialWriter is the optional real-tearing surface of a Disk: write
+// only the first n bytes of the framed on-disk form of img — a genuine
+// partial pwrite, as a device that lost power mid-write leaves behind.
+// The stable image of pid must remain readable as its prior version
+// (careful replacement), matching MemDisk's simulated torn-write
+// semantics where the old image persists.
+type PartialWriter interface {
+	WritePartial(pid PageID, img []byte, frac float64) error
+}
+
 // FaultyDisk wraps a Disk with an injector. Besides the armed
 // failpoints it enforces two latches: a permanent fault breaks the
 // device for good (every later write fails), and once the injector's
@@ -168,6 +184,15 @@ func (d *FaultyDisk) Write(pid PageID, img []byte) error {
 	if err := d.inj.Check(FPDiskWrite); err != nil {
 		if fault.IsPermanent(err) {
 			d.broken.Store(true)
+		}
+		if fault.IsTorn(err) {
+			if pw, ok := d.inner.(PartialWriter); ok {
+				// File-backed device: tear for real — a seeded prefix of
+				// the framed page lands on disk. The dual-slot layout
+				// keeps the prior image intact, so the observable
+				// semantics match MemDisk's simulated tear.
+				_ = pw.WritePartial(pid, img, fault.AsError(err).Frac)
+			}
 		}
 		return fmt.Errorf("storage: write page %d: %w", pid, err)
 	}

@@ -118,10 +118,11 @@ type Txn struct {
 	ID     wal.TxnID
 	System bool // true for atomic actions
 
-	mgr     *Manager
-	mu      sync.Mutex
-	lastLSN wal.LSN
-	state   State
+	mgr      *Manager
+	mu       sync.Mutex
+	lastLSN  wal.LSN
+	firstLSN wal.LSN // begin record; floor for the WAL recycle horizon
+	state    State
 	// beginClock is the version clock observed when the transaction began
 	// (under m.mu, so it orders against snapshot capture); every version
 	// the transaction writes has a strictly larger start time. Adopted
@@ -162,6 +163,7 @@ func (m *Manager) begin(system bool) *Txn {
 	lsn := m.Log.Append(&wal.Record{Type: wal.RecBegin, Flags: flags, TxnID: id})
 	t.mu.Lock()
 	t.lastLSN = lsn
+	t.firstLSN = lsn
 	t.mu.Unlock()
 	return t
 }
@@ -198,6 +200,7 @@ func (m *Manager) ActiveCount() int {
 type ATTEntry struct {
 	ID        wal.TxnID
 	LastLSN   wal.LSN
+	FirstLSN  wal.LSN // begin record: no record of this txn precedes it
 	System    bool
 	Committed bool
 }
@@ -220,7 +223,7 @@ func (m *Manager) SnapshotATT() []ATTEntry {
 			runtime.Gosched()
 			t.mu.Lock()
 		}
-		out = append(out, ATTEntry{ID: t.ID, LastLSN: t.lastLSN, System: t.System, Committed: t.state == Committed})
+		out = append(out, ATTEntry{ID: t.ID, LastLSN: t.lastLSN, FirstLSN: t.firstLSN, System: t.System, Committed: t.state == Committed})
 		t.mu.Unlock()
 	}
 	return out
@@ -243,6 +246,8 @@ func (m *Manager) Adopt(id wal.TxnID, system bool, lastLSN wal.LSN) *Txn {
 	if id >= m.nextID {
 		m.nextID = id + 1
 	}
+	// Adopted losers keep firstLSN 0: restart never recycles segments, so
+	// the conservative floor is harmless.
 	t := &Txn{ID: id, System: system, mgr: m, lastLSN: lastLSN}
 	m.active[id] = t
 	return t

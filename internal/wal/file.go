@@ -1,0 +1,652 @@
+// File-backed WAL: fixed-size segment files named by base LSN, a master
+// record carrying the checkpoint anchor and recycle horizon, replay that
+// verifies per-record CRC + LSN continuity and truncates at the first
+// corrupt or torn tail record, and checkpoint-driven retirement +
+// recycling of dead segments.
+//
+// On-disk formats (all little-endian):
+//
+//	segment file "wal-<base16>.seg":
+//	  [0:8)   magic "PITRWAL1"
+//	  [8:12)  format version (1)
+//	  [12:16) data capacity in bytes (segment size)
+//	  [16:24) base LSN of the first data byte
+//	  [24:28) CRC32C over bytes [0:24)
+//	  [28:32) zero pad
+//	  [32:..) raw record stream: the log bytes [base, base+cap)
+//
+//	master file "wal-master" (written via tmp+rename, so always atomic):
+//	  [0:8)   magic "PITRMSTR"
+//	  [8:12)  format version (1)
+//	  [12:20) checkpoint anchor LSN
+//	  [20:28) recycle horizon LSN
+//	  [28:32) CRC32C over bytes [0:28)
+//
+// The byte stream inside segments is exactly the in-memory log: LSN =
+// absolute byte offset, each record framed as len|crc|lsn|... with the
+// CRC covering the stored LSN. Replay therefore needs no segment-local
+// record index — it walks records from the horizon and stops at the
+// first frame whose CRC fails or whose stored LSN disagrees with its
+// position. The latter check is what makes recycled segments safe to
+// reuse without zeroing: stale bytes from a previous life are intact
+// records, but they carry old LSNs and self-invalidate.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrShortSegment reports a WAL segment chain that cannot be replayed:
+// a gap between segment base LSNs, a segment file shorter than its
+// header, or a recycled prefix whose master record is missing.
+var ErrShortSegment = errors.New("wal: short or missing segment")
+
+// SyncPolicy selects when the durability layer issues fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the active segment on every stable-prefix
+	// commit. Group commit already batches many transaction commits into
+	// one stable-prefix advance, so this is one fsync per force round,
+	// not per transaction.
+	SyncAlways SyncPolicy = iota
+	// SyncNever issues no fsyncs at all: bytes reach the OS page cache
+	// on Persist and survive a process kill, but not an OS crash or
+	// power loss. This is the mode the real-crash (SIGKILL) harness
+	// runs, and the honest equivalent of the in-memory simulation.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// DefaultSegmentSize is the default data capacity of one WAL segment.
+const DefaultSegmentSize = 1 << 20
+
+const (
+	segHdrLen    = 32
+	masterLen    = 32
+	segMagic     = "PITRWAL1"
+	masterMagic  = "PITRMSTR"
+	fileVersion  = 1
+	masterName   = "wal-master"
+	segPrefix    = "wal-"
+	segSuffix    = ".seg"
+	freePrefix   = "wal-free-"
+	minSegmentSz = 4 * 1024
+)
+
+// FileWALStats counts the durable layer's physical work.
+type FileWALStats struct {
+	Persists         int64 // Persist calls (stable-prefix advances)
+	BytesPersisted   int64
+	Fsyncs           int64 // data-path fsyncs (commit + segment roll)
+	MasterWrites     int64
+	SegmentsCreated  int64 // brand-new segment files
+	SegmentsRecycled int64 // segments reused from the free pool
+	SegmentsRetired  int64 // segments dropped below the recycle horizon
+	ReplayRecords    int64 // records accepted by the last replay
+	ReplayTruncated  int64 // bytes discarded at the corrupt/torn tail
+}
+
+type segMeta struct {
+	base uint64
+	cap  uint64
+	path string
+}
+
+// FileWAL is a StableSink over a directory of WAL segment files. All
+// methods are called under the owning Log's mutex (the Log serializes
+// Persist/Commit/NoteCheckpoint/Recycle), but FileWAL carries its own
+// mutex so direct use from tests is safe too.
+type FileWAL struct {
+	dir    string
+	segCap uint64
+	policy SyncPolicy
+
+	mu      sync.Mutex
+	pos     uint64 // next byte offset to persist (LSN space)
+	cur     *os.File
+	curBase uint64
+	live    []segMeta // durable segments in base order, excluding cur? no: including cur
+	free    []string  // recycled segment files awaiting reuse
+	freeSeq int
+	ckpt    LSN
+	horizon LSN
+	closed  bool
+
+	stats FileWALStats
+}
+
+// OpenFileWAL opens (or creates) a file-backed WAL in dir. If the
+// directory holds a previous incarnation's log it is replayed: the
+// returned Reader covers the valid stable prefix (nil if the log is
+// empty) and the writer is positioned at its end, with any corrupt or
+// torn tail physically truncated. segSize is the data capacity per
+// segment (0 means DefaultSegmentSize; clamped to a sane minimum).
+func OpenFileWAL(dir string, segSize int, policy SyncPolicy) (*FileWAL, *Reader, error) {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	if segSize < minSegmentSz {
+		segSize = minSegmentSz
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	fw := &FileWAL{dir: dir, segCap: uint64(segSize), policy: policy, pos: 1}
+	rd, err := fw.replay()
+	if err != nil {
+		fw.Close()
+		return nil, nil, err
+	}
+	return fw, rd, nil
+}
+
+// Stats returns a snapshot of the physical-work counters.
+func (fw *FileWAL) Stats() FileWALStats {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.stats
+}
+
+// Dir returns the WAL directory.
+func (fw *FileWAL) Dir() string { return fw.dir }
+
+// Close closes the active segment file. It does not sync: callers that
+// need durability force the log first.
+func (fw *FileWAL) Close() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.closed = true
+	if fw.cur != nil {
+		err := fw.cur.Close()
+		fw.cur = nil
+		return err
+	}
+	return nil
+}
+
+func segName(base uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix)
+}
+
+func encodeSegHeader(b []byte, segCap, base uint64) {
+	copy(b[0:8], segMagic)
+	binary.LittleEndian.PutUint32(b[8:], fileVersion)
+	binary.LittleEndian.PutUint32(b[12:], uint32(segCap))
+	binary.LittleEndian.PutUint64(b[16:], base)
+	binary.LittleEndian.PutUint32(b[24:], crc32.Checksum(b[0:24], crcTable))
+	binary.LittleEndian.PutUint32(b[28:], 0)
+}
+
+func decodeSegHeader(b []byte) (segCap, base uint64, ok bool) {
+	if len(b) < segHdrLen || string(b[0:8]) != segMagic {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(b[8:]) != fileVersion {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(b[24:]) != crc32.Checksum(b[0:24], crcTable) {
+		return 0, 0, false
+	}
+	return uint64(binary.LittleEndian.Uint32(b[12:])), binary.LittleEndian.Uint64(b[16:]), true
+}
+
+// writeMaster durably replaces the master record via tmp+rename.
+// Caller holds fw.mu.
+func (fw *FileWAL) writeMaster() error {
+	var b [masterLen]byte
+	copy(b[0:8], masterMagic)
+	binary.LittleEndian.PutUint32(b[8:], fileVersion)
+	binary.LittleEndian.PutUint64(b[12:], uint64(fw.ckpt))
+	binary.LittleEndian.PutUint64(b[20:], uint64(fw.horizon))
+	binary.LittleEndian.PutUint32(b[28:], crc32.Checksum(b[0:28], crcTable))
+	tmp := filepath.Join(fw.dir, masterName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if fw.policy != SyncNever {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		fw.stats.Fsyncs++
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(fw.dir, masterName)); err != nil {
+		return err
+	}
+	fw.stats.MasterWrites++
+	return fw.syncDir()
+}
+
+func (fw *FileWAL) readMaster() (ckpt, horizon LSN, ok bool) {
+	b, err := os.ReadFile(filepath.Join(fw.dir, masterName))
+	if err != nil || len(b) < masterLen || string(b[0:8]) != masterMagic {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(b[8:]) != fileVersion {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(b[28:]) != crc32.Checksum(b[0:28], crcTable) {
+		return 0, 0, false
+	}
+	return LSN(binary.LittleEndian.Uint64(b[12:])), LSN(binary.LittleEndian.Uint64(b[20:])), true
+}
+
+func (fw *FileWAL) syncDir() error {
+	if fw.policy == SyncNever {
+		return nil
+	}
+	d, err := os.Open(fw.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	if err == nil {
+		fw.stats.Fsyncs++
+	}
+	return err
+}
+
+// toFree renames path into the free pool for later reuse.
+// Caller holds fw.mu.
+func (fw *FileWAL) toFree(path string) {
+	fw.freeSeq++
+	dst := filepath.Join(fw.dir, fmt.Sprintf("%s%d%s", freePrefix, fw.freeSeq, segSuffix))
+	if err := os.Rename(path, dst); err == nil {
+		fw.free = append(fw.free, dst)
+	} else {
+		os.Remove(path)
+	}
+}
+
+// replay scans the directory, validates and stitches the segment chain,
+// walks the record stream from the horizon truncating at the first
+// corrupt record, physically truncates the torn tail, and positions the
+// writer at the end. Caller is OpenFileWAL (no lock needed yet).
+func (fw *FileWAL) replay() (*Reader, error) {
+	entries, err := os.ReadDir(fw.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ckpt, horizon LSN
+	masterOK := false
+	if c, h, ok := fw.readMaster(); ok {
+		ckpt, horizon, masterOK = c, h, true
+	}
+	start := uint64(horizon)
+	if start < 1 {
+		start = 1
+	}
+
+	var segs []segMeta
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		path := filepath.Join(fw.dir, name)
+		if strings.HasPrefix(name, freePrefix) {
+			fw.free = append(fw.free, path)
+			idxStr := strings.TrimSuffix(strings.TrimPrefix(name, freePrefix), segSuffix)
+			if n, err := strconv.Atoi(idxStr); err == nil && n > fw.freeSeq {
+				fw.freeSeq = n
+			}
+			continue
+		}
+		hdr := make([]byte, segHdrLen)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		n, _ := f.ReadAt(hdr, 0)
+		f.Close()
+		segCap, base, ok := decodeSegHeader(hdr[:n])
+		if !ok {
+			// A crash between creating/renaming a segment file and
+			// completing its header leaves an unparseable file; no data
+			// was ever persisted into it, so it is safely recyclable.
+			fw.toFree(path)
+			continue
+		}
+		if base+segCap <= uint64(horizon) {
+			// Dead segment that survived a crash mid-recycle: the master
+			// horizon already covers it.
+			fw.stats.SegmentsRetired++
+			fw.toFree(path)
+			continue
+		}
+		segs = append(segs, segMeta{base: base, cap: segCap, path: path})
+	}
+
+	if len(segs) == 0 {
+		if horizon > 1 {
+			return nil, fmt.Errorf("wal: master horizon %d but no segments: %w", horizon, ErrShortSegment)
+		}
+		fw.ckpt, fw.horizon = 0, 1
+		fw.pos = 1
+		return nil, nil
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	if !masterOK && segs[0].base > 0 {
+		// Recycling always writes the master first, so a missing master
+		// with a truncated chain means the master itself was lost.
+		return nil, fmt.Errorf("wal: segment chain starts at %d with no master record: %w", segs[0].base, ErrShortSegment)
+	}
+	if segs[0].base > start {
+		return nil, fmt.Errorf("wal: horizon %d precedes first segment base %d: %w", start, segs[0].base, ErrShortSegment)
+	}
+	fw.segCap = segs[0].cap
+
+	// Stitch the chain: contiguous bases, full-capacity interior
+	// segments. A short interior segment orphans everything after it
+	// (those records are unreachable without the missing bytes), so the
+	// chain is cut there.
+	var chain []segMeta
+	end := uint64(0)
+	for i, s := range segs {
+		if s.cap != fw.segCap {
+			return nil, fmt.Errorf("wal: segment %s capacity %d != %d: %w", filepath.Base(s.path), s.cap, fw.segCap, ErrShortSegment)
+		}
+		if i > 0 && s.base != chain[len(chain)-1].base+fw.segCap {
+			return nil, fmt.Errorf("wal: segment gap between base %d and %d: %w", chain[len(chain)-1].base, s.base, ErrShortSegment)
+		}
+		st, err := os.Stat(s.path)
+		if err != nil {
+			return nil, err
+		}
+		if st.Size() < segHdrLen {
+			return nil, fmt.Errorf("wal: segment %s shorter than header: %w", filepath.Base(s.path), ErrShortSegment)
+		}
+		dataLen := uint64(st.Size()) - segHdrLen
+		if dataLen > s.cap {
+			dataLen = s.cap
+		}
+		chain = append(chain, s)
+		end = s.base + dataLen
+		if dataLen < s.cap {
+			// Short segment: the stream ends here; later segments (if
+			// any) are unreachable.
+			for _, o := range segs[i+1:] {
+				fw.stats.SegmentsRetired++
+				fw.toFree(o.path)
+			}
+			break
+		}
+	}
+	if end < start {
+		end = start
+	}
+
+	// Load the byte stream and walk records from the horizon.
+	buf := make([]byte, end)
+	for _, s := range chain {
+		hi := s.base + fw.segCap
+		if hi > end {
+			hi = end
+		}
+		if hi <= s.base {
+			continue
+		}
+		f, err := os.Open(s.path)
+		if err != nil {
+			return nil, err
+		}
+		_, err = f.ReadAt(buf[s.base:hi], segHdrLen)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	pos := start
+	var rec Record
+	for pos < end {
+		n, err := decodeSharedInto(buf[pos:], &rec)
+		if err != nil || rec.LSN != LSN(pos) {
+			break
+		}
+		fw.stats.ReplayRecords++
+		pos += uint64(n)
+	}
+	fw.stats.ReplayTruncated = int64(end - pos)
+	end = pos
+
+	// Physically truncate the torn tail so stale bytes from this
+	// incarnation can never be misread as stable by the next one (a
+	// once-valid record at the same offset would pass both CRC and LSN
+	// checks).
+	last := -1
+	for i, s := range chain {
+		if s.base < end || (i == 0 && end <= s.base) {
+			last = i
+		}
+	}
+	for i, s := range chain {
+		if i > last {
+			fw.stats.SegmentsRetired++
+			fw.toFree(s.path)
+			continue
+		}
+		if i == last {
+			off := int64(segHdrLen)
+			if end > s.base {
+				off += int64(end - s.base)
+			}
+			if err := os.Truncate(s.path, off); err != nil {
+				return nil, err
+			}
+		}
+		fw.live = append(fw.live, s)
+	}
+
+	// Position the writer at end, inside the last live segment.
+	tail := fw.live[len(fw.live)-1]
+	f, err := os.OpenFile(tail.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fw.cur = f
+	fw.curBase = tail.base
+	fw.pos = end
+	fw.ckpt, fw.horizon = ckpt, horizon
+	if fw.horizon < 1 {
+		fw.horizon = 1
+	}
+
+	if end <= 1 {
+		return nil, nil
+	}
+	rdCkpt := ckpt
+	if rdCkpt >= LSN(end) || rdCkpt < LSN(start) {
+		if horizon > 1 {
+			return nil, fmt.Errorf("wal: checkpoint anchor %d outside replayable range [%d,%d): %w", rdCkpt, start, end, ErrCorruptRecord)
+		}
+		rdCkpt = NilLSN
+	}
+	return &Reader{buf: buf[:end], ckptLSN: rdCkpt, start: LSN(start)}, nil
+}
+
+// roll finalizes the active segment and opens the next one, reusing a
+// free file when available. Caller holds fw.mu.
+func (fw *FileWAL) roll() error {
+	newBase := uint64(0)
+	if fw.cur != nil {
+		if fw.policy != SyncNever {
+			if err := fw.cur.Sync(); err != nil {
+				return err
+			}
+			fw.stats.Fsyncs++
+		}
+		if err := fw.cur.Close(); err != nil {
+			return err
+		}
+		fw.cur = nil
+		newBase = fw.curBase + fw.segCap
+	}
+	path := filepath.Join(fw.dir, segName(newBase))
+	var f *os.File
+	var err error
+	if n := len(fw.free); n > 0 {
+		src := fw.free[n-1]
+		fw.free = fw.free[:n-1]
+		if err = os.Rename(src, path); err != nil {
+			return err
+		}
+		if f, err = os.OpenFile(path, os.O_RDWR, 0o644); err != nil {
+			return err
+		}
+		// Drop the previous life's bytes: stale records self-invalidate
+		// via the LSN check, but truncating keeps replay from even
+		// reading them.
+		if err = f.Truncate(segHdrLen); err != nil {
+			f.Close()
+			return err
+		}
+		fw.stats.SegmentsRecycled++
+	} else {
+		if f, err = os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644); err != nil {
+			return err
+		}
+		fw.stats.SegmentsCreated++
+	}
+	hdr := make([]byte, segHdrLen)
+	encodeSegHeader(hdr, fw.segCap, newBase)
+	if _, err = f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return err
+	}
+	fw.cur = f
+	fw.curBase = newBase
+	fw.live = append(fw.live, segMeta{base: newBase, cap: fw.segCap, path: path})
+	return fw.syncDir()
+}
+
+// Persist writes the log bytes [from, from+len(b)) into segment files.
+// Ranges arrive contiguous and in order from the Log's stable-prefix
+// advancement.
+func (fw *FileWAL) Persist(from LSN, b []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.closed {
+		return errors.New("wal: file sink closed")
+	}
+	if uint64(from) != fw.pos {
+		return fmt.Errorf("wal: non-contiguous persist at %d, expected %d", from, fw.pos)
+	}
+	fw.stats.Persists++
+	fw.stats.BytesPersisted += int64(len(b))
+	for len(b) > 0 {
+		if fw.cur == nil || fw.pos == fw.curBase+fw.segCap {
+			if err := fw.roll(); err != nil {
+				return err
+			}
+		}
+		n := fw.curBase + fw.segCap - fw.pos
+		if n > uint64(len(b)) {
+			n = uint64(len(b))
+		}
+		if _, err := fw.cur.WriteAt(b[:n], int64(segHdrLen+(fw.pos-fw.curBase))); err != nil {
+			return err
+		}
+		fw.pos += n
+		b = b[n:]
+	}
+	return nil
+}
+
+// Commit makes everything persisted so far durable, per policy.
+func (fw *FileWAL) Commit() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.policy == SyncNever || fw.cur == nil {
+		return nil
+	}
+	if err := fw.cur.Sync(); err != nil {
+		return err
+	}
+	fw.stats.Fsyncs++
+	return nil
+}
+
+// PersistPartial writes b at from without advancing the persisted
+// position — the file-layer image of a device that tore mid-record.
+// Best effort; clipped to the active segment.
+func (fw *FileWAL) PersistPartial(from LSN, b []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.cur == nil || uint64(from) < fw.curBase {
+		return nil
+	}
+	off := uint64(from) - fw.curBase
+	if off >= fw.segCap {
+		return nil
+	}
+	if max := fw.segCap - off; uint64(len(b)) > max {
+		b = b[:max]
+	}
+	_, err := fw.cur.WriteAt(b, int64(segHdrLen+off))
+	return err
+}
+
+// NoteCheckpoint durably records the checkpoint anchor in the master
+// file.
+func (fw *FileWAL) NoteCheckpoint(lsn LSN) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.ckpt = lsn
+	return fw.writeMaster()
+}
+
+// Recycle retires every segment wholly below horizon. The master record
+// is durably updated with the new horizon BEFORE any segment is touched:
+// if the process dies between the two steps, replay sees the new horizon
+// and ignores the dead segments whether or not their files survived.
+func (fw *FileWAL) Recycle(horizon LSN) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if horizon <= fw.horizon {
+		return nil
+	}
+	fw.horizon = horizon
+	if err := fw.writeMaster(); err != nil {
+		return err
+	}
+	keep := fw.live[:0]
+	for _, s := range fw.live {
+		if s.base+s.cap <= uint64(horizon) && s.base != fw.curBase {
+			fw.stats.SegmentsRetired++
+			fw.toFree(s.path)
+			continue
+		}
+		keep = append(keep, s)
+	}
+	fw.live = keep
+	return nil
+}

@@ -129,33 +129,44 @@ type Record struct {
 // IsSystem reports whether the record belongs to an atomic action.
 func (r *Record) IsSystem() bool { return r.Flags&FlagSystem != 0 }
 
-const headerSize = 4 + 4 + 2 + 2 + 2 + 8 + 8 + 8 + 4 + 8 // len,crc,type,flags,kind,txn,prev,undonext,store,page
+const headerSize = 4 + 4 + 8 + 2 + 2 + 2 + 8 + 8 + 8 + 4 + 8 // len,crc,lsn,type,flags,kind,txn,prev,undonext,store,page
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// encodeInto writes the wire form of r (excluding LSN, which is
-// positional) into b, which must be exactly headerSize+len(r.Payload)
-// bytes.
+// encodeInto writes the wire form of r into b, which must be exactly
+// headerSize+len(r.Payload) bytes. The record's LSN is part of the frame
+// and covered by the CRC: a decoder can therefore verify not only that
+// the bytes are intact but that the record actually belongs at the
+// position it was read from, which is what gives file replay its LSN
+// continuity check (a recycled segment's stale-but-intact records carry
+// old LSNs and are rejected).
 func encodeInto(b []byte, r *Record) {
 	total := len(b)
 	binary.LittleEndian.PutUint32(b[0:], uint32(total))
 	// CRC filled below over bytes [8:total].
-	binary.LittleEndian.PutUint16(b[8:], uint16(r.Type))
-	binary.LittleEndian.PutUint16(b[10:], uint16(r.Flags))
-	binary.LittleEndian.PutUint16(b[12:], uint16(r.Kind))
-	binary.LittleEndian.PutUint64(b[14:], uint64(r.TxnID))
-	binary.LittleEndian.PutUint64(b[22:], uint64(r.PrevLSN))
-	binary.LittleEndian.PutUint64(b[30:], uint64(r.UndoNext))
-	binary.LittleEndian.PutUint32(b[38:], r.StoreID)
-	binary.LittleEndian.PutUint64(b[42:], r.PageID)
+	binary.LittleEndian.PutUint64(b[8:], uint64(r.LSN))
+	binary.LittleEndian.PutUint16(b[16:], uint16(r.Type))
+	binary.LittleEndian.PutUint16(b[18:], uint16(r.Flags))
+	binary.LittleEndian.PutUint16(b[20:], uint16(r.Kind))
+	binary.LittleEndian.PutUint64(b[22:], uint64(r.TxnID))
+	binary.LittleEndian.PutUint64(b[30:], uint64(r.PrevLSN))
+	binary.LittleEndian.PutUint64(b[38:], uint64(r.UndoNext))
+	binary.LittleEndian.PutUint32(b[46:], r.StoreID)
+	binary.LittleEndian.PutUint64(b[50:], r.PageID)
 	copy(b[headerSize:], r.Payload)
 	crc := crc32.Checksum(b[8:total], crcTable)
 	binary.LittleEndian.PutUint32(b[4:], crc)
 }
 
-// ErrBadRecord reports a torn or corrupt record; recovery treats it as the
-// end of the log.
-var ErrBadRecord = errors.New("wal: torn or corrupt record")
+// ErrCorruptRecord reports a torn or corrupt log record (bad length, CRC
+// mismatch, or a stored LSN that does not match the record's position).
+// Replay treats the first corrupt record as the end of the log. It is the
+// durability layer's classification sentinel: errors.Is(err,
+// ErrCorruptRecord) matches every framing failure.
+var ErrCorruptRecord = errors.New("wal: torn or corrupt record")
+
+// ErrBadRecord is the historical name of ErrCorruptRecord.
+var ErrBadRecord = ErrCorruptRecord
 
 // ErrLogFailed is wrapped by every stable-sync error once the log device
 // has failed (permanently, by a torn sync, or by exhausting transient
@@ -203,14 +214,15 @@ func decodeSharedInto(b []byte, r *Record) (int, error) {
 		return 0, ErrBadRecord
 	}
 	*r = Record{
-		Type:     RecType(binary.LittleEndian.Uint16(b[8:])),
-		Flags:    Flags(binary.LittleEndian.Uint16(b[10:])),
-		Kind:     Kind(binary.LittleEndian.Uint16(b[12:])),
-		TxnID:    TxnID(binary.LittleEndian.Uint64(b[14:])),
-		PrevLSN:  LSN(binary.LittleEndian.Uint64(b[22:])),
-		UndoNext: LSN(binary.LittleEndian.Uint64(b[30:])),
-		StoreID:  binary.LittleEndian.Uint32(b[38:]),
-		PageID:   binary.LittleEndian.Uint64(b[42:]),
+		LSN:      LSN(binary.LittleEndian.Uint64(b[8:])),
+		Type:     RecType(binary.LittleEndian.Uint16(b[16:])),
+		Flags:    Flags(binary.LittleEndian.Uint16(b[18:])),
+		Kind:     Kind(binary.LittleEndian.Uint16(b[20:])),
+		TxnID:    TxnID(binary.LittleEndian.Uint64(b[22:])),
+		PrevLSN:  LSN(binary.LittleEndian.Uint64(b[30:])),
+		UndoNext: LSN(binary.LittleEndian.Uint64(b[38:])),
+		StoreID:  binary.LittleEndian.Uint32(b[46:]),
+		PageID:   binary.LittleEndian.Uint64(b[50:]),
 	}
 	if total > headerSize {
 		r.Payload = b[headerSize:total]
@@ -278,6 +290,9 @@ type Log struct {
 	stableLSN LSN        // bytes [ :stableLSN] survive a crash
 	ckptLSN   LSN        // master-record anchor: LSN of the last stable checkpoint
 	flushes   int64      // number of Force calls that advanced stableLSN
+	start     LSN        // first readable LSN (> 1 after segment recycling)
+	sink      StableSink // optional durable backing for the stable prefix
+	scratch   []byte     // sink copy buffer, reused under l.mu
 
 	// Group-commit state (ForceGroup). gcMu is taken only on the commit
 	// path and never while holding l.mu.
@@ -300,6 +315,46 @@ type Log struct {
 // concurrently.
 func (l *Log) SetInjector(inj *fault.Injector) { l.inj = inj }
 
+// StableSink receives the log's stable prefix as it advances, turning the
+// in-memory stability model into real durability. Persist is called under
+// the log mutex with contiguous, gap-free byte ranges in LSN order;
+// Commit must make everything persisted so far survive a process kill
+// (fsync, subject to the sink's sync policy). Either method failing
+// latches the log damaged, exactly like a device failure: the force that
+// observed it returns an error wrapping ErrLogFailed and the record is
+// guaranteed never to be acknowledged as stable.
+type StableSink interface {
+	Persist(from LSN, b []byte) error
+	Commit() error
+}
+
+// sinkRecycler is the optional recycling surface of a StableSink: drop
+// segments wholly below horizon after durably noting the new horizon.
+type sinkRecycler interface {
+	Recycle(horizon LSN) error
+}
+
+// sinkAnchor is the optional master-record surface of a StableSink: note
+// the checkpoint anchor durably (the master record of real systems).
+type sinkAnchor interface {
+	NoteCheckpoint(lsn LSN) error
+}
+
+// sinkPartial is the optional torn-write surface of a StableSink: write b
+// at from without advancing the sink's persisted prefix, modeling a
+// device that stopped mid-record. Best effort; used only by torn-sync
+// fault injection so a later file replay sees a genuinely partial record.
+type sinkPartial interface {
+	PersistPartial(from LSN, b []byte) error
+}
+
+// SetSink attaches a durable sink for the stable prefix. Must be called
+// before the log is used concurrently, and the sink must already be
+// positioned at the log's current stable LSN (a fresh sink for a fresh
+// log, or a replayed sink for a log built with NewFromImage on that
+// sink's reader).
+func (l *Log) SetSink(s StableSink) { l.sink = s }
+
 // Damaged reports whether the log device has failed. Once true, every
 // force of a not-yet-stable record fails; already-stable records stay
 // stable and readable.
@@ -307,7 +362,7 @@ func (l *Log) Damaged() bool { return l.damaged.Load() }
 
 // New returns an empty log.
 func New() *Log {
-	l := &Log{stableLSN: 1}
+	l := &Log{stableLSN: 1, start: 1}
 	l.gcCond = sync.NewCond(&l.gcMu)
 	l.tail.Store(1)
 	segs := [][]byte{make([]byte, segSize)}
@@ -323,13 +378,14 @@ func New() *Log {
 // continuity across restart exactly as a real single log would.
 func NewFromImage(r *Reader) *Log {
 	l := New()
-	if len(r.buf) > 1 {
-		end := uint64(len(r.buf))
+	start := uint64(r.effStart())
+	if end := uint64(len(r.buf)); end > start {
 		segs := l.ensure(end)
-		copyIn(segs, 1, r.buf[1:])
+		copyIn(segs, start, r.buf[start:])
 		l.tail.Store(end)
 		l.stableLSN = LSN(end)
 	}
+	l.start = r.effStart()
 	l.ckptLSN = r.ckptLSN
 	return l
 }
@@ -434,13 +490,40 @@ func (l *Log) publishedPrefix(limit uint64) uint64 {
 // NoteCheckpoint records lsn as the most recent checkpoint anchor (the
 // "master record" of real systems). Callers force the log through lsn
 // first; an unforced anchor would not survive a crash, so CrashImage drops
-// anchors beyond the truncation point.
+// anchors beyond the truncation point. With a durable sink attached the
+// anchor is also written to the sink's master record.
 func (l *Log) NoteCheckpoint(lsn LSN) {
 	l.mu.Lock()
 	if lsn <= l.stableLSN || lsn < LSN(l.tail.Load()) {
 		l.ckptLSN = lsn
+		if a, ok := l.sink.(sinkAnchor); ok {
+			// A failed master write only loses the anchor, never log
+			// records: replay falls back to the previous anchor, which is
+			// always sufficient (just slower).
+			_ = a.NoteCheckpoint(lsn)
+		}
 	}
 	l.mu.Unlock()
+}
+
+// Recycle tells the durable sink that no record below horizon will ever
+// be read again (redo, undo, and analysis all start at or beyond it), so
+// segment files wholly below it can be retired and recycled. In-memory
+// state is untouched — recycling is a property of the files, not of the
+// buffered log. No-op without a recycling sink. The horizon is clamped to
+// the stable prefix: an unforced horizon could otherwise retire bytes
+// replay still needs.
+func (l *Log) Recycle(horizon LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.sink.(sinkRecycler)
+	if !ok {
+		return nil
+	}
+	if horizon > l.stableLSN {
+		horizon = l.stableLSN
+	}
+	return rec.Recycle(horizon)
 }
 
 // CheckpointLSN returns the current checkpoint anchor, or NilLSN.
@@ -530,17 +613,18 @@ func (l *Log) syncLocked(limit, target uint64) error {
 				// died before the device acknowledged.
 				return fmt.Errorf("wal: force to %d after crash: %w", target-1, ErrLogFailed)
 			}
-			l.advanceStable(limit, target)
-			return nil
+			return l.advanceStable(limit, target)
 		}
 		if fault.IsTorn(err) {
 			// The device persisted part of the sync and then failed:
 			// advance stability only to a seeded earlier record boundary.
 			// Publication must complete first so the boundary walk reads
 			// finished headers.
-			l.waitPublished(limit, target)
+			pub := l.waitPublished(limit, target)
 			fe := fault.AsError(err)
-			if b := l.tearBoundary(uint64(l.stableLSN), target, fe.Frac); b > uint64(l.stableLSN) {
+			b := l.tearBoundary(uint64(l.stableLSN), target, fe.Frac)
+			l.persistTorn(uint64(l.stableLSN), b, pub, fe.Frac)
+			if b > uint64(l.stableLSN) {
 				l.stableLSN = LSN(b)
 				l.flushes++
 			}
@@ -693,13 +777,76 @@ func (l *Log) ForceAll() error {
 }
 
 // advanceStable waits until the published prefix reaches target, then
-// advances stableLSN over it. Caller holds l.mu.
-func (l *Log) advanceStable(limit, target uint64) {
+// advances stableLSN over it, persisting the newly stable bytes to the
+// sink first — log bytes are never acknowledged stable before they are
+// durable. Caller holds l.mu.
+func (l *Log) advanceStable(limit, target uint64) error {
 	pub := l.waitPublished(limit, target)
-	if LSN(pub) > l.stableLSN {
-		l.stableLSN = LSN(pub)
-		l.flushes++
+	if LSN(pub) <= l.stableLSN {
+		return nil
 	}
+	if l.sink != nil {
+		n := pub - uint64(l.stableLSN)
+		if uint64(cap(l.scratch)) < n {
+			l.scratch = make([]byte, n)
+		}
+		buf := l.scratch[:n]
+		copyOut(*l.segs.Load(), buf, uint64(l.stableLSN))
+		if err := l.sink.Persist(l.stableLSN, buf); err != nil {
+			l.damaged.Store(true)
+			return fmt.Errorf("wal: persist [%d,%d): %w: %w", l.stableLSN, pub, ErrLogFailed, err)
+		}
+		if err := l.sink.Commit(); err != nil {
+			l.damaged.Store(true)
+			return fmt.Errorf("wal: sync to %d: %w: %w", pub, ErrLogFailed, err)
+		}
+	}
+	l.stableLSN = LSN(pub)
+	l.flushes++
+	return nil
+}
+
+// persistTorn mirrors a torn sync into the sink: the prefix up to the
+// tear boundary b is persisted and committed (it survives), and a seeded
+// fraction of the record starting at b is written partially — strictly
+// less than the whole record, so file replay truncates exactly at b the
+// way the in-memory stable point does. Best effort: the device is about
+// to be latched damaged either way. Caller holds l.mu.
+func (l *Log) persistTorn(stable, b, pub uint64, frac float64) {
+	if l.sink == nil {
+		return
+	}
+	segs := *l.segs.Load()
+	if b > stable {
+		buf := make([]byte, b-stable)
+		copyOut(segs, buf, stable)
+		if err := l.sink.Persist(LSN(stable), buf); err != nil {
+			return
+		}
+		_ = l.sink.Commit()
+	}
+	sp, ok := l.sink.(sinkPartial)
+	if !ok || b+4 > pub {
+		return
+	}
+	var lenb [4]byte
+	copyOut(segs, lenb[:], b)
+	total := uint64(binary.LittleEndian.Uint32(lenb[:]))
+	if total < headerSize || b+total > pub {
+		return
+	}
+	// At most total-1 bytes: a complete record here would replay as
+	// stable even though its committer was told it failed (a ghost).
+	pl := uint64(frac * float64(total))
+	if pl >= total {
+		pl = total - 1
+	}
+	if pl == 0 {
+		return
+	}
+	part := make([]byte, pl)
+	copyOut(segs, part, b)
+	_ = sp.PersistPartial(LSN(b), part)
 }
 
 // waitPublished spins until the published prefix reaches target and
@@ -753,7 +900,9 @@ func (l *Log) Read(lsn LSN) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	r.LSN = lsn
+	if r.LSN != lsn {
+		return Record{}, fmt.Errorf("wal: record at %d carries LSN %d: %w", lsn, r.LSN, ErrCorruptRecord)
+	}
 	return r, nil
 }
 
@@ -800,7 +949,7 @@ func (l *Log) CrashImage(truncateAt *LSN) *Reader {
 	if ckpt >= end {
 		ckpt = NilLSN
 	}
-	return &Reader{buf: l.contiguous(uint64(end)), ckptLSN: ckpt}
+	return &Reader{buf: l.contiguous(uint64(end)), ckptLSN: ckpt, start: l.start}
 }
 
 // FullImage returns a Reader over the fully-published buffered log, for
@@ -809,33 +958,48 @@ func (l *Log) FullImage() *Reader {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	end := l.publishedPrefix(l.tail.Load())
-	return &Reader{buf: l.contiguous(end), ckptLSN: l.ckptLSN}
+	return &Reader{buf: l.contiguous(end), ckptLSN: l.ckptLSN, start: l.start}
 }
 
-// Reader iterates a (possibly truncated) log image during restart.
+// Reader iterates a (possibly truncated) log image during restart. buf is
+// indexed by absolute LSN; bytes below start are unreadable (zero after
+// segment recycling dropped them).
 type Reader struct {
 	buf     []byte
 	ckptLSN LSN
+	start   LSN // first readable record position; 0 means 1
 }
 
 // CheckpointLSN returns the image's checkpoint anchor, or NilLSN if no
 // checkpoint survived.
 func (r *Reader) CheckpointLSN() LSN { return r.ckptLSN }
 
-// Scan calls fn for each record from lsn (NilLSN means the log start) to
-// the end of the image, stopping early if fn returns false. A torn record
-// terminates the scan silently, as restart would.
+// StartLSN returns the first readable record position of the image. It is
+// 1 for a never-recycled log and the recycle horizon afterwards.
+func (r *Reader) StartLSN() LSN { return r.effStart() }
+
+func (r *Reader) effStart() LSN {
+	if r.start <= 1 {
+		return 1
+	}
+	return r.start
+}
+
+// Scan calls fn for each record from lsn (NilLSN means the start of the
+// readable image) to the end of the image, stopping early if fn returns
+// false. A torn or corrupt record — including one whose stored LSN does
+// not match its position — terminates the scan silently, as restart
+// would.
 func (r *Reader) Scan(lsn LSN, fn func(Record) bool) {
 	pos := int(lsn)
-	if pos == 0 {
-		pos = 1
+	if pos < int(r.effStart()) {
+		pos = int(r.effStart())
 	}
 	for pos < len(r.buf) {
 		rec, n, err := decode(r.buf[pos:])
-		if err != nil {
+		if err != nil || rec.LSN != LSN(pos) {
 			return
 		}
-		rec.LSN = LSN(pos)
 		if !fn(rec) {
 			return
 		}
@@ -850,16 +1014,15 @@ func (r *Reader) Scan(lsn LSN, fn func(Record) bool) {
 // copying it. Restart's fused analysis+planning scan runs through this.
 func (r *Reader) ScanShared(lsn LSN, fn func(*Record) bool) {
 	pos := int(lsn)
-	if pos == 0 {
-		pos = 1
+	if pos < int(r.effStart()) {
+		pos = int(r.effStart())
 	}
 	var rec Record
 	for pos < len(r.buf) {
 		n, err := decodeSharedInto(r.buf[pos:], &rec)
-		if err != nil {
+		if err != nil || rec.LSN != LSN(pos) {
 			return
 		}
-		rec.LSN = LSN(pos)
 		if !fn(&rec) {
 			return
 		}
@@ -883,26 +1046,30 @@ func (r *Reader) RecordAt(lsn LSN) (Record, error) {
 // redo worker can materialize a page's whole batch without a struct copy
 // per record.
 func (r *Reader) RecordAtInto(lsn LSN, rec *Record) error {
-	if lsn == NilLSN || int(lsn) >= len(r.buf) {
+	if lsn < r.effStart() || int(lsn) >= len(r.buf) {
 		return fmt.Errorf("wal: image read at invalid LSN %d", lsn)
 	}
 	if _, err := decodeSharedInto(r.buf[lsn:], rec); err != nil {
 		return err
 	}
-	rec.LSN = lsn
+	if rec.LSN != lsn {
+		return fmt.Errorf("wal: record at %d carries LSN %d: %w", lsn, rec.LSN, ErrCorruptRecord)
+	}
 	return nil
 }
 
 // Read returns the record at lsn within the image.
 func (r *Reader) Read(lsn LSN) (Record, error) {
-	if lsn == NilLSN || int(lsn) >= len(r.buf) {
+	if lsn < r.effStart() || int(lsn) >= len(r.buf) {
 		return Record{}, fmt.Errorf("wal: image read at invalid LSN %d", lsn)
 	}
 	rec, _, err := decode(r.buf[lsn:])
 	if err != nil {
 		return Record{}, err
 	}
-	rec.LSN = lsn
+	if rec.LSN != lsn {
+		return Record{}, fmt.Errorf("wal: record at %d carries LSN %d: %w", lsn, rec.LSN, ErrCorruptRecord)
+	}
 	return rec, nil
 }
 
@@ -914,11 +1081,11 @@ func (r *Reader) EndLSN() LSN { return LSN(len(r.buf)) }
 // truncation points.
 func (r *Reader) Boundaries() []LSN {
 	var out []LSN
-	pos := 1
+	pos := int(r.effStart())
 	for pos < len(r.buf) {
 		out = append(out, LSN(pos))
-		_, n, err := decode(r.buf[pos:])
-		if err != nil {
+		rec, n, err := decode(r.buf[pos:])
+		if err != nil || rec.LSN != LSN(pos) {
 			break
 		}
 		pos += n
