@@ -4,15 +4,17 @@ TORTURE_ROUNDS ?= 24
 TORTURE_SEED ?= 7
 REAL_ROUNDS ?= 20
 
-.PHONY: check vet build test race benchbuild bench torture realcrash churn
+.PHONY: check vet build test race benchbuild expbuild bench torture realcrash churn
 
 ## check: everything CI runs — vet, build, tests, the race detector over
-## the concurrency-critical packages, a compile+link of every benchmark
-## binary (run with zero iterations) so bench-only code can't rot
-## between bench runs, a short seeded fault-injection torture run, the
-## real-crash (SIGKILL) recovery gate over real files, and the
-## sustained-churn steady-state gate.
-check: vet build test race benchbuild torture realcrash churn
+## the concurrency-critical packages (including the commit-pipeline and
+## early-lock-release tests in internal/wal and internal/txn), a
+## compile+link of every benchmark binary (run with zero iterations) so
+## bench-only code can't rot between bench runs, a compile+link of the
+## experiment runner (T19 and friends live outside _test files), a short
+## seeded fault-injection torture run, the real-crash (SIGKILL) recovery
+## gate over real files, and the sustained-churn steady-state gate.
+check: vet build test race benchbuild expbuild torture realcrash churn
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +30,13 @@ race:
 
 benchbuild:
 	$(GO) test -run '^$$' -bench '^$$' ./... >/dev/null
+
+## expbuild: compile+link the experiment runner so the T19 pipeline
+## experiment (and the rest of internal/bench) can't rot: experiments
+## are plain package code, not _test files, so `test` alone won't catch
+## a broken one until the next full bench run.
+expbuild:
+	$(GO) build -o /dev/null ./cmd/pitree-bench
 
 ## torture: seeded crash-point fault-injection rounds across all three
 ## access methods. Failures print the reproducing seed and failpoint.

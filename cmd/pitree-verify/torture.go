@@ -281,6 +281,14 @@ func tortureMenu() []menuEntry {
 		{"crash-mid-eviction", "pool.evict", fault.Spec{Kind: fault.None, Crash: true}, 20},
 		{"crash-mid-smo-commit", txn.FPAACommit, fault.Spec{Kind: fault.None, Crash: true}, 30},
 		{"crash-mid-user-commit", txn.FPUserCommit, fault.Spec{Kind: fault.None, Crash: true}, 40},
+		// Pipelined-commit crash points: after early lock release but
+		// before the commit record is stable (dependents may already have
+		// read the doomed state — no ack of theirs may survive either),
+		// and between the flush pipeline's write and sync stages (bytes
+		// are in the sink but not fsynced; recovery must not treat them
+		// as stable under SyncAlways semantics).
+		{"crash-at-elr", txn.FPELR, fault.Spec{Kind: fault.None, Crash: true}, 40},
+		{"crash-between-write-and-sync", wal.FPWrite, fault.Spec{Kind: fault.None, Crash: true}, 40},
 		// Maintenance crash points: mid-consolidation (between the merge's
 		// page free and its commit) and mid-free (before the free-space map
 		// meta write). They only fire on rounds whose draws turn the

@@ -24,6 +24,7 @@ type bgWriter struct {
 	target   atomic.Uint64 // flush everything with recLSN below this
 	flushed  atomic.Int64
 	ticks    atomic.Int64
+	rearmed  atomic.Int64 // pages whose batched flush failed and were requeued
 	done     chan struct{}
 	stopped  chan struct{}
 }
@@ -103,16 +104,41 @@ func (w *bgWriter) tick() {
 	if n > len(dirty) {
 		n = len(dirty)
 	}
+	// Flush as sorted per-pool batches: each batch pays one log force for
+	// its maximum pageLSN instead of one per page, and the recLSN sort
+	// means each batch drains the oldest redo-window pins first.
+	type poolBatch struct {
+		pool *storage.Pool
+		pids []storage.PageID
+	}
+	var batches []poolBatch
+	idx := make(map[*storage.Pool]int)
 	for _, d := range dirty[:n] {
+		i, ok := idx[d.pool]
+		if !ok {
+			i = len(batches)
+			idx[d.pool] = i
+			batches = append(batches, poolBatch{pool: d.pool})
+		}
+		batches[i].pids = append(batches[i].pids, d.pid)
+	}
+	for _, b := range batches {
 		select {
 		case <-w.done:
 			return
 		default:
 		}
-		// A failed flush leaves the page dirty; it is retried next tick
-		// (or gives up for good once the engine is degraded).
-		_ = d.pool.FlushPage(d.pid)
-		w.flushed.Add(1)
+		// A failed flush leaves the page dirty; FlushBatch reports which
+		// pages failed so they are explicitly re-armed (counted) for the
+		// next tick's collection rather than silently dropped from the
+		// round. (They stay in the pool's dirty table, so the next tick's
+		// DirtyPages sweep re-collects them — or gives up for good once
+		// the engine is degraded.)
+		flushed, failed, _ := b.pool.FlushBatch(b.pids)
+		w.flushed.Add(int64(flushed))
+		if len(failed) > 0 {
+			w.rearmed.Add(int64(len(failed)))
+		}
 	}
 }
 

@@ -68,6 +68,11 @@ type Options struct {
 	// WriteBackBatch bounds pages flushed per background-writer tick
 	// (0 = 32).
 	WriteBackBatch int
+	// SerialCommit disables the pipelined commit path: group commit runs
+	// one write+sync round at a time and user commits hold their locks
+	// across the force (the pre-pipeline behavior). The T19 experiment's
+	// baseline; production leaves it false.
+	SerialCommit bool
 }
 
 // ErrDegraded is the typed error returned for writes once the log
@@ -104,7 +109,11 @@ func newEngine(opts Options, log *wal.Log) *Engine {
 	if opts.Injector != nil {
 		log.SetInjector(opts.Injector)
 	}
-	e.TM = txn.NewManager(log, e.Locks, e.Reg, txn.Options{ForceOnAACommit: opts.ForceOnAACommit})
+	log.SetPipelined(!opts.SerialCommit)
+	e.TM = txn.NewManager(log, e.Locks, e.Reg, txn.Options{
+		ForceOnAACommit:  opts.ForceOnAACommit,
+		EarlyLockRelease: !opts.SerialCommit,
+	})
 	if opts.Injector != nil {
 		e.TM.SetInjector(opts.Injector)
 	}

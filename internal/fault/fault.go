@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind classifies what an injected fault does to the operation it hits.
@@ -124,6 +125,13 @@ type Spec struct {
 	// Crash additionally trips the injector's crash latch when the
 	// point fires.
 	Crash bool
+	// Delay, if nonzero, stalls the caller for this duration when the
+	// point fires, after the trip is recorded and outside the injector's
+	// lock (so concurrent probes of other points never queue behind the
+	// stall). A Kind None spec with Delay is pure latency injection: the
+	// operation succeeds, just late — how tests freeze a WAL sync in
+	// flight to observe the flush pipeline's overlap deterministically.
+	Delay time.Duration
 }
 
 // Trip records one firing, for post-mortem reporting.
@@ -237,7 +245,11 @@ func (i *Injector) check(name string) error {
 		i.crashed.Store(true)
 	}
 	kind := p.spec.Kind
+	delay := p.spec.Delay
 	i.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
 	if kind == None {
 		return nil
 	}

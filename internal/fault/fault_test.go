@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestNilAndDisarmedCheck(t *testing.T) {
@@ -145,5 +146,41 @@ func BenchmarkCheckNil(b *testing.B) {
 		if err := inj.Check("wal.sync"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestDelayStallsCaller(t *testing.T) {
+	inj := New(1)
+	inj.Arm("slow", Spec{Kind: None, Count: -1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := inj.Check("slow"); err != nil {
+		t.Fatalf("latency-only failpoint returned error: %v", err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("Check returned after %v, want >= 20ms stall", el)
+	}
+	if inj.Crashed() {
+		t.Fatal("delay spec tripped the crash latch")
+	}
+}
+
+func TestDelayComposesWithKind(t *testing.T) {
+	inj := New(2)
+	inj.Arm("p", Spec{Kind: Transient, Count: 1, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	err := inj.Check("p")
+	if !IsTransient(err) {
+		t.Fatalf("want transient error after stall, got %v", err)
+	}
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Fatalf("fault fired after %v without the stall", el)
+	}
+	// Count exhausted: no further stall or error.
+	start = time.Now()
+	if err := inj.Check("p"); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Millisecond {
+		t.Fatalf("exhausted failpoint still stalled %v", el)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wal"
 )
@@ -106,12 +107,23 @@ type waiter struct {
 	txn     wal.TxnID
 	mode    Mode
 	upgrade bool
+	dep     uint64        // lock's depLSN at grant time, published via ready
 	ready   chan struct{} // buffered; receives when granted
 }
 
 type lockState struct {
 	holders []holder
 	queue   []*waiter
+	// depLSN is the commit-dependency high water: the largest commit LSN
+	// of any early-lock-release committer that released this lock while
+	// its commit record was not yet stable. A transaction acquiring the
+	// lock can observe that committer's state, so its own commit must not
+	// be acknowledged before depLSN is in the log's stable prefix.
+	depLSN uint64
+	// retained marks an entry with no holders or waiters that is parked
+	// on the stripe's pending list only because depLSN is still above the
+	// stable prefix.
+	retained bool
 }
 
 // holderMode returns txn's current mode on the lock.
@@ -190,6 +202,11 @@ type stripe struct {
 	freeStates []*lockState
 	freeNames  [][]Name
 
+	// pending holds names of retained dependency-only entries, in rough
+	// park order; sweepPending prunes a bounded few per stripe visit once
+	// the stable prefix passes their depLSN.
+	pending []Name
+
 	waits     int64
 	deadlocks int64
 	grants    int64
@@ -232,16 +249,64 @@ func (s *stripe) getState(name Name) *lockState {
 	return ls
 }
 
-// maybeFree retires an empty lock state. Caller holds s.mu.
-func (s *stripe) maybeFree(name Name, ls *lockState) {
+// maybeFree retires an empty lock state — unless it still carries a
+// commit dependency above the stable prefix, in which case the entry is
+// parked on the stripe's pending list instead: a later acquirer must
+// still find and inherit the dependency until stability passes it.
+// Entries already parked are only ever freed by sweepPending, so a
+// pending name can never alias a recycled state. Caller holds s.mu.
+func (s *stripe) maybeFree(name Name, ls *lockState, stable uint64) {
 	if len(ls.holders) != 0 || len(ls.queue) != 0 {
 		return
 	}
+	if ls.depLSN != 0 && ls.depLSN >= stable {
+		// The record at depLSN is stable only once depLSN < stable (the
+		// stable point is one past the last durable byte).
+		if !ls.retained {
+			ls.retained = true
+			s.pending = append(s.pending, name)
+		}
+		return
+	}
+	if ls.retained {
+		return
+	}
+	s.freeState(name, ls)
+}
+
+// freeState deletes the entry and recycles the state struct. Caller
+// holds s.mu; the entry must not be on the pending list.
+func (s *stripe) freeState(name Name, ls *lockState) {
 	delete(s.locks, name)
 	if len(s.freeStates) < maxFreeStates {
 		ls.holders = ls.holders[:0]
 		ls.queue = ls.queue[:0]
+		ls.depLSN = 0
+		ls.retained = false
 		s.freeStates = append(s.freeStates, ls)
+	}
+}
+
+// sweepPending frees a bounded few parked dependency-only entries whose
+// depLSN the stable prefix has passed. Entries park in roughly
+// ascending depLSN order, so a still-pinned head ends the sweep early.
+// An entry that was re-acquired while parked is unparked here and
+// re-parks (or frees) on its next release. Caller holds s.mu.
+func (s *stripe) sweepPending(stable uint64) {
+	const sweepBatch = 4
+	for n := 0; n < sweepBatch && len(s.pending) > 0; n++ {
+		name := s.pending[0]
+		ls, ok := s.locks[name]
+		if ok && ls.depLSN != 0 && ls.depLSN >= stable && len(ls.holders) == 0 && len(ls.queue) == 0 {
+			return
+		}
+		copy(s.pending, s.pending[1:])
+		s.pending = s.pending[:len(s.pending)-1]
+		if !ok {
+			continue
+		}
+		ls.retained = false
+		s.maybeFree(name, ls, stable)
 	}
 }
 
@@ -288,6 +353,7 @@ func (s *stripe) grantQueued(name Name, ls *lockState) {
 			s.addOwned(w.txn, name)
 		}
 		s.grants++
+		w.dep = ls.depLSN
 		w.ready <- struct{}{}
 	}
 }
@@ -295,11 +361,15 @@ func (s *stripe) grantQueued(name Name, ls *lockState) {
 // releaseLocked drops txn's hold on name (if any) and wakes newly
 // grantable waiters. It does NOT maintain byTxn; callers do, because
 // Unlock removes one entry while ReleaseAll consumes the whole list.
-// Caller holds s.mu.
-func (s *stripe) releaseLocked(txn wal.TxnID, name Name) {
+// depLSN, if nonzero, is raised onto the entry first (an early-lock-
+// release commit tagging its dependency). Caller holds s.mu.
+func (s *stripe) releaseLocked(txn wal.TxnID, name Name, depLSN, stable uint64) {
 	ls, ok := s.locks[name]
 	if !ok {
 		return
+	}
+	if depLSN > ls.depLSN && depLSN >= stable {
+		ls.depLSN = depLSN
 	}
 	for i := range ls.holders {
 		if ls.holders[i].txn == txn {
@@ -310,7 +380,7 @@ func (s *stripe) releaseLocked(txn wal.TxnID, name Name) {
 		}
 	}
 	s.grantQueued(name, ls)
-	s.maybeFree(name, ls)
+	s.maybeFree(name, ls, stable)
 }
 
 // detector owns the waits-for graph. It is consulted only when a request
@@ -379,6 +449,24 @@ type Manager struct {
 	stripeMask uint64
 	det        detector
 	owners     [ownerShards]ownerShard
+
+	// stable is the manager's view of the log's stable prefix (one past
+	// the last durable byte), lifted by NoteStable. Dependencies at or
+	// below it are already durable and never surface to acquirers.
+	stable atomic.Uint64
+}
+
+// NoteStable lifts the manager's view of the log's stable prefix.
+// Commit dependencies at or below lsn are durable: parked
+// dependency-only entries below it become freeable and acquirers no
+// longer inherit them.
+func (m *Manager) NoteStable(lsn uint64) {
+	for {
+		cur := m.stable.Load()
+		if lsn <= cur || m.stable.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
 }
 
 // stripeCount picks a power of two near GOMAXPROCS, at least 8 (so
@@ -436,6 +524,17 @@ func (m *Manager) noteStripe(txn wal.TxnID, idx uint64) {
 // current and requested modes. Lock returns ErrDeadlock if waiting would
 // close a waits-for cycle; the transaction must then abort.
 func (m *Manager) Lock(txn wal.TxnID, name Name, mode Mode) error {
+	_, err := m.LockDep(txn, name, mode)
+	return err
+}
+
+// LockDep is Lock returning, additionally, the lock's commit-dependency
+// LSN: nonzero when an early-lock-release committer released this lock
+// while its commit record (at that LSN) was not yet stable. The caller
+// can now observe that committer's state and must not acknowledge its
+// own commit before the dependency is stable. Dependencies the stable
+// prefix already covers are filtered to zero.
+func (m *Manager) LockDep(txn wal.TxnID, name Name, mode Mode) (uint64, error) {
 	idx := m.stripeIndex(name)
 	s := &m.stripes[idx]
 	s.mu.Lock()
@@ -443,8 +542,9 @@ func (m *Manager) Lock(txn wal.TxnID, name Name, mode Mode) error {
 
 	cur, held := ls.holderMode(txn)
 	if held && !stronger(mode, cur) {
+		dep := ls.depLSN
 		s.mu.Unlock()
-		return nil // already held at sufficient strength
+		return m.filterDep(dep), nil // already held at sufficient strength
 	}
 
 	// Fast path: grantable immediately — no waiter, no channel, no
@@ -462,11 +562,12 @@ func (m *Manager) Lock(txn wal.TxnID, name Name, mode Mode) error {
 			s.addOwned(txn, name)
 		}
 		s.grants++
+		dep := ls.depLSN
 		s.mu.Unlock()
 		if !held {
 			m.noteStripe(txn, idx)
 		}
-		return nil
+		return m.filterDep(dep), nil
 	}
 
 	// Slow path: enqueue, then consult the deadlock detector before
@@ -486,9 +587,9 @@ func (m *Manager) Lock(txn wal.TxnID, name Name, mode Mode) error {
 	if err := m.det.blockOrDetect(txn, blockers); err != nil {
 		ls.removeWaiter(w)
 		s.deadlocks++
-		s.maybeFree(name, ls)
+		s.maybeFree(name, ls, m.stable.Load())
 		s.mu.Unlock()
-		return err
+		return 0, err
 	}
 	s.waits++
 	s.mu.Unlock()
@@ -498,7 +599,15 @@ func (m *Manager) Lock(txn wal.TxnID, name Name, mode Mode) error {
 	if !held {
 		m.noteStripe(txn, idx)
 	}
-	return nil
+	return m.filterDep(w.dep), nil
+}
+
+// filterDep drops a dependency the stable prefix already covers.
+func (m *Manager) filterDep(dep uint64) uint64 {
+	if dep != 0 && dep < m.stable.Load() {
+		return 0
+	}
+	return dep
 }
 
 // TryLock acquires name in mode for txn only if that needs no waiting, and
@@ -506,6 +615,13 @@ func (m *Manager) Lock(txn wal.TxnID, name Name, mode Mode) error {
 // Lock, a TryLock upgrade does not jump a non-empty queue: it simply
 // fails, preserving the queue's no-overtaking guarantee.
 func (m *Manager) TryLock(txn wal.TxnID, name Name, mode Mode) bool {
+	_, ok := m.TryLockDep(txn, name, mode)
+	return ok
+}
+
+// TryLockDep is TryLock returning, additionally, the lock's
+// commit-dependency LSN on success (see LockDep).
+func (m *Manager) TryLockDep(txn wal.TxnID, name Name, mode Mode) (uint64, bool) {
 	idx := m.stripeIndex(name)
 	s := &m.stripes[idx]
 	s.mu.Lock()
@@ -518,21 +634,22 @@ func (m *Manager) TryLock(txn wal.TxnID, name Name, mode Mode) bool {
 		s.grants++
 		s.mu.Unlock()
 		m.noteStripe(txn, idx)
-		return true
+		return 0, true
 	}
 	cur, held := ls.holderMode(txn)
 	if held && !stronger(mode, cur) {
+		dep := ls.depLSN
 		s.mu.Unlock()
-		return true
+		return m.filterDep(dep), true
 	}
 	if len(ls.queue) > 0 {
 		s.mu.Unlock()
-		return false
+		return 0, false
 	}
 	for _, h := range ls.holders {
 		if h.txn != txn && !Compatible(h.mode, mode) {
 			s.mu.Unlock()
-			return false
+			return 0, false
 		}
 	}
 	if held {
@@ -543,15 +660,17 @@ func (m *Manager) TryLock(txn wal.TxnID, name Name, mode Mode) bool {
 			}
 		}
 		s.grants++
+		dep := ls.depLSN
 		s.mu.Unlock()
-		return true
+		return m.filterDep(dep), true
 	}
 	ls.holders = append(ls.holders, holder{txn: txn, mode: mode})
 	s.addOwned(txn, name)
 	s.grants++
+	dep := ls.depLSN
 	s.mu.Unlock()
 	m.noteStripe(txn, idx)
-	return true
+	return m.filterDep(dep), true
 }
 
 // Unlock releases txn's hold on name before transaction end. Only safe
@@ -576,7 +695,9 @@ func (m *Manager) Unlock(txn wal.TxnID, name Name) {
 			s.byTxn[txn] = ns
 		}
 	}
-	s.releaseLocked(txn, name)
+	st := m.stable.Load()
+	s.sweepPending(st)
+	s.releaseLocked(txn, name, 0, st)
 	s.mu.Unlock()
 	// The stripe-mask bit stays set; ReleaseAll tolerates stripes with no
 	// remaining entries.
@@ -585,21 +706,37 @@ func (m *Manager) Unlock(txn wal.TxnID, name Name) {
 // ReleaseAll releases every lock txn holds, at commit or abort. It visits
 // only the stripes the transaction used, guided by its stripe mask.
 func (m *Manager) ReleaseAll(txn wal.TxnID) {
+	m.releaseAll(txn, 0)
+}
+
+// ReleaseAllAt is ReleaseAll for an early-lock-release commit: the
+// transaction's locks are released while its commit record (at
+// commitLSN) is still only in the log buffer, and every released
+// entry's depLSN high water is raised to commitLSN. Later acquirers
+// inherit the dependency and must not be acknowledged before commitLSN
+// is stable.
+func (m *Manager) ReleaseAllAt(txn wal.TxnID, commitLSN uint64) {
+	m.releaseAll(txn, commitLSN)
+}
+
+func (m *Manager) releaseAll(txn wal.TxnID, depLSN uint64) {
 	o := m.ownerShard(txn)
 	o.mu.Lock()
 	mask := o.masks[txn]
 	delete(o.masks, txn)
 	o.mu.Unlock()
 
+	st := m.stable.Load()
 	for mask != 0 {
 		idx := bits.TrailingZeros64(mask)
 		mask &^= 1 << idx
 		s := &m.stripes[idx]
 		s.mu.Lock()
+		s.sweepPending(st)
 		if ns, ok := s.byTxn[txn]; ok {
 			delete(s.byTxn, txn)
 			for _, name := range ns {
-				s.releaseLocked(txn, name)
+				s.releaseLocked(txn, name, depLSN, st)
 			}
 			s.recycleNames(ns)
 		}
@@ -655,6 +792,19 @@ func (m *Manager) HeldCount(txn wal.TxnID) int {
 		s := &m.stripes[idx]
 		s.mu.Lock()
 		total += len(s.byTxn[txn])
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// PendingDeps returns how many dependency-only lock entries are parked
+// awaiting stability, across all stripes (observability and tests).
+func (m *Manager) PendingDeps() int {
+	total := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		total += len(s.pending)
 		s.mu.Unlock()
 	}
 	return total

@@ -934,6 +934,57 @@ func (p *Pool) FlushPage(pid PageID) error {
 	return err
 }
 
+// FlushBatch flushes a batch of pages with one log force covering the
+// whole batch instead of one per page: the maximum pageLSN across the
+// batch is forced first, so the per-page flushes find the log already
+// stable (each still re-checks, catching pages re-dirtied above the
+// batch force). Returns the number of pages written, the page IDs whose
+// flush failed (they stay dirty and must be re-armed by the caller for
+// a later round), and the first error.
+func (p *Pool) FlushBatch(pids []PageID) (int, []PageID, error) {
+	frames := make([]*Frame, 0, len(pids))
+	var maxLSN wal.LSN
+	for _, pid := range pids {
+		f, ok := p.lookupPinned(pid)
+		if !ok {
+			continue
+		}
+		frames = append(frames, f)
+		if m := f.meta.Load(); m&dirtyBit != 0 {
+			if lsn := wal.LSN(m &^ dirtyBit); lsn > maxLSN {
+				maxLSN = lsn
+			}
+		}
+	}
+	var first error
+	var failed []PageID
+	if err := p.log.Force(maxLSN); err != nil {
+		first = fmt.Errorf("storage: flush batch: %w", err)
+		for _, f := range frames {
+			failed = append(failed, f.ID)
+			p.Unpin(f)
+		}
+		return 0, failed, first
+	}
+	flushed := 0
+	for _, f := range frames {
+		f.Latch.AcquireS()
+		wasDirty := f.Dirty()
+		err := p.flush(f)
+		f.Latch.ReleaseS()
+		if err != nil {
+			failed = append(failed, f.ID)
+			if first == nil {
+				first = err
+			}
+		} else if wasDirty {
+			flushed++
+		}
+		p.Unpin(f)
+	}
+	return flushed, failed, first
+}
+
 // lookupPinned returns the buffered frame for pid pinned, if present.
 func (p *Pool) lookupPinned(pid PageID) (*Frame, bool) {
 	if p.cap == 0 {

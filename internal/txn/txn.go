@@ -47,6 +47,11 @@ const (
 	// FPUserCommit fires at the start of a user transaction's commit,
 	// before the commit record is appended and forced.
 	FPUserCommit = "txn.usercommit"
+	// FPELR fires after an early-lock-release commit has published its
+	// locks (dependents can already see its state) but before its commit
+	// record is stable — the window where a crash must not produce an
+	// acked-but-lost commit or a dependent ack over lost state.
+	FPELR = "txn.elr"
 )
 
 // State is a transaction's lifecycle state.
@@ -69,6 +74,14 @@ type Options struct {
 	// ForceOnAACommit disables relative durability: every atomic-action
 	// commit forces the log. Experiment T12 measures what that costs.
 	ForceOnAACommit bool
+	// EarlyLockRelease makes user commits release their two-phase locks
+	// as soon as the commit record is appended to the log buffer,
+	// tagging each released lock with the commit LSN, then park until
+	// the stable prefix covers that LSN. A transaction that later
+	// acquires such a lock inherits the tag as a commit dependency and
+	// its own ack is held until max(ownLSN, depLSN) is stable, so no ack
+	// ever precedes the durability of state it observed.
+	EarlyLockRelease bool
 }
 
 // Manager creates transactions and atomic actions over one log.
@@ -134,6 +147,11 @@ type Txn struct {
 	// misses a commit record that landed below the checkpoint's StartLSN.
 	committing bool
 	onCommit   []func()
+	// depLSN is the highest commit LSN of any early-released lock this
+	// transaction acquired: its commit dependency. Commit holds the ack
+	// until the stable prefix covers it. Only the owning goroutine
+	// touches it (lock acquisition and commit), so it needs no lock.
+	depLSN uint64
 }
 
 // OnCommit registers fn to run after the transaction commits, its locks
@@ -325,14 +343,24 @@ func (t *Txn) LogCLR(storeID uint32, pageID uint64, kind wal.Kind, payload []byt
 
 // Lock acquires a database lock for this transaction; see lock.Manager.
 // Callers must obey the No-Wait rule: release any latch that can conflict
-// with a database-lock holder before calling.
+// with a database-lock holder before calling. A lock released early by a
+// committing writer carries that writer's commit LSN; acquiring it makes
+// this transaction commit-dependent on it.
 func (t *Txn) Lock(name lock.Name, mode lock.Mode) error {
-	return t.mgr.Locks.Lock(t.ID, name, mode)
+	dep, err := t.mgr.Locks.LockDep(t.ID, name, mode)
+	if dep > t.depLSN {
+		t.depLSN = dep
+	}
+	return err
 }
 
 // TryLock acquires a database lock only if no waiting is needed.
 func (t *Txn) TryLock(name lock.Name, mode lock.Mode) bool {
-	return t.mgr.Locks.TryLock(t.ID, name, mode)
+	dep, ok := t.mgr.Locks.TryLockDep(t.ID, name, mode)
+	if ok && dep > t.depLSN {
+		t.depLSN = dep
+	}
+	return ok
 }
 
 // Commit makes the transaction's effects permanent. User commits force
@@ -350,13 +378,31 @@ func (t *Txn) Commit() error {
 	// just releasing its locks. Skipping the commit record and the group
 	// force matters beyond the transaction itself: read-only 2PL
 	// transactions would otherwise ride (and subsidize) the writers'
-	// group-commit rounds.
+	// group-commit rounds. The one exception is a commit dependency: a
+	// reader that observed early-released state must not be acknowledged
+	// until the writer's commit record is stable, even though it has no
+	// record of its own to force.
 	if t.lastLSN == wal.NilLSN {
 		t.state = Committed
 		hooks := t.onCommit
 		t.onCommit = nil
+		dep := t.depLSN
 		t.mu.Unlock()
 		t.mgr.Locks.ReleaseAll(t.ID)
+		if dep != 0 {
+			if err := t.mgr.Log.ForceGroup(wal.LSN(dep)); err != nil {
+				// The observed writer's commit can never become stable;
+				// this reader's result must not be acknowledged either.
+				t.mu.Lock()
+				t.state = Aborted
+				t.mu.Unlock()
+				t.mgr.mu.Lock()
+				delete(t.mgr.active, t.ID)
+				t.mgr.mu.Unlock()
+				return fmt.Errorf("txn %d: commit depends on unstable LSN %d: %w", t.ID, dep, err)
+			}
+			t.mgr.Locks.NoteStable(uint64(t.mgr.Log.StableLSN()))
+		}
 		t.mgr.mu.Lock()
 		delete(t.mgr.active, t.ID)
 		t.mgr.mu.Unlock()
@@ -403,7 +449,27 @@ func (t *Txn) Commit() error {
 	t.mu.Unlock()
 
 	if !t.System || t.mgr.opts.ForceOnAACommit {
-		if err := t.mgr.Log.ForceGroup(lsn); err != nil {
+		// Early lock release: the commit record is in the log buffer, so
+		// the locks can go now — tagged with this commit LSN so any
+		// transaction that acquires one inherits it as a commit
+		// dependency. The ack below still waits for stability; only the
+		// lock hold time shrinks. Atomic actions keep their locks: their
+		// relative durability already rides a dependent user commit.
+		elr := !t.System && t.mgr.opts.EarlyLockRelease
+		if elr {
+			t.mgr.Locks.ReleaseAllAt(t.ID, uint64(lsn))
+			// Crash here = locks released, dependents possibly reading,
+			// commit record not yet stable.
+			_ = t.mgr.inj.Check(FPELR)
+		}
+		// A commit dependency beyond our own LSN can only arise for
+		// records appended before ours (stability is a prefix), but force
+		// the max defensively.
+		target := lsn
+		if dep := wal.LSN(t.depLSN); dep > target {
+			target = dep
+		}
+		if err := t.mgr.Log.ForceGroup(target); err != nil {
 			// The force failed, and force failures are sticky: the commit
 			// record can never reach the stable prefix, so restart is
 			// certain to treat this transaction as a loser. Rolling back
@@ -417,6 +483,7 @@ func (t *Txn) Commit() error {
 			}
 			return fmt.Errorf("txn %d: commit not durable, rolled back: %w", t.ID, err)
 		}
+		t.mgr.Locks.NoteStable(uint64(t.mgr.Log.StableLSN()))
 		t.mgr.advanceStable(cts)
 	}
 	t.finish(wal.RecEnd)

@@ -132,6 +132,13 @@ type FileWAL struct {
 	horizon LSN
 	closed  bool
 
+	// pendSync holds segments rolled out of the active position whose
+	// fsync was deferred to the next Commit (SyncAlways only), so the
+	// write stage never pays device latency for a roll. Commit drains it
+	// before syncing the active segment.
+	pendSync []*os.File
+	iov      [][]byte // reusable per-segment iovec batch for PersistV
+
 	stats FileWALStats
 }
 
@@ -170,12 +177,16 @@ func (fw *FileWAL) Stats() FileWALStats {
 // Dir returns the WAL directory.
 func (fw *FileWAL) Dir() string { return fw.dir }
 
-// Close closes the active segment file. It does not sync: callers that
-// need durability force the log first.
+// Close closes the active segment file and any roll-deferred segments.
+// It does not sync: callers that need durability force the log first.
 func (fw *FileWAL) Close() error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	fw.closed = true
+	for _, f := range fw.pendSync {
+		f.Close()
+	}
+	fw.pendSync = nil
 	if fw.cur != nil {
 		err := fw.cur.Close()
 		fw.cur = nil
@@ -498,14 +509,17 @@ func (fw *FileWAL) replay() (*Reader, error) {
 func (fw *FileWAL) roll() error {
 	newBase := uint64(0)
 	if fw.cur != nil {
-		if fw.policy != SyncNever {
-			if err := fw.cur.Sync(); err != nil {
+		if fw.policy == SyncNever {
+			if err := fw.cur.Close(); err != nil {
 				return err
 			}
-			fw.stats.Fsyncs++
-		}
-		if err := fw.cur.Close(); err != nil {
-			return err
+		} else {
+			// Defer the rolled segment's fsync+close to the next Commit:
+			// the stable point has not advanced over these bytes yet, and
+			// Commit drains pendSync before syncing the active segment,
+			// so durability-on-ack is unchanged while the write stage
+			// never stalls on the device.
+			fw.pendSync = append(fw.pendSync, fw.cur)
 		}
 		fw.cur = nil
 		newBase = fw.curBase + fw.segCap
@@ -581,17 +595,170 @@ func (fw *FileWAL) Persist(from LSN, b []byte) error {
 	return nil
 }
 
-// Commit makes everything persisted so far durable, per policy.
-func (fw *FileWAL) Commit() error {
+// PersistV writes the log bytes starting at from from a sequence of
+// buffers in as few syscalls as possible: all buffers landing in one
+// segment file go down in a single pwritev-style vectored write,
+// including the segment-crossing case (the batch is split at each
+// segment boundary). Ranges arrive contiguous and in order from the
+// Log's write stage.
+func (fw *FileWAL) PersistV(from LSN, bufs [][]byte) error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
-	if fw.policy == SyncNever || fw.cur == nil {
+	if fw.closed {
+		return errors.New("wal: file sink closed")
+	}
+	if uint64(from) != fw.pos {
+		return fmt.Errorf("wal: non-contiguous persist at %d, expected %d", from, fw.pos)
+	}
+	fw.stats.Persists++
+	var cur []byte
+	bi := 0
+	for {
+		for len(cur) == 0 {
+			if bi >= len(bufs) {
+				return nil
+			}
+			cur = bufs[bi]
+			bi++
+		}
+		if fw.cur == nil || fw.pos == fw.curBase+fw.segCap {
+			if err := fw.roll(); err != nil {
+				return err
+			}
+		}
+		// Gather every buffer (or buffer prefix) that fits in the active
+		// segment into one iovec batch.
+		room := fw.curBase + fw.segCap - fw.pos
+		off := int64(segHdrLen + (fw.pos - fw.curBase))
+		iov := fw.iov[:0]
+		n := uint64(0)
+		for room > 0 {
+			if len(cur) == 0 {
+				if bi >= len(bufs) {
+					break
+				}
+				cur = bufs[bi]
+				bi++
+				continue
+			}
+			take := uint64(len(cur))
+			if take > room {
+				take = room
+			}
+			iov = append(iov, cur[:take])
+			cur = cur[take:]
+			room -= take
+			n += take
+		}
+		fw.iov = iov
+		if n == 0 {
+			continue
+		}
+		if err := pwritev(fw.cur, iov, off); err != nil {
+			return err
+		}
+		for i := range iov {
+			iov[i] = nil
+		}
+		fw.pos += n
+		fw.stats.BytesPersisted += int64(n)
+	}
+}
+
+// Commit makes everything persisted so far durable, per policy: it
+// drains the roll-deferred segment fsyncs, then syncs the active
+// segment. The fsyncs run outside fw.mu so the write stage (Persist
+// into the active segment) proceeds concurrently — callers (the Log's
+// sync stage) already serialize Commit itself.
+func (fw *FileWAL) Commit() error {
+	fw.mu.Lock()
+	if fw.policy == SyncNever || fw.closed {
+		fw.mu.Unlock()
 		return nil
 	}
-	if err := fw.cur.Sync(); err != nil {
+	pend := fw.pendSync
+	fw.pendSync = nil
+	cur := fw.cur
+	fw.mu.Unlock()
+
+	var nsync int64
+	fail := func(err error) error {
+		for _, f := range pend {
+			f.Close()
+		}
 		return err
 	}
-	fw.stats.Fsyncs++
+	for len(pend) > 0 {
+		f := pend[0]
+		pend = pend[1:]
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		nsync++
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	if cur != nil {
+		if err := cur.Sync(); err != nil {
+			return err
+		}
+		nsync++
+	}
+	fw.mu.Lock()
+	fw.stats.Fsyncs += nsync
+	fw.mu.Unlock()
+	return nil
+}
+
+// Rewind truncates the persisted stream back to `to`, dropping
+// written-but-unsynced bytes after a failed or torn sync so the files
+// agree with the in-memory stable point. Segments wholly at or beyond
+// the rewind point go back to the free pool; the segment containing the
+// rewind point becomes the (truncated) active segment. The owning Log
+// is latched damaged by the caller, so no further Persist follows.
+func (fw *FileWAL) Rewind(to LSN) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	t := uint64(to)
+	if fw.closed || t >= fw.pos {
+		return nil
+	}
+	if fw.cur != nil {
+		fw.cur.Close()
+		fw.cur = nil
+	}
+	for _, f := range fw.pendSync {
+		f.Close()
+	}
+	fw.pendSync = nil
+	keep := fw.live[:0]
+	for _, s := range fw.live {
+		if s.base >= t {
+			fw.stats.SegmentsRetired++
+			fw.toFree(s.path)
+			continue
+		}
+		keep = append(keep, s)
+	}
+	fw.live = keep
+	fw.pos = t
+	fw.curBase = 0
+	if len(fw.live) == 0 {
+		return nil
+	}
+	tail := fw.live[len(fw.live)-1]
+	f, err := os.OpenFile(tail.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(int64(segHdrLen + (t - tail.base))); err != nil {
+		f.Close()
+		return err
+	}
+	fw.cur = f
+	fw.curBase = tail.base
 	return nil
 }
 

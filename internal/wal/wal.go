@@ -183,6 +183,20 @@ var ErrLogFailed = errors.New("wal: log device failed")
 // record boundary before latching.
 const FPSync = "wal.sync"
 
+// FPSyncSlow is a latency-only failpoint probed at the start of every
+// sync stage. Arm it with a fault.Spec carrying Delay (Kind None) to
+// stall a sync without failing it: the stall holds the pipeline's sync
+// stage open so tests can observe write/sync overlap deterministically.
+const FPSyncSlow = "wal.sync.slow"
+
+// FPWrite is the failpoint probed when the pipeline's write stage
+// completes — after the stable-prefix delta reached the sink (or was
+// fully published, for a memory-only log) but before any sync covers
+// it. A crash-armed spec here models dying between a commit's pwrite
+// and its fsync: the bytes are in the files' page cache, the committer
+// was never acknowledged.
+const FPWrite = "wal.write"
+
 // maxSyncRetries bounds in-sync retries of an injected transient fault.
 const maxSyncRetries = 4
 
@@ -286,23 +300,43 @@ type Log struct {
 	inflight [inflightSlots]inflightSlot
 	slotHint atomic.Uint32 // rotates claim start points across appenders
 
-	mu        sync.Mutex // force/anchor state below
-	stableLSN LSN        // bytes [ :stableLSN] survive a crash
-	ckptLSN   LSN        // master-record anchor: LSN of the last stable checkpoint
-	flushes   int64      // number of Force calls that advanced stableLSN
-	start     LSN        // first readable LSN (> 1 after segment recycling)
-	sink      StableSink // optional durable backing for the stable prefix
-	scratch   []byte     // sink copy buffer, reused under l.mu
+	mu         sync.Mutex // watermark/anchor state below
+	stableLSN  LSN        // bytes [ :stableLSN] survive a crash
+	writtenLSN LSN        // bytes [ :writtenLSN] are in the sink, not necessarily synced
+	ckptLSN    LSN        // master-record anchor: LSN of the last stable checkpoint
+	flushes    int64      // number of sync rounds that advanced stableLSN
+	start      LSN        // first readable LSN (> 1 after segment recycling)
+	sink       StableSink // optional durable backing for the stable prefix
+
+	// Flush pipeline. The stable-prefix advance is split into two stages
+	// with at most one outstanding each: the write stage (wrMu) waits out
+	// publication holes and hands the delta to the sink (pwrite), the
+	// sync stage (syMu) makes everything written durable (fsync) and
+	// advances stableLSN. Stages on different rounds overlap — the next
+	// round's write runs while the previous round's sync is in flight —
+	// but stableLSN only ever advances in sync order, so the stable
+	// prefix remains exactly the synced prefix. scratch and iovecs are
+	// write-stage scratch space, guarded by wrMu.
+	wrMu    sync.Mutex
+	syMu    sync.Mutex
+	scratch []byte
+	iovecs  [][]byte
 
 	// Group-commit state (ForceGroup). gcMu is taken only on the commit
-	// path and never while holding l.mu.
+	// path and never while holding l.mu, wrMu, or syMu.
 	gcMu       sync.Mutex
 	gcCond     *sync.Cond
-	gcLeader   bool  // a leader is currently inside Force
+	gcLeader   bool  // serial mode: a leader is currently inside Force
+	wLeader    bool  // pipelined mode: a committer is driving the write stage
+	sLeader    bool  // pipelined mode: a committer is driving the sync stage
 	gcMax      LSN   // highest LSN registered by any committer
 	gcErr      error // sticky first round failure (the log is damaged)
-	gcRounds   int64
+	gcRounds   int64 // sync rounds (serial mode: leader rounds)
+	wRounds    int64 // pipelined write rounds
+	overlaps   int64 // write rounds begun while a sync was in flight
 	gcRequests atomic.Int64
+	syncNanos  atomic.Int64 // cumulative wall time inside device syncs
+	pipelined  atomic.Bool  // overlap rounds (on by default); off = PR 8 serial rounds
 
 	// Fault injection. inj is set once before concurrent use; damaged
 	// latches sticky on the first failed sync.
@@ -316,16 +350,39 @@ type Log struct {
 func (l *Log) SetInjector(inj *fault.Injector) { l.inj = inj }
 
 // StableSink receives the log's stable prefix as it advances, turning the
-// in-memory stability model into real durability. Persist is called under
-// the log mutex with contiguous, gap-free byte ranges in LSN order;
-// Commit must make everything persisted so far survive a process kill
-// (fsync, subject to the sink's sync policy). Either method failing
-// latches the log damaged, exactly like a device failure: the force that
-// observed it returns an error wrapping ErrLogFailed and the record is
-// guaranteed never to be acknowledged as stable.
+// in-memory stability model into real durability. Persist is called only
+// from the log's single write stage (never concurrently with itself)
+// with contiguous, gap-free byte ranges in LSN order; Commit is called
+// only from the single sync stage and must make everything persisted so
+// far survive a process kill (fsync, subject to the sink's sync policy).
+// Persist and Commit DO overlap — that is the point of the flush
+// pipeline — so a sink must tolerate a Persist arriving while a Commit
+// is in flight. Either method failing latches the log damaged, exactly
+// like a device failure: the force that observed it returns an error
+// wrapping ErrLogFailed and the record is guaranteed never to be
+// acknowledged as stable.
 type StableSink interface {
 	Persist(from LSN, b []byte) error
 	Commit() error
+}
+
+// sinkVectored is the optional vectored-write surface of a StableSink:
+// the write stage hands the stable-prefix delta as a list of contiguous
+// byte ranges (the log's in-memory segments cut at the delta's bounds)
+// that together form one gap-free range starting at from, letting the
+// sink issue a single pwritev-style write instead of copying the delta
+// into a contiguous scratch buffer first.
+type sinkVectored interface {
+	PersistV(from LSN, bufs [][]byte) error
+}
+
+// sinkRewinder is the optional truncation surface of a StableSink: drop
+// every persisted-but-unsynced byte at or beyond `to`, so that a replay
+// of the sink's files agrees with an in-memory stable point that a
+// failed sync pinned at `to`. Called only on sync-failure paths, after
+// which the log is latched damaged.
+type sinkRewinder interface {
+	Rewind(to LSN) error
 }
 
 // sinkRecycler is the optional recycling surface of a StableSink: drop
@@ -360,11 +417,12 @@ func (l *Log) SetSink(s StableSink) { l.sink = s }
 // stable and readable.
 func (l *Log) Damaged() bool { return l.damaged.Load() }
 
-// New returns an empty log.
+// New returns an empty log with the flush pipeline enabled.
 func New() *Log {
-	l := &Log{stableLSN: 1, start: 1}
+	l := &Log{stableLSN: 1, writtenLSN: 1, start: 1}
 	l.gcCond = sync.NewCond(&l.gcMu)
 	l.tail.Store(1)
+	l.pipelined.Store(true)
 	segs := [][]byte{make([]byte, segSize)}
 	l.segs.Store(&segs)
 	for i := range l.inflight {
@@ -372,6 +430,14 @@ func New() *Log {
 	}
 	return l
 }
+
+// SetPipelined toggles flush pipelining in ForceGroup. On (the default),
+// group-commit rounds overlap: the next round's write stage runs while
+// the previous round's sync is in flight. Off restores strictly serial
+// rounds (one leader does write+sync end to end), the pre-pipeline
+// behavior benchmarks compare against. Must not be toggled while forces
+// are in flight.
+func (l *Log) SetPipelined(on bool) { l.pipelined.Store(on) }
 
 // NewFromImage continues a log from a crash image: the image's contents
 // become the stable prefix and appends resume after it, preserving LSN
@@ -384,6 +450,7 @@ func NewFromImage(r *Reader) *Log {
 		copyIn(segs, start, r.buf[start:])
 		l.tail.Store(end)
 		l.stableLSN = LSN(end)
+		l.writtenLSN = LSN(end)
 	}
 	l.start = r.effStart()
 	l.ckptLSN = r.ckptLSN
@@ -567,7 +634,9 @@ func (l *Log) Append(r *Record) LSN {
 // no-op; forcing beyond the end flushes everything. Force waits for
 // concurrent appenders that hold earlier LSN reservations to finish
 // copying (hole filling), then advances stability over the whole
-// fully-published prefix — group commit.
+// fully-published prefix — group commit. It drives both pipeline stages
+// back to back: write (publication wait + sink persist), then sync
+// (device fsync + stable-point advance).
 //
 // A nil return guarantees the record is stable. A non-nil return
 // guarantees it never will be (the log is latched damaged), so callers
@@ -576,60 +645,171 @@ func (l *Log) Force(lsn LSN) error {
 	if lsn == NilLSN {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	// A record is stable iff it starts below stableLSN.
-	if lsn < l.stableLSN {
+	if l.stableBeyond(lsn) {
 		return nil
 	}
+	if err := l.stageWrite(uint64(lsn) + 1); err != nil {
+		return err
+	}
+	return l.stageSync()
+}
+
+// stageWrite is the pipeline's first stage: wait until the published
+// prefix covers target (bounded by the current tail), hand the newly
+// published delta to the sink in one vectored write, and advance
+// writtenLSN. At most one write is outstanding (wrMu); it may overlap a
+// sync of earlier bytes. A sink write failing latches the log damaged —
+// if the device cannot even take the bytes, no later sync could save
+// them.
+func (l *Log) stageWrite(target uint64) error {
+	l.wrMu.Lock()
+	defer l.wrMu.Unlock()
 	limit := l.tail.Load()
-	target := uint64(lsn) + 1
 	if target > limit {
 		target = limit
 	}
-	return l.syncLocked(limit, target)
+	l.mu.Lock()
+	written := uint64(l.writtenLSN)
+	l.mu.Unlock()
+	if target <= written {
+		return nil
+	}
+	if l.damaged.Load() {
+		return fmt.Errorf("wal: write to %d: %w", target, ErrLogFailed)
+	}
+	if l.inj.Crashed() {
+		// The crash latch freezes simulated stable state: no further
+		// bytes reach the sink.
+		return fmt.Errorf("wal: write to %d after crash: %w", target, ErrLogFailed)
+	}
+	pub := l.waitPublished(limit, target)
+	if pub <= written {
+		return nil
+	}
+	if l.sink != nil {
+		if err := l.persistRange(written, pub); err != nil {
+			l.damaged.Store(true)
+			return fmt.Errorf("wal: persist [%d,%d): %w: %w", written, pub, ErrLogFailed, err)
+		}
+	}
+	l.mu.Lock()
+	if LSN(pub) > l.writtenLSN {
+		l.writtenLSN = LSN(pub)
+	}
+	l.mu.Unlock()
+	if err := l.inj.Check(FPWrite); err != nil {
+		l.damaged.Store(true)
+		return fmt.Errorf("wal: write fault at %d: %w: %w", pub, ErrLogFailed, err)
+	}
+	return nil
 }
 
-// syncLocked drives the stable point to target (bounded by limit),
-// consulting the fault injector the way a log manager consults its
-// device: transient errors are retried with backoff, a permanent error
-// (or exhausted retries) latches the device failed, a torn sync
-// persists only a prefix ending at a seeded record boundary, and a
-// tripped crash latch freezes the stable point exactly where it is.
-// Caller holds l.mu.
-func (l *Log) syncLocked(limit, target uint64) error {
+// persistRange hands log bytes [from, to) to the sink: as in-place
+// segment slices through the vectored surface when the sink has one
+// (zero copies), through the contiguous scratch buffer otherwise.
+// Caller holds wrMu.
+func (l *Log) persistRange(from, to uint64) error {
+	segs := *l.segs.Load()
+	if v, ok := l.sink.(sinkVectored); ok {
+		bufs := l.iovecs[:0]
+		for off := from; off < to; {
+			seg := segs[off>>segShift]
+			lo := off & segMask
+			n := uint64(segSize) - lo
+			if off+n > to {
+				n = to - off
+			}
+			bufs = append(bufs, seg[lo:lo+n])
+			off += n
+		}
+		l.iovecs = bufs
+		err := v.PersistV(LSN(from), bufs)
+		for i := range bufs {
+			bufs[i] = nil
+		}
+		return err
+	}
+	n := to - from
+	if uint64(cap(l.scratch)) < n {
+		l.scratch = make([]byte, n)
+	}
+	buf := l.scratch[:n]
+	copyOut(segs, buf, from)
+	return l.sink.Persist(LSN(from), buf)
+}
+
+// stageSync is the pipeline's second stage: make every written byte
+// durable and advance the stable point over it. At most one sync is
+// outstanding (syMu); the next round's write stage may already be
+// running. The fault injector is consulted the way a log manager
+// consults its device: transient errors are retried with backoff, a
+// permanent error (or exhausted retries) latches the device failed, a
+// torn sync rewinds the sink to a seeded record boundary and advances
+// stability only that far, and a tripped crash latch freezes the stable
+// point exactly where it is.
+func (l *Log) stageSync() error {
+	l.syMu.Lock()
+	defer l.syMu.Unlock()
+	l.mu.Lock()
+	stable := uint64(l.stableLSN)
+	target := uint64(l.writtenLSN)
+	l.mu.Unlock()
+	if target <= stable {
+		return nil
+	}
 	if l.damaged.Load() {
-		return fmt.Errorf("wal: force to %d: %w", target-1, ErrLogFailed)
+		return fmt.Errorf("wal: sync to %d: %w", target-1, ErrLogFailed)
 	}
 	inj := l.inj
+	_ = inj.Check(FPSyncSlow) // latency-only injection
 	for attempt := 0; ; attempt++ {
 		if inj.Crashed() {
-			return fmt.Errorf("wal: force to %d after crash: %w", target-1, ErrLogFailed)
+			return fmt.Errorf("wal: sync to %d after crash: %w", target-1, ErrLogFailed)
 		}
 		err := inj.Check(FPSync)
 		if err == nil {
 			if inj.Crashed() {
 				// A crash-only trip fired on this very sync: the machine
 				// died before the device acknowledged.
-				return fmt.Errorf("wal: force to %d after crash: %w", target-1, ErrLogFailed)
+				return fmt.Errorf("wal: sync to %d after crash: %w", target-1, ErrLogFailed)
 			}
-			return l.advanceStable(limit, target)
+			if l.sink != nil {
+				t0 := time.Now()
+				if serr := l.sink.Commit(); serr != nil {
+					l.damaged.Store(true)
+					return fmt.Errorf("wal: sync to %d: %w: %w", target-1, ErrLogFailed, serr)
+				}
+				l.syncNanos.Add(time.Since(t0).Nanoseconds())
+			}
+			l.mu.Lock()
+			if LSN(target) > l.stableLSN {
+				l.stableLSN = LSN(target)
+				l.flushes++
+			}
+			l.mu.Unlock()
+			return nil
 		}
 		if fault.IsTorn(err) {
 			// The device persisted part of the sync and then failed:
-			// advance stability only to a seeded earlier record boundary.
-			// Publication must complete first so the boundary walk reads
-			// finished headers.
-			pub := l.waitPublished(limit, target)
+			// advance stability only to a seeded earlier record boundary
+			// and rewind the sink to match (plus a genuinely partial
+			// record, so file replay truncates exactly where the
+			// in-memory stable point stopped).
 			fe := fault.AsError(err)
-			b := l.tearBoundary(uint64(l.stableLSN), target, fe.Frac)
-			l.persistTorn(uint64(l.stableLSN), b, pub, fe.Frac)
-			if b > uint64(l.stableLSN) {
+			b := l.tearBoundary(stable, target, fe.Frac)
+			l.tornSink(b, target, fe.Frac)
+			l.mu.Lock()
+			if LSN(b) > l.stableLSN {
 				l.stableLSN = LSN(b)
 				l.flushes++
 			}
+			if l.writtenLSN > l.stableLSN {
+				l.writtenLSN = l.stableLSN
+			}
+			l.mu.Unlock()
 			l.damaged.Store(true)
-			return fmt.Errorf("wal: force to %d tore at %d: %w: %w", target-1, l.stableLSN, ErrLogFailed, err)
+			return fmt.Errorf("wal: sync to %d tore at %d: %w: %w", target-1, b, ErrLogFailed, err)
 		}
 		if fault.IsTransient(err) && attempt < maxSyncRetries {
 			time.Sleep(time.Microsecond << attempt)
@@ -637,9 +817,24 @@ func (l *Log) syncLocked(limit, target uint64) error {
 		}
 		// Permanent fault, or transient retries exhausted: latch the
 		// device failed, so this record can never quietly become stable
-		// after its committer was told otherwise.
+		// after its committer was told otherwise. Written-but-unsynced
+		// bytes are rewound out of the sink so a later file replay agrees
+		// with the frozen stable point.
 		l.damaged.Store(true)
-		return fmt.Errorf("wal: force to %d: %w: %w", target-1, ErrLogFailed, err)
+		l.rewindSink(stable)
+		return fmt.Errorf("wal: sync to %d: %w: %w", target-1, ErrLogFailed, err)
+	}
+}
+
+// rewindSink best-effort truncates the sink back to `to`, dropping
+// persisted-but-unsynced bytes after a failed sync. The log is latched
+// damaged by the caller.
+func (l *Log) rewindSink(to uint64) {
+	if l.sink == nil {
+		return
+	}
+	if rw, ok := l.sink.(sinkRewinder); ok {
+		_ = rw.Rewind(LSN(to))
 	}
 }
 
@@ -679,22 +874,33 @@ func (l *Log) tearBoundary(from, target uint64, frac float64) uint64 {
 
 // ForceGroup makes every record with LSN <= lsn stable, coalescing
 // concurrent callers into as few physical forces as possible — group
-// commit. Each caller registers its LSN; the first becomes the leader
-// and forces the maximum registered so far, the rest wait for the
-// leader's broadcast. A follower whose LSN registered too late for the
-// current round simply leads (or joins) the next one, so a caller never
-// waits for more than two rounds and N concurrent commits pay far fewer
-// than N forces. Durability on return is identical to Force(lsn).
-// A follower is acknowledged (nil return) only after a successful force
-// covers its record — if the leader's force fails, every waiter whose
-// record did not reach stability gets the error, never a silent ack. A
-// torn round may leave some followers' records inside the surviving
-// prefix; those are genuinely stable and are acknowledged.
+// commit. Each caller registers its LSN; waiters elect per-stage
+// leaders and the rest wait for a broadcast. A caller whose LSN
+// registered too late for the current round simply leads (or joins) the
+// next one, so N concurrent commits pay far fewer than N forces.
+// Durability on return is identical to Force(lsn).
+//
+// In pipelined mode (the default) the two flush stages overlap across
+// rounds: while one leader fsyncs round k, another leader is already
+// waiting out publication and handing round k+1's bytes to the sink, so
+// the unamortized stall per round is max(write, sync) rather than their
+// sum. At most one write and one sync are outstanding at any instant,
+// and the stable prefix still advances strictly in order (the sync
+// stage only ever covers fully written bytes).
+//
+// A waiter is acknowledged (nil return) only after a successful sync
+// covers its record — if a stage fails, every waiter whose record did
+// not reach stability gets the error, never a silent ack. A torn round
+// may leave some waiters' records inside the surviving prefix; those
+// are genuinely stable and are acknowledged.
 func (l *Log) ForceGroup(lsn LSN) error {
 	if lsn == NilLSN {
 		return nil
 	}
 	l.gcRequests.Add(1)
+	if !l.pipelined.Load() {
+		return l.forceGroupSerial(lsn)
+	}
 	l.gcMu.Lock()
 	if lsn > l.gcMax {
 		l.gcMax = lsn
@@ -711,16 +917,95 @@ func (l *Log) ForceGroup(lsn LSN) error {
 			l.gcMu.Unlock()
 			return err
 		}
-		if !l.gcLeader {
+		if !l.writtenBeyond(lsn) {
+			// The record is not yet in the sink: this round needs a
+			// write-stage leader.
+			if l.wLeader {
+				l.gcCond.Wait()
+				continue
+			}
+			l.wLeader = true
+			if l.sLeader {
+				l.overlaps++
+			}
+			l.gcMu.Unlock()
+			// Yield once before reading the round's target so committers
+			// racing on the same CPU can register first — the moral
+			// equivalent of the device latency a real group commit
+			// batches under.
+			runtime.Gosched()
+			l.gcMu.Lock()
+			target := l.gcMax
+			l.gcMu.Unlock()
+
+			err := l.stageWrite(uint64(target) + 1)
+
+			l.gcMu.Lock()
+			l.wLeader = false
+			l.wRounds++
+			if err != nil && l.gcErr == nil {
+				l.gcErr = err
+			}
+			l.gcCond.Broadcast()
+			continue
+		}
+		// Written but not yet stable: this round needs a sync-stage
+		// leader.
+		if l.sLeader {
+			l.gcCond.Wait()
+			continue
+		}
+		l.sLeader = true
+		// The double-buffer swap: let any in-flight write round land
+		// before capturing the sync target, so this fsync also covers the
+		// bytes that were being written while the previous fsync ran.
+		// Without this, committers acked by round k re-append just after
+		// round k+1 captures its target and split into two out-of-phase
+		// cohorts, doubling fsyncs per commit. The write stage itself ran
+		// overlapped with the previous sync, so the round still costs
+		// max(write, sync), not write+sync.
+		for l.wLeader {
+			l.gcCond.Wait()
+		}
+		l.gcMu.Unlock()
+
+		err := l.stageSync()
+
+		l.gcMu.Lock()
+		l.sLeader = false
+		l.gcRounds++
+		if err != nil && l.gcErr == nil {
+			l.gcErr = err
+		}
+		l.gcCond.Broadcast()
+	}
+}
+
+// forceGroupSerial is the pre-pipeline group commit: one leader drives
+// both stages back to back while followers wait — each round pays
+// write+sync with no overlap. Kept selectable (SetPipelined(false)) as
+// the baseline for the pipeline experiments.
+func (l *Log) forceGroupSerial(lsn LSN) error {
+	l.gcMu.Lock()
+	if lsn > l.gcMax {
+		l.gcMax = lsn
+	}
+	for {
+		if l.stableBeyond(lsn) {
+			l.gcMu.Unlock()
+			return nil
+		}
+		if l.gcErr != nil {
+			err := l.gcErr
+			l.gcMu.Unlock()
+			return err
+		}
+		if !l.wLeader {
 			break
 		}
 		l.gcCond.Wait()
 	}
-	// Lead a round. Yield once before reading the round's target so
-	// committers racing on the same CPU can register first — the moral
-	// equivalent of the device latency a real group commit batches under;
-	// when no one else is running it costs one empty scheduler call.
-	l.gcLeader = true
+	l.wLeader = true
 	l.gcMu.Unlock()
 	runtime.Gosched()
 	l.gcMu.Lock()
@@ -730,8 +1015,9 @@ func (l *Log) ForceGroup(lsn LSN) error {
 	err := l.Force(target)
 
 	l.gcMu.Lock()
-	l.gcLeader = false
+	l.wLeader = false
 	l.gcRounds++
+	l.wRounds++
 	if err != nil {
 		// Force failures are sticky (the log is damaged), so parking the
 		// error is final: current waiters and future committers alike
@@ -754,6 +1040,14 @@ func (l *Log) stableBeyond(lsn LSN) bool {
 	return lsn < l.stableLSN
 }
 
+// writtenBeyond reports whether the record at lsn is already in the
+// sink (written, not necessarily synced).
+func (l *Log) writtenBeyond(lsn LSN) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return lsn < l.writtenLSN
+}
+
 // GroupCommitStats returns how many ForceGroup calls were made and how
 // many leader force rounds actually ran; their ratio is the commit
 // coalescing factor.
@@ -767,68 +1061,30 @@ func (l *Log) GroupCommitStats() (requests, rounds int64) {
 
 // ForceAll makes the entire appended log stable.
 func (l *Log) ForceAll() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	limit := l.tail.Load()
-	if LSN(limit) <= l.stableLSN {
-		return nil
+	if err := l.stageWrite(l.tail.Load()); err != nil {
+		return err
 	}
-	return l.syncLocked(limit, limit)
+	return l.stageSync()
 }
 
-// advanceStable waits until the published prefix reaches target, then
-// advances stableLSN over it, persisting the newly stable bytes to the
-// sink first — log bytes are never acknowledged stable before they are
-// durable. Caller holds l.mu.
-func (l *Log) advanceStable(limit, target uint64) error {
-	pub := l.waitPublished(limit, target)
-	if LSN(pub) <= l.stableLSN {
-		return nil
-	}
-	if l.sink != nil {
-		n := pub - uint64(l.stableLSN)
-		if uint64(cap(l.scratch)) < n {
-			l.scratch = make([]byte, n)
-		}
-		buf := l.scratch[:n]
-		copyOut(*l.segs.Load(), buf, uint64(l.stableLSN))
-		if err := l.sink.Persist(l.stableLSN, buf); err != nil {
-			l.damaged.Store(true)
-			return fmt.Errorf("wal: persist [%d,%d): %w: %w", l.stableLSN, pub, ErrLogFailed, err)
-		}
-		if err := l.sink.Commit(); err != nil {
-			l.damaged.Store(true)
-			return fmt.Errorf("wal: sync to %d: %w: %w", pub, ErrLogFailed, err)
-		}
-	}
-	l.stableLSN = LSN(pub)
-	l.flushes++
-	return nil
-}
-
-// persistTorn mirrors a torn sync into the sink: the prefix up to the
-// tear boundary b is persisted and committed (it survives), and a seeded
-// fraction of the record starting at b is written partially — strictly
-// less than the whole record, so file replay truncates exactly at b the
-// way the in-memory stable point does. Best effort: the device is about
-// to be latched damaged either way. Caller holds l.mu.
-func (l *Log) persistTorn(stable, b, pub uint64, frac float64) {
+// tornSink mirrors a torn sync into the sink: the sink is rewound to
+// the tear boundary b (the prefix up to b survives) and re-committed,
+// then a seeded fraction of the record starting at b is written
+// partially — strictly less than the whole record, so file replay
+// truncates exactly at b the way the in-memory stable point does. Best
+// effort: the device is about to be latched damaged either way. Caller
+// holds syMu.
+func (l *Log) tornSink(b, pub uint64, frac float64) {
 	if l.sink == nil {
 		return
 	}
-	segs := *l.segs.Load()
-	if b > stable {
-		buf := make([]byte, b-stable)
-		copyOut(segs, buf, stable)
-		if err := l.sink.Persist(LSN(stable), buf); err != nil {
-			return
-		}
-		_ = l.sink.Commit()
-	}
+	l.rewindSink(b)
+	_ = l.sink.Commit()
 	sp, ok := l.sink.(sinkPartial)
 	if !ok || b+4 > pub {
 		return
 	}
+	segs := *l.segs.Load()
 	var lenb [4]byte
 	copyOut(segs, lenb[:], b)
 	total := uint64(binary.LittleEndian.Uint32(lenb[:]))
@@ -849,8 +1105,29 @@ func (l *Log) persistTorn(stable, b, pub uint64, frac float64) {
 	_ = sp.PersistPartial(LSN(b), part)
 }
 
+// PipelineStats exposes the flush pipeline's round accounting.
+type PipelineStats struct {
+	WriteRounds int64 // completed write-stage rounds
+	SyncRounds  int64 // completed sync-stage rounds
+	Overlaps    int64 // write rounds started while a sync was in flight
+	SyncNanos   int64 // cumulative wall time inside sink fsyncs
+}
+
+// PipelineStatsSnapshot returns the current pipeline counters.
+func (l *Log) PipelineStatsSnapshot() PipelineStats {
+	l.gcMu.Lock()
+	wr, sr, ov := l.wRounds, l.gcRounds, l.overlaps
+	l.gcMu.Unlock()
+	return PipelineStats{
+		WriteRounds: wr,
+		SyncRounds:  sr,
+		Overlaps:    ov,
+		SyncNanos:   l.syncNanos.Load(),
+	}
+}
+
 // waitPublished spins until the published prefix reaches target and
-// returns it. Caller holds l.mu.
+// returns it.
 func (l *Log) waitPublished(limit, target uint64) uint64 {
 	for {
 		pub := l.publishedPrefix(limit)
