@@ -11,7 +11,7 @@ REAL_ROUNDS ?= 20
 ## early-lock-release tests in internal/wal and internal/txn), a
 ## compile+link of every benchmark binary (run with zero iterations) so
 ## bench-only code can't rot between bench runs, a compile+link of the
-## experiment runner (T19 and friends live outside _test files), a short
+## experiment runner (T20 and friends live outside _test files), a short
 ## seeded fault-injection torture run, the real-crash (SIGKILL) recovery
 ## gate over real files, and the sustained-churn steady-state gate.
 check: vet build test race benchbuild expbuild torture realcrash churn
@@ -31,8 +31,8 @@ race:
 benchbuild:
 	$(GO) test -run '^$$' -bench '^$$' ./... >/dev/null
 
-## expbuild: compile+link the experiment runner so the T19 pipeline
-## experiment (and the rest of internal/bench) can't rot: experiments
+## expbuild: compile+link the experiment runner so the T20 vectorized-
+## paths experiment (and the rest of internal/bench) can't rot: experiments
 ## are plain package code, not _test files, so `test` alone won't catch
 ## a broken one until the next full bench run.
 expbuild:

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (T1..T19, F1, F2) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (T1..T20, F1, F2) or 'all'")
 	full := flag.Bool("full", false, "larger workload sizes (slower, stabler numbers)")
 	jsonPath := flag.String("json", "", "also write machine-readable metrics to this file")
 	flag.Parse()
@@ -59,6 +59,7 @@ func main() {
 		{"T17", func() { bench.T17Churn(os.Stdout, p) }, "sustained churn: consolidation + free-space recycling"},
 		{"T18", func() { bench.T18FileStorage(os.Stdout, p) }, "durable file-backed storage: fsync tax + group commit"},
 		{"T19", func() { bench.T19PipelinedCommit(os.Stdout, p) }, "pipelined commit: ELR + write/sync overlap vs serial"},
+		{"T20", func() { bench.T20BatchedOps(os.Stdout, p) }, "vectorized paths: batched MultiPut + scan read-ahead"},
 	}
 
 	want := map[string]bool{}

@@ -18,10 +18,15 @@
 //
 // A try is printed before Commit starts, so any value that reaches the
 // tree has its try on the pipe; an ack is printed after Commit returns,
-// so at most one try per worker is unresolved at the kill — exactly the
-// commit that may have been in flight. Recovery must show, per touched
-// key, either the last acked state or (for the unresolved try's key
-// only) the in-flight state. Everything else is a ghost or a loss.
+// so at most one COMMIT per worker is unresolved at the kill — exactly
+// the one that may have been in flight. A vectorized batch commit
+// prints one try per batch key before Commit and one ack/nak per key
+// after, so a worker's unresolved tries are always the key set of that
+// single in-flight commit. Recovery must show, per touched key, either
+// the last acked state or (for an unresolved try's key only) the
+// in-flight state — and because the in-flight commit is atomic, its
+// keys must resolve uniformly: all applied or all rolled back. A mixed
+// outcome is a partial batch. Everything else is a ghost or a loss.
 package main
 
 import (
@@ -84,6 +89,7 @@ func runRealChild(dir, treeName, syncPol string, seed int64, workers, ops int, p
 		PageOriented:      pageOriented,
 		WriteBackInterval: time.Millisecond,
 		WriteBackBatch:    16,
+		PrefetchWindow:    8,
 	})
 	if err != nil {
 		return err
@@ -115,6 +121,52 @@ func runRealChild(dir, treeName, syncPol string, seed int64, workers, ops int, p
 			for i := 0; i < ops; i++ {
 				if e.Degraded() {
 					return
+				}
+				// Some commits are vectorized batches: one try per batch key
+				// before Commit, one ack/nak per key after, so the kill can
+				// land with the whole batch in flight and recovery is audited
+				// for all-or-nothing resolution.
+				if bt, isBatcher := tree.(tortBatcher); isBatcher && wrng.Intn(5) == 0 {
+					n := 2 + wrng.Intn(7)
+					bks := make([]uint64, 0, n)
+					bvs := make([][]byte, 0, n)
+					inBatch := make(map[uint64]bool, n)
+					for len(bks) < n {
+						k := uint64(w + workers*wrng.Intn(ops/2+1))
+						if inBatch[k] {
+							continue
+						}
+						inBatch[k] = true
+						seq++
+						bks = append(bks, k)
+						bvs = append(bvs, []byte(fmt.Sprintf("v%d.%d.%d", w, k, seq)))
+					}
+					tx := e.TM.Begin()
+					if err := bt.insertBatch(tx, bks, bvs); err != nil {
+						_ = tx.Abort()
+						continue
+					}
+					if wrng.Intn(8) == 0 {
+						_ = tx.Abort()
+						for j, k := range bks {
+							emit("abt %d %d %s", w, k, bvs[j])
+						}
+						continue
+					}
+					for j, k := range bks {
+						emit("try %d %d put %s", w, k, bvs[j])
+					}
+					if err := tx.Commit(); err != nil {
+						for _, k := range bks {
+							emit("nak %d %d", w, k)
+						}
+						continue
+					}
+					for _, k := range bks {
+						emit("ack %d %d", w, k)
+						present[k] = true
+					}
+					continue
 				}
 				k := uint64(w + workers*wrng.Intn(ops/2+1))
 				tx := e.TM.Begin()
@@ -166,13 +218,19 @@ func runRealChild(dir, treeName, syncPol string, seed int64, workers, ops int, p
 				return
 			default:
 			}
-			switch crng.Intn(3) {
+			switch crng.Intn(4) {
 			case 0:
 				_, _ = e.FlushAll()
 			case 1:
 				_, _ = e.Checkpoint()
 			case 2:
 				tree.drain()
+			case 3:
+				// Full scans keep the pool's read-ahead busy against real
+				// page files so the kill can land with prefetches in flight.
+				if sc, isScanner := tree.(tortScanner); isScanner {
+					_ = sc.scanSome()
+				}
 			}
 			time.Sleep(time.Duration(200+crng.Intn(1800)) * time.Microsecond)
 		}
@@ -201,17 +259,21 @@ type realTry struct {
 
 // realOracle is the durability contract parsed from one child's pipe.
 type realOracle struct {
-	acked   []map[uint64]oracleVal // per worker: last acked state per key
-	tried   []map[uint64]bool      // per worker: keys with any resolved-or-not attempt
-	pending []*realTry             // per worker: the unresolved try, if any
-	clean   bool                   // child printed done (clean close, no kill)
+	acked []map[uint64]oracleVal // per worker: last acked state per key
+	tried []map[uint64]bool      // per worker: keys with any resolved-or-not attempt
+	// pending holds each worker's unresolved tries. Workers are
+	// sequential, so all of a worker's entries belong to the single commit
+	// that was in flight at the kill: one entry for a single-key commit, a
+	// key set for a batch commit.
+	pending [][]realTry
+	clean   bool // child printed done (clean close, no kill)
 }
 
 func parseRealAcks(out []byte, workers int) (*realOracle, error) {
 	o := &realOracle{
 		acked:   make([]map[uint64]oracleVal, workers),
 		tried:   make([]map[uint64]bool, workers),
-		pending: make([]*realTry, workers),
+		pending: make([][]realTry, workers),
 	}
 	for w := 0; w < workers; w++ {
 		o.acked[w] = map[uint64]oracleVal{}
@@ -240,28 +302,37 @@ func parseRealAcks(out []byte, workers int) (*realOracle, error) {
 		}
 		switch f[0] {
 		case "try":
-			if len(f) != 5 || o.pending[w] != nil {
-				return nil, fmt.Errorf("protocol violation at %q (pending=%v)", line, o.pending[w])
+			if len(f) != 5 {
+				return nil, fmt.Errorf("protocol violation at %q", line)
 			}
-			o.pending[w] = &realTry{k: k, del: f[3] == "del", val: f[4]}
+			// Tries stack only within one batch commit, whose keys are
+			// distinct by construction.
+			for _, q := range o.pending[w] {
+				if q.k == k {
+					return nil, fmt.Errorf("duplicate pending try at %q", line)
+				}
+			}
+			o.pending[w] = append(o.pending[w], realTry{k: k, del: f[3] == "del", val: f[4]})
 			o.tried[w][k] = true
-		case "ack":
-			p := o.pending[w]
-			if p == nil || p.k != k {
-				return nil, fmt.Errorf("ack without matching try: %q", line)
+		case "ack", "nak":
+			idx := -1
+			for i, q := range o.pending[w] {
+				if q.k == k {
+					idx = i
+					break
+				}
 			}
-			if p.del {
-				o.acked[w][k] = oracleVal{}
-			} else {
-				o.acked[w][k] = oracleVal{present: true, val: p.val}
+			if idx < 0 {
+				return nil, fmt.Errorf("%s without matching try: %q", f[0], line)
 			}
-			o.pending[w] = nil
-		case "nak":
-			p := o.pending[w]
-			if p == nil || p.k != k {
-				return nil, fmt.Errorf("nak without matching try: %q", line)
+			if p := o.pending[w][idx]; f[0] == "ack" {
+				if p.del {
+					o.acked[w][k] = oracleVal{}
+				} else {
+					o.acked[w][k] = oracleVal{present: true, val: p.val}
+				}
 			}
-			o.pending[w] = nil
+			o.pending[w] = append(o.pending[w][:idx], o.pending[w][idx+1:]...)
 		case "abt":
 			if len(f) != 4 {
 				return nil, fmt.Errorf("bad abt line %q", line)
@@ -287,41 +358,64 @@ func (o *realOracle) anyAcked() bool {
 }
 
 // auditRecovered checks the recovered tree against the ack oracle: every
-// key any worker touched must show its last acked state — or, for the
-// single per-worker commit that was in flight at the kill, that commit's
-// state. Anything else is a lost commit or a ghost.
+// key any worker touched must show its last acked state — or, for an
+// unresolved try's key, the in-flight commit's state. The unresolved
+// tries of one worker all belong to a single atomic commit, so they must
+// also resolve uniformly: a batch that applied some keys and rolled back
+// others is a partial-batch ghost. Anything else is a lost commit or a
+// ghost.
 func (o *realOracle) auditRecovered(tree tortTree) error {
 	for w := range o.tried {
-		p := o.pending[w]
+		applied, rolledBack := 0, 0
 		for k := range o.tried[w] {
 			got, ok, err := tree.lookup(k)
 			if err != nil {
 				return fmt.Errorf("lookup %d: %v", k, err)
 			}
 			entry, acked := o.acked[w][k]
-			match := false
+			matchOld := false
 			if acked && entry.present {
-				match = ok && string(got) == entry.val
+				matchOld = ok && string(got) == entry.val
 			} else {
 				// Acked-deleted or never acked: must be absent.
-				match = !ok
+				matchOld = !ok
 			}
-			if !match && p != nil && p.k == k {
+			var p *realTry
+			for i := range o.pending[w] {
+				if o.pending[w][i].k == k {
+					p = &o.pending[w][i]
+					break
+				}
+			}
+			matchNew := false
+			if p != nil {
 				// The in-flight commit may have made it down before the
 				// kill; its exact outcome is the only other legal state.
 				if p.del {
-					match = !ok
+					matchNew = !ok
 				} else {
-					match = ok && string(got) == p.val
+					matchNew = ok && string(got) == p.val
 				}
 			}
-			if match {
+			if p != nil && matchNew != matchOld {
+				// Unambiguous resolution of one in-flight key (a delete of a
+				// never-acked key matches both ways and constrains nothing).
+				if matchNew {
+					applied++
+				} else {
+					rolledBack++
+				}
+			}
+			if matchOld || matchNew {
 				continue
 			}
 			if acked && entry.present {
 				return fmt.Errorf("durability violation: acked key %d = %q ok=%v, committed %q", k, got, ok, entry.val)
 			}
 			return fmt.Errorf("ghost: key %d = %q present after recovery, last acked state was absent", k, got)
+		}
+		if applied > 0 && rolledBack > 0 {
+			return fmt.Errorf("partial batch: worker %d's in-flight commit applied %d keys but rolled back %d", w, applied, rolledBack)
 		}
 	}
 	return nil

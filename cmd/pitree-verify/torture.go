@@ -41,6 +41,21 @@ type tortTree interface {
 	verify() error
 }
 
+// tortBatcher is the optional vectorized-write surface: trees with a
+// MultiPut expose it so workers can commit multi-key batches and the
+// crash-mid-batch-apply round has a real batch to land in.
+type tortBatcher interface {
+	insertBatch(tx *txn.Txn, ks []uint64, vs [][]byte) error
+}
+
+// tortScanner is the optional range-scan surface. Scans feed successor
+// hints to the buffer pool's read-ahead, so the transient-prefetch round
+// has traffic to fault; a faulted prefetch must degrade to the
+// foreground fetch, never to wrong scan output.
+type tortScanner interface {
+	scanSome() error
+}
+
 // tortDraws is the per-round maintenance configuration: each round rolls
 // whether background consolidation and page reclamation are on and how
 // hard the governor throttles them, so every fault in the menu is
@@ -105,6 +120,18 @@ func (a coreTort) drain()        { a.t.DrainCompletions() }
 func (a coreTort) close()        { a.t.Close() }
 func (a coreTort) verify() error { _, err := a.t.Verify(); return err }
 
+func (a coreTort) insertBatch(tx *txn.Txn, ks []uint64, vs [][]byte) error {
+	bk := make([]keys.Key, len(ks))
+	for i, k := range ks {
+		bk[i] = keys.Uint64(k)
+	}
+	return a.t.MultiPut(tx, bk, vs)
+}
+
+func (a coreTort) scanSome() error {
+	return a.t.RangeScan(nil, nil, nil, func(keys.Key, []byte) bool { return true })
+}
+
 func coreTortOpts(pessimistic bool, d tortDraws) core.Options {
 	return core.Options{LeafCapacity: 6, IndexCapacity: 6, Consolidation: d.consolidation,
 		CompletionWorkers: 2, PessimisticDescent: pessimistic, Governor: d.governor()}
@@ -124,6 +151,18 @@ func (a tsbTort) lookup(k uint64) ([]byte, bool, error) {
 func (a tsbTort) drain()        { a.t.DrainCompletions() }
 func (a tsbTort) close()        { a.t.Close() }
 func (a tsbTort) verify() error { _, err := a.t.Verify(); return err }
+
+func (a tsbTort) insertBatch(tx *txn.Txn, ks []uint64, vs [][]byte) error {
+	bk := make([]keys.Key, len(ks))
+	for i, k := range ks {
+		bk[i] = keys.Uint64(k)
+	}
+	return a.t.MultiPut(tx, bk, vs)
+}
+
+func (a tsbTort) scanSome() error {
+	return a.t.ScanAsOf(a.t.Now(), nil, nil, func(keys.Key, []byte) bool { return true })
+}
 
 func tsbTortOpts(pessimistic bool, d tortDraws) tsb.Options {
 	// GC is on: version garbage collection runs off committed time splits
@@ -296,6 +335,16 @@ func tortureMenu() []menuEntry {
 		// clean end-of-round freeze, which is itself a valid case.
 		{"crash-mid-consolidate", storage.FPConsolidate, fault.Spec{Kind: fault.None, Crash: true}, 8},
 		{"crash-mid-free", storage.FPStoreFree, fault.Spec{Kind: fault.None, Crash: true}, 8},
+		// Vectorized-path crash points. crash-mid-batch-apply fires between
+		// two leaf-runs of one batched MultiPut — earlier runs fully logged,
+		// later runs never started — so recovery must resolve the batch per
+		// record against the ack oracle: an unacked batch leaves no ghosts,
+		// an acked one loses nothing. transient-prefetch flakes the pool's
+		// background read-ahead; scans must fall back to synchronous fetches
+		// and never surface wrong data. Rounds on trees without the batch or
+		// scan surface degenerate to a clean end-of-round freeze.
+		{"crash-mid-batch-apply", core.FPBatchApply, fault.Spec{Kind: fault.None, Crash: true}, 6},
+		{"transient-prefetch", storage.FPPoolPrefetch, fault.Spec{Kind: fault.Transient, Count: 3}, 6},
 	}
 }
 
@@ -474,7 +523,8 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, dr
 	spec.After = 1 + int64(rng.Intn(entry.spread))
 	inj.Arm(entry.point, spec)
 
-	eopts := engine.Options{Injector: inj, PoolCapacity: 40, PageOriented: cfg.pageOriented}
+	eopts := engine.Options{Injector: inj, PoolCapacity: 40, PageOriented: cfg.pageOriented,
+		PrefetchWindow: 8}
 	e := engine.New(eopts)
 	tree, err := kind.create(e, draws)
 	if err != nil {
@@ -505,6 +555,47 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, dr
 			for i := 0; i < cfg.ops; i++ {
 				if inj.Crashed() || e.Degraded() {
 					return
+				}
+				// Some transactions commit a multi-key vectorized batch
+				// instead of a single op. The whole batch acks or rolls back
+				// as one commit, so on ack every batch key joins the oracle;
+				// otherwise every batch key must be absent (or at its prior
+				// acked state) after recovery — a crash that lands between
+				// two leaf-runs of the batch must not leak a partial batch.
+				if bt, isBatcher := tree.(tortBatcher); isBatcher && wrng.Intn(5) == 0 {
+					n := 2 + wrng.Intn(7)
+					bks := make([]uint64, 0, n)
+					bvs := make([][]byte, 0, n)
+					inBatch := make(map[uint64]bool, n)
+					for len(bks) < n {
+						k := uint64(w + cfg.workers*wrng.Intn(cfg.ops/2+1))
+						if inBatch[k] {
+							continue
+						}
+						inBatch[k] = true
+						seq++
+						bks = append(bks, k)
+						bvs = append(bvs, []byte(fmt.Sprintf("v%d.%d.%d", w, k, seq)))
+					}
+					tx := e.TM.Begin()
+					if err := bt.insertBatch(tx, bks, bvs); err != nil {
+						_ = tx.Abort()
+						continue
+					}
+					for _, k := range bks {
+						attempted[w][k] = true
+					}
+					if wrng.Intn(8) == 0 {
+						_ = tx.Abort()
+						continue
+					}
+					if err := tx.Commit(); err != nil {
+						continue
+					}
+					for j, k := range bks {
+						oracle[w][k] = oracleVal{present: true, val: string(bvs[j])}
+					}
+					continue
 				}
 				k := uint64(w + cfg.workers*wrng.Intn(cfg.ops/2+1))
 				present := oracle[w][k].present
@@ -577,13 +668,19 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, dr
 			if inj.Crashed() {
 				return
 			}
-			switch crng.Intn(3) {
+			switch crng.Intn(4) {
 			case 0:
 				_, _ = e.FlushAll()
 			case 1:
 				_, _ = e.Checkpoint()
 			case 2:
 				tree.drain()
+			case 3:
+				// Full scans drive the pool's read-ahead so the
+				// transient-prefetch round has hints to fault.
+				if sc, isScanner := tree.(tortScanner); isScanner {
+					_ = sc.scanSome()
+				}
 			}
 		}
 	}()
@@ -606,6 +703,11 @@ func tortureRound(seed int64, kind treeKind, entry menuEntry, recWorkers int, dr
 		inj.TripCrash()
 	}
 	tree.close()
+	// Park the read-ahead workers: the crash image is about to be taken
+	// and this engine abandoned, so no prefetcher may outlive the round.
+	for _, p := range e.Pools() {
+		p.StopPrefetch()
+	}
 	img := e.Crash(nil)
 
 	// Restart clean: the injector died with the process. The drawn worker

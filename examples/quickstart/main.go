@@ -33,6 +33,35 @@ func main() {
 	v, ok, err := tree.Search(nil, keys.String("grace"))
 	fmt.Printf("grace -> %q (found=%v, err=%v)\n", v, ok, err)
 
+	// Batched writes and reads: a sorted batch descends the tree once
+	// per distinct leaf instead of once per key, applying every key for
+	// a leaf under a single latch hold and logging the whole run as one
+	// group append. One call, one atomic action per run.
+	cities := []string{"berlin", "kyoto", "lima", "oslo", "quito"}
+	bk := make([]keys.Key, len(cities))
+	bv := make([][]byte, len(cities))
+	for i, c := range cities {
+		bk[i] = keys.String(c)
+		bv[i] = []byte("city")
+	}
+	if err := tree.MultiPut(nil, bk, bv); err != nil {
+		log.Fatal(err)
+	}
+	vals := make([][]byte, len(bk))
+	found := make([]bool, len(bk))
+	if err := tree.MultiGet(nil, bk, vals, found); err != nil {
+		log.Fatal(err)
+	}
+	hits := 0
+	for _, f := range found {
+		if f {
+			hits++
+		}
+	}
+	stats := tree.Stats.Snapshot()
+	fmt.Printf("batched: MultiGet found %d/%d; %d batch ops saved %d leaf visits\n",
+		hits, len(bk), stats.BatchOps, stats.LeafVisitsSaved)
+
 	// Transactional writes: all-or-nothing.
 	tx := e.TM.Begin()
 	_ = tree.Insert(tx, keys.String("zaphod"), []byte("not real"))

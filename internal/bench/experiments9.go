@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/keys"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// t20Engine builds one file-backed engine + Π-tree for a T20 cell.
+// readLat > 0 wraps the store's page file in a LatencyDisk so reads
+// carry emulated device latency — the scan cells use it because on a
+// memory-backed temp filesystem a page read is a microsecond memcpy
+// with no stall for read-ahead to hide.
+func t20Engine(pol wal.SyncPolicy, poolCap, prefetchWindow, leafCap int, readLat time.Duration) (*engine.Engine, *core.Tree, string) {
+	dir, err := os.MkdirTemp("", "pitree-t20-*")
+	if err != nil {
+		panic(err)
+	}
+	e, _, err := engine.Open(engine.Options{
+		DataDir:           dir,
+		PoolCapacity:      poolCap,
+		SegmentSize:       256 << 10,
+		SlotSize:          16 << 10,
+		Sync:              pol,
+		WriteBackInterval: 2 * time.Millisecond,
+		PrefetchWindow:    prefetchWindow,
+	})
+	if err != nil {
+		panic(err)
+	}
+	b := core.Register(e.Reg, false)
+	var st *storage.Store
+	if readLat > 0 {
+		fd, err := storage.OpenFileDisk(filepath.Join(dir, "store-1.pages"), 16<<10)
+		if err != nil {
+			panic(err)
+		}
+		st = e.AttachStore(1, core.Codec{}, storage.NewLatencyDisk(fd, readLat))
+	} else {
+		st = e.AddStore(1, core.Codec{})
+	}
+	tree, err := core.Create(st, e.TM, e.Locks, b, "t20", core.Options{
+		LeafCapacity: leafCap, IndexCapacity: 64, CompletionWorkers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return e, tree, dir
+}
+
+// T20BatchedOps is experiment T20: the vectorized access paths against
+// their per-key equivalents.
+//
+// Write phase: every transaction inserts one window of `batch`
+// contiguous fresh keys, either as one MultiPut (one descent, one latch
+// hold, one lock-manager interaction, and one group WAL append per
+// leaf-run) or as a loop of single-key Inserts (each paying the full
+// descent + lock + log cost). Windows come off a global sequence, so all
+// threads pound the tree's right edge — the contended configuration the
+// batch path exists for: under it, the looped writer acquires and drops
+// the hot tail latch once per key while the batched writer holds it once
+// per run. The claim is >=2x keys/s for MultiPut at batch >= 64 on
+// contended (multi-thread) cells.
+//
+// Scan phase: a pool much smaller than the tree forces RangeScan to read
+// leaves from the page file; with read-ahead on, the prefetcher chains
+// along leaf side pointers and overlaps the next leaves' reads with the
+// current leaf's callback work. Page reads carry emulated device latency
+// (LatencyDisk) because the host's temp filesystem answers from memory —
+// there is no stall to hide without it — and the callback does a fixed
+// amount of per-record hashing, standing in for the predicate/aggregate
+// work real scans do; overlap needs both sides to be nonzero. The claim
+// is prefetch-on > prefetch-off on file-mode scan throughput, with the
+// hit/wasted counters showing the window did real work rather than
+// churning the pool.
+func T20BatchedOps(w io.Writer, p Params) {
+	keysPerThread := p.OpsPerThread / 4
+	if keysPerThread < 2_000 {
+		keysPerThread = 2_000
+	}
+	batches := []int{16, 64, 256}
+	threadCounts := []int{1, 4, 16}
+
+	fmt.Fprintf(w, "\nT20: batched MultiPut vs looped Insert, %d fresh keys/thread (file-backed, contiguous windows)\n", keysPerThread)
+	fmt.Fprintf(w, "%-8s%7s%9s%12s%12s%9s%12s%14s\n",
+		"sync", "batch", "threads", "loop(k/s)", "multi(k/s)", "speedup", "batch-ops", "visits-saved")
+
+	for _, pol := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncNever} {
+		polName := "always"
+		if pol == wal.SyncNever {
+			polName = "never"
+		}
+		for _, batch := range batches {
+			for _, th := range threadCounts {
+				var loopKps, multiKps float64
+				var batchOps, visitsSaved int64
+				for _, vectored := range []bool{false, true} {
+					e, tree, dir := t20Engine(pol, 256, 0, 128, 0)
+					var windowSeq atomic.Uint64
+					val := make([]byte, 64)
+					txns := keysPerThread / batch
+					if txns < 1 {
+						txns = 1
+					}
+					bk := make([][]keys.Key, th)
+					bv := make([][][]byte, th)
+					for t := 0; t < th; t++ {
+						bk[t] = make([]keys.Key, batch)
+						bv[t] = make([][]byte, batch)
+						for i := range bv[t] {
+							bv[t][i] = val
+						}
+					}
+					var wg sync.WaitGroup
+					start := time.Now()
+					for t := 0; t < th; t++ {
+						wg.Add(1)
+						go func(t int) {
+							defer wg.Done()
+							for n := 0; n < txns; n++ {
+								base := windowSeq.Add(1) * uint64(batch)
+								for i := 0; i < batch; i++ {
+									bk[t][i] = keys.Uint64(base + uint64(i))
+								}
+								tx := e.TM.Begin()
+								var err error
+								if vectored {
+									err = tree.MultiPut(tx, bk[t], bv[t])
+								} else {
+									for i := 0; i < batch && err == nil; i++ {
+										err = tree.Insert(tx, bk[t][i], val)
+									}
+								}
+								if err != nil {
+									_ = tx.Abort()
+									continue
+								}
+								if err := tx.Commit(); err != nil {
+									panic(err)
+								}
+							}
+						}(t)
+					}
+					wg.Wait()
+					elapsed := time.Since(start)
+					kps := float64(th*txns*batch) / elapsed.Seconds() / 1000
+					if vectored {
+						multiKps = kps
+						snap := tree.Stats.Snapshot()
+						batchOps = snap.BatchOps
+						visitsSaved = snap.LeafVisitsSaved
+					} else {
+						loopKps = kps
+					}
+					tree.Close()
+					if err := e.Close(); err != nil {
+						panic(err)
+					}
+					os.RemoveAll(dir)
+				}
+				speedup := 0.0
+				if loopKps > 0 {
+					speedup = multiKps / loopKps
+				}
+				fmt.Fprintf(w, "%-8s%7d%9d%12.1f%12.1f%8.2fx%12d%14d\n",
+					polName, batch, th, loopKps, multiKps, speedup, batchOps, visitsSaved)
+
+				tag := fmt.Sprintf("sync=%s.batch=%d.threads=%d", polName, batch, th)
+				p.Report.Add("T20", "write.looped_kops."+tag, loopKps, "kops/s")
+				p.Report.Add("T20", "write.multiput_kops."+tag, multiKps, "kops/s")
+				p.Report.Add("T20", "write.speedup."+tag, speedup, "x")
+				p.Report.Add("T20", "write.batch_ops."+tag, float64(batchOps), "ops")
+				p.Report.Add("T20", "write.leaf_visits_saved."+tag, float64(visitsSaved), "visits")
+			}
+		}
+	}
+
+	// --- scan phase: read-ahead on vs off over a pool-overflowing tree ---
+	scanKeys := p.Preload
+	if scanKeys < 30_000 {
+		scanKeys = 30_000
+	}
+	const poolCap = 128 // ~1/4 of the tree's leaves: scans must hit the file
+	const sweeps = 3
+	// Emulated device read latency and per-record consumer work. ~100µs
+	// approximates a networked or cloud block device; the hash rounds put
+	// per-leaf callback time in the same regime so there is computation
+	// for the read-ahead to overlap with.
+	const scanReadLat = 100 * time.Microsecond
+	const hashRounds = 32
+	fmt.Fprintf(w, "\nT20 scan: file-mode RangeScan over %d keys, pool %d frames, %d sweeps, %v/read device latency\n", scanKeys, poolCap, sweeps, scanReadLat)
+	fmt.Fprintf(w, "%-10s%12s%10s%10s%10s%10s\n", "prefetch", "keys/s", "issued", "hit", "wasted", "misses")
+
+	var offKps, onKps float64
+	for _, window := range []int{0, 16} {
+		e, tree, dir := t20Engine(wal.SyncNever, poolCap, window, 64, scanReadLat)
+		val := make([]byte, 64)
+		bk := make([]keys.Key, 256)
+		bv := make([][]byte, 256)
+		for i := range bv {
+			bv[i] = val
+		}
+		for base := 0; base < scanKeys; base += len(bk) {
+			for i := range bk {
+				bk[i] = keys.Uint64(uint64(base + i))
+			}
+			if err := tree.MultiPut(nil, bk, bv); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := e.FlushAll(); err != nil {
+			panic(err)
+		}
+
+		var sum uint64
+		count := 0
+		start := time.Now()
+		for s := 0; s < sweeps; s++ {
+			if err := tree.RangeScan(nil, nil, nil, func(_ keys.Key, v []byte) bool {
+				// Per-record consumer work, the window the read-ahead
+				// overlaps the next leaves' disk reads with.
+				for r := 0; r < hashRounds; r++ {
+					for _, b := range v {
+						sum = sum*31 + uint64(b)
+					}
+				}
+				count++
+				return true
+			}); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		_ = sum
+		kps := float64(count) / elapsed.Seconds() / 1000
+
+		var ps = e.Pools()[0].Stats()
+		name := "off"
+		if window > 0 {
+			name = "on"
+			onKps = kps
+		} else {
+			offKps = kps
+		}
+		fmt.Fprintf(w, "%-10s%12.1f%10d%10d%10d%10d\n",
+			name, kps, ps.PrefetchIssued, ps.PrefetchHit, ps.PrefetchWasted, ps.Misses)
+		p.Report.Add("T20", "scan.keys_per_sec.prefetch="+name, kps*1000, "keys/s")
+		p.Report.Add("T20", "scan.prefetch_issued.prefetch="+name, float64(ps.PrefetchIssued), "reads")
+		p.Report.Add("T20", "scan.prefetch_hit.prefetch="+name, float64(ps.PrefetchHit), "fetches")
+		p.Report.Add("T20", "scan.prefetch_wasted.prefetch="+name, float64(ps.PrefetchWasted), "frames")
+
+		tree.Close()
+		if err := e.Close(); err != nil {
+			panic(err)
+		}
+		os.RemoveAll(dir)
+	}
+	if offKps > 0 {
+		p.Report.Add("T20", "scan.prefetch_speedup", onKps/offKps, "x")
+		fmt.Fprintf(w, "(prefetch-on/off = %.2fx)\n", onKps/offKps)
+	}
+	fmt.Fprintf(w, "(claim: one descent + one latch hold + one lock interaction + one group append per\n leaf-run makes vectorized writes >=2x looped singles at batch >= 64 under contention;\n scan read-ahead overlaps the successor leaf's read+decode with consumer work)\n")
+}

@@ -91,6 +91,9 @@ func (p *PiTree) PoolStats() storage.PoolStats {
 		s.Misses += ps.Misses
 		s.Hits += ps.Hits
 		s.Evictions += ps.Evictions
+		s.PrefetchIssued += ps.PrefetchIssued
+		s.PrefetchHit += ps.PrefetchHit
+		s.PrefetchWasted += ps.PrefetchWasted
 	}
 	return s
 }

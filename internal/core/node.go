@@ -239,3 +239,13 @@ func (Codec) EncodePage(v any) ([]byte, error) {
 func (Codec) DecodePage(b []byte) (any, error) {
 	return decodeNode(enc.NewReader(b))
 }
+
+// SuccessorHint implements storage.SuccessorCodec: a leaf's scan-order
+// successor is its side pointer, which is what RangeScan follows. Index
+// nodes return no hint — read-ahead chains along the leaf level only.
+func (Codec) SuccessorHint(data any) storage.PageID {
+	if n, ok := data.(*Node); ok && n.Level == 0 {
+		return n.Right
+	}
+	return storage.NilPage
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled gates tests whose expectations the race runtime breaks.
+const raceEnabled = false

@@ -600,6 +600,11 @@ func (t *Tree) RangeScan(tx *txn.Txn, lo, hi keys.Key, fn func(k keys.Key, v []b
 					}
 				}
 			}
+			if !done {
+				// Read-ahead: start the successor leaf's disk read now so it
+				// overlaps the callback work on this leaf's batch.
+				t.store.Pool.PrefetchAsync(leaf.n.Right)
+			}
 			o.release(&leaf)
 			return nil
 		})

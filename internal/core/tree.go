@@ -139,6 +139,12 @@ type Stats struct {
 	// MergeBatches counts consolidation tasks that committed more than one
 	// merge under a single parent hold.
 	MergeBatches atomic.Int64
+	// BatchOps counts leaf-runs applied by the vectorized MultiGet /
+	// MultiPut / MultiDelete paths (one count per single-descent,
+	// single-latch group). LeafVisitsSaved counts the descents those runs
+	// avoided relative to per-key operations (run length minus one, summed).
+	BatchOps        atomic.Int64
+	LeafVisitsSaved atomic.Int64
 	// UtilHist is a leaf-utilization histogram: bucket i counts leaves
 	// whose live-entry fraction is in [i/8, (i+1)/8), with bucket 8 for
 	// exactly-full. Maintained incrementally at every mutation that
@@ -189,6 +195,7 @@ type StatsSnapshot struct {
 	OptimisticHits, OptimisticRetries                  int64
 	OptimisticFallbacks                                int64
 	MergeBatches                                       int64
+	BatchOps, LeafVisitsSaved                          int64
 	UtilHist                                           [9]int64
 }
 
@@ -200,6 +207,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	}
 	return StatsSnapshot{
 		MergeBatches: s.MergeBatches.Load(), UtilHist: hist,
+		BatchOps: s.BatchOps.Load(), LeafVisitsSaved: s.LeafVisitsSaved.Load(),
 		Searches: s.Searches.Load(), Inserts: s.Inserts.Load(), Deletes: s.Deletes.Load(), Updates: s.Updates.Load(),
 		LeafSplits: s.LeafSplits.Load(), IndexSplits: s.IndexSplits.Load(), RootGrowths: s.RootGrowths.Load(),
 		SideTraversals: s.SideTraversals.Load(),

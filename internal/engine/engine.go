@@ -73,6 +73,11 @@ type Options struct {
 	// across the force (the pre-pipeline behavior). The T19 experiment's
 	// baseline; production leaves it false.
 	SerialCommit bool
+	// PrefetchWindow enables scan read-ahead on every store's pool: scans
+	// hand the pool leaf-successor hints and an async worker warms those
+	// pages before the scan's own fetch, bounded to this many outstanding
+	// requests. Zero disables prefetching.
+	PrefetchWindow int
 }
 
 // ErrDegraded is the typed error returned for writes once the log
@@ -194,6 +199,7 @@ func (e *Engine) AttachStore(storeID uint32, codec storage.Codec, disk storage.D
 	if e.Opts.Injector != nil {
 		pool.SetInjector(e.Opts.Injector)
 	}
+	pool.EnablePrefetch(e.Opts.PrefetchWindow)
 	st := storage.NewStore(pool, e.Reg)
 	e.mu.Lock()
 	if _, dup := e.stores[storeID]; dup {
@@ -336,6 +342,11 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	for _, fn := range closers {
 		fn()
+	}
+	// Prefetchers stop before the final flush: an in-flight read-ahead
+	// must not race the pools' shutdown writes.
+	for _, p := range e.Pools() {
+		p.StopPrefetch()
 	}
 	if err := e.Log.ForceAll(); err != nil {
 		return err

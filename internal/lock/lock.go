@@ -673,6 +673,97 @@ func (m *Manager) TryLockDep(txn wal.TxnID, name Name, mode Mode) (uint64, bool)
 	return m.filterDep(dep), true
 }
 
+// TryLockDepBatch acquires names in order for txn, stopping at the first
+// name that would need waiting. Names mapping to the same stripe are
+// granted under one acquisition of that stripe's mutex, so a sorted key
+// batch whose record locks hash together pays one lock-manager
+// interaction instead of one per key. Returns the maximum
+// commit-dependency LSN across the granted names and the index of the
+// first failure (-1 when every name was granted). Granted names are NOT
+// rolled back on failure — the caller is two-phase and keeps them; a
+// retry finds them on the already-held fast path.
+func (m *Manager) TryLockDepBatch(txn wal.TxnID, names []Name, mode Mode) (uint64, int) {
+	var maxDep uint64
+	var visited uint64 // stripes already fully processed (≤64 stripes)
+	for i := range names {
+		idx := m.stripeIndex(names[i])
+		if visited&(1<<idx) != 0 {
+			continue
+		}
+		visited |= 1 << idx
+		s := &m.stripes[idx]
+		newHold := false
+		fail := -1
+		s.mu.Lock()
+		for j := i; j < len(names); j++ {
+			if m.stripeIndex(names[j]) != idx {
+				continue
+			}
+			dep, granted, fresh := s.tryGrantLocked(txn, names[j], mode)
+			if !granted {
+				fail = j
+				break
+			}
+			newHold = newHold || fresh
+			if dep > maxDep {
+				maxDep = dep
+			}
+		}
+		s.mu.Unlock()
+		// noteStripe only after dropping the stripe mutex (owner-table
+		// discipline: it never nests with stripe mutexes).
+		if newHold {
+			m.noteStripe(txn, idx)
+		}
+		if fail >= 0 {
+			return m.filterDep(maxDep), fail
+		}
+	}
+	return m.filterDep(maxDep), -1
+}
+
+// tryGrantLocked is TryLockDep's grant logic for one name, run under the
+// owning stripe's mutex. fresh reports that txn gained a hold it did not
+// have before (the caller must noteStripe after unlocking). The returned
+// dep is unfiltered.
+func (s *stripe) tryGrantLocked(txn wal.TxnID, name Name, mode Mode) (dep uint64, granted, fresh bool) {
+	ls, ok := s.locks[name]
+	if !ok {
+		ls = s.takeState()
+		s.locks[name] = ls
+		ls.holders = append(ls.holders, holder{txn: txn, mode: mode})
+		s.addOwned(txn, name)
+		s.grants++
+		return 0, true, true
+	}
+	cur, held := ls.holderMode(txn)
+	if held && !stronger(mode, cur) {
+		return ls.depLSN, true, false
+	}
+	if len(ls.queue) > 0 {
+		return 0, false, false
+	}
+	for _, h := range ls.holders {
+		if h.txn != txn && !Compatible(h.mode, mode) {
+			return 0, false, false
+		}
+	}
+	if held {
+		for i := range ls.holders {
+			if ls.holders[i].txn == txn {
+				ls.holders[i].mode = mode
+				break
+			}
+		}
+		s.grants++
+		return ls.depLSN, true, false
+	}
+	ls.holders = append(ls.holders, holder{txn: txn, mode: mode})
+	s.addOwned(txn, name)
+	s.grants++
+	return ls.depLSN, true, true
+}
+
 // Unlock releases txn's hold on name before transaction end. Only safe
 // for locks that are not needed for two-phase correctness (e.g. test
 // scaffolding); transactions normally use ReleaseAll at commit or abort.

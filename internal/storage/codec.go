@@ -16,6 +16,16 @@ type Codec interface {
 	DecodePage(b []byte) (any, error)
 }
 
+// SuccessorCodec is an optional Codec extension for scan read-ahead: it
+// extracts the forward side pointer from a decoded page so the pool's
+// prefetcher can chain along a scan's traversal order without help from
+// the access method. Return NilPage when the page has no successor (or
+// is not a scannable leaf). The pool calls it under the frame's S latch;
+// the implementation must only read data.
+type SuccessorCodec interface {
+	SuccessorHint(data any) PageID
+}
+
 // Page images on disk are framed as:
 //
 //	[0:8]  pageLSN (little endian)

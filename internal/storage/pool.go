@@ -59,6 +59,11 @@ type Frame struct {
 	ref      atomic.Uint32 // clock reference bit (bounded pools)
 	clockIdx int           // position in the owning shard's clock ring; shard mu
 
+	// preloaded marks a frame warmed by the async prefetcher and not yet
+	// touched by a foreground fetch; the first fetch that finds it set
+	// counts a prefetch hit, eviction before that counts a waste.
+	preloaded atomic.Bool
+
 	// loading marks a pinned placeholder whose disk read is still in
 	// flight (bounded pools). Concurrent fetchers of the same page pin the
 	// placeholder and park on loadCh — created lazily by the first waiter,
@@ -292,6 +297,11 @@ type PoolStats struct {
 	Misses    int64 // fetches that had to read the stable layer
 	Hits      int64 // fetches served from a buffered frame
 	Evictions int64 // frames removed by replacement (bounded pools)
+
+	// Async read-ahead counters (EnablePrefetch).
+	PrefetchIssued int64 // read-aheads that started a disk read
+	PrefetchHit    int64 // foreground fetches served by a prefetched frame
+	PrefetchWasted int64 // prefetched frames evicted untouched, or reads dropped/failed
 }
 
 // HitRatio returns hits/(hits+misses), or 0 with no traffic.
@@ -331,6 +341,13 @@ type Pool struct {
 	flushCount atomic.Int64
 	missCount  atomic.Int64
 	hitCount   atomic.Int64 // unbounded regime; bounded hits are per-shard
+
+	// Async read-ahead (prefetch.go). pf is set by EnablePrefetch before
+	// concurrent use and cleared by StopPrefetch.
+	pf             *prefetcher
+	prefetchIssued atomic.Int64
+	prefetchHit    atomic.Int64
+	prefetchWasted atomic.Int64
 }
 
 // poolShard is one slice of a bounded pool's page table. All pins on
@@ -353,6 +370,7 @@ type poolShard struct {
 	// which keeps the hit path free of cross-shard cache-line traffic.
 	hits      int64
 	evictions int64
+	pfWasted  int64 // prefetched frames evicted before any foreground fetch
 	// free parks recycled Frame shells. Eviction proved pins == 0 under
 	// mu, so no goroutine retains a usable reference and the struct can be
 	// reissued for a different page without a fresh allocation.
@@ -405,6 +423,7 @@ func (sh *poolShard) recycle(f *Frame) {
 	if len(sh.free) < maxFreeFrames {
 		f.Data = nil // release the page contents to the collector now
 		f.ClearNav() // the snapshot must not survive into the next page
+		f.preloaded.Store(false)
 		sh.free = append(sh.free, f)
 	}
 }
@@ -475,15 +494,31 @@ func (p *Pool) Log() *wal.Log { return p.log }
 
 // Fetch returns the frame for pid, pinned. The caller must Unpin it.
 func (p *Pool) Fetch(pid PageID) (*Frame, error) {
+	return p.fetch(pid, false)
+}
+
+// fetch is Fetch with the prefetcher's warm mode: a warm miss tags the
+// loading placeholder as preloaded BEFORE the disk read, so a foreground
+// fetch that arrives while the read is in flight consumes the tag as a
+// prefetch hit — the overlap it got is exactly what the counter means.
+// A warm fetch itself never consumes the tag (the worker's own hit-path
+// visit is not a prefetch hit).
+func (p *Pool) fetch(pid PageID, warm bool) (*Frame, error) {
 	if p.cap == 0 {
 		if f := p.ftab.get(pid); f != nil {
 			f.pins.Add(1)
 			p.hitCount.Add(1)
+			if !warm && f.preloaded.Swap(false) {
+				p.prefetchHit.Add(1)
+			}
 			return f, nil
 		}
 		f, err := p.loadFromDisk(pid)
 		if err != nil {
 			return nil, err
+		}
+		if warm {
+			f.preloaded.Store(true)
 		}
 		// Another goroutine may install first; both read the same stable
 		// image, so dropping ours is safe.
@@ -499,6 +534,9 @@ func (p *Pool) Fetch(pid PageID) (*Frame, error) {
 			f.pins.Add(1)
 			f.ref.Store(1)
 			sh.hits++
+			if !warm && f.preloaded.Swap(false) {
+				p.prefetchHit.Add(1)
+			}
 			if !f.loading {
 				sh.mu.Unlock()
 				return f, nil
@@ -540,6 +578,9 @@ func (p *Pool) Fetch(pid PageID) (*Frame, error) {
 	f.loading = true
 	f.loadErr = nil
 	f.pins.Add(1)
+	if warm {
+		f.preloaded.Store(true)
+	}
 	victims := sh.install(f)
 	sh.mu.Unlock()
 	err := p.writeBack(sh, victims)
@@ -552,7 +593,10 @@ func (p *Pool) Fetch(pid PageID) (*Frame, error) {
 	sh.mu.Lock()
 	if err != nil {
 		// Withdraw the placeholder. Waiters still pin it and will read
-		// loadErr after the close; the frame is not recycled.
+		// loadErr after the close; the frame is not recycled. Clear any
+		// warm tag so the dead frame's later recycling isn't counted as
+		// a wasted prefetch on top of the failed read.
+		f.preloaded.Store(false)
 		sh.removeAt(f.clockIdx)
 		f.loadErr = err
 		f.pins.Add(-1)
@@ -743,6 +787,9 @@ func (sh *poolShard) detachVictim() (op *flushOp, found bool) {
 		}
 		sh.removeAt(f.clockIdx)
 		sh.evictions++
+		if f.preloaded.Swap(false) {
+			sh.pfWasted++
+		}
 		if !f.Dirty() {
 			sh.recycle(f)
 			return nil, true
@@ -1102,15 +1149,19 @@ func (p *Pool) DirtyPages() map[PageID]wal.LSN {
 // Stats returns cumulative pool counters.
 func (p *Pool) Stats() PoolStats {
 	s := PoolStats{
-		Flushes: p.flushCount.Load(),
-		Misses:  p.missCount.Load(),
-		Hits:    p.hitCount.Load(),
+		Flushes:        p.flushCount.Load(),
+		Misses:         p.missCount.Load(),
+		Hits:           p.hitCount.Load(),
+		PrefetchIssued: p.prefetchIssued.Load(),
+		PrefetchHit:    p.prefetchHit.Load(),
+		PrefetchWasted: p.prefetchWasted.Load(),
 	}
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
 		s.Hits += sh.hits
 		s.Evictions += sh.evictions
+		s.PrefetchWasted += sh.pfWasted
 		sh.mu.Unlock()
 	}
 	return s

@@ -453,3 +453,14 @@ func (Codec) EncodePage(v any) ([]byte, error) {
 func (Codec) DecodePage(b []byte) (any, error) {
 	return decodeNode(enc.NewReader(b))
 }
+
+// SuccessorHint implements storage.SuccessorCodec: a data node's
+// key-order successor is its key sibling, the pointer a key-ordered
+// scan at any time slice follows next. Index nodes and retired pages
+// return no hint.
+func (Codec) SuccessorHint(data any) storage.PageID {
+	if n, ok := data.(*Node); ok && n.IsData() && !n.Retired {
+		return n.KeySib
+	}
+	return storage.NilPage
+}

@@ -178,6 +178,10 @@ func (t *Tree) SnapshotScan(snap *txn.Snapshot, lo, hi keys.Key, fn func(k keys.
 					done = true
 				}
 			}
+			if !done {
+				// Read-ahead of the key sibling; see ScanAsOf.
+				t.store.Pool.PrefetchAsync(n.KeySib)
+			}
 			o.release(&leaf)
 			return nil
 		})

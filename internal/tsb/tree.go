@@ -98,6 +98,13 @@ type Stats struct {
 	SoftOverflows  atomic.Int64
 	Restarts       atomic.Int64
 
+	// Batched access-path counters: BatchOps counts leaf-runs applied by
+	// MultiGet/MultiPut/MultiDelete (one per single-descent, single-latch
+	// group); LeafVisitsSaved sums the descents those runs avoided (run
+	// length minus one).
+	BatchOps        atomic.Int64
+	LeafVisitsSaved atomic.Int64
+
 	// Optimistic descent counters: hits are interior-node visits served
 	// from a validated snapshot without latching; retries are snapshot
 	// refreshes or validation failures; fallbacks are whole descents
@@ -926,6 +933,12 @@ func (t *Tree) ScanAsOf(time uint64, lo, hi keys.Key, fn func(k keys.Key, v []by
 				if hi != nil && keys.Compare(next, hi) >= 0 {
 					done = true
 				}
+			}
+			if !done {
+				// Read-ahead: the key sibling is the next leaf the scan will
+				// descend to; start its disk read under this leaf's latch so
+				// it overlaps the callback work on this batch.
+				t.store.Pool.PrefetchAsync(leaf.n.KeySib)
 			}
 			o.release(&leaf)
 			return nil

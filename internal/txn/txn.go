@@ -317,6 +317,51 @@ func (t *Txn) LogUpdate(storeID uint32, pageID uint64, kind wal.Kind, payload []
 	return lsn
 }
 
+// GroupUpdate is one update in a LogUpdateGroup batch.
+type GroupUpdate struct {
+	Kind    wal.Kind
+	Payload []byte
+}
+
+// LogUpdateGroup appends one physiological update record per entry of ups
+// — all against the same page — as a single reserved-slot group append:
+// one t.mu hold, one log reservation, one publication handshake. The
+// records chain through this transaction's undo chain exactly as if
+// logged one at a time (AppendGroup rewrites the intra-group PrevLSNs),
+// so undo and redo stay per-record. Returns the first and last record
+// LSNs; the caller must MarkDirty the page with BOTH, first then last —
+// a clean page's recLSN must cover the group's first record (marking
+// only the last would let a fuzzy checkpoint publish a recLSN above
+// unflushed records, and redo would drop them), while pageLSN advances
+// to the group's last. No-op returning the current lastLSN twice for an
+// empty batch.
+func (t *Txn) LogUpdateGroup(storeID uint32, pageID uint64, ups []GroupUpdate) (first, last wal.LSN) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != Active {
+		panic(fmt.Sprintf("txn %d: LogUpdateGroup in state %d", t.ID, t.state))
+	}
+	if len(ups) == 0 {
+		return t.lastLSN, t.lastLSN
+	}
+	recs := make([]*wal.Record, len(ups))
+	for i := range ups {
+		recs[i] = &wal.Record{
+			Type:    wal.RecUpdate,
+			Flags:   t.flags(),
+			Kind:    ups[i].Kind,
+			TxnID:   t.ID,
+			StoreID: storeID,
+			PageID:  pageID,
+			Payload: ups[i].Payload,
+		}
+	}
+	recs[0].PrevLSN = t.lastLSN
+	lsn := t.mgr.Log.AppendGroup(recs)
+	t.lastLSN = lsn
+	return recs[0].LSN, lsn
+}
+
 // LogCLR appends a compensation record in this transaction's chain with
 // the given undo-next pointer, and returns its LSN. Logical undo handlers
 // use it: they apply the compensating change to whatever page the data
@@ -361,6 +406,20 @@ func (t *Txn) TryLock(name lock.Name, mode lock.Mode) bool {
 		t.depLSN = dep
 	}
 	return ok
+}
+
+// TryLockBatch acquires every name in names (in order, under one
+// lock-manager interaction per stripe) only where no waiting is needed.
+// Returns the index of the first name that would have to wait, or -1 when
+// all were granted. Granted locks are kept either way (two-phase); on
+// failure the caller typically releases its latches, blocks on the failed
+// name with Lock, and retries the operation.
+func (t *Txn) TryLockBatch(names []lock.Name, mode lock.Mode) int {
+	dep, fail := t.mgr.Locks.TryLockDepBatch(t.ID, names, mode)
+	if dep > t.depLSN {
+		t.depLSN = dep
+	}
+	return fail
 }
 
 // Commit makes the transaction's effects permanent. User commits force

@@ -630,6 +630,51 @@ func (l *Log) Append(r *Record) LSN {
 	return LSN(start)
 }
 
+// AppendGroup adds recs to the log as one reservation: a single in-flight
+// slot claim and a single fetch-add cover the whole group, so a batch of
+// per-key update records pays one publication handshake instead of one
+// per record. Records keep their individual framing — each gets its own
+// LSN, CRC, and header — so readers, recovery, and per-record undo see
+// them exactly as if they had been appended one by one. The PrevLSN of
+// recs[0] is taken as the caller set it; every later record's PrevLSN is
+// overwritten to chain to its predecessor in the group, preserving the
+// owning transaction's undo chain. Returns the LSN of the last record
+// (NilLSN for an empty group).
+func (l *Log) AppendGroup(recs []*Record) LSN {
+	if len(recs) == 0 {
+		return NilLSN
+	}
+	var total uint64
+	for _, r := range recs {
+		total += uint64(headerSize + len(r.Payload))
+	}
+	slot := l.claimSlot()
+	start := l.tail.Add(total) - total
+	slot.Store(start)
+	end := start + total
+	segs := l.ensure(end)
+	off := start
+	for i, r := range recs {
+		r.LSN = LSN(off)
+		if i > 0 {
+			r.PrevLSN = recs[i-1].LSN
+		}
+		sz := uint64(headerSize + len(r.Payload))
+		if off>>segShift == (off+sz-1)>>segShift {
+			so := off & segMask
+			encodeInto(segs[off>>segShift][so:so+sz], r)
+		} else {
+			b := make([]byte, sz)
+			encodeInto(b, r)
+			copyIn(segs, off, b)
+		}
+		off += sz
+	}
+	l.appends.Add(int64(len(recs)))
+	slot.Store(idleSlot)
+	return recs[len(recs)-1].LSN
+}
+
 // Force makes every record with LSN <= lsn stable. Forcing NilLSN is a
 // no-op; forcing beyond the end flushes everything. Force waits for
 // concurrent appenders that hold earlier LSN reservations to finish
